@@ -1,0 +1,73 @@
+"""Shared benchmark infrastructure.
+
+Each benchmark regenerates one table or figure of the paper's evaluation:
+it runs the corresponding property at a benchmark-scale configuration,
+prints the same rows/series the paper reports, and asserts the qualitative
+shape.  Dataset sizes scale with the ``REPRO_BENCH_SCALE`` environment
+variable (default 1.0) so the same harness serves quick CI runs and fuller
+reproductions.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Sequence
+
+from repro import Observatory
+from repro.core.framework import DatasetSizes
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(base: int, minimum: int = 2) -> int:
+    return max(minimum, round(base * SCALE))
+
+
+# Model panels per figure, mirroring the paper's "models in scope" rows.
+FIGURE5_COLUMN_MODELS = ["bert", "roberta", "t5", "tapas", "tabert", "turl", "doduo"]
+FIGURE5_ROW_MODELS = ["bert", "roberta", "t5", "tapas", "tapex"]
+FIGURE5_TABLE_MODELS = ["bert", "roberta", "t5", "tapas", "tabert", "turl", "tapex"]
+TABLE3_MODELS = ["bert", "roberta", "t5", "tapas", "tabert", "doduo"]
+TABLE4_MODELS = ["bert", "roberta", "t5", "tapas", "doduo"]
+FIGURE11_MODELS = ["bert", "roberta", "t5", "tapas", "tabert", "turl", "doduo", "tapex"]
+FIGURE12_MODELS = ["bert", "roberta", "t5", "turl", "doduo", "tapas", "tapex"]
+FIGURE13_MODELS = ["bert", "roberta", "t5", "tapas", "tabert", "doduo", "tapex"]
+TABLE5_MODELS = ["bert", "roberta", "t5", "tapas", "tabert", "doduo"]
+
+_OBSERVATORY: Dict[int, Observatory] = {}
+
+
+def observatory(seed: int = 0) -> Observatory:
+    """Benchmark-scale Observatory, cached per seed."""
+    if seed not in _OBSERVATORY:
+        _OBSERVATORY[seed] = Observatory(
+            seed=seed,
+            sizes=DatasetSizes(
+                wikitables_tables=scaled(12),
+                spider_databases=scaled(5),
+                nextiajd_pairs=scaled(80, minimum=20),
+                sotab_tables=scaled(20),
+                n_permutations=scaled(10, minimum=4),
+            ),
+        )
+    return _OBSERVATORY[seed]
+
+
+_RESULT_CACHE: Dict[tuple, object] = {}
+
+
+def characterize(model_name: str, property_name: str, **kwargs):
+    """Memoized Observatory.characterize — several benches share panels."""
+    key = (model_name, property_name, tuple(sorted(kwargs.items())))
+    if key not in _RESULT_CACHE:
+        _RESULT_CACHE[key] = observatory().characterize(
+            model_name, property_name, **kwargs
+        )
+    return _RESULT_CACHE[key]
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

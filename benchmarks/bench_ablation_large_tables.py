@@ -1,0 +1,65 @@
+"""Ablation (Section 7): impact of tables with large dimensionality.
+
+The paper checks BERT and TAPAS on NextiaJD-S (209k rows, 56 columns on
+average) and finds no significant difference in row/column-order behaviour
+versus WikiTables-sized inputs — large tables are truncated to what fits
+anyway.  The bench compares row-shuffle cosine distributions between a
+small table and a wide/long generated table for both models.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks._common import observatory, print_header, scaled
+from repro.analysis.reporting import format_value_table
+from repro.core.measures.similarity import cosine_similarity
+from repro.data.nextiajd import NextiaJDGenerator
+from repro.data.wikitables import WikiTablesGenerator
+from repro.relational.permutations import sample_permutations
+
+
+def shuffle_cosines(model, table, n_permutations):
+    perms = sample_permutations(
+        table.num_rows, n_permutations, seed_parts=(table.table_id, "large")
+    )
+    reference = model.embed_columns(table)
+    out = []
+    for p in perms[1:]:
+        variant = model.embed_columns(table.reorder_rows(list(p)))
+        for c in range(table.num_columns):
+            if np.linalg.norm(reference[c]) > 1e-12 and np.linalg.norm(variant[c]) > 1e-12:
+                out.append(cosine_similarity(reference[c], variant[c]))
+    return out
+
+
+def run_comparison():
+    obs = observatory()
+    small = WikiTablesGenerator(seed=61).generate_table("companies", 8, table_index=0)
+    large = NextiaJDGenerator(seed=61).generate_large_table(
+        n_rows=scaled(400, minimum=150), n_columns=24, table_id="nextiajd-s-like"
+    )
+    n_perm = scaled(6, minimum=4)
+    out = {}
+    for name in ("bert", "tapas"):
+        model = obs.model(name)
+        out[name] = {
+            "small": shuffle_cosines(model, small, n_perm),
+            "large": shuffle_cosines(model, large, n_perm),
+        }
+    return out
+
+
+def test_ablation_large_tables(benchmark):
+    results = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    print_header("Ablation: row-shuffle cosine, small vs large tables")
+    rows = []
+    for name, by_size in results.items():
+        for size, values in by_size.items():
+            rows.append([f"{name} ({size})", float(np.median(values)), float(np.min(values))])
+    print(format_value_table(rows, ["model (table)", "median", "min"]))
+
+    for name, by_size in results.items():
+        small_med = np.median(by_size["small"])
+        large_med = np.median(by_size["large"])
+        # No significant difference between the regimes (paper Section 7).
+        assert abs(small_med - large_med) < 0.08, name

@@ -1,0 +1,59 @@
+"""Ablation: serialization and the binary-search row-truncation protocol.
+
+Section 4.3 of the paper fits tables to the model input limit by keeping
+all columns and binary-searching the maximum number of rows.  The bench
+sweeps input limits, verifies the protocol (budget respected, fitted rows
+monotone in the limit, maximality of the fit) and reports how many rows of
+a wide table survive at each limit for both serialization orders.
+"""
+
+import pytest
+
+from benchmarks._common import print_header, scaled
+from repro.analysis.reporting import format_value_table
+from repro.data.nextiajd import NextiaJDGenerator
+from repro.models.serializers import ColumnWiseSerializer, RowWiseSerializer
+from repro.text.tokenizer import Tokenizer
+
+LIMITS = (128, 256, 512, 1024)
+
+
+def run_sweep():
+    tokenizer = Tokenizer()
+    table = NextiaJDGenerator(seed=5).generate_large_table(
+        n_rows=scaled(300, minimum=100), n_columns=10
+    )
+    rows = []
+    for limit in LIMITS:
+        row_wise = RowWiseSerializer(tokenizer, limit)
+        column_wise = ColumnWiseSerializer(tokenizer, limit)
+        fit_r = row_wise.fit_rows(table)
+        fit_c = column_wise.fit_rows(table)
+        tokens_r = len(row_wise.serialize(table))
+        tokens_c = len(column_wise.serialize(table))
+        rows.append([limit, fit_r, tokens_r, fit_c, tokens_c])
+    return table, rows
+
+
+def test_ablation_serialization(benchmark):
+    table, rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print_header(
+        f"Ablation: rows fitted by binary search ({table.num_rows} rows x "
+        f"{table.num_columns} columns)"
+    )
+    print(
+        format_value_table(
+            rows,
+            ["limit", "rows(row-wise)", "tokens", "rows(col-wise)", "tokens"],
+        )
+    )
+    tokenizer = Tokenizer()
+    previous_fit = 0
+    for limit, fit_r, tokens_r, fit_c, tokens_c in rows:
+        assert tokens_r <= limit and tokens_c <= limit
+        assert fit_r >= previous_fit  # monotone in the budget
+        previous_fit = fit_r
+        # Maximality: one more row would overflow (when rows remain).
+        serializer = RowWiseSerializer(tokenizer, limit)
+        if fit_r < table.num_rows:
+            assert len(serializer.serialize_rows(table, fit_r + 1)) > limit

@@ -1,0 +1,49 @@
+"""Figure 11: sample fidelity distributions at ratios 0.25 / 0.5 / 0.75.
+
+Regenerates the per-model fidelity quartiles across the three sampling
+fractions and asserts the paper's shape: fidelity rises with the ratio for
+every model, vanilla LMs sit high, TaBERT is the most sample-robust model
+(its first-3-rows content snapshot), and DODUO lags at every ratio.
+"""
+
+import pytest
+
+from benchmarks._common import FIGURE11_MODELS, characterize, print_header
+from repro.analysis.reporting import format_value_table
+
+RATIOS = (0.25, 0.5, 0.75)
+
+
+def run_figure11():
+    grid = {}
+    for name in FIGURE11_MODELS:
+        result = characterize(name, "sample_fidelity")
+        grid[name] = {
+            ratio: result.distributions[f"ratio_{ratio}/fidelity"]
+            for ratio in RATIOS
+        }
+    return grid
+
+
+def test_figure11_sample_fidelity(benchmark):
+    grid = benchmark.pedantic(run_figure11, rounds=1, iterations=1)
+    print_header("Figure 11: sample fidelity (median [q1]) by ratio")
+    rows = []
+    for name in FIGURE11_MODELS:
+        row = [name]
+        for ratio in RATIOS:
+            stats = grid[name][ratio]
+            row.append(f"{stats.median:.3f} [{stats.q1:.3f}]")
+        rows.append(row)
+    print(format_value_table(rows, ["model"] + [f"ratio {r}" for r in RATIOS]))
+
+    for name in FIGURE11_MODELS:
+        medians = [grid[name][r].median for r in RATIOS]
+        assert medians == sorted(medians), name  # monotone in ratio
+    at_25 = {name: grid[name][0.25].median for name in FIGURE11_MODELS}
+    # Vanilla LMs show high fidelity already at 0.25.
+    for name in ("bert", "roberta", "t5"):
+        assert at_25[name] > 0.85, name
+    # TaBERT's snapshot makes it the most robust table model; DODUO lags.
+    assert at_25["tabert"] > 0.9
+    assert at_25["doduo"] == min(at_25.values())

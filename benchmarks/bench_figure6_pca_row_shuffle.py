@@ -1,0 +1,52 @@
+"""Figure 6: PCA of row-permutation variants of column embeddings, BERT vs T5.
+
+The paper projects the 6! = 720 row-permutation variants of each column of
+one six-row table and shows T5's cloud stretched along one direction while
+BERT's stays near-isotropic.  The bench regenerates the projections and
+reports the PC1/PC2 spread ratio per column; T5's anisotropy must exceed
+BERT's.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks._common import observatory, print_header, scaled
+from repro.analysis.pca import PCA, spread_ratio
+from repro.analysis.reporting import format_value_table
+from repro.data.wikitables import WikiTablesGenerator
+from repro.relational.permutations import sample_permutations
+
+
+def run_projection(n_permutations):
+    obs = observatory()
+    table = WikiTablesGenerator(seed=41).generate_table("countries", 6, table_index=0)
+    perms = sample_permutations(
+        table.num_rows, n_permutations, seed_parts=(table.table_id, "fig6")
+    )
+    out = {}
+    for name in ("bert", "t5"):
+        model = obs.model(name)
+        variants = np.stack(
+            [model.embed_columns(table.reorder_rows(list(p))) for p in perms]
+        )  # [n_perms, n_cols, dim]
+        ratios = []
+        for col in range(table.num_columns):
+            projected = PCA(2).fit_transform(variants[:, col, :])
+            ratios.append(spread_ratio(projected))
+        out[name] = ratios
+    return out
+
+
+def test_figure6_pca_row_shuffle(benchmark):
+    ratios = benchmark.pedantic(
+        lambda: run_projection(scaled(48, minimum=24)), rounds=1, iterations=1
+    )
+    print_header("Figure 6: PC1/PC2 spread ratio of row-permutation clouds")
+    rows = [
+        [name] + [float(r) for r in values] for name, values in ratios.items()
+    ]
+    headers = ["model"] + [f"col{i}" for i in range(len(rows[0]) - 1)]
+    print(format_value_table(rows, headers))
+    # T5 embeddings stretch along one direction far more than BERT's.
+    assert np.median(ratios["t5"]) > np.median(ratios["bert"])
+    assert max(ratios["t5"]) > 2.0

@@ -1,0 +1,55 @@
+"""Figure 7: cosine and MCV distributions under column shuffling.
+
+Regenerates the column- and row-embedding panels and asserts the paper's
+Section 5.2 findings: column shuffling perturbs more than row shuffling,
+RoBERTa's median drops by a larger margin than BERT's, and DODUO's drop is
+the largest.
+"""
+
+import pytest
+
+from benchmarks._common import FIGURE5_COLUMN_MODELS, characterize, print_header
+from repro.analysis.reporting import format_value_table
+
+ROW_PANEL_MODELS = ["bert", "roberta", "t5", "tapas", "tapex", "taptap"]
+
+
+def run_figure7():
+    out = {"column": [], "row": []}
+    for name in FIGURE5_COLUMN_MODELS:
+        result = characterize(name, "column_order_insignificance")
+        cos = result.distributions.get("column/cosine")
+        mcv = result.distributions.get("column/mcv")
+        if cos and mcv:
+            out["column"].append(
+                [name, cos.minimum, cos.q1, cos.median, mcv.median, mcv.q3]
+            )
+    for name in ROW_PANEL_MODELS:
+        result = characterize(name, "column_order_insignificance")
+        cos = result.distributions.get("row/cosine")
+        mcv = result.distributions.get("row/mcv")
+        if cos and mcv:
+            out["row"].append(
+                [name, cos.minimum, cos.q1, cos.median, mcv.median, mcv.q3]
+            )
+    return out
+
+
+def test_figure7_column_order(benchmark):
+    panels = benchmark.pedantic(run_figure7, rounds=1, iterations=1)
+    headers = ["model", "cos_min", "cos_q1", "cos_med", "mcv_med", "mcv_q3"]
+    for level, rows in panels.items():
+        print_header(f"Figure 7 ({level} embeddings, column shuffling)")
+        print(format_value_table(rows, headers))
+
+    column_stats = {row[0]: row for row in panels["column"]}
+    # Column shuffles perturb more than row shuffles (medians drop).
+    for name in ("roberta", "doduo", "tapas"):
+        row_result = characterize(name, "row_order_insignificance")
+        assert (
+            column_stats[name][3]
+            <= row_result.distributions["column/cosine"].median + 1e-9
+        ), name
+    # RoBERTa's drop exceeds BERT's; DODUO's drop is the largest.
+    assert column_stats["roberta"][3] < column_stats["bert"][3]
+    assert column_stats["doduo"][3] == min(row[3] for row in panels["column"])

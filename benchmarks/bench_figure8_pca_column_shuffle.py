@@ -1,0 +1,63 @@
+"""Figure 8: PCA of column-permutation variants (same table as Figure 6).
+
+Column shuffling spreads the projections further than row shuffling across
+*all* columns — the bench compares the per-column PC1 standard deviations
+between the two shuffle axes for T5.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks._common import observatory, print_header, scaled
+from repro.analysis.pca import PCA
+from repro.analysis.reporting import format_value_table
+from repro.data.wikitables import WikiTablesGenerator
+from repro.relational.permutations import sample_permutations
+
+
+def cloud_spread(model, table, axis, n_permutations):
+    n_items = table.num_rows if axis == "row" else table.num_columns
+    perms = sample_permutations(
+        n_items, n_permutations, seed_parts=(table.table_id, "fig8", axis)
+    )
+    per_variant = []
+    for p in perms:
+        if axis == "row":
+            emb = model.embed_columns(table.reorder_rows(list(p)))
+        else:
+            shuffled = model.embed_columns(table.reorder_columns(list(p)))
+            emb = np.zeros_like(shuffled)
+            for j, original in enumerate(p):
+                emb[original] = shuffled[j]
+        per_variant.append(emb)
+    stack = np.stack(per_variant)  # [n_perms, n_cols, dim]
+    spreads = []
+    for col in range(table.num_columns):
+        projected = PCA(2).fit_transform(stack[:, col, :])
+        spreads.append(float(projected[:, 0].std(ddof=1)))
+    return spreads
+
+
+def run_figure8(n_permutations):
+    obs = observatory()
+    table = WikiTablesGenerator(seed=41).generate_table("countries", 6, table_index=0)
+    t5 = obs.model("t5")
+    return {
+        "row": cloud_spread(t5, table, "row", n_permutations),
+        "column": cloud_spread(t5, table, "column", n_permutations),
+    }
+
+
+def test_figure8_pca_column_shuffle(benchmark):
+    spreads = benchmark.pedantic(
+        lambda: run_figure8(scaled(48, minimum=24)), rounds=1, iterations=1
+    )
+    print_header("Figure 8: PC1 spread of T5 clouds, row vs column shuffling")
+    rows = [[axis] + values for axis, values in spreads.items()]
+    headers = ["axis"] + [f"col{i}" for i in range(len(rows[0]) - 1)]
+    print(format_value_table(rows, headers, precision=4))
+    # Column shuffling shows larger spread across all columns (Fig. 8 text).
+    larger = sum(
+        1 for r, c in zip(spreads["row"], spreads["column"]) if c > r
+    )
+    assert larger >= len(spreads["row"]) - 1

@@ -1,0 +1,45 @@
+"""Figure 9: scatter of embedding cosine vs multiset Jaccard per model.
+
+The bench regenerates the scatter series (kept on the result), prints a
+binned summary per model, and asserts the positive relationship the figure
+illustrates: mean cosine rises from the low-overlap bin to the high-overlap
+bin, and multiset Jaccard never exceeds its theoretical maximum of 0.5.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks._common import TABLE3_MODELS, observatory, print_header
+from repro.analysis.reporting import format_value_table
+from repro.core.properties import JoinRelationship, JoinRelationshipConfig
+
+
+def run_figure9():
+    obs = observatory()
+    pairs = obs.join_pairs()
+    runner = JoinRelationship()
+    config = JoinRelationshipConfig(keep_series=True)
+    series = {}
+    for name in TABLE3_MODELS[:4]:  # scatter subset keeps the bench fast
+        result = runner.run(obs.model(name), pairs, config)
+        series[name] = (
+            result.series["overlap/multiset_jaccard"],
+            result.series["cosine"],
+        )
+    return series
+
+
+def test_figure9_join_scatter(benchmark):
+    series = benchmark.pedantic(run_figure9, rounds=1, iterations=1)
+    print_header("Figure 9: cosine vs multiset Jaccard (binned means)")
+    rows = []
+    for name, (overlap, cosine) in series.items():
+        overlap = np.asarray(overlap)
+        cosine = np.asarray(cosine)
+        assert overlap.max() <= 0.5 + 1e-9
+        low = cosine[overlap <= np.median(overlap)].mean()
+        high = cosine[overlap > np.median(overlap)].mean()
+        rows.append([name, float(low), float(high), float(high - low)])
+    print(format_value_table(rows, ["model", "cos_low_bin", "cos_high_bin", "delta"]))
+    for name, low, high, delta in rows:
+        assert delta > 0.0, name  # positive relationship

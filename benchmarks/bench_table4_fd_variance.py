@@ -1,0 +1,41 @@
+"""Table 4: average group-wise FD-translation variances, FD vs non-FD.
+
+Regenerates the two-row table (S^2 over columns with and without FDs) for
+the five models and asserts the paper's shape: TAPAS is the only model with
+S^2_FD < S^2_nonFD by a clear margin at near-zero FD variance, and DODUO's
+unnormalized magnitudes dwarf everyone.
+"""
+
+import pytest
+
+from benchmarks._common import TABLE4_MODELS, characterize, print_header
+from repro.analysis.reporting import format_value_table
+
+
+def run_table4():
+    out = {}
+    for name in TABLE4_MODELS:
+        result = characterize(name, "functional_dependencies")
+        out[name] = (
+            result.scalars["mean_s2/fd"],
+            result.scalars["mean_s2/non_fd"],
+        )
+    return out
+
+
+def test_table4_fd_variance(benchmark):
+    grid = benchmark.pedantic(run_table4, rounds=1, iterations=1)
+    print_header("Table 4: mean S^2 over FD / non-FD column pairs (L2)")
+    rows = [
+        ["Columns w/ FD"] + [grid[m][0] for m in TABLE4_MODELS],
+        ["Columns w/o FD"] + [grid[m][1] for m in TABLE4_MODELS],
+    ]
+    print(format_value_table(rows, ["setting"] + TABLE4_MODELS))
+
+    # DODUO's raw-stream magnitudes dwarf the layer-normalized models.
+    for name in ("bert", "roberta", "tapas"):
+        assert grid["doduo"][0] > 20 * grid[name][0], name
+    # TAPAS aligns with the expected FD pattern (S2_FD < S2_nonFD) and has
+    # the smallest FD variance of the panel.
+    assert grid["tapas"][0] < grid["tapas"][1]
+    assert grid["tapas"][0] == min(grid[m][0] for m in TABLE4_MODELS)

@@ -1,0 +1,60 @@
+"""Table 5: single-column vs contextual embeddings (min / median / max).
+
+Regenerates the two-row-per-model summary (non-textual, textual) across the
+three context settings and asserts the paper's extremes: TaBERT is
+insensitive to context (median > 0.95 in every setting) while DODUO is the
+most sensitive, with the entire-table setting changing embeddings the most.
+"""
+
+import pytest
+
+from benchmarks._common import TABLE5_MODELS, characterize, print_header
+from repro.analysis.reporting import format_value_table
+
+SETTINGS = ("subject_column", "neighboring_columns", "entire_table")
+FAMILIES = ("non_textual", "textual")
+
+
+def run_table5():
+    grid = {}
+    for name in TABLE5_MODELS:
+        result = characterize(name, "heterogeneous_context")
+        grid[name] = {
+            (family, setting): result.distributions.get(f"{family}/{setting}")
+            for family in FAMILIES
+            for setting in SETTINGS
+        }
+    return grid
+
+
+def test_table5_context(benchmark):
+    grid = benchmark.pedantic(run_table5, rounds=1, iterations=1)
+    print_header("Table 5: cosine(single column, contextual column)")
+    rows = []
+    for name in TABLE5_MODELS:
+        for family in FAMILIES:
+            row = [f"{name} ({family})"]
+            for setting in SETTINGS:
+                stats = grid[name][(family, setting)]
+                row.append(
+                    "-" if stats is None
+                    else f"{stats.minimum:.2f}/{stats.median:.2f}/{stats.maximum:.2f}"
+                )
+            rows.append(row)
+    print(format_value_table(rows, ["model"] + list(SETTINGS)))
+
+    # TaBERT: insensitive to context in every setting.
+    for setting in SETTINGS:
+        stats = grid["tabert"][("non_textual", setting)]
+        assert stats.median > 0.95, setting
+    # DODUO: the most context-sensitive model of the panel.
+    for family in FAMILIES:
+        doduo_med = grid["doduo"][(family, "entire_table")].median
+        for other in ("bert", "roberta", "t5", "tabert"):
+            assert doduo_med < grid[other][(family, "entire_table")].median
+    # Whole-table context moves embeddings at least as much as the subject
+    # column does for the context-sensitive models.
+    for name in ("doduo", "tapas"):
+        subj = grid[name][("non_textual", "subject_column")].median
+        table = grid[name][("non_textual", "entire_table")].median
+        assert table <= subj + 0.02, name

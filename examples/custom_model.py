@@ -1,0 +1,101 @@
+"""Extensibility: analyze your own embedding model with Observatory.
+
+The paper emphasizes that Observatory is extensible — "researchers and
+practitioners can use Observatory for analysis of new models by specifying
+the procedure of embedding inference following the implemented interface."
+This script registers a deliberately naive bag-of-tokens model (no
+positions, no context) and characterizes it alongside BERT: being
+order-blind, it scores perfect row-order insignificance.
+
+Usage::
+
+    python examples/custom_model.py
+"""
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro import Observatory, register_model
+from repro.core.framework import DatasetSizes
+from repro.core.levels import EmbeddingLevel
+from repro.models.base import EmbeddingModel
+from repro.models.registry import unregister_model
+from repro.relational.table import Table
+from repro.seeding import token_vector
+from repro.text.tokenizer import Tokenizer
+
+
+class BagOfTokensModel(EmbeddingModel):
+    """Mean of token content vectors — no structure awareness at all."""
+
+    name = "bag-of-tokens"
+    dim = 64
+
+    def __init__(self):
+        self.tokenizer = Tokenizer()
+
+    def supported_levels(self) -> frozenset:
+        return frozenset(
+            {EmbeddingLevel.COLUMN, EmbeddingLevel.ROW, EmbeddingLevel.TABLE}
+        )
+
+    def _pool(self, texts: Sequence[object]) -> np.ndarray:
+        vectors = []
+        for text in texts:
+            for piece in self.tokenizer.tokenize("" if text is None else str(text)):
+                vectors.append(token_vector(piece, self.dim))
+        if not vectors:
+            return np.zeros(self.dim)
+        return np.mean(vectors, axis=0)
+
+    def embed_columns(self, table: Table) -> np.ndarray:
+        return np.stack(
+            [
+                self._pool([table.header[c]] + table.column_values(c))
+                for c in range(table.num_columns)
+            ]
+        )
+
+    def embed_rows(self, table: Table) -> np.ndarray:
+        return np.stack([self._pool(row) for row in table.rows])
+
+    def embed_table(self, table: Table) -> np.ndarray:
+        return self._pool([cell for row in table.rows for cell in row])
+
+    def embed_cells(self, table, coords) -> Dict[Tuple[int, int], np.ndarray]:
+        return {(r, c): self._pool([table.cell(r, c)]) for r, c in coords}
+
+    def embed_entities(self, table) -> Dict[str, np.ndarray]:
+        return {
+            entity_id: self._pool([table.cell(r, c)])
+            for (r, c), entity_id in table.entity_links.items()
+        }
+
+    def embed_value_column(self, header: str, values) -> np.ndarray:
+        return self._pool([header] + list(values))
+
+
+def main() -> None:
+    register_model("bag-of-tokens", BagOfTokensModel, overwrite=True)
+    try:
+        observatory = Observatory(
+            seed=0, sizes=DatasetSizes(wikitables_tables=6, n_permutations=6)
+        )
+        print("Row-order insignificance, custom model vs BERT:\n")
+        for name in ("bag-of-tokens", "bert"):
+            result = observatory.characterize(name, "row_order_insignificance")
+            stats = result.distribution("column/cosine")
+            print(f"  {name:14s} column cosine: median={stats.median:.4f} "
+                  f"min={stats.minimum:.4f}")
+        print(
+            "\nThe bag-of-tokens model is order-blind by construction, so its "
+            "cosine similarity is exactly 1 under every shuffle — Observatory "
+            "confirms it without any model-specific code."
+        )
+    finally:
+        unregister_model("bag-of-tokens")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""FD probe: mine functional dependencies and test them in embedding space.
+
+Walks through Property 4 on a single table: discover unary FDs with the
+HyFD-style miner, compute the group-wise translation variance S^2 per
+(model, dependency), and contrast it with a violating column pair — the
+paper's conclusion being that embeddings do *not* preserve FDs as stable
+translations.
+
+Usage::
+
+    python examples/fd_probe.py
+"""
+
+from repro import Table, load_model
+from repro.core.properties import FunctionalDependencies
+from repro.data.spider import FDCase
+from repro.relational.fd import FunctionalDependency, fd_groups
+from repro.relational.fd_discovery import discover_unary_fds, non_fd_column_pairs
+
+
+def main() -> None:
+    # The paper's Figure 3 example, extended: country -> continent holds.
+    table = Table.from_columns(
+        [
+            ("city", ["Amsterdam", "Rotterdam", "Utrecht", "Toronto", "Ottawa",
+                      "New York", "Chicago", "Boston"]),
+            ("country", ["Netherlands", "Netherlands", "Netherlands", "Canada",
+                         "Canada", "USA", "USA", "USA"]),
+            ("continent", ["Europe", "Europe", "Europe", "North America",
+                           "North America", "North America", "North America",
+                           "North America"]),
+            ("population", [821, 623, 345, 2731, 934, 8336, 2746, 675]),
+        ],
+        table_id="fd-example",
+    )
+    print(table.to_markdown())
+    print()
+
+    discovered = discover_unary_fds(table)
+    print("Discovered unary FDs:")
+    for fd in discovered:
+        groups = fd_groups(table, fd)
+        sizes = sorted((len(rows) for rows in groups.values()), reverse=True)
+        print(f"  {fd.describe(table):32s} groups={sizes}")
+    print()
+
+    runner = FunctionalDependencies()
+    target = FunctionalDependency.unary(1, 2)  # country -> continent
+    violating = non_fd_column_pairs(table, 1)[0]
+    control = FunctionalDependency.unary(*violating)
+
+    print(f"{'model':8s} {'S2 (country->continent)':>26s} "
+          f"{'S2 (' + control.describe(table) + ')':>30s}")
+    for name in ("bert", "tapas", "doduo"):
+        model = load_model(name)
+        s2_fd = runner.case_variance(model, FDCase(table, target, holds=True))
+        s2_ctl = runner.case_variance(model, FDCase(table, control, holds=False))
+        print(f"{name:8s} {s2_fd:26.4f} {s2_ctl:30.4f}")
+
+    print(
+        "\nIf embeddings preserved FDs as translations, the left column "
+        "would be ~0 and clearly below the right one. It is not — the "
+        "paper's Property 4 finding."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Join discovery: find joinable columns with sampled embeddings.
+
+Reproduces the Section 6 (P5) workflow end to end: build an embedding index
+over candidate columns, retrieve join candidates for queries, then repeat
+with ~5%-sampled columns and compare quality and cost — the sample-efficient
+join discovery the paper demonstrates with T5.
+
+Usage::
+
+    python examples/join_discovery.py
+"""
+
+from repro import load_model
+from repro.data.nextiajd import NextiaJDGenerator, Testbed
+from repro.downstream.join_discovery import JoinDiscoveryIndex, evaluate_join_discovery
+
+
+def main() -> None:
+    model = load_model("t5")
+    generator = NextiaJDGenerator(seed=13)
+    pairs = generator.generate_pairs(20, Testbed.S)
+
+    # Manual indexing walk-through for the first few candidates.
+    index = JoinDiscoveryIndex(model.dim)
+    for pair in pairs[:8]:
+        index.add(
+            pair.pair_id,
+            model.embed_value_column(pair.candidate_header, list(pair.candidate_values)),
+        )
+    query = pairs[0]
+    query_embedding = model.embed_value_column(
+        query.query_header, list(query.query_values)
+    )
+    print(f"Query column {query.query_header!r} "
+          f"({len(query.query_values)} values) — top 3 candidates:")
+    for key, score in index.lookup(query_embedding, 3):
+        print(f"  {key:8s} cosine={score:.3f}")
+    print()
+
+    # Full sampled-vs-full comparison with timings.
+    report = evaluate_join_discovery(model, pairs, k=5, sample_fraction=0.05)
+    print("Sampled (5%) vs full-value join discovery:")
+    print(" ", report.summary())
+    print(
+        "\nTakeaway: T5's high sample fidelity (P5) translates into join "
+        "discovery that keeps its quality on a fraction of the data — "
+        "indexing cost drops with the token count."
+    )
+
+
+if __name__ == "__main__":
+    main()

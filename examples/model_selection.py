@@ -1,0 +1,60 @@
+"""Model selection: pick an embedding model for a downstream task.
+
+The paper's motivating scenario — a practitioner chooses between models by
+comparing property profiles instead of trial and error.  This script
+compares three candidates for a *join discovery over unordered tables*
+workload, which cares about: row-order insignificance (tables arrive
+unordered), sample fidelity (large columns get sampled), and the
+join-relationship correlation (embedding similarity should track value
+overlap).
+
+Usage::
+
+    python examples/model_selection.py
+"""
+
+from repro import Observatory
+from repro.core.framework import DatasetSizes
+
+CANDIDATES = ("bert", "t5", "doduo")
+
+
+def main() -> None:
+    observatory = Observatory(
+        seed=0,
+        sizes=DatasetSizes(
+            wikitables_tables=8, nextiajd_pairs=40, n_permutations=8
+        ),
+    )
+
+    scores = {}
+    print("Scoring candidates on three task-relevant properties…\n")
+    for name in CANDIDATES:
+        row_order = observatory.characterize(name, "row_order_insignificance")
+        fidelity = observatory.characterize(name, "sample_fidelity")
+        join = observatory.characterize(name, "join_relationship")
+        profile = {
+            "row_order_median_cosine": row_order.distribution("column/cosine").median,
+            "fidelity_at_0.25": fidelity.distribution("ratio_0.25/fidelity").median,
+            "join_spearman_mj": join.scalars["spearman/multiset_jaccard"],
+        }
+        scores[name] = profile
+        print(f"{name}:")
+        for metric, value in profile.items():
+            print(f"  {metric:26s} {value:.3f}")
+        print()
+
+    def overall(profile: dict) -> float:
+        return sum(profile.values()) / len(profile)
+
+    ranked = sorted(scores, key=lambda n: overall(scores[n]), reverse=True)
+    print("Ranking for the join-discovery workload:", " > ".join(ranked))
+    print(
+        f"\nRecommendation: use {ranked[0]!r}. "
+        f"({ranked[-1]!r} trails mainly because its embeddings are sensitive "
+        "to row order and sampling — the paper's DODUO finding.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

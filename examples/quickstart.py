@@ -1,0 +1,46 @@
+"""Quickstart: characterize a model with one Observatory property.
+
+Runs row-order insignificance (P1) for BERT over a small WikiTables-like
+corpus and prints the cosine/MCV distributions per embedding level — the
+numbers behind one cell of the paper's Figure 5.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import Observatory
+from repro.core.framework import DatasetSizes
+
+
+def main() -> None:
+    observatory = Observatory(
+        seed=0,
+        sizes=DatasetSizes(wikitables_tables=8, n_permutations=8),
+    )
+
+    from repro import available_models, available_properties
+
+    print("models:    ", ", ".join(available_models()))
+    print("properties:", ", ".join(available_properties()))
+    print()
+
+    result = observatory.characterize("bert", "row_order_insignificance")
+    print(f"P1 row-order insignificance for {result.model_name!r}")
+    print(f"  corpus: {result.metadata['corpus']} ({result.metadata['n_tables']} tables, "
+          f"{result.metadata['n_permutations']} permutations each)")
+    for key in sorted(result.distributions):
+        stats = result.distributions[key]
+        print(f"  {key:16s} {stats}")
+
+    column_cosine = result.distribution("column/cosine")
+    print()
+    print(
+        "Interpretation: BERT column embeddings barely move under row "
+        f"shuffling (median cosine {column_cosine.median:.3f}) — row order "
+        "is insignificant to BERT, as the paper finds."
+    )
+
+
+if __name__ == "__main__":
+    main()

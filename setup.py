@@ -1,0 +1,23 @@
+"""Packaging via classic setup.py.
+
+A pyproject.toml is deliberately absent: its presence switches pip to
+PEP 517 builds with build isolation, which requires network access to fetch
+build dependencies.  The classic path (``setup.py develop``) keeps
+``pip install -e .`` fully offline; pytest configuration lives in
+pytest.ini.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Observatory: a framework for characterizing embeddings of "
+        "relational tables (VLDB 2023 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21"],
+)

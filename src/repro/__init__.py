@@ -1,0 +1,41 @@
+"""Observatory: characterizing embeddings of relational tables.
+
+A from-scratch reproduction of the VLDB 2023 paper "Observatory:
+Characterizing Embeddings of Relational Tables" (Cong, Hulsebos, Sun,
+Groth, Jagadish): eight primitive properties with quantitative measures,
+nine surrogate embedding models, five synthetic dataset suites, and the
+characterization framework tying them together.
+
+Quickstart::
+
+    from repro import Observatory
+
+    obs = Observatory(seed=0)
+    result = obs.characterize("bert", "row_order_insignificance")
+    print(result.distribution("column/cosine"))
+"""
+
+from repro.core.framework import DatasetSizes, Observatory
+from repro.core.levels import EmbeddingLevel
+from repro.core.registry import available_properties, load_property, register_property
+from repro.core.results import DistributionSummary, PropertyResult
+from repro.models.registry import available_models, load_model, register_model
+from repro.relational.table import Table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Observatory",
+    "DatasetSizes",
+    "EmbeddingLevel",
+    "PropertyResult",
+    "DistributionSummary",
+    "Table",
+    "available_models",
+    "load_model",
+    "register_model",
+    "available_properties",
+    "load_property",
+    "register_property",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Analysis utilities: PCA projections and report rendering."""
+
+from repro.analysis.pca import PCA
+from repro.analysis.reporting import (
+    format_matrix,
+    format_value_table,
+    render_boxplot,
+    render_histogram,
+)
+
+__all__ = [
+    "PCA",
+    "format_matrix",
+    "format_value_table",
+    "render_boxplot",
+    "render_histogram",
+]

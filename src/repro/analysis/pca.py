@@ -1,0 +1,76 @@
+"""Principal component analysis via SVD.
+
+Figures 6 and 8 of the paper project the 720 permutation variants of each
+column embedding to two dimensions to visualize the anisotropic spread of
+T5 embeddings against BERT's isotropic cloud.  This PCA is implemented on
+the thin SVD of the centered sample matrix, so it works when n < d (720
+samples, 768 dims) without forming a covariance matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import MeasureError
+
+
+class PCA:
+    """Fit/transform PCA with explained-variance accounting."""
+
+    def __init__(self, n_components: int = 2):
+        if n_components < 1:
+            raise MeasureError("n_components must be positive")
+        self.n_components = n_components
+        self.mean_: Optional[np.ndarray] = None
+        self.components_: Optional[np.ndarray] = None  # [k, d]
+        self.explained_variance_: Optional[np.ndarray] = None
+        self.explained_variance_ratio_: Optional[np.ndarray] = None
+
+    def fit(self, samples: np.ndarray) -> "PCA":
+        """Fit on an [n, d] sample matrix."""
+        samples = np.asarray(samples, dtype=np.float64)
+        if samples.ndim != 2 or samples.shape[0] < 2:
+            raise MeasureError("PCA needs an [n>=2, d] sample matrix")
+        n, d = samples.shape
+        k = min(self.n_components, n - 1, d)
+        if k < 1:
+            raise MeasureError("not enough samples for one component")
+        self.mean_ = samples.mean(axis=0)
+        centered = samples - self.mean_
+        # Thin SVD: centered = U S Vt; principal axes are rows of Vt.
+        _, singular, vt = np.linalg.svd(centered, full_matrices=False)
+        variances = (singular ** 2) / (n - 1)
+        total = variances.sum()
+        self.components_ = vt[:k]
+        self.explained_variance_ = variances[:k]
+        self.explained_variance_ratio_ = (
+            variances[:k] / total if total > 0 else np.zeros(k)
+        )
+        return self
+
+    def transform(self, samples: np.ndarray) -> np.ndarray:
+        """Project samples onto the fitted components, shape [n, k]."""
+        if self.components_ is None:
+            raise MeasureError("PCA is not fitted")
+        samples = np.asarray(samples, dtype=np.float64)
+        return (samples - self.mean_) @ self.components_.T
+
+    def fit_transform(self, samples: np.ndarray) -> np.ndarray:
+        return self.fit(samples).transform(samples)
+
+
+def spread_ratio(projected: np.ndarray) -> float:
+    """Ratio of std along PC1 to std along PC2 of a 2-D projection.
+
+    Quantifies the "stretch" Figures 6/8 show: isotropic clouds give values
+    near 1, direction-dominated clouds (T5) give large values.
+    """
+    projected = np.asarray(projected, dtype=np.float64)
+    if projected.ndim != 2 or projected.shape[1] < 2:
+        raise MeasureError("spread ratio needs a 2-D projection")
+    stds = projected.std(axis=0, ddof=1)
+    if stds[1] < 1e-18:
+        return float("inf")
+    return float(stds[0] / stds[1])

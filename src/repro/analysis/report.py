@@ -1,0 +1,109 @@
+"""Full characterization report.
+
+The paper's Section 5 is a comprehensive analysis: every model against every
+applicable property.  :func:`full_characterization` runs that matrix through
+the Observatory facade (skipping model/property combinations outside the
+paper's Table 2 scope) and renders a single markdown document with the
+headline statistic per cell — the artifact a practitioner would skim before
+choosing a model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.framework import Observatory
+from repro.core.results import PropertyResult
+from repro.errors import ObservatoryError
+
+# Headline statistic to show per property (distribution key or scalar key).
+_HEADLINES = {
+    "row_order_insignificance": ("distribution", "column/cosine", "median"),
+    "column_order_insignificance": ("distribution", "column/cosine", "median"),
+    "join_relationship": ("scalar", "spearman/multiset_jaccard", None),
+    "functional_dependencies": ("scalar", "mean_s2/fd", None),
+    "sample_fidelity": ("distribution", "ratio_0.25/fidelity", "median"),
+    "perturbation_robustness": ("distribution", "schema-abbreviation/cosine", "median"),
+    "heterogeneous_context": ("distribution", "non_textual/entire_table", "median"),
+}
+
+# Paper Table 2 exclusions (model not in scope for property).
+_EXCLUSIONS = {
+    "row_order_insignificance": {"taptap"},
+    "column_order_insignificance": set(),
+    "join_relationship": {"turl", "taptap"},
+    "functional_dependencies": {"turl", "tabert", "taptap"},
+    "sample_fidelity": {"taptap"},
+    "perturbation_robustness": {"turl", "taptap"},
+    "heterogeneous_context": {"turl", "taptap"},
+}
+
+
+def headline_value(result: PropertyResult, property_name: str) -> Optional[float]:
+    """The report's single number for a result, per :data:`_HEADLINES`."""
+    kind, key, field = _HEADLINES[property_name]
+    if kind == "scalar":
+        return result.scalars.get(key)
+    stats = result.distributions.get(key)
+    if stats is None:
+        return None
+    return getattr(stats, field)
+
+
+def full_characterization(
+    observatory: Observatory,
+    *,
+    models: Sequence[str],
+    properties: Optional[Sequence[str]] = None,
+) -> Dict[str, Dict[str, Optional[float]]]:
+    """Run the model x property matrix; returns model -> property -> value.
+
+    Cells outside the paper's scope (Table 2) or unsupported by the model's
+    exposed levels are None.
+    """
+    properties = list(properties or _HEADLINES)
+    matrix: Dict[str, Dict[str, Optional[float]]] = {}
+    for model_name in models:
+        row: Dict[str, Optional[float]] = {}
+        for property_name in properties:
+            if property_name not in _HEADLINES:
+                raise ObservatoryError(f"no headline defined for {property_name!r}")
+            if model_name in _EXCLUSIONS.get(property_name, set()):
+                row[property_name] = None
+                continue
+            try:
+                result = observatory.characterize(model_name, property_name)
+            except ObservatoryError:
+                row[property_name] = None
+                continue
+            row[property_name] = headline_value(result, property_name)
+        matrix[model_name] = row
+    return matrix
+
+
+_SHORT = {
+    "row_order_insignificance": "P1 row",
+    "column_order_insignificance": "P2 col",
+    "join_relationship": "P3 join",
+    "functional_dependencies": "P4 fd",
+    "sample_fidelity": "P5 sample",
+    "perturbation_robustness": "P7 perturb",
+    "heterogeneous_context": "P8 context",
+}
+
+
+def render_markdown(matrix: Dict[str, Dict[str, Optional[float]]]) -> str:
+    """Markdown table of the characterization matrix."""
+    if not matrix:
+        raise ObservatoryError("empty characterization matrix")
+    properties = list(next(iter(matrix.values())))
+    header = "| model | " + " | ".join(_SHORT.get(p, p) for p in properties) + " |"
+    rule = "|" + "|".join(["---"] * (len(properties) + 1)) + "|"
+    lines = [header, rule]
+    for model_name, row in matrix.items():
+        cells = [model_name]
+        for p in properties:
+            value = row[p]
+            cells.append("—" if value is None else f"{value:.3f}")
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)

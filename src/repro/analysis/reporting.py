@@ -1,0 +1,142 @@
+"""Plain-text rendering of experiment outputs.
+
+The benchmark harness is matplotlib-free; figures are reported as the
+numeric series behind them plus lightweight ASCII renderings (box plots and
+histograms) so experiment output remains human-scannable in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.measures.stats import DistributionStats, summarize
+from repro.errors import MeasureError
+
+
+def format_value_table(
+    rows: Sequence[Sequence[object]],
+    headers: Sequence[str],
+    *,
+    precision: int = 3,
+    title: Optional[str] = None,
+) -> str:
+    """Aligned plain-text table; floats formatted to ``precision``."""
+    if not headers:
+        raise MeasureError("headers must be non-empty")
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.{precision}f}"
+        return str(value)
+
+    text_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_matrix(
+    matrix: np.ndarray,
+    labels: Sequence[str],
+    *,
+    precision: int = 2,
+    title: Optional[str] = None,
+) -> str:
+    """Square matrix (e.g. a Figure 12 heatmap) with row/column labels."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise MeasureError("expected a square matrix")
+    if len(labels) != matrix.shape[0]:
+        raise MeasureError("label count must match matrix size")
+    width = max(max(len(l) for l in labels), precision + 3)
+    lines = []
+    if title:
+        lines.append(title)
+    header = " " * (width + 1) + " ".join(l.rjust(width) for l in labels)
+    lines.append(header)
+    for i, label in enumerate(labels):
+        cells = " ".join(f"{matrix[i, j]:.{precision}f}".rjust(width) for j in range(len(labels)))
+        lines.append(f"{label.rjust(width)} {cells}")
+    return "\n".join(lines)
+
+
+def render_boxplot(
+    named_samples: Dict[str, Sequence[float]],
+    *,
+    width: int = 50,
+    title: Optional[str] = None,
+) -> str:
+    """ASCII box plots on a shared scale, one row per named sample.
+
+    Whiskers are the sample min/max, the box spans Q1..Q3, ``|`` marks the
+    median — the same statistics the paper's figures encode.
+    """
+    if not named_samples:
+        raise MeasureError("no samples to plot")
+    stats = {name: summarize(values) for name, values in named_samples.items()}
+    lo = min(s.minimum for s in stats.values())
+    hi = max(s.maximum for s in stats.values())
+    span = hi - lo or 1.0
+    label_width = max(len(n) for n in stats)
+
+    def col(x: float) -> int:
+        return int(round((x - lo) / span * (width - 1)))
+
+    lines = []
+    if title:
+        lines.append(title)
+    for name, s in stats.items():
+        row = [" "] * width
+        for x in np.linspace(s.minimum, s.maximum, width * 2):
+            row[col(x)] = "-"
+        for x in np.linspace(s.q1, s.q3, width * 2):
+            row[col(x)] = "="
+        row[col(s.median)] = "|"
+        lines.append(f"{name.rjust(label_width)} [{''.join(row)}]")
+    lines.append(
+        f"{' ' * label_width}  {lo:<12.4f}{' ' * max(0, width - 24)}{hi:>12.4f}"
+    )
+    return "\n".join(lines)
+
+
+def render_histogram(
+    values: Sequence[float], *, bins: int = 10, width: int = 40, title: Optional[str] = None
+) -> str:
+    """ASCII histogram of a sample."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise MeasureError("no values to plot")
+    counts, edges = np.histogram(arr, bins=bins)
+    peak = counts.max() or 1
+    lines = []
+    if title:
+        lines.append(title)
+    for count, left, right in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(count / peak * width))
+        lines.append(f"[{left:9.4f}, {right:9.4f}) {bar} {count}")
+    return "\n".join(lines)
+
+
+def summarize_rows(
+    named_samples: Dict[str, Sequence[float]],
+) -> List[List[object]]:
+    """Rows of (name, n, min, q1, median, q3, max) for format_value_table."""
+    rows = []
+    for name, values in named_samples.items():
+        s: DistributionStats = summarize(values)
+        rows.append([name, s.n, s.minimum, s.q1, s.median, s.q3, s.maximum])
+    return rows

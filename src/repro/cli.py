@@ -1,0 +1,129 @@
+"""Command-line interface.
+
+Exposes the framework without writing Python::
+
+    python -m repro list-models
+    python -m repro list-properties
+    python -m repro characterize --model bert --property row_order_insignificance
+    python -m repro characterize --model bert --property entity_stability --partner t5
+    python -m repro report --models bert,t5,doduo
+
+Output is plain text suited to terminals and CI logs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.report import full_characterization, render_markdown
+from repro.core.framework import DatasetSizes, Observatory
+from repro.core.registry import available_properties
+from repro.errors import ObservatoryError
+from repro.models.registry import available_models
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Observatory: characterize embeddings of relational tables",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="global seed (default 0)")
+    parser.add_argument(
+        "--tables", type=int, default=12, help="corpus size for table-based properties"
+    )
+    parser.add_argument(
+        "--permutations", type=int, default=8, help="shuffles per table for P1/P2"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list-models", help="list registered models")
+    commands.add_parser("list-properties", help="list registered properties")
+
+    characterize = commands.add_parser(
+        "characterize", help="run one property against one model"
+    )
+    characterize.add_argument("--model", required=True, choices=available_models())
+    characterize.add_argument(
+        "--property", required=True, dest="property_name", choices=available_properties()
+    )
+    characterize.add_argument(
+        "--partner", default=None, help="second model (entity_stability only)"
+    )
+
+    report = commands.add_parser(
+        "report", help="full characterization matrix over several models"
+    )
+    report.add_argument(
+        "--models",
+        default=",".join(available_models()),
+        help="comma-separated model names (default: all)",
+    )
+    return parser
+
+
+def _make_observatory(args: argparse.Namespace) -> Observatory:
+    return Observatory(
+        seed=args.seed,
+        sizes=DatasetSizes(
+            wikitables_tables=args.tables,
+            sotab_tables=max(8, args.tables),
+            n_permutations=args.permutations,
+        ),
+    )
+
+
+def _run_characterize(args: argparse.Namespace) -> int:
+    observatory = _make_observatory(args)
+    result = observatory.characterize(
+        args.model, args.property_name, partner_model=args.partner
+    )
+    print(f"property: {result.property_name}")
+    print(f"model:    {result.model_name}")
+    for key, value in sorted(result.metadata.items()):
+        print(f"  {key}: {value}")
+    if result.distributions:
+        print("distributions:")
+        for key in sorted(result.distributions):
+            print(f"  {key:32s} {result.distributions[key]}")
+    if result.scalars:
+        print("scalars:")
+        for key in sorted(result.scalars):
+            print(f"  {key:32s} {result.scalars[key]:.4f}")
+    return 0
+
+
+def _run_report(args: argparse.Namespace) -> int:
+    models = [name.strip() for name in args.models.split(",") if name.strip()]
+    unknown = set(models) - set(available_models())
+    if unknown:
+        raise ObservatoryError(f"unknown models: {sorted(unknown)}")
+    observatory = _make_observatory(args)
+    matrix = full_characterization(observatory, models=models)
+    print(render_markdown(matrix))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "list-models":
+            print("\n".join(available_models()))
+            return 0
+        if args.command == "list-properties":
+            print("\n".join(available_properties()))
+            return 0
+        if args.command == "characterize":
+            return _run_characterize(args)
+        if args.command == "report":
+            return _run_report(args)
+    except ObservatoryError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

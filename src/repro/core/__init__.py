@@ -1,0 +1,16 @@
+"""The Observatory core: properties, measures, and the characterization framework."""
+
+from repro.core.levels import EmbeddingLevel
+from repro.core.framework import Observatory
+from repro.core.registry import available_properties, load_property, register_property
+from repro.core.results import DistributionSummary, PropertyResult
+
+__all__ = [
+    "EmbeddingLevel",
+    "Observatory",
+    "available_properties",
+    "load_property",
+    "register_property",
+    "DistributionSummary",
+    "PropertyResult",
+]

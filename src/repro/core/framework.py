@@ -1,0 +1,203 @@
+"""The Observatory facade.
+
+One object that wires models, properties, and default dataset suites
+together, so that
+
+    obs = Observatory(seed=0)
+    result = obs.characterize("bert", "row_order_insignificance")
+
+runs Definition 1 end to end: infer the property's level of embeddings with
+the model over each table of the property's corpus and compute the measure
+over the embedding distribution.  Datasets are built lazily at standard
+(small) sizes and cached; every entry point also accepts explicit data for
+full-control runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.properties import (
+    ContextConfig,
+    EntityStabilityConfig,
+    FDConfig,
+    JoinRelationshipConfig,
+    PerturbationConfig,
+    SampleFidelityConfig,
+    ShuffleConfig,
+)
+from repro.core.registry import available_properties, load_property
+from repro.core.results import PropertyResult
+from repro.data.corpus import TableCorpus
+from repro.data.drspider import PerturbationSuite
+from repro.data.entities import EntityCatalog
+from repro.data.nextiajd import NextiaJDGenerator, Testbed
+from repro.data.sotab import SotabGenerator
+from repro.data.spider import SpiderGenerator
+from repro.data.wikitables import WikiTablesGenerator
+from repro.errors import PropertyConfigError
+from repro.models.base import EmbeddingModel
+from repro.models.registry import load_model
+
+
+@dataclasses.dataclass
+class DatasetSizes:
+    """Default sizes of the lazily built dataset suites.
+
+    Kept deliberately small so the full characterization matrix runs in
+    seconds; benchmarks override with larger values.
+    """
+
+    wikitables_tables: int = 24
+    spider_databases: int = 6
+    nextiajd_pairs: int = 60
+    sotab_tables: int = 40
+    n_permutations: int = 24
+
+
+class Observatory:
+    """Run (model x property x dataset) characterizations."""
+
+    def __init__(self, seed: int = 0, sizes: Optional[DatasetSizes] = None):
+        self.seed = seed
+        self.sizes = sizes or DatasetSizes()
+        self._models: Dict[str, EmbeddingModel] = {}
+        self._datasets: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # Lazily built shared resources
+    # ------------------------------------------------------------------
+
+    def model(self, name: str) -> EmbeddingModel:
+        """Load (and cache) a registered model."""
+        if name not in self._models:
+            self._models[name] = load_model(name)
+        return self._models[name]
+
+    def wikitables(self) -> TableCorpus:
+        if "wikitables" not in self._datasets:
+            self._datasets["wikitables"] = WikiTablesGenerator(self.seed).generate(
+                self.sizes.wikitables_tables
+            )
+        return self._datasets["wikitables"]
+
+    def spider_sets(self):
+        if "spider" not in self._datasets:
+            self._datasets["spider"] = SpiderGenerator(self.seed).fd_evaluation_sets(
+                self.sizes.spider_databases
+            )
+        return self._datasets["spider"]
+
+    def join_pairs(self, testbed: Testbed = Testbed.XS):
+        key = f"nextiajd/{testbed.value}"
+        if key not in self._datasets:
+            self._datasets[key] = NextiaJDGenerator(self.seed).generate_pairs(
+                self.sizes.nextiajd_pairs, testbed
+            )
+        return self._datasets[key]
+
+    def perturbation_suite(self) -> PerturbationSuite:
+        if "drspider" not in self._datasets:
+            self._datasets["drspider"] = PerturbationSuite(self.wikitables())
+        return self._datasets["drspider"]
+
+    def sotab(self) -> TableCorpus:
+        if "sotab" not in self._datasets:
+            self._datasets["sotab"] = SotabGenerator(self.seed).generate(
+                self.sizes.sotab_tables
+            )
+        return self._datasets["sotab"]
+
+    def entity_catalog(self) -> EntityCatalog:
+        if "entities" not in self._datasets:
+            self._datasets["entities"] = EntityCatalog(self.seed)
+        return self._datasets["entities"]
+
+    # ------------------------------------------------------------------
+    # Characterization entry points
+    # ------------------------------------------------------------------
+
+    def characterize(
+        self,
+        model_name: str,
+        property_name: str,
+        *,
+        data: Optional[object] = None,
+        config: Optional[object] = None,
+        partner_model: Optional[str] = None,
+    ) -> PropertyResult:
+        """Run one property against one model with sensible defaults.
+
+        ``entity_stability`` is pairwise and needs ``partner_model``; every
+        other property takes a single model.  ``data``/``config`` override
+        the defaults of the property.
+        """
+        runner = load_property(property_name)
+        if property_name == "entity_stability":
+            if partner_model is None:
+                raise PropertyConfigError(
+                    "entity_stability compares two models; pass partner_model"
+                )
+            pair = (self.model(model_name), self.model(partner_model))
+            return runner.run(
+                pair,
+                data if data is not None else self.entity_catalog(),
+                config or EntityStabilityConfig(),
+            )
+        model = self.model(model_name)
+        defaults = {
+            "row_order_insignificance": (
+                self.wikitables,
+                ShuffleConfig(n_permutations=self.sizes.n_permutations),
+            ),
+            "column_order_insignificance": (
+                self.wikitables,
+                ShuffleConfig(n_permutations=self.sizes.n_permutations),
+            ),
+            "join_relationship": (self.join_pairs, JoinRelationshipConfig()),
+            "functional_dependencies": (self.spider_sets, FDConfig()),
+            "sample_fidelity": (self.wikitables, SampleFidelityConfig()),
+            "perturbation_robustness": (self.perturbation_suite, PerturbationConfig()),
+            "heterogeneous_context": (self.sotab, ContextConfig()),
+        }
+        if property_name not in defaults:
+            if data is None or config is None:
+                raise PropertyConfigError(
+                    f"custom property {property_name!r} needs explicit data and config"
+                )
+            return runner.run(model, data, config)
+        data_factory, default_config = defaults[property_name]
+        return runner.run(
+            model,
+            data if data is not None else data_factory(),
+            config or default_config,
+        )
+
+    def characterize_models(
+        self,
+        model_names: Sequence[str],
+        property_name: str,
+        *,
+        data: Optional[object] = None,
+        config: Optional[object] = None,
+    ) -> List[PropertyResult]:
+        """Run one property across several models (skipping unsupported ones).
+
+        Models lacking every level the property needs are skipped silently —
+        this mirrors the paper's Table 2 "models in scope" filtering.
+        """
+        runner = load_property(property_name)
+        results = []
+        for name in model_names:
+            model = self.model(name)
+            if runner.levels and not any(model.supports(lv) for lv in runner.levels):
+                continue
+            results.append(
+                self.characterize(name, property_name, data=data, config=config)
+            )
+        return results
+
+    @staticmethod
+    def properties() -> List[str]:
+        return available_properties()

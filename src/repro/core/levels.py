@@ -1,0 +1,23 @@
+"""Levels of table embeddings (Definition 1 of the paper).
+
+Different downstream applications consume different aggregations of a
+table's representation; Observatory properties each declare which levels
+they characterize.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class EmbeddingLevel(enum.Enum):
+    """The five levels of table embeddings Observatory distinguishes."""
+
+    TABLE = "table"
+    COLUMN = "column"
+    ROW = "row"
+    CELL = "cell"
+    ENTITY = "entity"
+
+    def __str__(self) -> str:  # nicer in reports
+        return self.value

@@ -1,0 +1,42 @@
+"""Quantitative measures used by the eight properties."""
+
+from repro.core.measures.mcv import (
+    albert_zhang_mcv,
+    reyment_mcv,
+    van_valen_mcv,
+    voinov_nikulin_mcv,
+    MCV_VARIANTS,
+)
+from repro.core.measures.similarity import cosine_similarity, pairwise_cosine, cosine_to_reference
+from repro.core.measures.correlation import spearman, SpearmanResult
+from repro.core.measures.knn import knn_indices, knn_overlap, average_overlap_at_k
+from repro.core.measures.stats import DistributionStats, five_number_summary, summarize
+from repro.core.measures.geometry import (
+    isotropy_score,
+    leading_direction_share,
+    mean_pairwise_cosine,
+    variance_spectrum,
+)
+
+__all__ = [
+    "albert_zhang_mcv",
+    "reyment_mcv",
+    "van_valen_mcv",
+    "voinov_nikulin_mcv",
+    "MCV_VARIANTS",
+    "cosine_similarity",
+    "pairwise_cosine",
+    "cosine_to_reference",
+    "spearman",
+    "SpearmanResult",
+    "knn_indices",
+    "knn_overlap",
+    "average_overlap_at_k",
+    "DistributionStats",
+    "five_number_summary",
+    "summarize",
+    "isotropy_score",
+    "leading_direction_share",
+    "mean_pairwise_cosine",
+    "variance_spectrum",
+]

@@ -1,0 +1,63 @@
+"""Embedding-space geometry diagnostics.
+
+Supports the analysis behind Figures 6/8: contextual embedding spaces are
+*anisotropic* — vectors crowd around a dominant direction — which is why
+cosine similarity can stay high while MCV explodes.  These diagnostics
+quantify that: mean pairwise cosine (the classic anisotropy probe),
+isotropy score (uniformity of the variance spectrum), and the share of
+variance captured by the leading principal direction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.measures.similarity import pairwise_cosine
+from repro.errors import MeasureError
+
+
+def mean_pairwise_cosine(embeddings: np.ndarray) -> float:
+    """Average cosine over all distinct pairs; near 0 for isotropic clouds,
+    near 1 for direction-dominated (anisotropic) spaces."""
+    embeddings = np.atleast_2d(np.asarray(embeddings, dtype=np.float64))
+    n = embeddings.shape[0]
+    if n < 2:
+        raise MeasureError("need at least two embeddings")
+    sims = pairwise_cosine(embeddings)
+    off_diagonal_sum = sims.sum() - np.trace(sims)
+    return float(off_diagonal_sum / (n * (n - 1)))
+
+
+def variance_spectrum(embeddings: np.ndarray) -> np.ndarray:
+    """Eigenvalue spectrum of the sample covariance (descending)."""
+    embeddings = np.atleast_2d(np.asarray(embeddings, dtype=np.float64))
+    if embeddings.shape[0] < 2:
+        raise MeasureError("need at least two embeddings")
+    centered = embeddings - embeddings.mean(axis=0)
+    _, singular, _ = np.linalg.svd(centered, full_matrices=False)
+    return (singular ** 2) / (embeddings.shape[0] - 1)
+
+
+def isotropy_score(embeddings: np.ndarray) -> float:
+    """Spectral flatness of the variance spectrum, in (0, 1].
+
+    1 means variance spreads evenly over directions (isotropic); values
+    near 0 mean one direction dominates.  Computed as the ratio of the
+    geometric to the arithmetic mean of the nonzero spectrum.
+    """
+    spectrum = variance_spectrum(embeddings)
+    nonzero = spectrum[spectrum > 1e-18]
+    if nonzero.size == 0:
+        return 1.0  # a degenerate point cloud is trivially "even"
+    arithmetic = nonzero.mean()
+    geometric = float(np.exp(np.mean(np.log(nonzero))))
+    return float(geometric / arithmetic)
+
+
+def leading_direction_share(embeddings: np.ndarray) -> float:
+    """Fraction of total variance along the top principal direction."""
+    spectrum = variance_spectrum(embeddings)
+    total = spectrum.sum()
+    if total <= 0:
+        return 0.0
+    return float(spectrum[0] / total)

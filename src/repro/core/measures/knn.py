@@ -1,0 +1,81 @@
+"""K-nearest-neighbour machinery (Measure 6, entity stability).
+
+Entity stability compares the K nearest neighbours of a query entity in two
+embedding spaces; the agreement is the percent overlap of the neighbour
+sets, averaged over queries.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import MeasureError
+from repro.core.measures.similarity import pairwise_cosine
+
+
+def knn_indices(
+    embeddings: np.ndarray, query_index: int, k: int, *, metric: str = "cosine"
+) -> list:
+    """Indices of the K nearest neighbours of one row (query excluded).
+
+    Ties are broken by index for determinism.
+    """
+    embeddings = np.atleast_2d(np.asarray(embeddings, dtype=np.float64))
+    n = embeddings.shape[0]
+    if not 0 <= query_index < n:
+        raise MeasureError(f"query index {query_index} out of range")
+    if k < 1 or k > n - 1:
+        raise MeasureError(f"k must be in [1, {n - 1}], got {k}")
+    if metric == "cosine":
+        sims = pairwise_cosine(embeddings)[query_index]
+        scores = -sims  # ascending sort: most similar first
+    elif metric == "euclidean":
+        diffs = embeddings - embeddings[query_index]
+        scores = np.linalg.norm(diffs, axis=1)
+    else:
+        raise MeasureError(f"unknown metric {metric!r}")
+    scores[query_index] = np.inf
+    order = np.lexsort((np.arange(n), scores))
+    return [int(i) for i in order[:k]]
+
+
+def knn_overlap(neighbors_a: Sequence[int], neighbors_b: Sequence[int]) -> float:
+    """Percent overlap |A ∩ B| / K of two equally-sized neighbour sets."""
+    set_a, set_b = set(neighbors_a), set(neighbors_b)
+    if len(set_a) != len(neighbors_a) or len(set_b) != len(neighbors_b):
+        raise MeasureError("neighbour lists must not contain duplicates")
+    if len(set_a) != len(set_b):
+        raise MeasureError("neighbour sets must have equal size")
+    if not set_a:
+        raise MeasureError("neighbour sets must be non-empty")
+    return len(set_a & set_b) / len(set_a)
+
+
+def average_overlap_at_k(
+    space_a: np.ndarray,
+    space_b: np.ndarray,
+    query_indices: Sequence[int],
+    k: int,
+) -> float:
+    """Average KNN overlap of the queries between two embedding spaces.
+
+    This is Measure 6 for n=2 spaces: both matrices index the same entities
+    row-by-row; for each query the K nearest neighbours are retrieved in each
+    space and the mean percent overlap is returned.
+    """
+    space_a = np.atleast_2d(np.asarray(space_a, dtype=np.float64))
+    space_b = np.atleast_2d(np.asarray(space_b, dtype=np.float64))
+    if space_a.shape[0] != space_b.shape[0]:
+        raise MeasureError("embedding spaces must cover the same entities")
+    if not len(query_indices):
+        raise MeasureError("at least one query entity is required")
+    overlaps = [
+        knn_overlap(
+            knn_indices(space_a, q, k),
+            knn_indices(space_b, q, k),
+        )
+        for q in query_indices
+    ]
+    return float(np.mean(overlaps))

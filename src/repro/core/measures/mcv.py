@@ -1,0 +1,110 @@
+"""Multivariate coefficients of variation (Measures 1 and 2).
+
+The univariate coefficient of variation (standard deviation over mean)
+summarizes relative variability; Observatory needs a multivariate extension
+to summarize the dispersion of a *set of embedding vectors* into one scalar.
+The paper adopts Albert & Zhang's MCV (Biometrical Journal 2010)
+
+    gamma_AZ = sqrt( mu' Sigma mu / (mu' mu)^2 )
+
+because, unlike the older proposals surveyed by Aerts et al. (2015), it
+needs no inverse of the covariance matrix — essential when the number of
+embeddings (say 720 shuffles) is smaller than the embedding dimensionality
+(e.g. 768), which makes Sigma singular.  The other variants are implemented
+for the ablation benchmark that demonstrates exactly this failure mode.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.errors import MeasureError
+
+
+def _mean_and_cov(samples: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.ndim != 2:
+        raise MeasureError(f"expected a 2-D sample matrix, got shape {samples.shape}")
+    n = samples.shape[0]
+    if n < 2:
+        raise MeasureError("MCV needs at least two samples")
+    mean = samples.mean(axis=0)
+    centered = samples - mean
+    cov = centered.T @ centered / (n - 1)
+    return mean, cov
+
+
+def albert_zhang_mcv(samples: np.ndarray) -> float:
+    """Albert & Zhang's MCV: sqrt(mu' Sigma mu) / (mu' mu).
+
+    Works with singular covariance matrices (n < d); returns 0 for a set of
+    identical vectors.  Raises :class:`MeasureError` when the mean vector is
+    (numerically) zero, where relative variation is undefined.
+    """
+    mean, cov = _mean_and_cov(samples)
+    mu_sq = float(mean @ mean)
+    if mu_sq < 1e-24:
+        raise MeasureError("MCV is undefined for a zero mean vector")
+    quad = float(mean @ cov @ mean)
+    # Numerical noise can drive the quadratic form epsilon-negative.
+    return float(np.sqrt(max(quad, 0.0)) / mu_sq)
+
+
+def reyment_mcv(samples: np.ndarray) -> float:
+    """Reyment's MCV: sqrt( (det Sigma)^(1/d) / (mu' mu) ).
+
+    Degenerates to 0 whenever Sigma is singular — the paper's motivating
+    failure case (n < d embeddings).
+    """
+    mean, cov = _mean_and_cov(samples)
+    mu_sq = float(mean @ mean)
+    if mu_sq < 1e-24:
+        raise MeasureError("MCV is undefined for a zero mean vector")
+    d = cov.shape[0]
+    sign, logdet = np.linalg.slogdet(cov)
+    if sign <= 0:
+        return 0.0
+    return float(np.sqrt(np.exp(logdet / d) / mu_sq))
+
+
+def van_valen_mcv(samples: np.ndarray) -> float:
+    """Van Valen's MCV: sqrt( trace(Sigma) / (mu' mu) ).
+
+    Ignores correlations between dimensions (the paper's reason for not
+    using it), but is always defined.
+    """
+    mean, cov = _mean_and_cov(samples)
+    mu_sq = float(mean @ mean)
+    if mu_sq < 1e-24:
+        raise MeasureError("MCV is undefined for a zero mean vector")
+    return float(np.sqrt(np.trace(cov) / mu_sq))
+
+
+def voinov_nikulin_mcv(samples: np.ndarray) -> float:
+    """Voinov & Nikulin's MCV: 1 / sqrt(mu' Sigma^{-1} mu).
+
+    Requires an invertible covariance matrix; raises :class:`MeasureError`
+    when Sigma is singular (n <= d), demonstrating why Albert–Zhang is the
+    right choice for embedding dispersion.
+    """
+    mean, cov = _mean_and_cov(samples)
+    d = cov.shape[0]
+    if samples.shape[0] <= d or np.linalg.matrix_rank(cov) < d:
+        raise MeasureError(
+            "Voinov-Nikulin MCV needs an invertible covariance matrix "
+            f"(n={samples.shape[0]}, d={d})"
+        )
+    quad = float(mean @ np.linalg.solve(cov, mean))
+    if quad <= 0:
+        raise MeasureError("mu' Sigma^-1 mu must be positive")
+    return float(1.0 / np.sqrt(quad))
+
+
+MCV_VARIANTS: Dict[str, Callable[[np.ndarray], float]] = {
+    "albert_zhang": albert_zhang_mcv,
+    "reyment": reyment_mcv,
+    "van_valen": van_valen_mcv,
+    "voinov_nikulin": voinov_nikulin_mcv,
+}

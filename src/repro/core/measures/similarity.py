@@ -1,0 +1,41 @@
+"""Cosine similarity utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MeasureError
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity of two vectors; raises on zero vectors."""
+    a = np.asarray(a, dtype=np.float64).ravel()
+    b = np.asarray(b, dtype=np.float64).ravel()
+    if a.shape != b.shape:
+        raise MeasureError(f"shape mismatch: {a.shape} vs {b.shape}")
+    norm = np.linalg.norm(a) * np.linalg.norm(b)
+    if norm < 1e-24:
+        raise MeasureError("cosine similarity is undefined for zero vectors")
+    # Clip: accumulated rounding can push the ratio epsilon beyond [-1, 1].
+    return float(np.clip(a @ b / norm, -1.0, 1.0))
+
+
+def cosine_to_reference(reference: np.ndarray, others: np.ndarray) -> np.ndarray:
+    """Cosine of each row of ``others`` against one reference vector."""
+    reference = np.asarray(reference, dtype=np.float64).ravel()
+    others = np.atleast_2d(np.asarray(others, dtype=np.float64))
+    ref_norm = np.linalg.norm(reference)
+    other_norms = np.linalg.norm(others, axis=1)
+    if ref_norm < 1e-24 or np.any(other_norms < 1e-24):
+        raise MeasureError("cosine similarity is undefined for zero vectors")
+    return np.clip(others @ reference / (other_norms * ref_norm), -1.0, 1.0)
+
+
+def pairwise_cosine(matrix: np.ndarray) -> np.ndarray:
+    """Full [n, n] cosine matrix over the rows of ``matrix``."""
+    matrix = np.atleast_2d(np.asarray(matrix, dtype=np.float64))
+    norms = np.linalg.norm(matrix, axis=1)
+    if np.any(norms < 1e-24):
+        raise MeasureError("cosine similarity is undefined for zero vectors")
+    normalized = matrix / norms[:, None]
+    return np.clip(normalized @ normalized.T, -1.0, 1.0)

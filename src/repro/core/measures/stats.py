@@ -1,0 +1,90 @@
+"""Distribution summaries for reporting.
+
+The paper reads its figures through box-plot statistics — quartiles,
+medians, and the Tukey "minimum/maximum" (Q1 - 1.5 IQR / Q3 + 1.5 IQR) —
+so results carry a :class:`DistributionStats` with exactly those numbers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.errors import MeasureError
+
+
+@dataclasses.dataclass(frozen=True)
+class DistributionStats:
+    """Five-number + Tukey-whisker summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+    @property
+    def tukey_low(self) -> float:
+        """Lower whisker Q1 - 1.5 IQR (the paper's 'minimum')."""
+        return self.q1 - 1.5 * self.iqr
+
+    @property
+    def tukey_high(self) -> float:
+        """Upper whisker Q3 + 1.5 IQR (the paper's 'maximum')."""
+        return self.q3 + 1.5 * self.iqr
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "n": self.n,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "q1": self.q1,
+            "median": self.median,
+            "q3": self.q3,
+            "max": self.maximum,
+            "tukey_low": self.tukey_low,
+            "tukey_high": self.tukey_high,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.n} min={self.minimum:.3f} q1={self.q1:.3f} "
+            f"med={self.median:.3f} q3={self.q3:.3f} max={self.maximum:.3f}"
+        )
+
+
+def five_number_summary(values: Sequence[float]) -> tuple:
+    """(min, q1, median, q3, max) with linear-interpolation quartiles."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise MeasureError("cannot summarize an empty sample")
+    q1, med, q3 = np.percentile(arr, [25, 50, 75])
+    return float(arr.min()), float(q1), float(med), float(q3), float(arr.max())
+
+
+def summarize(values: Sequence[float]) -> DistributionStats:
+    """Full :class:`DistributionStats` of a sample."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise MeasureError("cannot summarize an empty sample")
+    minimum, q1, median, q3, maximum = five_number_summary(arr)
+    return DistributionStats(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        minimum=minimum,
+        q1=q1,
+        median=median,
+        q3=q3,
+        maximum=maximum,
+    )

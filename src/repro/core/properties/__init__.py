@@ -1,0 +1,47 @@
+"""The eight primitive properties of Observatory.
+
+Relational-model properties: P1 row-order insignificance, P2 column-order
+insignificance, P3 join relationship, P4 functional dependencies.
+Data-distribution properties: P5 sample fidelity, P6 entity stability,
+P7 perturbation robustness, P8 heterogeneous context.
+"""
+
+from repro.core.properties.base import ShuffleConfig, PropertyRunner
+from repro.core.properties.p1_row_order import RowOrderInsignificance
+from repro.core.properties.p2_column_order import ColumnOrderInsignificance
+from repro.core.properties.p3_join_relationship import JoinRelationship, JoinRelationshipConfig
+from repro.core.properties.p4_functional_dependencies import (
+    FunctionalDependencies,
+    FDConfig,
+)
+from repro.core.properties.p5_sample_fidelity import SampleFidelity, SampleFidelityConfig
+from repro.core.properties.p6_entity_stability import EntityStability, EntityStabilityConfig
+from repro.core.properties.p7_perturbation_robustness import (
+    PerturbationRobustness,
+    PerturbationConfig,
+)
+from repro.core.properties.p8_heterogeneous_context import (
+    HeterogeneousContext,
+    ContextConfig,
+    ContextSetting,
+)
+
+__all__ = [
+    "PropertyRunner",
+    "ShuffleConfig",
+    "RowOrderInsignificance",
+    "ColumnOrderInsignificance",
+    "JoinRelationship",
+    "JoinRelationshipConfig",
+    "FunctionalDependencies",
+    "FDConfig",
+    "SampleFidelity",
+    "SampleFidelityConfig",
+    "EntityStability",
+    "EntityStabilityConfig",
+    "PerturbationRobustness",
+    "PerturbationConfig",
+    "HeterogeneousContext",
+    "ContextConfig",
+    "ContextSetting",
+]

@@ -1,0 +1,191 @@
+"""Shared property-runner machinery.
+
+:class:`PropertyRunner` is the minimal contract: a name, the embedding
+levels the property characterizes, and a ``run`` entry point returning a
+:class:`~repro.core.results.PropertyResult`.  The shuffle-based properties
+(P1/P2) share the variant-embedding loop implemented here.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.levels import EmbeddingLevel
+from repro.core.measures.mcv import albert_zhang_mcv
+from repro.core.measures.similarity import cosine_similarity
+from repro.core.results import PropertyResult
+from repro.data.corpus import TableCorpus
+from repro.errors import MeasureError, PropertyConfigError
+from repro.models.base import EmbeddingModel
+from repro.relational.permutations import sample_permutations
+from repro.relational.table import Table
+
+# Levels the order-insignificance properties characterize, in report order.
+SHUFFLE_LEVELS = (EmbeddingLevel.COLUMN, EmbeddingLevel.ROW, EmbeddingLevel.TABLE)
+
+
+class PropertyRunner(abc.ABC):
+    """Contract for a property: named, level-scoped, runnable."""
+
+    name: str = "property"
+    levels: Tuple[EmbeddingLevel, ...] = ()
+
+    @abc.abstractmethod
+    def run(self, model, data, **kwargs) -> PropertyResult:
+        """Characterize ``model`` over ``data`` and return the result."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+@dataclasses.dataclass(frozen=True)
+class ShuffleConfig:
+    """Parameters of the order-insignificance measures.
+
+    Attributes:
+        n_permutations: variants per table (the paper caps at 1000; tests
+            and benchmarks use smaller values for speed).
+        levels: which embedding levels to measure (filtered further by what
+            the model supports).
+        keep_series: retain raw cosine/MCV samples on the result.
+    """
+
+    n_permutations: int = 100
+    levels: Tuple[EmbeddingLevel, ...] = SHUFFLE_LEVELS
+    keep_series: bool = False
+
+    def __post_init__(self):
+        if self.n_permutations < 2:
+            raise PropertyConfigError("n_permutations must be at least 2")
+        bad = set(self.levels) - set(SHUFFLE_LEVELS)
+        if bad:
+            raise PropertyConfigError(
+                f"shuffle properties only cover {SHUFFLE_LEVELS}, got {bad}"
+            )
+
+
+class _ShuffleProperty(PropertyRunner):
+    """Common implementation of P1/P2.
+
+    Subclasses define the shuffle axis: how to permute a table and how to
+    map variant embeddings back to the identity of the unshuffled items.
+    """
+
+    axis: str = "row"
+
+    # -- axis hooks ----------------------------------------------------
+
+    @abc.abstractmethod
+    def _n_items(self, table: Table) -> int:
+        """Number of permutable items (rows or columns)."""
+
+    @abc.abstractmethod
+    def _apply(self, table: Table, perm: Sequence[int]) -> Table:
+        """Return the permuted variant."""
+
+    @abc.abstractmethod
+    def _align_columns(
+        self, embeddings: np.ndarray, perm: Sequence[int]
+    ) -> np.ndarray:
+        """Map variant column embeddings back to original column identity."""
+
+    @abc.abstractmethod
+    def _align_rows(self, embeddings: np.ndarray, perm: Sequence[int]) -> np.ndarray:
+        """Map variant row embeddings back to original row identity."""
+
+    # -- main loop -----------------------------------------------------
+
+    def run(
+        self,
+        model: EmbeddingModel,
+        data: TableCorpus,
+        config: ShuffleConfig = ShuffleConfig(),
+    ) -> PropertyResult:
+        """Measure cosine-to-original and MCV across shuffled variants.
+
+        For every table, up to ``n_permutations`` distinct permutations are
+        sampled (identity first, the reference).  For each supported level,
+        each item's embeddings across variants yield (a) cosine similarities
+        of every shuffled variant against the reference and (b) one
+        Albert–Zhang MCV over the variant set.
+        """
+        result = PropertyResult(
+            property_name=self.name,
+            model_name=model.name,
+            metadata={
+                "axis": self.axis,
+                "n_permutations": config.n_permutations,
+                "corpus": data.name,
+                "n_tables": len(data),
+            },
+        )
+        levels = [lv for lv in config.levels if model.supports(lv)]
+        if not levels:
+            raise PropertyConfigError(
+                f"model {model.name!r} supports none of the requested levels"
+            )
+        cosines: Dict[EmbeddingLevel, List[float]] = {lv: [] for lv in levels}
+        mcvs: Dict[EmbeddingLevel, List[float]] = {lv: [] for lv in levels}
+
+        for table in data:
+            n_items = self._n_items(table)
+            if n_items < 2:
+                continue
+            perms = sample_permutations(
+                n_items,
+                config.n_permutations,
+                seed_parts=(table.table_id, self.axis),
+            )
+            variant_embeddings: Dict[EmbeddingLevel, List[np.ndarray]] = {
+                lv: [] for lv in levels
+            }
+            for perm in perms:
+                variant = self._apply(table, perm)
+                for level in levels:
+                    if level == EmbeddingLevel.COLUMN:
+                        emb = self._align_columns(model.embed_columns(variant), perm)
+                    elif level == EmbeddingLevel.ROW:
+                        emb = self._align_rows(model.embed_rows(variant), perm)
+                    else:
+                        emb = model.embed_table(variant)[None, :]
+                    variant_embeddings[level].append(emb)
+            for level in levels:
+                stacks = variant_embeddings[level]
+                n_entries = min(e.shape[0] for e in stacks)
+                for item in range(n_entries):
+                    trajectory = np.stack([e[item] for e in stacks])
+                    if np.linalg.norm(trajectory, axis=1).min() < 1e-12:
+                        continue  # item truncated away in some variant
+                    reference = trajectory[0]
+                    for other in trajectory[1:]:
+                        cosines[level].append(cosine_similarity(reference, other))
+                    try:
+                        mcvs[level].append(albert_zhang_mcv(trajectory))
+                    except MeasureError:
+                        continue  # zero-mean trajectory: MCV undefined
+
+        for level in levels:
+            if cosines[level]:
+                result.add_distribution(
+                    f"{level.value}/cosine", cosines[level], keep_series=config.keep_series
+                )
+            if mcvs[level]:
+                result.add_distribution(
+                    f"{level.value}/mcv", mcvs[level], keep_series=config.keep_series
+                )
+        return result
+
+
+def embeddings_by_variant(
+    model: EmbeddingModel,
+    table: Table,
+    variants: Iterable[Table],
+) -> List[np.ndarray]:
+    """Column embeddings of a table and its variants (helper for figures)."""
+    out = [model.embed_columns(table)]
+    out.extend(model.embed_columns(v) for v in variants)
+    return out

@@ -1,0 +1,46 @@
+"""Property 1: Row Order Insignificance.
+
+A relational table is a *set* of rows — their order carries no meaning in
+Codd's model.  Models that encode table structure with position embeddings
+may nevertheless reflect row order in their outputs.  Measure 1 quantifies
+this: embed each of n row-wise shuffles of a table, then summarize the
+dispersion of each column/row/table embedding across shuffles with (a)
+cosine similarity to the unshuffled reference and (b) Albert–Zhang's MCV.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.properties.base import SHUFFLE_LEVELS, _ShuffleProperty
+from repro.relational.table import Table
+
+
+class RowOrderInsignificance(_ShuffleProperty):
+    """P1 runner: shuffle rows, measure embedding drift."""
+
+    name = "row_order_insignificance"
+    levels = SHUFFLE_LEVELS
+    axis = "row"
+
+    def _n_items(self, table: Table) -> int:
+        return table.num_rows
+
+    def _apply(self, table: Table, perm: Sequence[int]) -> Table:
+        return table.reorder_rows(list(perm))
+
+    def _align_columns(self, embeddings: np.ndarray, perm: Sequence[int]) -> np.ndarray:
+        # Columns do not move under a row shuffle: identity alignment.
+        return embeddings
+
+    def _align_rows(self, embeddings: np.ndarray, perm: Sequence[int]) -> np.ndarray:
+        # Row j of the variant holds original row perm[j]; scatter back so
+        # index i always refers to the same logical row.  Rows truncated
+        # away by the input limit stay zero and are skipped by the caller.
+        aligned = np.zeros((len(perm), embeddings.shape[1]))
+        for j, original in enumerate(perm):
+            if j < embeddings.shape[0]:
+                aligned[original] = embeddings[j]
+        return aligned

@@ -1,0 +1,127 @@
+"""Property 4: Functional Dependencies.
+
+If an embedding space preserves an FD X -> Y as a translation (in the
+TransE sense the paper borrows), then within each FD group — the tuples
+sharing one determinant value — the distance between the determinant-cell
+embedding and the dependent-cell embedding should be constant.  Measure 4
+is the average group-wise variance S^2 of those distances; preserved FDs
+give S^2 near 0 and, crucially, *smaller* values over true-FD column pairs
+than over non-FD pairs.  The paper finds no model separates the two
+distributions (Table 4, Figure 10).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.levels import EmbeddingLevel
+from repro.core.properties.base import PropertyRunner
+from repro.core.results import PropertyResult
+from repro.data.spider import FDCase
+from repro.errors import PropertyConfigError
+from repro.models.base import EmbeddingModel
+from repro.relational.fd import fd_groups
+
+
+@dataclasses.dataclass(frozen=True)
+class FDConfig:
+    """Distance norm (the paper uses L1 or L2) and group-size floor."""
+
+    norm: int = 2
+    min_group_size: int = 2
+    keep_series: bool = False
+
+    def __post_init__(self):
+        if self.norm not in (1, 2):
+            raise PropertyConfigError("norm must be 1 (L1) or 2 (L2)")
+        if self.min_group_size < 2:
+            raise PropertyConfigError("variance needs groups of at least 2")
+
+
+class FunctionalDependencies(PropertyRunner):
+    """P4 runner: group-wise translation variance over FD / non-FD pairs."""
+
+    name = "functional_dependencies"
+    levels = (EmbeddingLevel.CELL,)
+
+    def run(
+        self,
+        model: EmbeddingModel,
+        data: Tuple[Sequence[FDCase], Sequence[FDCase]],
+        config: FDConfig = FDConfig(),
+    ) -> PropertyResult:
+        """Compute S^2 for every case in (T_FD, T_notFD).
+
+        Result distributions: ``fd/s2`` and ``non_fd/s2``; scalars
+        ``mean_s2/fd`` and ``mean_s2/non_fd`` reproduce the paper's Table 4
+        row pair, plus ``separation`` = mean(non-FD) - mean(FD).
+        """
+        fd_cases, non_fd_cases = data
+        if not fd_cases or not non_fd_cases:
+            raise PropertyConfigError("both FD and non-FD case lists are required")
+        result = PropertyResult(
+            property_name=self.name,
+            model_name=model.name,
+            metadata={
+                "norm": f"L{config.norm}",
+                "n_fd": len(fd_cases),
+                "n_non_fd": len(non_fd_cases),
+            },
+        )
+        fd_s2 = self._variances(model, fd_cases, config)
+        non_fd_s2 = self._variances(model, non_fd_cases, config)
+        if not fd_s2 or not non_fd_s2:
+            raise PropertyConfigError(
+                "no measurable cases (all FD groups below min_group_size?)"
+            )
+        result.add_distribution("fd/s2", fd_s2, keep_series=config.keep_series)
+        result.add_distribution("non_fd/s2", non_fd_s2, keep_series=config.keep_series)
+        result.scalars["mean_s2/fd"] = float(np.mean(fd_s2))
+        result.scalars["mean_s2/non_fd"] = float(np.mean(non_fd_s2))
+        result.scalars["separation"] = (
+            result.scalars["mean_s2/non_fd"] - result.scalars["mean_s2/fd"]
+        )
+        return result
+
+    def _variances(
+        self, model: EmbeddingModel, cases: Sequence[FDCase], config: FDConfig
+    ) -> List[float]:
+        out: List[float] = []
+        for case in cases:
+            s2 = self.case_variance(model, case, config)
+            if s2 is not None:
+                out.append(s2)
+        return out
+
+    @staticmethod
+    def case_variance(
+        model: EmbeddingModel, case: FDCase, config: FDConfig = FDConfig()
+    ) -> float:
+        """S^2 of one (table, dependency) case; None if no group is large enough.
+
+        Within each determinant group, d_ji = ||E(x_cell) - E(y_cell)||_p is
+        computed for every tuple; the per-group sample variance of the d_ji
+        is averaged over groups.
+        """
+        table, fd = case.table, case.fd
+        lhs, rhs = fd.determinant[0], fd.dependent[0]
+        groups = fd_groups(table, fd)
+        coords = [(r, c) for rows in groups.values() for r in rows for c in (lhs, rhs)]
+        embedded = model.embed_cells(table, coords)
+        group_variances: List[float] = []
+        for rows in groups.values():
+            distances = []
+            for r in rows:
+                x = embedded.get((r, lhs))
+                y = embedded.get((r, rhs))
+                if x is None or y is None:
+                    continue  # cell truncated away by the input limit
+                distances.append(float(np.linalg.norm(x - y, ord=config.norm)))
+            if len(distances) >= config.min_group_size:
+                group_variances.append(float(np.var(distances, ddof=1)))
+        if not group_variances:
+            return None
+        return float(np.mean(group_variances))

@@ -1,0 +1,117 @@
+"""Property 5: Sample Fidelity.
+
+Embedding a full large column is often infeasible (input limits, memory),
+so practice resorts to sampling — at the cost of fidelity.  Measure 5
+quantifies it: the full-column embedding is obtained by chunking the column
+under its shared header and aggregating chunk embeddings; n uniform random
+samples at a given ratio are embedded directly; fidelity is the average
+cosine between sample and full embeddings, complemented by the MCV over
+{full, samples}.  The paper sweeps sampling fractions 0.25/0.5/0.75.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.levels import EmbeddingLevel
+from repro.core.measures.mcv import albert_zhang_mcv
+from repro.core.measures.similarity import cosine_similarity
+from repro.core.properties.base import PropertyRunner
+from repro.core.results import PropertyResult
+from repro.data.corpus import TableCorpus
+from repro.errors import MeasureError, PropertyConfigError
+from repro.models.base import EmbeddingModel
+from repro.relational.sampling import distinct_samples
+
+
+@dataclasses.dataclass(frozen=True)
+class SampleFidelityConfig:
+    """Sampling fractions, samples per column, and column selection."""
+
+    ratios: Tuple[float, ...] = (0.25, 0.5, 0.75)
+    n_samples: int = 5
+    min_column_size: int = 4
+    keep_series: bool = False
+
+    def __post_init__(self):
+        if not self.ratios or any(not 0 < r <= 1 for r in self.ratios):
+            raise PropertyConfigError("ratios must lie in (0, 1]")
+        if self.n_samples < 1:
+            raise PropertyConfigError("n_samples must be positive")
+
+
+class SampleFidelity(PropertyRunner):
+    """P5 runner: cosine(sample embedding, full embedding) across ratios."""
+
+    name = "sample_fidelity"
+    levels = (EmbeddingLevel.COLUMN,)
+
+    def run(
+        self,
+        model: EmbeddingModel,
+        data: TableCorpus,
+        config: SampleFidelityConfig = SampleFidelityConfig(),
+    ) -> PropertyResult:
+        """Measure fidelity for every column of every corpus table.
+
+        Result distributions: ``ratio_<r>/fidelity`` (per-column average
+        cosine) and ``ratio_<r>/mcv`` (MCV over the full + sample embedding
+        set), one pair per configured ratio.
+        """
+        result = PropertyResult(
+            property_name=self.name,
+            model_name=model.name,
+            metadata={
+                "ratios": list(config.ratios),
+                "n_samples": config.n_samples,
+                "corpus": data.name,
+            },
+        )
+        fidelity: Dict[float, List[float]] = {r: [] for r in config.ratios}
+        mcvs: Dict[float, List[float]] = {r: [] for r in config.ratios}
+        for table in data:
+            for col in range(table.num_columns):
+                values = table.column_values(col)
+                if len(values) < config.min_column_size:
+                    continue
+                header = table.header[col]
+                full = model.embed_value_column(header, values)
+                if np.linalg.norm(full) < 1e-12:
+                    continue
+                for ratio in config.ratios:
+                    samples = distinct_samples(
+                        values,
+                        ratio,
+                        config.n_samples,
+                        seed_parts=(table.table_id, col, ratio),
+                    )
+                    sample_embs = [
+                        model.embed_value_column(header, s) for s in samples
+                    ]
+                    cosines = [
+                        cosine_similarity(full, emb) for emb in sample_embs
+                    ]
+                    fidelity[ratio].append(float(np.mean(cosines)))
+                    try:
+                        mcvs[ratio].append(
+                            albert_zhang_mcv(np.stack([full] + sample_embs))
+                        )
+                    except MeasureError:
+                        pass
+        for ratio in config.ratios:
+            if fidelity[ratio]:
+                result.add_distribution(
+                    f"ratio_{ratio}/fidelity",
+                    fidelity[ratio],
+                    keep_series=config.keep_series,
+                )
+            if mcvs[ratio]:
+                result.add_distribution(
+                    f"ratio_{ratio}/mcv", mcvs[ratio], keep_series=config.keep_series
+                )
+        if not result.distributions:
+            raise PropertyConfigError("no measurable columns in the corpus")
+        return result

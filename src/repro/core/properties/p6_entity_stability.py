@@ -1,0 +1,105 @@
+"""Property 6: Entity Stability.
+
+Borrowed from word-embedding stability analysis: the agreement between two
+embedding spaces is proxied by the overlap of the K nearest neighbours of
+query entities.  Measure 6 (n=2 spaces) averages, over m sampled query
+entities, |KNN_1(e) ∩ KNN_2(e)| / K.  The paper finds the *domain* of the
+queries is a key factor — different model pairs agree on different domains
+(Figure 12 heatmaps).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.levels import EmbeddingLevel
+from repro.core.measures.knn import average_overlap_at_k
+from repro.core.properties.base import PropertyRunner
+from repro.core.results import PropertyResult
+from repro.data.entities import EntityCatalog
+from repro.errors import PropertyConfigError
+from repro.models.base import EmbeddingModel
+
+
+@dataclasses.dataclass(frozen=True)
+class EntityStabilityConfig:
+    """K for the neighbour sets and the domains to evaluate."""
+
+    k: int = 10
+    domains: Tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if self.k < 1:
+            raise PropertyConfigError("k must be positive")
+
+
+class EntityStability(PropertyRunner):
+    """P6 runner: pairwise KNN-overlap stability between two models."""
+
+    name = "entity_stability"
+    levels = (EmbeddingLevel.ENTITY,)
+
+    def run(
+        self,
+        model: Tuple[EmbeddingModel, EmbeddingModel],
+        data: EntityCatalog,
+        config: EntityStabilityConfig = EntityStabilityConfig(),
+    ) -> PropertyResult:
+        """Average per-domain stability between two entity embedding spaces.
+
+        Scalars: ``stability/<domain>`` for each requested domain plus
+        ``stability/overall`` across all query entities.
+        """
+        model_a, model_b = model
+        for m in (model_a, model_b):
+            if not m.supports(EmbeddingLevel.ENTITY):
+                raise PropertyConfigError(
+                    f"model {m.name!r} exposes no entity embeddings"
+                )
+        domains = config.domains or tuple(data.domains())
+        unknown = set(domains) - set(data.domains())
+        if unknown:
+            raise PropertyConfigError(f"unknown domains: {sorted(unknown)}")
+        space_a = data.embedding_space(model_a)
+        space_b = data.embedding_space(model_b)
+        result = PropertyResult(
+            property_name=self.name,
+            model_name=f"{model_a.name}|{model_b.name}",
+            metadata={"k": config.k, "domains": list(domains), "n_entities": len(data)},
+        )
+        all_queries: List[int] = []
+        for domain in domains:
+            queries = data.query_indices(domain)
+            all_queries.extend(queries)
+            result.scalars[f"stability/{domain}"] = average_overlap_at_k(
+                space_a, space_b, queries, config.k
+            )
+        result.scalars["stability/overall"] = average_overlap_at_k(
+            space_a, space_b, all_queries, config.k
+        )
+        return result
+
+    @staticmethod
+    def pairwise_matrix(
+        models: Sequence[EmbeddingModel],
+        data: EntityCatalog,
+        domain: str,
+        config: EntityStabilityConfig = EntityStabilityConfig(),
+    ) -> np.ndarray:
+        """Symmetric [n_models, n_models] stability matrix for one domain.
+
+        This is the data behind one Figure 12 heatmap; the diagonal is 1 by
+        construction (a space agrees perfectly with itself).
+        """
+        spaces = [data.embedding_space(m) for m in models]
+        queries = data.query_indices(domain)
+        n = len(models)
+        matrix = np.eye(n)
+        for i in range(n):
+            for j in range(i + 1, n):
+                value = average_overlap_at_k(spaces[i], spaces[j], queries, config.k)
+                matrix[i, j] = matrix[j, i] = value
+        return matrix

@@ -1,0 +1,154 @@
+"""Property 8: Heterogeneous Context.
+
+Tables mix textual and non-textual data; without context a numeric column
+is nearly uninterpretable (is "4.99" a price, a rating, a percentage?).
+Measure 8 compares a column's *single-column* embedding against its
+embedding under three context settings: (b) the subject column, (c) the
+immediate neighbours, (d) the entire table.  The paper's Table 5 reports
+min/median/max cosine per setting, split into non-textual and textual
+column families.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.levels import EmbeddingLevel
+from repro.core.measures.similarity import cosine_similarity
+from repro.core.properties.base import PropertyRunner
+from repro.core.results import PropertyResult
+from repro.data.corpus import TableCorpus
+from repro.errors import PropertyConfigError
+from repro.models.base import EmbeddingModel
+from repro.relational.table import Table
+
+
+class ContextSetting(enum.Enum):
+    """The paper's four input settings (a: none is the reference)."""
+
+    SUBJECT_COLUMN = "subject_column"
+    NEIGHBORING_COLUMNS = "neighboring_columns"
+    ENTIRE_TABLE = "entire_table"
+
+
+@dataclasses.dataclass(frozen=True)
+class ContextConfig:
+    """Settings to evaluate and how target columns are chosen."""
+
+    settings: Tuple[ContextSetting, ...] = (
+        ContextSetting.SUBJECT_COLUMN,
+        ContextSetting.NEIGHBORING_COLUMNS,
+        ContextSetting.ENTIRE_TABLE,
+    )
+    keep_series: bool = False
+
+    def __post_init__(self):
+        if not self.settings:
+            raise PropertyConfigError("at least one context setting is required")
+
+
+def _is_textual_column(table: Table, index: int) -> bool:
+    column = table.schema[index]
+    # Prefer the generator's semantic annotation; fall back to the inferred
+    # primitive data type for unannotated corpora.
+    if column.semantic_type is not None:
+        from repro.data.sotab import SEMANTIC_TYPES
+
+        meta = SEMANTIC_TYPES.get(column.semantic_type)
+        if meta is not None:
+            return meta[0]
+    return column.data_type.is_textual
+
+
+def context_projection(
+    table: Table, target: int, setting: ContextSetting
+) -> Tuple[Table, int]:
+    """The table slice a context setting feeds the model, plus the target's
+    index inside that slice."""
+    if setting == ContextSetting.ENTIRE_TABLE:
+        return table, target
+    if setting == ContextSetting.NEIGHBORING_COLUMNS:
+        indices = [
+            i
+            for i in (target - 1, target, target + 1)
+            if 0 <= i < table.num_columns
+        ]
+        return table.project(indices), indices.index(target)
+    if setting == ContextSetting.SUBJECT_COLUMN:
+        subject = table.subject_column_index()
+        if subject is None or subject == target:
+            # No usable subject context: degrade to the first other textual
+            # column, else the immediate left neighbour.
+            subject = next(
+                (
+                    i
+                    for i in range(table.num_columns)
+                    if i != target and table.schema[i].data_type.is_textual
+                ),
+                None,
+            )
+        if subject is None:
+            subject = target - 1 if target > 0 else target + 1
+        if not 0 <= subject < table.num_columns or subject == target:
+            raise PropertyConfigError("table too narrow for subject-column context")
+        indices = sorted([subject, target])
+        return table.project(indices), indices.index(target)
+    raise PropertyConfigError(f"unknown setting {setting!r}")
+
+
+class HeterogeneousContext(PropertyRunner):
+    """P8 runner: single-column vs contextual column embeddings."""
+
+    name = "heterogeneous_context"
+    levels = (EmbeddingLevel.COLUMN,)
+
+    def run(
+        self,
+        model: EmbeddingModel,
+        data: TableCorpus,
+        config: ContextConfig = ContextConfig(),
+    ) -> PropertyResult:
+        """Cosine between the no-context embedding and each context setting.
+
+        Distributions are keyed ``<family>/<setting>`` with family in
+        {"non_textual", "textual"} — exactly the two rows per model of the
+        paper's Table 5.
+        """
+        result = PropertyResult(
+            property_name=self.name,
+            model_name=model.name,
+            metadata={
+                "settings": [s.value for s in config.settings],
+                "corpus": data.name,
+            },
+        )
+        samples: Dict[str, List[float]] = {}
+        for table in data:
+            for target in range(table.num_columns):
+                if table.num_columns < 2:
+                    continue
+                family = "textual" if _is_textual_column(table, target) else "non_textual"
+                single = model.embed_columns(table.single_column_table(target))[0]
+                if np.linalg.norm(single) < 1e-12:
+                    continue
+                for setting in config.settings:
+                    try:
+                        context_table, inner = context_projection(table, target, setting)
+                    except PropertyConfigError:
+                        continue
+                    contextual = model.embed_columns(context_table)[inner]
+                    if np.linalg.norm(contextual) < 1e-12:
+                        continue
+                    key = f"{family}/{setting.value}"
+                    samples.setdefault(key, []).append(
+                        cosine_similarity(single, contextual)
+                    )
+        if not samples:
+            raise PropertyConfigError("corpus yielded no context comparisons")
+        for key, values in samples.items():
+            result.add_distribution(key, values, keep_series=config.keep_series)
+        return result

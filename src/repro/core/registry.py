@@ -1,0 +1,79 @@
+"""Property registry: name -> runner factory.
+
+Mirrors the model registry; :func:`register_property` is the extension
+point for adding new properties to the framework.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.core.properties import (
+    ColumnOrderInsignificance,
+    EntityStability,
+    FunctionalDependencies,
+    HeterogeneousContext,
+    JoinRelationship,
+    PerturbationRobustness,
+    RowOrderInsignificance,
+    SampleFidelity,
+)
+from repro.core.properties.base import PropertyRunner
+from repro.errors import PropertyConfigError
+
+PropertyFactory = Callable[[], PropertyRunner]
+
+_REGISTRY: Dict[str, PropertyFactory] = {
+    "row_order_insignificance": RowOrderInsignificance,
+    "column_order_insignificance": ColumnOrderInsignificance,
+    "join_relationship": JoinRelationship,
+    "functional_dependencies": FunctionalDependencies,
+    "sample_fidelity": SampleFidelity,
+    "entity_stability": EntityStability,
+    "perturbation_robustness": PerturbationRobustness,
+    "heterogeneous_context": HeterogeneousContext,
+}
+
+# Paper ordering (P1..P8) for reports.
+PAPER_ORDER = (
+    "row_order_insignificance",
+    "column_order_insignificance",
+    "join_relationship",
+    "functional_dependencies",
+    "sample_fidelity",
+    "entity_stability",
+    "perturbation_robustness",
+    "heterogeneous_context",
+)
+
+
+def available_properties() -> List[str]:
+    """Registered property names in paper order, extensions last."""
+    builtin = [n for n in PAPER_ORDER if n in _REGISTRY]
+    extras = sorted(set(_REGISTRY) - set(builtin))
+    return builtin + extras
+
+
+def load_property(name: str) -> PropertyRunner:
+    """Instantiate a property runner by name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise PropertyConfigError(
+            f"unknown property {name!r}; available: {', '.join(available_properties())}"
+        ) from None
+    return factory()
+
+
+def register_property(
+    name: str, factory: PropertyFactory, *, overwrite: bool = False
+) -> None:
+    """Register a new property runner (the framework's extension point)."""
+    if name in _REGISTRY and not overwrite:
+        raise PropertyConfigError(f"property {name!r} already registered")
+    _REGISTRY[name] = factory
+
+
+def unregister_property(name: str) -> None:
+    """Remove a registered property (primarily for tests)."""
+    _REGISTRY.pop(name, None)

@@ -1,0 +1,121 @@
+"""Result containers shared by all property runners.
+
+Every property produces a :class:`PropertyResult`: the property and model
+names, named distributions (each a
+:class:`~repro.core.measures.stats.DistributionStats`), named scalars, and
+optional raw series for plotting/benchmarks.  Results render to dicts and
+markdown so benchmarks can print the same rows the paper reports.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.measures.stats import DistributionStats, summarize
+
+# Alias kept for the public API: the paper speaks of distributions of
+# measure values; DistributionStats is their summary.
+DistributionSummary = DistributionStats
+
+
+@dataclasses.dataclass
+class PropertyResult:
+    """Outcome of running one property against one model (or model pair).
+
+    Attributes:
+        property_name: e.g. ``"row_order_insignificance"``.
+        model_name: the analyzed model (or ``"model_a|model_b"`` for pairwise
+            properties such as entity stability).
+        distributions: named summarized samples, e.g.
+            ``{"column/cosine": DistributionStats(...)}``.
+        scalars: named headline numbers, e.g. Spearman coefficients.
+        series: optional named raw samples for figures.
+        metadata: run parameters worth recording (permutation counts, seeds).
+    """
+
+    property_name: str
+    model_name: str
+    distributions: Dict[str, DistributionStats] = dataclasses.field(default_factory=dict)
+    scalars: Dict[str, float] = dataclasses.field(default_factory=dict)
+    series: Dict[str, List[float]] = dataclasses.field(default_factory=dict)
+    metadata: Dict[str, object] = dataclasses.field(default_factory=dict)
+
+    def add_distribution(self, key: str, values: Sequence[float], *, keep_series: bool = False) -> None:
+        """Summarize ``values`` under ``key`` (optionally keep raw series)."""
+        self.distributions[key] = summarize(values)
+        if keep_series:
+            self.series[key] = [float(v) for v in values]
+
+    def distribution(self, key: str) -> DistributionStats:
+        try:
+            return self.distributions[key]
+        except KeyError:
+            available = ", ".join(sorted(self.distributions)) or "(none)"
+            raise KeyError(
+                f"no distribution {key!r} in result; available: {available}"
+            ) from None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "property": self.property_name,
+            "model": self.model_name,
+            "distributions": {k: v.to_dict() for k, v in self.distributions.items()},
+            "scalars": dict(self.scalars),
+            "metadata": dict(self.metadata),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"PropertyResult({self.property_name!r}, model={self.model_name!r}, "
+            f"distributions={sorted(self.distributions)}, scalars={sorted(self.scalars)})"
+        )
+
+
+def results_table(
+    results: Sequence[PropertyResult],
+    distribution_key: str,
+    *,
+    fields: Sequence[str] = ("q1", "median", "q3"),
+    title: Optional[str] = None,
+) -> str:
+    """Markdown table of one distribution across several models' results."""
+    header = "| model | " + " | ".join(fields) + " |"
+    rule = "|" + "|".join(["---"] * (len(fields) + 1)) + "|"
+    lines = []
+    if title:
+        lines.append(f"**{title}**")
+        lines.append("")
+    lines.extend([header, rule])
+    for result in results:
+        stats = result.distributions.get(distribution_key)
+        if stats is None:
+            row = [result.model_name] + ["-"] * len(fields)
+        else:
+            as_dict = stats.to_dict()
+            row = [result.model_name] + [f"{as_dict[f]:.3f}" for f in fields]
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def scalars_table(
+    results: Sequence[PropertyResult],
+    scalar_keys: Sequence[str],
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Markdown table of named scalars across results (paper-style tables)."""
+    header = "| model | " + " | ".join(scalar_keys) + " |"
+    rule = "|" + "|".join(["---"] * (len(scalar_keys) + 1)) + "|"
+    lines = []
+    if title:
+        lines.append(f"**{title}**")
+        lines.append("")
+    lines.extend([header, rule])
+    for result in results:
+        cells = [result.model_name]
+        for key in scalar_keys:
+            value = result.scalars.get(key)
+            cells.append("-" if value is None else f"{value:.3f}")
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)

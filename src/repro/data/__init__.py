@@ -1,0 +1,36 @@
+"""Dataset suites: synthetic stand-ins for the paper's five corpora.
+
+Each generator is fully seeded and produces the statistics its property
+needs: WikiTables-like entity-rich web tables (P1/P2/P5/P6), Spider-like
+databases with planted-and-rediscovered functional dependencies (P4),
+Dr.Spider-like schema/data perturbations (P7), NextiaJD-like joinability
+testbeds (P3), and SOTAB-like typed columns (P8).
+"""
+
+from repro.data.corpus import TableCorpus
+from repro.data.wikitables import WikiTablesGenerator
+from repro.data.spider import SpiderGenerator, SpiderDatabase
+from repro.data.drspider import PerturbationSuite, perturb_table
+from repro.data.nextiajd import NextiaJDGenerator, JoinPair, Testbed
+from repro.data.sotab import SotabGenerator
+from repro.data.entities import EntityCatalog, QUERY_DOMAINS
+from repro.data.loaders import load_csv, load_directory, save_csv, table_from_csv_text
+
+__all__ = [
+    "TableCorpus",
+    "WikiTablesGenerator",
+    "SpiderGenerator",
+    "SpiderDatabase",
+    "PerturbationSuite",
+    "perturb_table",
+    "NextiaJDGenerator",
+    "JoinPair",
+    "Testbed",
+    "SotabGenerator",
+    "EntityCatalog",
+    "QUERY_DOMAINS",
+    "load_csv",
+    "load_directory",
+    "save_csv",
+    "table_from_csv_text",
+]

@@ -1,0 +1,298 @@
+"""Domain vocabularies backing the synthetic dataset generators.
+
+Banks are small, curated, *semantically consistent* value pools: countries
+carry their real continents, capitals, and currencies (so planted functional
+dependencies like country -> continent are true facts), players carry
+nationalities, movies carry directors and years.  Generators sample from
+these pools with seeded RNGs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.seeding import rng_for
+
+# (country, continent, capital, currency)
+COUNTRIES: List[Tuple[str, str, str, str]] = [
+    ("Netherlands", "Europe", "Amsterdam", "EUR"),
+    ("Germany", "Europe", "Berlin", "EUR"),
+    ("France", "Europe", "Paris", "EUR"),
+    ("Spain", "Europe", "Madrid", "EUR"),
+    ("Italy", "Europe", "Rome", "EUR"),
+    ("Switzerland", "Europe", "Bern", "CHF"),
+    ("Serbia", "Europe", "Belgrade", "RSD"),
+    ("Croatia", "Europe", "Zagreb", "EUR"),
+    ("United Kingdom", "Europe", "London", "GBP"),
+    ("Sweden", "Europe", "Stockholm", "SEK"),
+    ("Norway", "Europe", "Oslo", "NOK"),
+    ("Romania", "Europe", "Bucharest", "RON"),
+    ("USA", "North America", "Washington", "USD"),
+    ("Canada", "North America", "Ottawa", "CAD"),
+    ("Mexico", "North America", "Mexico City", "MXN"),
+    ("Brazil", "South America", "Brasilia", "BRL"),
+    ("Argentina", "South America", "Buenos Aires", "ARS"),
+    ("Chile", "South America", "Santiago", "CLP"),
+    ("China", "Asia", "Beijing", "CNY"),
+    ("Japan", "Asia", "Tokyo", "JPY"),
+    ("India", "Asia", "New Delhi", "INR"),
+    ("South Korea", "Asia", "Seoul", "KRW"),
+    ("Indonesia", "Asia", "Jakarta", "IDR"),
+    ("Australia", "Oceania", "Canberra", "AUD"),
+    ("New Zealand", "Oceania", "Wellington", "NZD"),
+    ("Egypt", "Africa", "Cairo", "EGP"),
+    ("Nigeria", "Africa", "Abuja", "NGN"),
+    ("Kenya", "Africa", "Nairobi", "KES"),
+    ("South Africa", "Africa", "Pretoria", "ZAR"),
+    ("Morocco", "Africa", "Rabat", "MAD"),
+]
+
+# (player, country)
+TENNIS_PLAYERS: List[Tuple[str, str]] = [
+    ("Roger Federer", "Switzerland"),
+    ("Rafael Nadal", "Spain"),
+    ("Novak Djokovic", "Serbia"),
+    ("Andy Murray", "United Kingdom"),
+    ("Stan Wawrinka", "Switzerland"),
+    ("Marin Cilic", "Croatia"),
+    ("Pete Sampras", "USA"),
+    ("Andre Agassi", "USA"),
+    ("Bjorn Borg", "Sweden"),
+    ("Rod Laver", "Australia"),
+    ("Ivan Lendl", "USA"),
+    ("Boris Becker", "Germany"),
+    ("Stefan Edberg", "Sweden"),
+    ("Jimmy Connors", "USA"),
+    ("John McEnroe", "USA"),
+]
+
+# (title, director, year, genre)
+MOVIES: List[Tuple[str, str, int, str]] = [
+    ("The Shawshank Redemption", "Frank Darabont", 1994, "Drama"),
+    ("The Godfather", "Francis Coppola", 1972, "Crime"),
+    ("The Dark Knight", "Christopher Nolan", 2008, "Action"),
+    ("Pulp Fiction", "Quentin Tarantino", 1994, "Crime"),
+    ("Forrest Gump", "Robert Zemeckis", 1994, "Drama"),
+    ("Inception", "Christopher Nolan", 2010, "Science Fiction"),
+    ("The Matrix", "Lana Wachowski", 1999, "Science Fiction"),
+    ("Goodfellas", "Martin Scorsese", 1990, "Crime"),
+    ("Interstellar", "Christopher Nolan", 2014, "Science Fiction"),
+    ("Parasite", "Bong Joon-ho", 2019, "Thriller"),
+    ("Gladiator", "Ridley Scott", 2000, "Action"),
+    ("Titanic", "James Cameron", 1997, "Romance"),
+    ("Avatar", "James Cameron", 2009, "Science Fiction"),
+    ("Casablanca", "Michael Curtiz", 1942, "Romance"),
+    ("Jaws", "Steven Spielberg", 1975, "Thriller"),
+]
+
+# (nutrient, kind, unit)
+NUTRIENTS: List[Tuple[str, str, str]] = [
+    ("Vitamin A", "vitamin", "mg"),
+    ("Vitamin C", "vitamin", "mg"),
+    ("Vitamin D", "vitamin", "mg"),
+    ("Vitamin B12", "vitamin", "mg"),
+    ("Calcium", "mineral", "mg"),
+    ("Iron", "mineral", "mg"),
+    ("Zinc", "mineral", "mg"),
+    ("Magnesium", "mineral", "mg"),
+    ("Potassium", "mineral", "mg"),
+    ("Sodium", "mineral", "mg"),
+    ("Protein", "macronutrient", "g"),
+    ("Fiber", "macronutrient", "g"),
+    ("Omega 3", "fatty acid", "g"),
+    ("Folate", "vitamin", "mg"),
+    ("Iodine", "mineral", "mg"),
+]
+
+# (company, sector, hq country)
+COMPANIES: List[Tuple[str, str, str]] = [
+    ("Apple", "Technology", "USA"),
+    ("Microsoft", "Technology", "USA"),
+    ("Alphabet", "Technology", "USA"),
+    ("Amazon", "Retail", "USA"),
+    ("Nvidia", "Technology", "USA"),
+    ("Meta", "Technology", "USA"),
+    ("Tesla", "Automotive", "USA"),
+    ("Samsung", "Technology", "South Korea"),
+    ("Toyota", "Automotive", "Japan"),
+    ("Siemens", "Industrial", "Germany"),
+    ("Shell", "Energy", "Netherlands"),
+    ("Nestle", "Consumer Goods", "Switzerland"),
+    ("ASML", "Technology", "Netherlands"),
+    ("Volkswagen", "Automotive", "Germany"),
+    ("Alibaba", "Retail", "China"),
+]
+
+# (city, country)
+CITIES: List[Tuple[str, str]] = [
+    ("Amsterdam", "Netherlands"),
+    ("Rotterdam", "Netherlands"),
+    ("Berlin", "Germany"),
+    ("Munich", "Germany"),
+    ("Paris", "France"),
+    ("Lyon", "France"),
+    ("Madrid", "Spain"),
+    ("Barcelona", "Spain"),
+    ("Rome", "Italy"),
+    ("Milan", "Italy"),
+    ("London", "United Kingdom"),
+    ("Manchester", "United Kingdom"),
+    ("New York", "USA"),
+    ("Chicago", "USA"),
+    ("Los Angeles", "USA"),
+    ("Toronto", "Canada"),
+    ("Vancouver", "Canada"),
+    ("Tokyo", "Japan"),
+    ("Osaka", "Japan"),
+    ("Beijing", "China"),
+    ("Shanghai", "China"),
+    ("Sydney", "Australia"),
+    ("Melbourne", "Australia"),
+    ("Cairo", "Egypt"),
+    ("Nairobi", "Kenya"),
+]
+
+FIRST_NAMES = (
+    "James Mary Robert Patricia John Jennifer Michael Linda David Elizabeth "
+    "William Barbara Richard Susan Joseph Jessica Thomas Sarah Charles Karen "
+    "Daniel Lisa Matthew Nancy Anthony Betty Mark Margaret Paul Sandra"
+).split()
+
+LAST_NAMES = (
+    "Smith Johnson Williams Brown Jones Garcia Miller Davis Rodriguez "
+    "Martinez Hernandez Lopez Gonzalez Wilson Anderson Thomas Taylor Moore "
+    "Jackson Martin Lee Perez Thompson White Harris Sanchez Clark Ramirez "
+    "Lewis Robinson"
+).split()
+
+SPORTS_EVENTS = (
+    "World Championships,Olympic Games,Commonwealth Games,European "
+    "Championships,Pan American Games,Asian Games,World Cup,Grand Slam,"
+    "Masters,Diamond League"
+).split(",")
+
+GENRES = "Drama Crime Action Comedy Thriller Romance Documentary Horror".split()
+
+PRODUCTS: List[Tuple[str, str]] = [
+    ("Laptop Pro 14", "Electronics"),
+    ("Smartphone X", "Electronics"),
+    ("Wireless Earbuds", "Electronics"),
+    ("Espresso Machine", "Kitchen"),
+    ("Blender Max", "Kitchen"),
+    ("Air Fryer", "Kitchen"),
+    ("Running Shoes", "Sports"),
+    ("Yoga Mat", "Sports"),
+    ("Mountain Bike", "Sports"),
+    ("Office Chair", "Furniture"),
+    ("Standing Desk", "Furniture"),
+    ("Bookshelf", "Furniture"),
+    ("Desk Lamp", "Furniture"),
+    ("Gaming Console", "Electronics"),
+    ("Tablet Air", "Electronics"),
+]
+
+# (book, author)
+BOOKS: List[Tuple[str, str]] = [
+    ("Foundations of Databases", "Serge Abiteboul"),
+    ("The Pragmatic Programmer", "Andrew Hunt"),
+    ("Clean Code", "Robert Martin"),
+    ("Deep Learning", "Ian Goodfellow"),
+    ("Artificial Intelligence", "Stuart Russell"),
+    ("Introduction to Algorithms", "Thomas Cormen"),
+    ("The C Programming Language", "Brian Kernighan"),
+    ("Designing Data Intensive Applications", "Martin Kleppmann"),
+    ("Pattern Recognition", "Christopher Bishop"),
+    ("Database System Concepts", "Abraham Silberschatz"),
+]
+
+
+def bank_vocabulary() -> List[str]:
+    """All words used by the banks (feeds the tokenizer vocabulary)."""
+    words: List[str] = []
+    for rows in (COUNTRIES, TENNIS_PLAYERS, MOVIES, NUTRIENTS, COMPANIES, CITIES,
+                 PRODUCTS, BOOKS):
+        for row in rows:
+            for field in row:
+                if isinstance(field, str):
+                    words.extend(field.lower().split())
+    words.extend(w.lower() for w in FIRST_NAMES + LAST_NAMES + GENRES)
+    for event in SPORTS_EVENTS:
+        words.extend(event.lower().split())
+    return sorted(set(words))
+
+
+# ----------------------------------------------------------------------
+# Value fabricators for non-textual data types
+# ----------------------------------------------------------------------
+
+def random_dates(count: int, *seed_parts) -> List[str]:
+    """ISO dates between 1990 and 2024."""
+    rng = rng_for("dates", *seed_parts)
+    out = []
+    for _ in range(count):
+        year = int(rng.integers(1990, 2025))
+        month = int(rng.integers(1, 13))
+        day = int(rng.integers(1, 29))
+        out.append(f"{year:04d}-{month:02d}-{day:02d}")
+    return out
+
+
+def random_isbns(count: int, *seed_parts) -> List[str]:
+    rng = rng_for("isbns", *seed_parts)
+    return [
+        f"978-{rng.integers(0, 10)}-{rng.integers(1000, 9999)}-"
+        f"{rng.integers(1000, 9999)}-{rng.integers(0, 10)}"
+        for _ in range(count)
+    ]
+
+
+def random_postal_codes(count: int, *seed_parts) -> List[str]:
+    rng = rng_for("postal", *seed_parts)
+    return [f"{int(rng.integers(10000, 99999)):05d}" for _ in range(count)]
+
+
+def random_money(count: int, *seed_parts) -> List[str]:
+    rng = rng_for("money", *seed_parts)
+    return [f"${rng.integers(1, 2000)}.{rng.integers(0, 100):02d}" for _ in range(count)]
+
+
+def random_quantities(count: int, *seed_parts) -> List[str]:
+    rng = rng_for("quantity", *seed_parts)
+    units = ["kg", "g", "km", "m", "l", "ml"]
+    return [
+        f"{rng.integers(1, 500)}.{rng.integers(0, 10)} {units[int(rng.integers(0, len(units)))]}"
+        for _ in range(count)
+    ]
+
+
+def random_names(count: int, *seed_parts) -> List[str]:
+    rng = rng_for("names", *seed_parts)
+    return [
+        f"{FIRST_NAMES[int(rng.integers(0, len(FIRST_NAMES)))]} "
+        f"{LAST_NAMES[int(rng.integers(0, len(LAST_NAMES)))]}"
+        for _ in range(count)
+    ]
+
+
+def sample_rows_from_bank(
+    bank: Sequence[tuple], count: int, *seed_parts, replace: bool = True
+) -> List[tuple]:
+    """Seeded sample of rows from a bank (with replacement by default)."""
+    rng = rng_for("bank_sample", *seed_parts)
+    n = len(bank)
+    if not replace and count > n:
+        count = n
+    idx = rng.choice(n, size=count, replace=replace)
+    return [bank[int(i)] for i in idx]
+
+
+DOMAIN_BANKS: Dict[str, Sequence[tuple]] = {
+    "countries": COUNTRIES,
+    "tennis": TENNIS_PLAYERS,
+    "movies": MOVIES,
+    "nutrients": NUTRIENTS,
+    "companies": COMPANIES,
+    "cities": CITIES,
+    "products": PRODUCTS,
+    "books": BOOKS,
+}

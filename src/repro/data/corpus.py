@@ -1,0 +1,63 @@
+"""Table corpus container.
+
+A thin, ordered collection of tables with filtering helpers; every property
+runner consumes a :class:`TableCorpus` so experiment code reads the same for
+all dataset suites.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Sequence
+
+from repro.errors import DatasetError
+from repro.relational.table import Table
+
+
+class TableCorpus:
+    """Ordered, named collection of tables."""
+
+    def __init__(self, name: str, tables: Sequence[Table]):
+        if not tables:
+            raise DatasetError(f"corpus {name!r} must contain at least one table")
+        self.name = name
+        self.tables = list(tables)
+
+    def __len__(self) -> int:
+        return len(self.tables)
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self.tables)
+
+    def __getitem__(self, index: int) -> Table:
+        return self.tables[index]
+
+    def __repr__(self) -> str:
+        return f"TableCorpus({self.name!r}, {len(self.tables)} tables)"
+
+    def filter(self, predicate: Callable[[Table], bool], name: Optional[str] = None) -> "TableCorpus":
+        """Sub-corpus of tables satisfying ``predicate``."""
+        kept = [t for t in self.tables if predicate(t)]
+        if not kept:
+            raise DatasetError(f"filter left corpus {self.name!r} empty")
+        return TableCorpus(name or f"{self.name}/filtered", kept)
+
+    def take(self, count: int) -> "TableCorpus":
+        """First ``count`` tables."""
+        if count < 1:
+            raise DatasetError("count must be positive")
+        return TableCorpus(self.name, self.tables[:count])
+
+    def with_min_rows(self, min_rows: int) -> "TableCorpus":
+        return self.filter(lambda t: t.num_rows >= min_rows, f"{self.name}/min{min_rows}r")
+
+    def with_min_columns(self, min_columns: int) -> "TableCorpus":
+        return self.filter(
+            lambda t: t.num_columns >= min_columns, f"{self.name}/min{min_columns}c"
+        )
+
+    def entity_rich(self) -> "TableCorpus":
+        """Tables carrying entity links (what TURL-style models require)."""
+        return self.filter(lambda t: bool(t.entity_links), f"{self.name}/entities")
+
+    def table_ids(self) -> List[str]:
+        return [t.table_id for t in self.tables]

@@ -1,0 +1,231 @@
+"""Dr.Spider-like semantics-preserving perturbations (Property 7).
+
+Dr.Spider curates database perturbations to probe text-to-SQL robustness;
+Observatory reuses its three *database* perturbation families:
+
+* ``schema-synonym`` — replace a column name with a synonym
+  ("country" -> "nation");
+* ``schema-abbreviation`` — replace a column name with an abbreviation
+  ("CountryName" -> "cntry_name");
+* ``column-equivalence`` — additionally rewrite the column's *values* into a
+  semantically equivalent form ("age" -> "birthyear").
+
+All perturbations preserve semantics; a robust embedding should barely move.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.data.corpus import TableCorpus
+from repro.errors import DatasetError
+from repro.relational.schema import ColumnSchema
+from repro.relational.table import Table
+
+_REFERENCE_YEAR = 2024  # age -> birthyear pivot
+
+
+class PerturbationKind(enum.Enum):
+    SCHEMA_SYNONYM = "schema-synonym"
+    SCHEMA_ABBREVIATION = "schema-abbreviation"
+    COLUMN_EQUIVALENCE = "column-equivalence"
+
+
+# Synonym dictionary for common relational attribute names.
+SYNONYMS: Dict[str, List[str]] = {
+    "country": ["nation", "state"],
+    "city": ["town", "municipality"],
+    "name": ["title", "label"],
+    "player": ["athlete", "competitor"],
+    "company": ["organization", "firm"],
+    "year": ["season"],
+    "price": ["cost", "amount"],
+    "category": ["kind", "class"],
+    "genre": ["kind"],
+    "population": ["inhabitants"],
+    "capital": ["capital city"],
+    "director": ["filmmaker"],
+    "employees": ["staff", "workforce"],
+    "revenue": ["income", "turnover"],
+    "product": ["item", "article"],
+    "stock": ["inventory"],
+    "rating": ["score"],
+    "titles": ["championships"],
+    "competition": ["tournament", "event"],
+    "author": ["writer"],
+    "pages": ["page count"],
+    "continent": ["landmass"],
+    "currency": ["money unit"],
+    "sector": ["industry"],
+    "department": ["division"],
+    "salary": ["pay", "wage"],
+    "age": ["years old"],
+}
+
+_VOWELS = set("aeiouAEIOU")
+
+
+def abbreviate(name: str) -> str:
+    """Dr.Spider-style header abbreviation: "CountryName" -> "cntry_name".
+
+    Each word keeps its first letter and drops interior vowels; words are
+    joined with underscores.  Purely consonantal or very short words pass
+    through unchanged.
+    """
+    import re
+
+    words = re.split(r"[\s_]+", re.sub(r"(?<=[a-z0-9])(?=[A-Z])", " ", name))
+    abbreviated = []
+    for word in words:
+        if not word:
+            continue
+        if len(word) <= 3:
+            abbreviated.append(word.lower())
+            continue
+        head, rest = word[0], word[1:]
+        squeezed = "".join(ch for ch in rest if ch not in _VOWELS)
+        abbreviated.append((head + squeezed).lower() if squeezed else word.lower())
+    if not abbreviated:
+        raise DatasetError(f"cannot abbreviate empty header {name!r}")
+    return "_".join(abbreviated)
+
+
+def synonym_of(name: str, variant: int = 0) -> Optional[str]:
+    """A synonym of ``name`` from the dictionary, or None if unknown."""
+    options = SYNONYMS.get(name.strip().lower())
+    if not options:
+        return None
+    return options[variant % len(options)]
+
+
+# --- column-equivalence value rewrites ---------------------------------
+
+def _age_to_birthyear(values: Sequence[object]) -> List[object]:
+    out: List[object] = []
+    for value in values:
+        try:
+            out.append(_REFERENCE_YEAR - int(value))
+        except (TypeError, ValueError):
+            out.append(value)
+    return out
+
+
+def _money_to_currency_suffix(values: Sequence[object]) -> List[object]:
+    out: List[object] = []
+    for value in values:
+        text = str(value)
+        if text.startswith("$"):
+            out.append(f"{text[1:].replace(',', '')} USD")
+        else:
+            out.append(value)
+    return out
+
+
+def _year_to_date(values: Sequence[object]) -> List[object]:
+    out: List[object] = []
+    for value in values:
+        try:
+            out.append(f"{int(value):04d}-01-01")
+        except (TypeError, ValueError):
+            out.append(value)
+    return out
+
+
+EQUIVALENCES: Dict[str, tuple] = {
+    # header -> (replacement header, value rewriting function)
+    "age": ("birthyear", _age_to_birthyear),
+    "price": ("price in usd", _money_to_currency_suffix),
+    "gross": ("gross in usd", _money_to_currency_suffix),
+    "revenue": ("revenue in usd", _money_to_currency_suffix),
+    "year": ("release date", _year_to_date),
+    "founded": ("founding date", _year_to_date),
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class PerturbedColumn:
+    """One (original, perturbed) column pair within its table context."""
+
+    kind: PerturbationKind
+    table: Table
+    perturbed_table: Table
+    column_index: int
+
+    @property
+    def original_header(self) -> str:
+        return self.table.header[self.column_index]
+
+    @property
+    def perturbed_header(self) -> str:
+        return self.perturbed_table.header[self.column_index]
+
+
+def perturb_table(
+    table: Table, column_index: int, kind: PerturbationKind, *, variant: int = 0
+) -> Optional[Table]:
+    """Apply one perturbation to one column; None when inapplicable."""
+    if not 0 <= column_index < table.num_columns:
+        raise DatasetError(f"column index {column_index} out of range")
+    header = table.header[column_index]
+    if kind == PerturbationKind.SCHEMA_SYNONYM:
+        replacement = synonym_of(header, variant)
+        if replacement is None:
+            return None
+        return table.rename_column(column_index, replacement)
+    if kind == PerturbationKind.SCHEMA_ABBREVIATION:
+        abbreviated = abbreviate(header)
+        if abbreviated == header.lower():
+            return None
+        return table.rename_column(column_index, abbreviated)
+    if kind == PerturbationKind.COLUMN_EQUIVALENCE:
+        rule = EQUIVALENCES.get(header.strip().lower())
+        if rule is None:
+            return None
+        new_header, rewrite = rule
+        values = rewrite(table.column_values(column_index))
+        renamed = table.rename_column(column_index, new_header)
+        return renamed.replace_column(
+            column_index, values, new_schema=ColumnSchema(name=new_header)
+        )
+    raise DatasetError(f"unknown perturbation kind {kind!r}")
+
+
+class PerturbationSuite:
+    """All applicable perturbations of a corpus, grouped by kind."""
+
+    def __init__(self, corpus: TableCorpus, *, synonym_variants: int = 2):
+        self.corpus = corpus
+        self.cases: Dict[PerturbationKind, List[PerturbedColumn]] = {
+            kind: [] for kind in PerturbationKind
+        }
+        for table in corpus:
+            for col in range(table.num_columns):
+                for kind in PerturbationKind:
+                    variants = synonym_variants if kind == PerturbationKind.SCHEMA_SYNONYM else 1
+                    for variant in range(variants):
+                        perturbed = perturb_table(table, col, kind, variant=variant)
+                        if perturbed is None:
+                            continue
+                        if (
+                            kind == PerturbationKind.SCHEMA_SYNONYM
+                            and variant > 0
+                            and perturbed.header[col]
+                            == self.cases[kind][-1].perturbed_header
+                        ):
+                            continue  # synonym list shorter than variant count
+                        self.cases[kind].append(
+                            PerturbedColumn(
+                                kind=kind,
+                                table=table,
+                                perturbed_table=perturbed,
+                                column_index=col,
+                            )
+                        )
+
+    def of_kind(self, kind: PerturbationKind) -> List[PerturbedColumn]:
+        return list(self.cases[kind])
+
+    def total_cases(self) -> int:
+        return sum(len(v) for v in self.cases.values())

@@ -1,0 +1,147 @@
+"""Entity catalog for the entity-stability property (P6).
+
+The paper selects ten query entities from each of five domains — tennis
+players, movies, biochemistry (nutrients), technology companies, and
+countries — and compares each query's K nearest neighbours between two
+embedding spaces.  The catalog here provides those query entities plus a
+pool of further entities from all domains, and for each entity a small
+entity-rich *context table* in which the entity appears (models embed
+entities in context, never as bare strings).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.data import banks
+from repro.data.wikitables import WikiTablesGenerator
+from repro.errors import DatasetError
+from repro.relational.table import Table
+
+# Domain name -> (wikitables template domain, mentions).  The first ten
+# mentions of each domain are the paper-style query entities.
+QUERY_DOMAINS: Dict[str, str] = {
+    "tennis_players": "tennis",
+    "movies": "movies",
+    "biochemistry": "nutrients",
+    "tech_companies": "companies",
+    "countries": "countries",
+}
+
+_DOMAIN_MENTIONS: Dict[str, List[str]] = {
+    "tennis_players": [p[0] for p in banks.TENNIS_PLAYERS],
+    "movies": [m[0] for m in banks.MOVIES],
+    "biochemistry": [n[0] for n in banks.NUTRIENTS],
+    "tech_companies": [c[0] for c in banks.COMPANIES],
+    "countries": [c[0] for c in banks.COUNTRIES],
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class CatalogEntity:
+    """One entity: id, surface mention, domain, and its context table."""
+
+    entity_id: str
+    mention: str
+    domain: str
+    context_table: Table
+
+
+class EntityCatalog:
+    """Entities with context tables, plus the query subsets per domain."""
+
+    def __init__(self, seed: int = 0, *, queries_per_domain: int = 10):
+        if queries_per_domain < 1:
+            raise DatasetError("queries_per_domain must be positive")
+        self.seed = seed
+        self.queries_per_domain = queries_per_domain
+        generator = WikiTablesGenerator(seed=seed)
+        self.entities: List[CatalogEntity] = []
+        self._index_of: Dict[str, int] = {}
+        for domain, template in QUERY_DOMAINS.items():
+            mentions = _DOMAIN_MENTIONS[domain]
+            # One context table per domain chunk; every mention must appear
+            # in some table with an entity link.  Build tables until all
+            # mentions are covered.
+            covered: Dict[str, Table] = {}
+            attempt = 0
+            while len(covered) < len(mentions) and attempt < 200:
+                table = generator.generate_table(template, n_rows=10, table_index=attempt)
+                for (r, c), raw_id in table.entity_links.items():
+                    mention = str(table.cell(r, c))
+                    if mention in mentions and mention not in covered:
+                        covered[mention] = table
+                attempt += 1
+            missing = [m for m in mentions if m not in covered]
+            if missing:
+                raise DatasetError(
+                    f"could not cover entities {missing!r} for domain {domain!r}"
+                )
+            for mention in mentions:
+                entity_id = f"{domain}:{mention}"
+                self._index_of[entity_id] = len(self.entities)
+                self.entities.append(
+                    CatalogEntity(
+                        entity_id=entity_id,
+                        mention=mention,
+                        domain=domain,
+                        context_table=covered[mention],
+                    )
+                )
+
+    def __len__(self) -> int:
+        return len(self.entities)
+
+    def domains(self) -> List[str]:
+        return list(QUERY_DOMAINS)
+
+    def query_indices(self, domain: str) -> List[int]:
+        """Indices of the query entities of ``domain`` (first K mentions)."""
+        if domain not in QUERY_DOMAINS:
+            raise DatasetError(f"unknown domain {domain!r}")
+        queries = [
+            i
+            for i, e in enumerate(self.entities)
+            if e.domain == domain
+        ]
+        return queries[: self.queries_per_domain]
+
+    def index_of(self, entity_id: str) -> int:
+        try:
+            return self._index_of[entity_id]
+        except KeyError:
+            raise DatasetError(f"unknown entity {entity_id!r}") from None
+
+    def embedding_space(self, model) -> np.ndarray:
+        """Embed every catalog entity with ``model``; rows align to catalog order.
+
+        Each entity is embedded from its context table (the model sees the
+        full entity-rich table and the cell link).  Entities sharing a
+        context table are embedded in one pass.
+        """
+        dim = model.dim
+        space = np.zeros((len(self.entities), dim), dtype=np.float64)
+        by_table: Dict[str, List[int]] = {}
+        for i, entity in enumerate(self.entities):
+            by_table.setdefault(entity.context_table.table_id, []).append(i)
+        for _, indices in by_table.items():
+            table = self.entities[indices[0]].context_table
+            # The generator links entities under ids "{template_domain}:{mention}".
+            embedded = model.embed_entities(table)
+            for i in indices:
+                entity = self.entities[i]
+                raw_key = None
+                for key in embedded:
+                    if key.split(":", 1)[1] == entity.mention:
+                        raw_key = key
+                        break
+                if raw_key is None:
+                    raise DatasetError(
+                        f"model {model.name!r} produced no embedding for "
+                        f"{entity.entity_id!r}"
+                    )
+                space[i] = embedded[raw_key]
+        return space

@@ -1,0 +1,111 @@
+"""CSV import/export for tables.
+
+Observatory is only useful to practitioners if it runs on *their* tables;
+these loaders move data between CSV files and :class:`Table` with type
+inference on the way in.  Only the standard library ``csv`` module is used.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro.errors import DatasetError
+from repro.relational.schema import ColumnSchema, TableSchema
+from repro.relational.table import Table
+from repro.relational.values import infer_column_type, parse_value
+
+PathLike = Union[str, Path]
+
+
+def table_from_csv_text(
+    text: str,
+    *,
+    table_id: str = "",
+    has_header: bool = True,
+    parse_values: bool = True,
+    delimiter: str = ",",
+) -> Table:
+    """Parse CSV text into a typed :class:`Table`.
+
+    With ``has_header=False`` columns are named ``col0..colN`` (headerless
+    web tables, as in the paper's Figure 4).  ``parse_values`` converts
+    cells to ints/floats/bools where they parse cleanly; malformed cells
+    stay strings.
+    """
+    reader = csv.reader(io.StringIO(text), delimiter=delimiter)
+    rows = [row for row in reader if row]
+    if not rows:
+        raise DatasetError("CSV input is empty")
+    width = len(rows[0])
+    if any(len(row) != width for row in rows):
+        raise DatasetError("CSV rows have inconsistent arity")
+    if has_header:
+        header, data = rows[0], rows[1:]
+    else:
+        header, data = [f"col{i}" for i in range(width)], rows
+    if not data:
+        raise DatasetError("CSV has a header but no data rows")
+
+    columns: List[List[object]] = [[row[i] for row in data] for i in range(width)]
+    if parse_values:
+        columns = [[parse_value(cell) for cell in column] for column in columns]
+    schema = TableSchema(
+        [
+            ColumnSchema(
+                name="" if not has_header else header[i],
+                data_type=infer_column_type(columns[i]),
+            )
+            for i in range(width)
+        ]
+    )
+    table_rows = [tuple(columns[i][r] for i in range(width)) for r in range(len(data))]
+    return Table(schema, table_rows, table_id=table_id)
+
+
+def load_csv(path: PathLike, **kwargs) -> Table:
+    """Read a CSV file into a table; ``table_id`` defaults to the filename."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"no such file: {path}")
+    text = path.read_text(encoding="utf-8")
+    kwargs.setdefault("table_id", path.stem)
+    return table_from_csv_text(text, **kwargs)
+
+
+def table_to_csv_text(table: Table, *, delimiter: str = ",") -> str:
+    """Render a table as CSV text (header included when any name is set)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, delimiter=delimiter, lineterminator="\n")
+    if any(table.header):
+        writer.writerow(table.header)
+    for row in table.rows:
+        writer.writerow(["" if v is None else v for v in row])
+    return buffer.getvalue()
+
+
+def save_csv(table: Table, path: PathLike, *, delimiter: str = ",") -> None:
+    """Write a table to a CSV file."""
+    Path(path).write_text(table_to_csv_text(table, delimiter=delimiter), encoding="utf-8")
+
+
+def load_directory(
+    directory: PathLike,
+    *,
+    pattern: str = "*.csv",
+    limit: Optional[int] = None,
+) -> List[Table]:
+    """Load every CSV in a directory (sorted by name) into tables."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise DatasetError(f"no such directory: {directory}")
+    tables = []
+    for path in sorted(directory.glob(pattern)):
+        tables.append(load_csv(path))
+        if limit is not None and len(tables) >= limit:
+            break
+    if not tables:
+        raise DatasetError(f"no files matching {pattern!r} in {directory}")
+    return tables

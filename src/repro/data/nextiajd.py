@@ -1,0 +1,285 @@
+"""NextiaJD-like joinability testbeds (Property 3).
+
+Flores et al. collected 139 open datasets, split them into four testbeds by
+file size (XS < 1 MB … L > 1 GB), and labelled candidate column pairs with a
+join quality derived from *containment* and *cardinality proportion* with
+empirically determined thresholds.  This generator reproduces the protocol
+synthetically: (query, candidate) column pairs with controlled value
+overlap spanning (0, 1], multiplicities (so multiset Jaccard differs from
+set Jaccard), size-scaled testbeds, and the quality labelling rule.  The
+paper evaluates all pairs with quality > 0.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.data import banks
+from repro.errors import DatasetError
+from repro.relational.overlap import containment, jaccard, multiset_jaccard
+from repro.relational.table import Table
+from repro.seeding import rng_for
+
+
+class Testbed(enum.Enum):
+    """Size-based testbeds mirroring NextiaJD's XS/S/M/L split."""
+
+    XS = "xs"
+    S = "s"
+    M = "m"
+    L = "l"
+
+    @property
+    def column_size_range(self) -> Tuple[int, int]:
+        """(min, max) number of values per generated column."""
+        return {
+            Testbed.XS: (40, 120),
+            Testbed.S: (120, 400),
+            Testbed.M: (400, 1000),
+            Testbed.L: (1000, 2500),
+        }[self]
+
+
+# Header vocabulary for join columns; joinable pairs tend to carry the same
+# or a related header (they denote the same real-world attribute), which is
+# itself a signal header-driven models exploit.
+_HEADER_SYNONYMS: Dict[str, List[str]] = {
+    "country": ["country", "nation", "country name"],
+    "city": ["city", "town", "municipality"],
+    "company": ["company", "organization", "employer"],
+    "product": ["product", "item", "article"],
+    "name": ["name", "full name", "person"],
+    "genre": ["genre", "category", "kind"],
+    "code": ["code", "identifier", "id"],
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class JoinPair:
+    """A (query, candidate) column pair with overlap statistics and label."""
+
+    pair_id: str
+    query_header: str
+    query_values: Tuple[str, ...]
+    candidate_header: str
+    candidate_values: Tuple[str, ...]
+    containment: float
+    jaccard: float
+    multiset_jaccard: float
+    quality: float
+
+    @property
+    def is_joinable(self) -> bool:
+        return self.quality > 0.0
+
+
+def join_quality(containment_value: float, cardinality_proportion: float) -> float:
+    """NextiaJD-style discrete join quality from containment and K.
+
+    K is the cardinality proportion |distinct(Q)| / |distinct(C)|.  The rule
+    follows the shape of the NextiaJD labelling (containment thresholds
+    0.75/0.5/0.25/0.1 gated by a minimum cardinality balance); pairs below
+    the lowest band are non-joinable (quality 0).
+    """
+    if not 0.0 <= containment_value <= 1.0:
+        raise DatasetError(f"containment must be in [0,1], got {containment_value}")
+    if cardinality_proportion < 0.0:
+        raise DatasetError("cardinality proportion must be non-negative")
+    balance = min(cardinality_proportion, 1.0)
+    if containment_value >= 0.75 and balance >= 0.25:
+        return 1.0
+    if containment_value >= 0.5 and balance >= 0.125:
+        return 0.75
+    if containment_value >= 0.25 and balance >= 0.0625:
+        return 0.5
+    if containment_value >= 0.1:
+        return 0.25
+    return 0.0
+
+
+class NextiaJDGenerator:
+    """Seeded generator of labelled join-candidate column pairs."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+
+    def _value_universe(self) -> List[str]:
+        """String universe join columns draw from (entities + codes)."""
+        universe = [c[0] for c in banks.CITIES]
+        universe += [c[0] for c in banks.COUNTRIES]
+        universe += [p[0] for p in banks.PRODUCTS]
+        universe += [c[0] for c in banks.COMPANIES]
+        universe += banks.random_names(40, "universe", self.seed)
+        rng = rng_for("universe-codes", self.seed)
+        universe += [
+            f"{chr(65 + int(rng.integers(0, 26)))}{chr(65 + int(rng.integers(0, 26)))}"
+            f"-{int(rng.integers(100, 9999))}"
+            for _ in range(80)
+        ]
+        return universe
+
+    def generate_pairs(
+        self,
+        n_pairs: int,
+        testbed: Testbed = Testbed.XS,
+        *,
+        joinable_only: bool = True,
+    ) -> List[JoinPair]:
+        """Generate ``n_pairs`` labelled pairs (quality > 0 when filtered).
+
+        Two overlap dimensions are controlled *independently*, as in real
+        join repositories: the fraction of the query's *distinct* values
+        shared with the candidate (drives containment/Jaccard), and the
+        fraction of each column's total value *mass* carried by those shared
+        values (drives multiset Jaccard, since duplicates count).  A column
+        with 90% distinct overlap may still share little mass when its
+        duplicates concentrate on unshared values — which is exactly why
+        set- and multiset-semantics measures decorrelate.  Header agreement
+        follows mass overlap (columns denoting the same attribute share both
+        frequent values and names).
+        """
+        if n_pairs < 1:
+            raise DatasetError("n_pairs must be positive")
+        universe = self._value_universe()
+        pairs: List[JoinPair] = []
+        attempt = 0
+        lo, hi = testbed.column_size_range
+        while len(pairs) < n_pairs:
+            rng = rng_for("nextiajd-pair", self.seed, testbed.value, attempt)
+            attempt += 1
+            if attempt > 50 * n_pairs:
+                raise DatasetError("could not generate enough joinable pairs")
+            target_distinct = float(rng.uniform(0.05 if not joinable_only else 0.1, 1.0))
+            # Mass share is *partially* coupled to distinct share: columns
+            # denoting the same attribute tend to agree on both, but skewed
+            # duplicate distributions decorrelate them substantially.
+            query_mass_share = float(
+                np.clip(0.55 * target_distinct + rng.uniform(0.05, 0.5), 0.05, 0.98)
+            )
+            candidate_mass_share = float(
+                np.clip(0.55 * target_distinct + rng.uniform(0.05, 0.5), 0.05, 0.98)
+            )
+
+            n_query_distinct = int(rng.integers(max(5, lo // 4), max(6, hi // 4)))
+            distinct = list(
+                rng.choice(
+                    len(universe),
+                    size=min(len(universe), n_query_distinct * 2),
+                    replace=False,
+                )
+            )
+            query_distinct = [universe[i] for i in distinct[:n_query_distinct]]
+            spare = [universe[i] for i in distinct[n_query_distinct:]]
+
+            n_shared = max(1, round(target_distinct * n_query_distinct))
+            shared = query_distinct[:n_shared]
+            n_candidate_extra = int(rng.integers(0, max(1, n_query_distinct)))
+            candidate_distinct = shared + spare[:n_candidate_extra]
+
+            query_values = self._with_mass_split(
+                query_distinct, set(shared), query_mass_share, lo, hi, rng
+            )
+            candidate_values = self._with_mass_split(
+                candidate_distinct, set(shared), candidate_mass_share, lo, hi, rng
+            )
+
+            c = containment(query_values, candidate_values)
+            j = jaccard(query_values, candidate_values)
+            mj = multiset_jaccard(query_values, candidate_values)
+
+            header_key = list(_HEADER_SYNONYMS)[int(rng.integers(0, len(_HEADER_SYNONYMS)))]
+            synonyms = _HEADER_SYNONYMS[header_key]
+            query_header = synonyms[0]
+            # Header similarity follows mass overlap (mj in [0, 0.5]): high
+            # shared mass means the columns denote the same attribute and
+            # (almost always) carry the same name; moderate overlap yields a
+            # shared-token variant ("country" -> "country code"); low
+            # overlap an unrelated synonym.  A small flip rate keeps the
+            # coupling stochastic.
+            level = 2 if mj > 0.19 else (1 if mj > 0.13 else 0)
+            if rng.uniform() < 0.15:
+                level = int(rng.integers(0, 3))
+            if level == 2:
+                candidate_header = query_header
+            elif level == 1:
+                modifier = ["code", "name", "id", "value"][int(rng.integers(0, 4))]
+                candidate_header = f"{query_header} {modifier}"
+            else:
+                candidate_header = synonyms[int(rng.integers(1, len(synonyms)))]
+
+            k = len(set(query_distinct)) / max(1, len(set(candidate_distinct)))
+            quality = join_quality(c, k)
+            if joinable_only and quality <= 0.0:
+                continue
+            pairs.append(
+                JoinPair(
+                    pair_id=f"{testbed.value}-{len(pairs)}",
+                    query_header=query_header,
+                    query_values=tuple(query_values),
+                    candidate_header=candidate_header,
+                    candidate_values=tuple(candidate_values),
+                    containment=c,
+                    jaccard=j,
+                    multiset_jaccard=mj,
+                    quality=quality,
+                )
+            )
+        return pairs
+
+    @staticmethod
+    def _with_mass_split(
+        distinct: Sequence[str],
+        shared: set,
+        shared_mass: float,
+        lo: int,
+        hi: int,
+        rng,
+    ) -> List[str]:
+        """Expand distinct values into a multiset with a target mass split.
+
+        Approximately ``shared_mass`` of the column's total occurrences fall
+        on values in ``shared``; the remainder on the others.  Every distinct
+        value appears at least once.  Column size lands in [lo, hi].
+        """
+        size = int(rng.integers(lo, hi + 1))
+        shared_list = [v for v in distinct if v in shared]
+        other_list = [v for v in distinct if v not in shared]
+        if not other_list:
+            shared_mass = 1.0
+        if not shared_list:
+            shared_mass = 0.0
+        extra = max(size - len(distinct), 0)
+        extra_shared = round(extra * shared_mass)
+        values: List[str] = list(distinct)
+        for bucket, count in ((shared_list, extra_shared), (other_list, extra - extra_shared)):
+            if not bucket or count <= 0:
+                continue
+            weights = rng.exponential(scale=1.0, size=len(bucket)) + 0.1
+            weights = weights / weights.sum()
+            for value, reps in zip(bucket, rng.multinomial(count, weights)):
+                values.extend([value] * int(reps))
+        rng.shuffle(values)
+        return values
+
+    def generate_large_table(
+        self, n_rows: int = 2000, n_columns: int = 30, *, table_id: str = "nextiajd-large"
+    ) -> Table:
+        """A wide/long table for the Section 7 large-dimensionality check."""
+        if n_rows < 2 or n_columns < 2:
+            raise DatasetError("large table needs at least 2x2 cells")
+        universe = self._value_universe()
+        rng = rng_for("nextiajd-large", self.seed, n_rows, n_columns)
+        named_columns = []
+        for c in range(n_columns):
+            if c % 3 == 0:
+                values = [universe[int(i)] for i in rng.integers(0, len(universe), size=n_rows)]
+            elif c % 3 == 1:
+                values = [int(v) for v in rng.integers(0, 100000, size=n_rows)]
+            else:
+                values = [round(float(v), 2) for v in rng.uniform(0, 1000, size=n_rows)]
+            named_columns.append((f"attr_{c}", values))
+        return Table.from_columns(named_columns, table_id=table_id)

@@ -1,0 +1,211 @@
+"""SOTAB-like typed-column corpus (Property 8).
+
+The Schema.org Table Annotation Benchmark provides tables annotated with
+semantic column types; the paper extracts a 5,000-table subset over 20
+types, balanced between textual and non-textual (DATE, ISBN, POSTAL CODES,
+MONEY, QUANTITY, …).  This generator produces the same shape: tables mixing
+textual and non-textual columns, optionally headerless (the paper's Figure 4
+example has no header), each column annotated with its semantic type so the
+heterogeneous-context property can split results by type family.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.data import banks
+from repro.data.corpus import TableCorpus
+from repro.errors import DatasetError
+from repro.relational.schema import ColumnSchema, TableSchema
+from repro.relational.table import Table
+from repro.relational.values import DataType, infer_column_type
+from repro.seeding import rng_for
+
+# 20 semantic types: 10 textual, 10 non-textual, mirroring the balanced
+# SOTAB subset.  Each entry: semantic type -> (textual?, value fabricator).
+ValueFactory = Callable[[int, tuple], List[object]]
+
+
+def _from_bank(column: int, bank) -> ValueFactory:
+    def make(count: int, seed_parts: tuple) -> List[object]:
+        rows = banks.sample_rows_from_bank(bank, count, "sotab", *seed_parts)
+        return [r[column] for r in rows]
+
+    return make
+
+
+def _numbers(low: int, high: int) -> ValueFactory:
+    def make(count: int, seed_parts: tuple) -> List[object]:
+        rng = rng_for("sotab-num", low, high, *seed_parts)
+        return [int(v) for v in rng.integers(low, high, size=count)]
+
+    return make
+
+
+def _percent(count: int, seed_parts: tuple) -> List[object]:
+    rng = rng_for("sotab-pct", *seed_parts)
+    return [f"{round(float(v), 1)}%" for v in rng.uniform(0, 100, size=count)]
+
+
+def _rating(count: int, seed_parts: tuple) -> List[object]:
+    rng = rng_for("sotab-rating", *seed_parts)
+    return [round(float(v), 1) for v in rng.uniform(1, 5, size=count)]
+
+
+def _phone(count: int, seed_parts: tuple) -> List[object]:
+    rng = rng_for("sotab-phone", *seed_parts)
+    return [
+        f"({int(rng.integers(200, 999))}) {int(rng.integers(200, 999))}-"
+        f"{int(rng.integers(1000, 9999))}"
+        for _ in range(count)
+    ]
+
+
+def _events(count: int, seed_parts: tuple) -> List[object]:
+    rows = banks.sample_rows_from_bank(
+        [(e,) for e in banks.SPORTS_EVENTS], count, "sotab-event", *seed_parts
+    )
+    return [r[0] for r in rows]
+
+
+SEMANTIC_TYPES: Dict[str, Tuple[bool, ValueFactory]] = {
+    # textual types
+    "country": (True, _from_bank(0, banks.COUNTRIES)),
+    "city": (True, _from_bank(0, banks.CITIES)),
+    "person name": (True, lambda n, sp: banks.random_names(n, *sp)),
+    "company": (True, _from_bank(0, banks.COMPANIES)),
+    "product": (True, _from_bank(0, banks.PRODUCTS)),
+    "genre": (True, _from_bank(3, banks.MOVIES)),
+    "nutrient": (True, _from_bank(0, banks.NUTRIENTS)),
+    "event": (True, _events),
+    "book": (True, _from_bank(0, banks.BOOKS)),
+    "sector": (True, _from_bank(1, banks.COMPANIES)),
+    # non-textual types
+    "date": (False, lambda n, sp: banks.random_dates(n, *sp)),
+    "isbn": (False, lambda n, sp: banks.random_isbns(n, *sp)),
+    "postal code": (False, lambda n, sp: banks.random_postal_codes(n, *sp)),
+    "money": (False, lambda n, sp: banks.random_money(n, *sp)),
+    "quantity": (False, lambda n, sp: banks.random_quantities(n, *sp)),
+    "year": (False, _numbers(1900, 2025)),
+    "population": (False, _numbers(1000, 10_000_000)),
+    "percentage": (False, _percent),
+    "rating": (False, _rating),
+    "phone": (False, _phone),
+}
+
+TEXTUAL_TYPES = tuple(t for t, (is_text, _) in SEMANTIC_TYPES.items() if is_text)
+NON_TEXTUAL_TYPES = tuple(t for t, (is_text, _) in SEMANTIC_TYPES.items() if not is_text)
+
+
+def is_textual_type(semantic_type: str) -> bool:
+    try:
+        return SEMANTIC_TYPES[semantic_type][0]
+    except KeyError:
+        raise DatasetError(f"unknown semantic type {semantic_type!r}") from None
+
+
+class SotabGenerator:
+    """Seeded generator of typed, optionally headerless tables."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+
+    def generate(
+        self,
+        n_tables: int,
+        *,
+        min_rows: int = 6,
+        max_rows: int = 10,
+        headerless_fraction: float = 0.5,
+        name: str = "sotab",
+    ) -> TableCorpus:
+        """Generate tables whose target columns sweep all 20 types.
+
+        Every table gets one textual *subject-like* column (entity names),
+        one target column whose type cycles through the 20 semantic types,
+        and 2-3 filler columns of random other types, in random column
+        positions.  A ``headerless_fraction`` of tables drops headers
+        (empty strings), as in the WDC corpus.
+        """
+        if n_tables < 1:
+            raise DatasetError("n_tables must be positive")
+        if not 0 <= headerless_fraction <= 1:
+            raise DatasetError("headerless_fraction must be in [0, 1]")
+        types = list(SEMANTIC_TYPES)
+        tables = []
+        for i in range(n_tables):
+            target_type = types[i % len(types)]
+            tables.append(
+                self.generate_table(
+                    target_type,
+                    table_index=i,
+                    min_rows=min_rows,
+                    max_rows=max_rows,
+                    headerless=(i % max(1, round(1 / headerless_fraction)) == 0)
+                    if headerless_fraction > 0
+                    else False,
+                )
+            )
+        return TableCorpus(name, tables)
+
+    def generate_table(
+        self,
+        target_type: str,
+        *,
+        table_index: int = 0,
+        min_rows: int = 6,
+        max_rows: int = 10,
+        headerless: bool = False,
+    ) -> Table:
+        """One table with a designated target column of ``target_type``."""
+        if target_type not in SEMANTIC_TYPES:
+            raise DatasetError(f"unknown semantic type {target_type!r}")
+        rng = rng_for("sotab-table", self.seed, table_index, target_type)
+        n_rows = int(rng.integers(min_rows, max_rows + 1))
+        seed_parts = (self.seed, table_index)
+
+        subject_values = banks.random_names(n_rows, "sotab-subject", *seed_parts)
+        columns: List[Tuple[str, str, List[object]]] = [
+            ("entity", "person name", subject_values)
+        ]
+        target_values = SEMANTIC_TYPES[target_type][1](n_rows, seed_parts)
+        columns.append((target_type, target_type, list(target_values)))
+        other_types = [t for t in SEMANTIC_TYPES if t != target_type]
+        n_fillers = int(rng.integers(2, 4))
+        filler_idx = rng.choice(len(other_types), size=n_fillers, replace=False)
+        for j, idx in enumerate(filler_idx):
+            filler = other_types[int(idx)]
+            values = SEMANTIC_TYPES[filler][1](n_rows, (*seed_parts, j))
+            columns.append((filler, filler, list(values)))
+
+        order = list(rng.permutation(len(columns)))
+        columns = [columns[i] for i in order]
+
+        schema = TableSchema(
+            [
+                ColumnSchema(
+                    name="" if headerless else header,
+                    data_type=infer_column_type(values),
+                    semantic_type=semantic,
+                    is_subject=(semantic == "person name" and header == "entity"),
+                )
+                for header, semantic, values in columns
+            ]
+        )
+        rows = [
+            tuple(values[r] for _, _, values in columns) for r in range(n_rows)
+        ]
+        return Table(
+            schema,
+            rows,
+            table_id=f"sotab-{self.seed}-{table_index}-{target_type.replace(' ', '_')}",
+        )
+
+    @staticmethod
+    def target_column_index(table: Table) -> int:
+        """Index of the table's designated target column (from its id)."""
+        target = table.table_id.rsplit("-", 1)[-1].replace("_", " ")
+        for i, col in enumerate(table.schema):
+            if col.semantic_type == target:
+                return i
+        raise DatasetError(f"table {table.table_id!r} has no target column")

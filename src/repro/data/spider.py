@@ -1,0 +1,196 @@
+"""Spider-like relational databases with functional dependencies (Property 4).
+
+The paper takes the Spider development set (200 cross-domain databases),
+runs HyFD with determinant size 1, and obtains 713 functional dependencies
+plus an equal number of random column pairs *without* FDs.  This generator
+produces multi-table databases whose columns carry real-world single-
+determinant FDs (country -> continent, country -> currency, city -> country,
+product -> category, movie -> director) alongside columns that violate any
+dependency; the FD suite is then *discovered* — not just replanted — with
+:func:`repro.relational.fd_discovery.discover_unary_fds`, and verified
+exactly, mirroring the paper's pipeline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence, Tuple
+
+from repro.data import banks
+from repro.errors import DatasetError
+from repro.relational.fd import FunctionalDependency, fd_groups, satisfies
+from repro.relational.fd_discovery import discover_unary_fds, non_fd_column_pairs
+from repro.relational.table import Table
+from repro.seeding import rng_for
+
+
+@dataclasses.dataclass
+class SpiderDatabase:
+    """One generated database: a name and its tables."""
+
+    name: str
+    tables: List[Table]
+
+
+@dataclasses.dataclass(frozen=True)
+class FDCase:
+    """One measured case: a table and a (claimed) unary dependency."""
+
+    table: Table
+    fd: FunctionalDependency
+    holds: bool
+
+    def describe(self) -> str:
+        marker = "FD" if self.holds else "not-FD"
+        return f"[{marker}] {self.fd.describe(self.table)} on {self.table.table_id}"
+
+
+class SpiderGenerator:
+    """Seeded generator of FD-bearing databases and the P4 evaluation sets."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    # Databases
+    # ------------------------------------------------------------------
+
+    def generate(self, n_databases: int = 8, *, rows_per_table: int = 18) -> List[SpiderDatabase]:
+        """Generate databases, each holding FD-rich and FD-free tables."""
+        if n_databases < 1:
+            raise DatasetError("n_databases must be positive")
+        if rows_per_table < 4:
+            raise DatasetError("rows_per_table must be at least 4")
+        return [
+            SpiderDatabase(
+                name=f"db_{i}",
+                tables=[
+                    self._geo_table(i, rows_per_table),
+                    self._catalog_table(i, rows_per_table),
+                    self._film_table(i, rows_per_table),
+                    self._noise_table(i, rows_per_table),
+                ],
+            )
+            for i in range(n_databases)
+        ]
+
+    def _geo_table(self, index: int, n_rows: int) -> Table:
+        # country -> continent and country -> currency hold by construction
+        # (the bank stores true facts); city and population are free columns.
+        rows = banks.sample_rows_from_bank(
+            banks.COUNTRIES, n_rows, "spider-geo", self.seed, index, replace=True
+        )
+        rng = rng_for("spider-geo-extra", self.seed, index)
+        cities = banks.sample_rows_from_bank(
+            banks.CITIES, n_rows, "spider-geo-city", self.seed, index, replace=True
+        )
+        return Table.from_columns(
+            [
+                ("city", [c[0] for c in cities]),
+                ("country", [r[0] for r in rows]),
+                ("continent", [r[1] for r in rows]),
+                ("currency", [r[3] for r in rows]),
+                ("population", [int(rng.integers(50, 30000)) for _ in rows]),
+            ],
+            table_id=f"spider-{self.seed}-{index}-geo",
+        )
+
+    def _catalog_table(self, index: int, n_rows: int) -> Table:
+        rows = banks.sample_rows_from_bank(
+            banks.PRODUCTS, n_rows, "spider-cat", self.seed, index, replace=True
+        )
+        rng = rng_for("spider-cat-extra", self.seed, index)
+        return Table.from_columns(
+            [
+                ("product", [r[0] for r in rows]),
+                ("category", [r[1] for r in rows]),
+                ("price", [f"${int(rng.integers(5, 900))}.{int(rng.integers(0, 100)):02d}" for _ in rows]),
+                ("stock", [int(rng.integers(0, 400)) for _ in rows]),
+            ],
+            table_id=f"spider-{self.seed}-{index}-catalog",
+        )
+
+    def _film_table(self, index: int, n_rows: int) -> Table:
+        rows = banks.sample_rows_from_bank(
+            banks.MOVIES, n_rows, "spider-film", self.seed, index, replace=True
+        )
+        rng = rng_for("spider-film-extra", self.seed, index)
+        return Table.from_columns(
+            [
+                ("film", [r[0] for r in rows]),
+                ("director", [r[1] for r in rows]),
+                ("genre", [r[3] for r in rows]),
+                ("screenings", [int(rng.integers(1, 2000)) for _ in rows]),
+            ],
+            table_id=f"spider-{self.seed}-{index}-film",
+        )
+
+    def _noise_table(self, index: int, n_rows: int) -> Table:
+        """A table engineered to contain no unary FDs between its columns."""
+        rng = rng_for("spider-noise", self.seed, index)
+        names = banks.random_names(n_rows, "spider-noise", self.seed, index)
+        # Repeat department values so determinant groups exist but map to
+        # differing dependents (explicit FD violations).
+        departments = [
+            ["Sales", "Engineering", "Marketing", "Finance"][int(rng.integers(0, 4))]
+            for _ in range(n_rows)
+        ]
+        buildings = [
+            ["North", "South", "East", "West"][int(rng.integers(0, 4))]
+            for _ in range(n_rows)
+        ]
+        salaries = [int(rng.integers(30, 200)) * 1000 for _ in range(n_rows)]
+        return Table.from_columns(
+            [
+                ("employee", names),
+                ("department", departments),
+                ("building", buildings),
+                ("salary", salaries),
+            ],
+            table_id=f"spider-{self.seed}-{index}-noise",
+        )
+
+    # ------------------------------------------------------------------
+    # P4 evaluation sets
+    # ------------------------------------------------------------------
+
+    def fd_evaluation_sets(
+        self,
+        n_databases: int = 8,
+        *,
+        rows_per_table: int = 18,
+        min_group_size: int = 2,
+    ) -> Tuple[List[FDCase], List[FDCase]]:
+        """(T_FD, T_notFD): discovered unary FDs and matched non-FD pairs.
+
+        FDs are mined with the HyFD-style discoverer and kept only when some
+        determinant group has at least ``min_group_size`` entries (otherwise
+        Measure 4's per-group variance is undefined).  An equal number of
+        violating column pairs is sampled as the control set, as in the
+        paper.
+        """
+        databases = self.generate(n_databases, rows_per_table=rows_per_table)
+        fd_cases: List[FDCase] = []
+        non_fd_cases: List[FDCase] = []
+        for db in databases:
+            for table in db.tables:
+                for fd in discover_unary_fds(table):
+                    assert satisfies(table, fd)
+                    groups = fd_groups(table, fd)
+                    if max(len(rows) for rows in groups.values()) < min_group_size:
+                        continue
+                    fd_cases.append(FDCase(table=table, fd=fd, holds=True))
+        quota = len(fd_cases)
+        for db in databases:
+            for table in db.tables:
+                if len(non_fd_cases) >= quota:
+                    break
+                for lhs, rhs in non_fd_column_pairs(table, 2, seed_parts=(db.name,)):
+                    candidate = FunctionalDependency.unary(lhs, rhs)
+                    groups = fd_groups(table, candidate)
+                    if max(len(rows) for rows in groups.values()) < min_group_size:
+                        continue
+                    non_fd_cases.append(FDCase(table=table, fd=candidate, holds=False))
+                    if len(non_fd_cases) >= quota:
+                        break
+        return fd_cases, non_fd_cases[:quota]

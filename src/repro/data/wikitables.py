@@ -1,0 +1,323 @@
+"""WikiTables-like corpus generator.
+
+Stand-in for the TURL test partition of the WikiTables corpus: entity-rich
+relational web tables with captions, headers, a subject column whose cells
+link to knowledge-base entities, and a mix of textual and numeric columns.
+Used by P1/P2 (order insignificance), P5 (sample fidelity), P6 (entity
+stability), and the Section 6 column-type-prediction harness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.data import banks
+from repro.data.corpus import TableCorpus
+from repro.errors import DatasetError
+from repro.relational.schema import ColumnSchema, TableSchema
+from repro.relational.table import Table
+from repro.relational.values import DataType, infer_column_type
+from repro.seeding import rng_for
+
+
+class WikiTablesGenerator:
+    """Seeded generator of entity-rich web tables across eight domains."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+
+    def generate(
+        self,
+        n_tables: int,
+        *,
+        min_rows: int = 6,
+        max_rows: int = 12,
+        name: str = "wikitables",
+    ) -> TableCorpus:
+        """Generate a corpus of ``n_tables`` tables with varied domains."""
+        if n_tables < 1:
+            raise DatasetError("n_tables must be positive")
+        if not 2 <= min_rows <= max_rows:
+            raise DatasetError("need 2 <= min_rows <= max_rows")
+        domains = list(_TEMPLATES)
+        tables = []
+        rng = rng_for("wikitables", self.seed)
+        for i in range(n_tables):
+            domain = domains[i % len(domains)]
+            n_rows = int(rng.integers(min_rows, max_rows + 1))
+            tables.append(self.generate_table(domain, n_rows, table_index=i))
+        return TableCorpus(name, tables)
+
+    def generate_table(self, domain: str, n_rows: int, *, table_index: int = 0) -> Table:
+        """Generate one table for ``domain`` with ``n_rows`` rows."""
+        try:
+            template = _TEMPLATES[domain]
+        except KeyError:
+            raise DatasetError(
+                f"unknown domain {domain!r}; available: {sorted(_TEMPLATES)}"
+            ) from None
+        return template(self.seed, table_index, n_rows)
+
+    @staticmethod
+    def domains() -> List[str]:
+        return sorted(_TEMPLATES)
+
+
+# ----------------------------------------------------------------------
+# Templates: each returns an entity-rich Table
+# ----------------------------------------------------------------------
+
+def _camel_case(name: str) -> str:
+    return "".join(word.capitalize() for word in name.split())
+
+
+def _assemble(
+    domain: str,
+    seed: int,
+    index: int,
+    caption: str,
+    named_columns: List[Tuple[str, List[object]]],
+    subject: str,
+    entity_values: List[str],
+) -> Table:
+    # Web tables mix header styles; a fraction uses CamelCase compounds
+    # ("CountryName"), which matters to case-sensitive tokenizers under
+    # the abbreviation perturbations of P7.
+    camel = rng_for("wikitables-style", seed, index).uniform() < 0.4
+    columns = []
+    for name, values in named_columns:
+        display = _camel_case(name) if camel else name
+        columns.append(
+            ColumnSchema(
+                name=display,
+                data_type=infer_column_type(values),
+                semantic_type=f"{domain}.{name}",
+                is_subject=(name == subject),
+            )
+        )
+    schema = TableSchema(columns)
+    n_rows = len(named_columns[0][1])
+    rows = [tuple(values[r] for _, values in named_columns) for r in range(n_rows)]
+    subject_idx = schema.subject_index()
+    links = {
+        (r, subject_idx): f"{domain}:{entity_values[r]}" for r in range(n_rows)
+    }
+    return Table(
+        schema,
+        rows,
+        caption=caption,
+        table_id=f"{domain}-{seed}-{index}",
+        entity_links=links,
+    )
+
+
+def _tennis(seed: int, index: int, n_rows: int) -> Table:
+    rows = banks.sample_rows_from_bank(
+        banks.TENNIS_PLAYERS, n_rows, "tennis", seed, index, replace=False
+    )
+    rng = rng_for("tennis-extra", seed, index)
+    players = [r[0] for r in rows]
+    countries = [r[1] for r in rows]
+    titles = [int(rng.integers(1, 110)) for _ in rows]
+    years = [int(rng.integers(1968, 2024)) for _ in rows]
+    events = [
+        banks.SPORTS_EVENTS[int(rng.integers(0, len(banks.SPORTS_EVENTS)))]
+        for _ in rows
+    ]
+    return _assemble(
+        "tennis",
+        seed,
+        index,
+        "Grand Slam singles champions",
+        [
+            ("player", players),
+            ("country", countries),
+            ("titles", titles),
+            ("year", years),
+            ("competition", events),
+        ],
+        subject="player",
+        entity_values=players,
+    )
+
+
+def _movies(seed: int, index: int, n_rows: int) -> Table:
+    rows = banks.sample_rows_from_bank(
+        banks.MOVIES, n_rows, "movies", seed, index, replace=False
+    )
+    rng = rng_for("movies-extra", seed, index)
+    titles = [r[0] for r in rows]
+    gross = [f"${int(rng.integers(10, 2500))}.{int(rng.integers(0, 10))}M" for _ in rows]
+    return _assemble(
+        "movies",
+        seed,
+        index,
+        "Highest grossing films",
+        [
+            ("title", titles),
+            ("director", [r[1] for r in rows]),
+            ("year", [r[2] for r in rows]),
+            ("genre", [r[3] for r in rows]),
+            ("gross", gross),
+        ],
+        subject="title",
+        entity_values=titles,
+    )
+
+
+def _countries(seed: int, index: int, n_rows: int) -> Table:
+    rows = banks.sample_rows_from_bank(
+        banks.COUNTRIES, n_rows, "countries", seed, index, replace=False
+    )
+    rng = rng_for("countries-extra", seed, index)
+    names = [r[0] for r in rows]
+    population = [int(rng.integers(1, 1400)) for _ in rows]
+    area = [int(rng.integers(40, 17000)) for _ in rows]
+    return _assemble(
+        "countries",
+        seed,
+        index,
+        "Countries of the world",
+        [
+            ("country", names),
+            ("continent", [r[1] for r in rows]),
+            ("capital", [r[2] for r in rows]),
+            ("population", population),
+            ("area", area),
+        ],
+        subject="country",
+        entity_values=names,
+    )
+
+
+def _companies(seed: int, index: int, n_rows: int) -> Table:
+    rows = banks.sample_rows_from_bank(
+        banks.COMPANIES, n_rows, "companies", seed, index, replace=False
+    )
+    rng = rng_for("companies-extra", seed, index)
+    names = [r[0] for r in rows]
+    revenue = [f"${int(rng.integers(5, 600))}.{int(rng.integers(0, 10))}B" for _ in rows]
+    employees = [int(rng.integers(5, 2200)) * 1000 for _ in rows]
+    return _assemble(
+        "companies",
+        seed,
+        index,
+        "Largest companies by market capitalization",
+        [
+            ("company", names),
+            ("sector", [r[1] for r in rows]),
+            ("country", [r[2] for r in rows]),
+            ("revenue", revenue),
+            ("employees", employees),
+        ],
+        subject="company",
+        entity_values=names,
+    )
+
+
+def _nutrients(seed: int, index: int, n_rows: int) -> Table:
+    rows = banks.sample_rows_from_bank(
+        banks.NUTRIENTS, n_rows, "nutrients", seed, index, replace=False
+    )
+    rng = rng_for("nutrients-extra", seed, index)
+    names = [r[0] for r in rows]
+    amounts = [f"{int(rng.integers(1, 1200))} {r[2]}" for r in rows]
+    return _assemble(
+        "nutrients",
+        seed,
+        index,
+        "Recommended daily nutrient intake",
+        [
+            ("nutrient", names),
+            ("kind", [r[1] for r in rows]),
+            ("daily intake", amounts),
+            ("importance rank", [int(rng.integers(1, 100)) for _ in rows]),
+        ],
+        subject="nutrient",
+        entity_values=names,
+    )
+
+
+def _cities(seed: int, index: int, n_rows: int) -> Table:
+    rows = banks.sample_rows_from_bank(
+        banks.CITIES, n_rows, "cities", seed, index, replace=False
+    )
+    rng = rng_for("cities-extra", seed, index)
+    names = [r[0] for r in rows]
+    return _assemble(
+        "cities",
+        seed,
+        index,
+        "Major world cities",
+        [
+            ("city", names),
+            ("country", [r[1] for r in rows]),
+            ("population", [int(rng.integers(100, 25000)) for _ in rows]),
+            ("founded", [int(rng.integers(800, 1900)) for _ in rows]),
+        ],
+        subject="city",
+        entity_values=names,
+    )
+
+
+def _products(seed: int, index: int, n_rows: int) -> Table:
+    rows = banks.sample_rows_from_bank(
+        banks.PRODUCTS, n_rows, "products", seed, index, replace=False
+    )
+    rng = rng_for("products-extra", seed, index)
+    names = [r[0] for r in rows]
+    prices = [f"${int(rng.integers(10, 2500))}.{int(rng.integers(0, 100)):02d}" for _ in rows]
+    return _assemble(
+        "products",
+        seed,
+        index,
+        "Product catalog",
+        [
+            ("product", names),
+            ("category", [r[1] for r in rows]),
+            ("price", prices),
+            ("stock", [int(rng.integers(0, 500)) for _ in rows]),
+            ("rating", [round(float(rng.uniform(1, 5)), 1) for _ in rows]),
+        ],
+        subject="product",
+        entity_values=names,
+    )
+
+
+def _books(seed: int, index: int, n_rows: int) -> Table:
+    rows = banks.sample_rows_from_bank(
+        banks.BOOKS, n_rows, "books", seed, index, replace=False
+    )
+    names = [r[0] for r in rows]
+    isbns = banks.random_isbns(len(rows), seed, index)
+    rng = rng_for("books-extra", seed, index)
+    return _assemble(
+        "books",
+        seed,
+        index,
+        "Influential computer science books",
+        [
+            ("book", names),
+            ("author", [r[1] for r in rows]),
+            ("isbn", isbns),
+            ("pages", [int(rng.integers(150, 1200)) for _ in rows]),
+        ],
+        subject="book",
+        entity_values=names,
+    )
+
+
+_TEMPLATES = {
+    "tennis": _tennis,
+    "movies": _movies,
+    "countries": _countries,
+    "companies": _companies,
+    "nutrients": _nutrients,
+    "cities": _cities,
+    "products": _products,
+    "books": _books,
+}

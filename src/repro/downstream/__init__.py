@@ -1,0 +1,31 @@
+"""Downstream-task connections (Section 6 of the paper).
+
+Three harnesses that test whether the property characterizations predict
+model behaviour on real tasks: column-type-prediction stability under row
+permutations (P1/P2 -> DODUO), sample-efficient join discovery
+(P5 -> T5), and TableQA robustness under schema perturbations (P7 -> TAPAS).
+"""
+
+from repro.downstream.column_type_prediction import (
+    ColumnTypePredictor,
+    PermutationStabilityReport,
+    permutation_stability,
+)
+from repro.downstream.join_discovery import (
+    JoinDiscoveryIndex,
+    JoinDiscoveryReport,
+    evaluate_join_discovery,
+)
+from repro.downstream.table_qa import CellSelectionQA, QARobustnessReport, evaluate_qa_robustness
+
+__all__ = [
+    "ColumnTypePredictor",
+    "PermutationStabilityReport",
+    "permutation_stability",
+    "JoinDiscoveryIndex",
+    "JoinDiscoveryReport",
+    "evaluate_join_discovery",
+    "CellSelectionQA",
+    "QARobustnessReport",
+    "evaluate_qa_robustness",
+]

@@ -1,0 +1,213 @@
+"""Sample-efficient join discovery (Section 6, P5).
+
+The paper implements WarpGate-style embedding join discovery with T5: index
+candidate-column embeddings, retrieve nearest neighbours of a query column,
+and compare *sampled* against *full-value* embeddings.  On NextiaJD-XS with
+~5% samples, precision/recall moved less than ±3% while indexing was >7x
+and lookup >2x faster.
+
+:class:`JoinDiscoveryIndex` is an exact cosine index (brute force — the
+fidelity comparison, not ANN engineering, is the point);
+:func:`evaluate_join_discovery` runs the sampled-vs-full comparison with
+wall-clock timings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.nextiajd import JoinPair, join_quality
+from repro.errors import DatasetError
+from repro.models.base import EmbeddingModel
+from repro.relational.overlap import containment
+from repro.relational.sampling import sample_column_values
+
+
+class JoinDiscoveryIndex:
+    """Exact cosine-similarity index over named column embeddings."""
+
+    def __init__(self, dim: int):
+        self.dim = dim
+        self._keys: List[str] = []
+        self._rows: List[np.ndarray] = []
+        self._matrix: Optional[np.ndarray] = None
+
+    def add(self, key: str, embedding: np.ndarray) -> None:
+        embedding = np.asarray(embedding, dtype=np.float64).ravel()
+        if embedding.shape != (self.dim,):
+            raise DatasetError(f"expected a {self.dim}-d embedding")
+        norm = np.linalg.norm(embedding)
+        if norm < 1e-12:
+            raise DatasetError("cannot index a zero embedding")
+        self._keys.append(key)
+        self._rows.append(embedding / norm)
+        self._matrix = None
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def _ensure_matrix(self) -> np.ndarray:
+        if self._matrix is None:
+            if not self._rows:
+                raise DatasetError("index is empty")
+            self._matrix = np.stack(self._rows)
+        return self._matrix
+
+    def lookup(self, embedding: np.ndarray, k: int) -> List[Tuple[str, float]]:
+        """Top-k (key, cosine) for a query embedding."""
+        matrix = self._ensure_matrix()
+        if not 1 <= k <= len(self._keys):
+            raise DatasetError(f"k must be in [1, {len(self._keys)}]")
+        query = np.asarray(embedding, dtype=np.float64).ravel()
+        norm = np.linalg.norm(query)
+        if norm < 1e-12:
+            raise DatasetError("cannot look up a zero embedding")
+        scores = matrix @ (query / norm)
+        order = np.argsort(-scores, kind="stable")[:k]
+        return [(self._keys[int(i)], float(scores[int(i)])) for i in order]
+
+
+@dataclasses.dataclass
+class JoinDiscoveryReport:
+    """Sampled-vs-full comparison on one testbed."""
+
+    k: int
+    sample_fraction: float
+    precision_full: float
+    recall_full: float
+    precision_sampled: float
+    recall_sampled: float
+    index_time_full: float
+    index_time_sampled: float
+    lookup_time_full: float
+    lookup_time_sampled: float
+
+    @property
+    def precision_delta(self) -> float:
+        return self.precision_sampled - self.precision_full
+
+    @property
+    def recall_delta(self) -> float:
+        return self.recall_sampled - self.recall_full
+
+    @property
+    def index_speedup(self) -> float:
+        return self.index_time_full / max(self.index_time_sampled, 1e-9)
+
+    @property
+    def lookup_speedup(self) -> float:
+        return self.lookup_time_full / max(self.lookup_time_sampled, 1e-9)
+
+    def summary(self) -> str:
+        return (
+            f"k={self.k} sample={self.sample_fraction:.0%}: "
+            f"precision {self.precision_full:.3f} -> {self.precision_sampled:.3f} "
+            f"(delta {self.precision_delta:+.3f}), "
+            f"recall {self.recall_full:.3f} -> {self.recall_sampled:.3f} "
+            f"(delta {self.recall_delta:+.3f}); "
+            f"indexing {self.index_speedup:.1f}x faster, "
+            f"lookup {self.lookup_speedup:.1f}x faster"
+        )
+
+
+def _build_ground_truth(pairs: Sequence[JoinPair]) -> Dict[str, set]:
+    """query pair_id -> keys of *all* joinable indexed candidates.
+
+    Every candidate column in the repository is checked against every query
+    by the NextiaJD labelling rule (containment x cardinality proportion),
+    not just the candidate the query was generated with — columns drawn
+    from a shared value universe genuinely overlap across pairs.
+    """
+    truth: Dict[str, set] = {}
+    for query in pairs:
+        relevant = set()
+        query_distinct = len(set(query.query_values))
+        for candidate in pairs:
+            c = containment(query.query_values, candidate.candidate_values)
+            proportion = query_distinct / max(1, len(set(candidate.candidate_values)))
+            if join_quality(c, proportion) > 0:
+                relevant.add(f"cand::{candidate.pair_id}")
+        truth[query.pair_id] = relevant
+    return truth
+
+
+def evaluate_join_discovery(
+    model: EmbeddingModel,
+    pairs: Sequence[JoinPair],
+    *,
+    k: int = 5,
+    sample_fraction: float = 0.05,
+    min_sample: int = 5,
+) -> JoinDiscoveryReport:
+    """Compare full-value and sampled join discovery end to end.
+
+    Candidates of every pair form the indexed repository; each query column
+    retrieves its top-k.  A retrieval is a hit when it returns the query's
+    labelled joinable candidate.  The same protocol runs twice — embeddings
+    from full values, then from a uniform ``sample_fraction`` sample — and
+    the report carries quality deltas plus indexing/lookup timings.
+    """
+    if not pairs:
+        raise DatasetError("no join pairs supplied")
+    truth = _build_ground_truth(pairs)
+
+    def run(sampled: bool) -> Tuple[float, float, float, float]:
+        t0 = time.perf_counter()
+        index = JoinDiscoveryIndex(model.dim)
+        for pair in pairs:
+            values: Sequence[object] = pair.candidate_values
+            if sampled:
+                values = sample_column_values(
+                    list(values),
+                    sample_fraction,
+                    seed_parts=("jd-cand", pair.pair_id),
+                    minimum=min_sample,
+                )
+            index.add(
+                f"cand::{pair.pair_id}",
+                model.embed_value_column(pair.candidate_header, list(values)),
+            )
+        index_time = time.perf_counter() - t0
+
+        hits = 0
+        expected = 0
+        retrieved_relevant = 0
+        t0 = time.perf_counter()
+        for pair in pairs:
+            values = pair.query_values
+            if sampled:
+                values = sample_column_values(
+                    list(values),
+                    sample_fraction,
+                    seed_parts=("jd-query", pair.pair_id),
+                    minimum=min_sample,
+                )
+            query_emb = model.embed_value_column(pair.query_header, list(values))
+            results = {key for key, _ in index.lookup(query_emb, k)}
+            relevant = truth[pair.pair_id]
+            expected += len(relevant)
+            retrieved_relevant += len(results & relevant)
+            hits += 1 if results & relevant else 0
+        lookup_time = time.perf_counter() - t0
+        precision = retrieved_relevant / (k * len(pairs))
+        recall = retrieved_relevant / max(expected, 1)
+        return precision, recall, index_time, lookup_time
+
+    precision_full, recall_full, index_full, lookup_full = run(sampled=False)
+    precision_sampled, recall_sampled, index_sampled, lookup_sampled = run(sampled=True)
+    return JoinDiscoveryReport(
+        k=k,
+        sample_fraction=sample_fraction,
+        precision_full=precision_full,
+        recall_full=recall_full,
+        precision_sampled=precision_sampled,
+        recall_sampled=recall_sampled,
+        index_time_full=index_full,
+        index_time_sampled=index_sampled,
+        lookup_time_full=lookup_full,
+        lookup_time_sampled=lookup_sampled,
+    )

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the Observatory reproduction.
+
+All library errors derive from :class:`ObservatoryError` so callers can
+catch framework failures with a single ``except`` clause while letting
+programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ObservatoryError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ObservatoryError):
+    """A table or column schema is malformed or inconsistent with its data."""
+
+
+class TableError(ObservatoryError):
+    """A table operation received invalid arguments (bad index, ragged rows)."""
+
+
+class TokenizationError(ObservatoryError):
+    """Text could not be tokenized (e.g. empty vocabulary)."""
+
+
+class SerializationError(ObservatoryError):
+    """A table could not be serialized within the model input limit."""
+
+
+class ModelError(ObservatoryError):
+    """An embedding model was misconfigured or misused."""
+
+
+class UnsupportedLevelError(ModelError):
+    """The model does not expose the requested level of embeddings."""
+
+    def __init__(self, model_name: str, level: str):
+        self.model_name = model_name
+        self.level = level
+        super().__init__(
+            f"model {model_name!r} does not expose {level!r}-level embeddings"
+        )
+
+
+class MeasureError(ObservatoryError):
+    """A measure received degenerate input (e.g. fewer than two samples)."""
+
+
+class DatasetError(ObservatoryError):
+    """A dataset generator or loader received invalid parameters."""
+
+
+class PropertyConfigError(ObservatoryError):
+    """A property run was configured inconsistently."""

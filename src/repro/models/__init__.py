@@ -1,0 +1,22 @@
+"""Surrogate embedding models.
+
+Deterministic numpy transformer encoders standing in for the nine pretrained
+checkpoints the paper evaluates.  Each surrogate reproduces the
+*architectural mechanisms* the paper attributes each model's behaviour to —
+serialization order, positional-encoding scheme, attention masking, pooling
+anchors, header/value weighting, and output geometry — on top of a content
+space shared across models.
+"""
+
+from repro.models.config import ModelConfig
+from repro.models.base import EmbeddingModel, SurrogateModel
+from repro.models.registry import available_models, load_model, register_model
+
+__all__ = [
+    "ModelConfig",
+    "EmbeddingModel",
+    "SurrogateModel",
+    "available_models",
+    "load_model",
+    "register_model",
+]

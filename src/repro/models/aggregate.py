@@ -1,0 +1,166 @@
+"""Token-to-level aggregation.
+
+Models natively expose token-level embeddings; Observatory needs column,
+row, table, cell, and entity embeddings.  Following Section 4.3 of the
+paper, higher levels are obtained by aggregating token embeddings using the
+serialization provenance: value tokens know their (row, column), header
+tokens their column, and per-column ``[CLS]`` anchors are used directly when
+the model provides them (DODUO).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.models.serializers import Token, TokenRole
+
+
+def _weighted_mean(states: np.ndarray, weights: np.ndarray) -> Optional[np.ndarray]:
+    total = weights.sum()
+    if total <= 0:
+        return None
+    return (states * weights[:, None]).sum(axis=0) / total
+
+
+def column_embeddings(
+    tokens: List[Token],
+    states: np.ndarray,
+    n_columns: int,
+    *,
+    header_weight: float = 1.0,
+    use_cls_anchor: bool = False,
+) -> np.ndarray:
+    """Column embeddings, shape [n_columns, dim].
+
+    With ``use_cls_anchor`` the per-column ``[CLS]`` token is the column
+    embedding (DODUO); otherwise value tokens (weight 1) and header tokens
+    (weight ``header_weight``) of the column are mean-pooled.  Columns whose
+    tokens were all truncated away fall back to the zero vector.
+    """
+    dim = states.shape[1] if states.size else 0
+    out = np.zeros((n_columns, dim), dtype=np.float64)
+    if use_cls_anchor:
+        for i, tok in enumerate(tokens):
+            if tok.is_anchor and 0 <= tok.col < n_columns:
+                out[tok.col] = states[i]
+        return out
+    weights = np.zeros((n_columns, len(tokens)))
+    for i, tok in enumerate(tokens):
+        if not 0 <= tok.col < n_columns:
+            continue
+        if tok.role == TokenRole.VALUE:
+            weights[tok.col, i] = 1.0
+        elif tok.role == TokenRole.HEADER:
+            weights[tok.col, i] = header_weight
+    for c in range(n_columns):
+        pooled = _weighted_mean(states, weights[c])
+        if pooled is not None:
+            out[c] = pooled
+    return out
+
+
+def row_embeddings(
+    tokens: List[Token], states: np.ndarray, n_rows: int
+) -> np.ndarray:
+    """Row embeddings for the first ``n_rows`` serialized rows.
+
+    Rows are mean-pooled over their value tokens.  Rows truncated away get
+    the zero vector; callers that need the embedded-row count should use
+    :func:`embedded_row_count`.
+    """
+    dim = states.shape[1] if states.size else 0
+    out = np.zeros((n_rows, dim), dtype=np.float64)
+    for r in range(n_rows):
+        weights = np.fromiter(
+            (
+                1.0 if (tok.row == r and tok.role == TokenRole.VALUE) else 0.0
+                for tok in tokens
+            ),
+            dtype=np.float64,
+            count=len(tokens),
+        )
+        pooled = _weighted_mean(states, weights)
+        if pooled is not None:
+            out[r] = pooled
+    return out
+
+
+def embedded_row_count(tokens: List[Token]) -> int:
+    """Number of distinct rows with at least one value token in the sequence."""
+    return len({tok.row for tok in tokens if tok.row >= 0 and tok.role == TokenRole.VALUE})
+
+
+def table_embedding(
+    tokens: List[Token], states: np.ndarray, *, header_weight: float = 1.0
+) -> np.ndarray:
+    """Table embedding: mean over value + weighted header + caption tokens."""
+    weights = np.zeros(len(tokens))
+    for i, tok in enumerate(tokens):
+        if tok.role == TokenRole.VALUE or tok.role == TokenRole.CAPTION:
+            weights[i] = 1.0
+        elif tok.role == TokenRole.HEADER:
+            weights[i] = header_weight
+    pooled = _weighted_mean(states, weights)
+    if pooled is None:
+        raise ModelError("cannot pool a table embedding from an empty sequence")
+    return pooled
+
+
+def cell_embedding(
+    tokens: List[Token], states: np.ndarray, row: int, col: int
+) -> Optional[np.ndarray]:
+    """Mean of the value tokens of cell (row, col); None if truncated away."""
+    weights = np.fromiter(
+        (
+            1.0
+            if (tok.row == row and tok.col == col and tok.role == TokenRole.VALUE)
+            else 0.0
+            for tok in tokens
+        ),
+        dtype=np.float64,
+        count=len(tokens),
+    )
+    return _weighted_mean(states, weights)
+
+
+def cell_embeddings(
+    tokens: List[Token],
+    states: np.ndarray,
+    coords: Sequence[Tuple[int, int]],
+) -> Dict[Tuple[int, int], np.ndarray]:
+    """Cell embeddings for several coordinates in one pass."""
+    index: Dict[Tuple[int, int], List[int]] = {}
+    wanted = set(coords)
+    for i, tok in enumerate(tokens):
+        if tok.role == TokenRole.VALUE and (tok.row, tok.col) in wanted:
+            index.setdefault((tok.row, tok.col), []).append(i)
+    out: Dict[Tuple[int, int], np.ndarray] = {}
+    for coord, token_ids in index.items():
+        out[coord] = states[token_ids].mean(axis=0)
+    return out
+
+
+def entity_embedding(
+    tokens: List[Token],
+    states: np.ndarray,
+    row: int,
+    col: int,
+    *,
+    metadata_weight: float = 0.5,
+) -> Optional[np.ndarray]:
+    """Entity embedding: the cell's value tokens plus its header as metadata.
+
+    Entity mentions are cells; the linked column header acts as the
+    associated metadata the paper describes (entity embeddings combine the
+    mention with its context).
+    """
+    weights = np.zeros(len(tokens))
+    for i, tok in enumerate(tokens):
+        if tok.row == row and tok.col == col and tok.role == TokenRole.VALUE:
+            weights[i] = 1.0
+        elif tok.col == col and tok.role == TokenRole.HEADER:
+            weights[i] = metadata_weight
+    return _weighted_mean(states, weights)

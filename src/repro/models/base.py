@@ -1,0 +1,262 @@
+"""Embedding-model interface and the configurable surrogate implementation.
+
+:class:`EmbeddingModel` is the contract Observatory properties program
+against — the paper's extensibility point ("researchers can analyze new
+models by specifying the procedure of embedding inference following the
+implemented interface").  :class:`SurrogateModel` is the deterministic
+numpy implementation driven entirely by a :class:`ModelConfig`; the model
+zoo instantiates it nine ways.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.levels import EmbeddingLevel
+from repro.errors import ModelError, UnsupportedLevelError
+from repro.models import aggregate
+from repro.models.config import ModelConfig, Serialization
+from repro.models.encoder import Encoder
+from repro.models.serializers import (
+    ColumnWiseSerializer,
+    RowTemplateSerializer,
+    RowWiseSerializer,
+    Token,
+)
+from repro.relational.table import Table
+from repro.text.tokenizer import Tokenizer, TokenizerConfig
+
+
+class EmbeddingModel(abc.ABC):
+    """Contract every analyzable model implements.
+
+    All ``embed_*`` methods are total over the model's supported levels and
+    raise :class:`UnsupportedLevelError` otherwise.  Embeddings are
+    deterministic functions of the input table.
+    """
+
+    name: str
+    dim: int
+
+    @abc.abstractmethod
+    def supported_levels(self) -> frozenset:
+        """The :class:`EmbeddingLevel` values this model exposes."""
+
+    def supports(self, level: EmbeddingLevel) -> bool:
+        return level in self.supported_levels()
+
+    @abc.abstractmethod
+    def embed_columns(self, table: Table) -> np.ndarray:
+        """Column embeddings, shape [table.num_columns, dim]."""
+
+    @abc.abstractmethod
+    def embed_rows(self, table: Table) -> np.ndarray:
+        """Row embeddings for serialized rows, shape [k, dim] with k <= num_rows.
+
+        Serialization keeps a prefix of the table's rows, so row ``i`` of the
+        result corresponds to row ``i`` of the input table.
+        """
+
+    @abc.abstractmethod
+    def embed_table(self, table: Table) -> np.ndarray:
+        """Whole-table embedding, shape [dim]."""
+
+    @abc.abstractmethod
+    def embed_cells(
+        self, table: Table, coords: Sequence[Tuple[int, int]]
+    ) -> Dict[Tuple[int, int], np.ndarray]:
+        """Embeddings of specific cells; coordinates truncated away are absent."""
+
+    @abc.abstractmethod
+    def embed_entities(self, table: Table) -> Dict[str, np.ndarray]:
+        """Embeddings of linked entities, keyed by entity id."""
+
+    @abc.abstractmethod
+    def embed_value_column(
+        self, header: str, values: Sequence[object]
+    ) -> np.ndarray:
+        """Embedding of a standalone column (header + values), shape [dim].
+
+        Columns longer than the input limit are chunked with the shared
+        header and the chunk embeddings aggregated (Measure 5 protocol).
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r}, dim={self.dim})"
+
+
+class SurrogateModel(EmbeddingModel):
+    """Config-driven surrogate: tokenize -> serialize -> encode -> aggregate."""
+
+    def __init__(self, config: ModelConfig):
+        self.config = config
+        self.name = config.name
+        self.dim = config.dim
+        self.tokenizer = Tokenizer(
+            config=TokenizerConfig(lowercase=config.lowercase)
+        )
+        self.encoder = Encoder(config)
+        if config.serialization == Serialization.COLUMN_WISE:
+            self._serializer = ColumnWiseSerializer(
+                self.tokenizer,
+                config.max_tokens,
+                include_header=config.header_weight > 0,
+            )
+        elif config.serialization == Serialization.ROW_TEMPLATE:
+            self._serializer = RowTemplateSerializer(self.tokenizer, config.max_tokens)
+        else:
+            self._serializer = RowWiseSerializer(
+                self.tokenizer,
+                config.max_tokens,
+                include_header=config.header_weight > 0,
+                include_caption=config.include_caption,
+            )
+
+    # ------------------------------------------------------------------
+    # Pipeline plumbing
+    # ------------------------------------------------------------------
+
+    def _effective_table(self, table: Table) -> Table:
+        """Apply the model's internal input policy (TaBERT content snapshot)."""
+        k = self.config.content_snapshot_rows
+        if k is not None and table.num_rows > k:
+            return table.head(k)
+        return table
+
+    def _encode_table(self, table: Table) -> Tuple[List[Token], np.ndarray, Table]:
+        if self.config.serialization == Serialization.ROW_TEMPLATE:
+            raise ModelError(
+                f"{self.name} encodes rows independently; use embed_rows"
+            )
+        effective = self._effective_table(table)
+        tokens = self._serializer.serialize(effective)
+        states = self.encoder.encode(tokens)
+        return tokens, states, effective
+
+    def fitted_rows(self, table: Table) -> int:
+        """How many leading rows of ``table`` the model actually ingests."""
+        effective = self._effective_table(table)
+        if self.config.serialization == Serialization.ROW_TEMPLATE:
+            return effective.num_rows
+        return max(1, min(effective.num_rows, self._serializer.fit_rows(effective)))
+
+    def _require(self, level: EmbeddingLevel) -> None:
+        if not self.config.supports(level):
+            raise UnsupportedLevelError(self.name, level.value)
+
+    def supported_levels(self) -> frozenset:
+        return self.config.levels
+
+    # ------------------------------------------------------------------
+    # Level embeddings
+    # ------------------------------------------------------------------
+
+    def embed_columns(self, table: Table) -> np.ndarray:
+        self._require(EmbeddingLevel.COLUMN)
+        tokens, states, _ = self._encode_table(table)
+        return aggregate.column_embeddings(
+            tokens,
+            states,
+            table.num_columns,
+            header_weight=self.config.header_weight,
+            use_cls_anchor=self.config.cls_per_column,
+        )
+
+    def embed_rows(self, table: Table) -> np.ndarray:
+        self._require(EmbeddingLevel.ROW)
+        if self.config.serialization == Serialization.ROW_TEMPLATE:
+            out = np.zeros((table.num_rows, self.dim))
+            for r in range(table.num_rows):
+                tokens = self._serializer.serialize_row(table, r)
+                states = self.encoder.encode(tokens)
+                out[r] = states.mean(axis=0)
+            return out
+        tokens, states, effective = self._encode_table(table)
+        n_rows = aggregate.embedded_row_count(tokens)
+        return aggregate.row_embeddings(tokens, states, min(n_rows, effective.num_rows))
+
+    def embed_table(self, table: Table) -> np.ndarray:
+        self._require(EmbeddingLevel.TABLE)
+        tokens, states, _ = self._encode_table(table)
+        return aggregate.table_embedding(
+            tokens, states, header_weight=self.config.header_weight
+        )
+
+    def embed_cells(
+        self, table: Table, coords: Sequence[Tuple[int, int]]
+    ) -> Dict[Tuple[int, int], np.ndarray]:
+        self._require(EmbeddingLevel.CELL)
+        tokens, states, _ = self._encode_table(table)
+        return aggregate.cell_embeddings(tokens, states, coords)
+
+    def embed_entities(self, table: Table) -> Dict[str, np.ndarray]:
+        self._require(EmbeddingLevel.ENTITY)
+        tokens, states, _ = self._encode_table(table)
+        sums: Dict[str, np.ndarray] = {}
+        counts: Dict[str, int] = {}
+        for (row, col), entity_id in table.entity_links.items():
+            vec = aggregate.entity_embedding(tokens, states, row, col)
+            if vec is None:
+                continue
+            if entity_id in sums:
+                sums[entity_id] = sums[entity_id] + vec
+                counts[entity_id] += 1
+            else:
+                sums[entity_id] = vec
+                counts[entity_id] = 1
+        return {eid: sums[eid] / counts[eid] for eid in sums}
+
+    def embed_value_column(self, header: str, values: Sequence[object]) -> np.ndarray:
+        self._require(EmbeddingLevel.COLUMN)
+        if not len(values):
+            raise ModelError("cannot embed an empty column")
+        snapshot = self.config.content_snapshot_rows
+        if snapshot is not None:
+            # The model never sees beyond its snapshot; no chunking needed.
+            values = list(values)[:snapshot]
+            return self._embed_chunk(header, values)
+        chunks = self._column_chunks(header, values)
+        parts = [self._embed_chunk(header, chunk) for chunk in chunks]
+        weights = np.array([len(chunk) for chunk in chunks], dtype=np.float64)
+        stacked = np.stack(parts)
+        return (stacked * weights[:, None]).sum(axis=0) / weights.sum()
+
+    # ------------------------------------------------------------------
+
+    def _column_chunks(
+        self, header: str, values: Sequence[object]
+    ) -> List[List[object]]:
+        """Split values into chunks that each fit the input budget."""
+        values = list(values)
+        probe = Table.from_columns([(header, values)])
+        if self.config.serialization == Serialization.ROW_TEMPLATE:
+            return [values]
+        fit = self._serializer.fit_rows(probe)
+        if fit <= 0:
+            fit = 1
+        if fit >= len(values):
+            return [values]
+        return [values[i : i + fit] for i in range(0, len(values), fit)]
+
+    def _embed_chunk(self, header: str, values: Sequence[object]) -> np.ndarray:
+        chunk_table = Table.from_columns([(header, list(values))])
+        if self.config.serialization == Serialization.ROW_TEMPLATE:
+            # Row-template models average their per-row encodings.
+            rows = RowTemplateSerializer(self.tokenizer, self.config.max_tokens)
+            states = [
+                self.encoder.encode(rows.serialize_row(chunk_table, r)).mean(axis=0)
+                for r in range(chunk_table.num_rows)
+            ]
+            return np.stack(states).mean(axis=0)
+        tokens = self._serializer.serialize(chunk_table)
+        states = self.encoder.encode(tokens)
+        return aggregate.column_embeddings(
+            tokens,
+            states,
+            1,
+            header_weight=self.config.header_weight,
+            use_cls_anchor=self.config.cls_per_column,
+        )[0]

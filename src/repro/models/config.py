@@ -1,0 +1,148 @@
+"""Model configuration: every architectural knob of a surrogate model.
+
+The zoo modules (``repro.models.zoo``) each define one :class:`ModelConfig`;
+DESIGN.md section 5 maps each knob back to the mechanism the paper credits
+for the corresponding model's behaviour.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import FrozenSet, Optional
+
+from repro.core.levels import EmbeddingLevel
+from repro.errors import ModelError
+
+
+class Serialization(enum.Enum):
+    """How a table is flattened into a token sequence."""
+
+    ROW_WISE = "row_wise"        # row by row (TURL, TAPAS, TaBERT, BERT, …)
+    COLUMN_WISE = "column_wise"  # column by column with per-column [CLS] (DODUO)
+    ROW_TEMPLATE = "row_template"  # each row its own text sequence (TapTap)
+
+
+class PositionKind(enum.Enum):
+    """Positional-information scheme of the encoder."""
+
+    NONE = "none"              # order-blind
+    ABSOLUTE = "absolute"      # learned absolute index embeddings (BERT family)
+    RELATIVE = "relative"      # distance-decay attention bias (T5)
+    ROW_COLUMN = "row_column"  # separate row-id and column-id embeddings (TAPAS)
+
+
+class AttentionMask(enum.Enum):
+    """Which tokens may attend to which."""
+
+    FULL = "full"                  # every token sees every token
+    COLUMN_LOCAL = "column_local"  # vertical attention within a column (TaBERT)
+    ROW_LOCAL = "row_local"        # within a row only (TapTap)
+
+
+class OutputNorm(enum.Enum):
+    """Final output normalization."""
+
+    LAYER = "layer"  # final layer norm (most models)
+    NONE = "none"    # raw residual stream (DODUO's task head consumes raw CLS)
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelConfig:
+    """Full specification of one surrogate embedding model.
+
+    Attributes:
+        name: registry name, e.g. ``"bert"``.
+        dim: embedding dimensionality.
+        n_layers: transformer layers.
+        n_heads: attention heads (must divide ``dim``).
+        max_tokens: input budget; serialization fits rows by binary search.
+        serialization: table flattening scheme.
+        position_kind: positional-information scheme.
+        position_scale: magnitude of absolute position embeddings relative to
+            content vectors (0 disables them even for ABSOLUTE).
+        row_position_scale / column_position_scale: magnitudes of the row-id
+            and column-id embeddings for ROW_COLUMN positions; the column-id
+            scale also injects mild column-identity signal for other kinds
+            when nonzero.
+        attention_mask: attention visibility pattern.
+        attention_gain: multiplier on the attention output before the
+            residual add — how much cross-token mixing contributes relative
+            to the token's own stream.  Anchor-based models (DODUO) need
+            gain > 1 for their [CLS] state to track sequence content.
+        attention_temperature: multiplier on attention scores before the
+            softmax.  > 1 gives peaked, selective attention (fine-tuned
+            table models show sharp per-column patterns), which makes
+            anchor states sensitive to which value sits at which position.
+        relative_tau: distance-decay constant for RELATIVE positions.
+        header_weight: weight of header tokens when pooling column/table
+            embeddings (0 = schema-blind like DODUO, >1 = header-dominated
+            like TaBERT).
+        include_caption: whether the caption is serialized.
+        cls_per_column: insert a [CLS] anchor before each column and use it
+            as the column embedding (DODUO).
+        content_snapshot_rows: if set, only the first K rows are serialized
+            (TaBERT's content snapshot, K=3).
+        anisotropy: strength of the rank-one output amplification along a
+            fixed model direction (T5's stretched geometry); 0 disables.
+        anisotropy_shift: constant component added along the anisotropy
+            direction (pushes cosine up while MCV stays high).
+        output_norm: final normalization.
+        output_scale: multiplier on the final hidden states (DODUO's
+            unnormalized raw stream uses > 1).
+        lowercase: tokenizer case folding (False = RoBERTa-style).
+        levels: embedding levels this model exposes.
+        seed_name: namespace for the model's deterministic weights; defaults
+            to ``name``.
+    """
+
+    name: str
+    dim: int = 64
+    n_layers: int = 2
+    n_heads: int = 4
+    max_tokens: int = 512
+    serialization: Serialization = Serialization.ROW_WISE
+    position_kind: PositionKind = PositionKind.ABSOLUTE
+    position_scale: float = 0.1
+    row_position_scale: float = 0.0
+    column_position_scale: float = 0.0
+    attention_mask: AttentionMask = AttentionMask.FULL
+    attention_gain: float = 1.0
+    attention_temperature: float = 1.0
+    relative_tau: float = 32.0
+    header_weight: float = 1.0
+    include_caption: bool = False
+    cls_per_column: bool = False
+    content_snapshot_rows: Optional[int] = None
+    anisotropy: float = 0.0
+    anisotropy_shift: float = 0.0
+    output_norm: OutputNorm = OutputNorm.LAYER
+    output_scale: float = 1.0
+    lowercase: bool = True
+    levels: FrozenSet[EmbeddingLevel] = frozenset(
+        {
+            EmbeddingLevel.TABLE,
+            EmbeddingLevel.COLUMN,
+            EmbeddingLevel.ROW,
+            EmbeddingLevel.CELL,
+            EmbeddingLevel.ENTITY,
+        }
+    )
+    seed_name: str = ""
+
+    def __post_init__(self):
+        if self.dim < 1 or self.n_layers < 0 or self.n_heads < 1:
+            raise ModelError("dim/n_layers/n_heads must be positive")
+        if self.dim % self.n_heads != 0:
+            raise ModelError(
+                f"dim {self.dim} must be divisible by n_heads {self.n_heads}"
+            )
+        if self.max_tokens < 8:
+            raise ModelError("max_tokens must be at least 8")
+        if self.content_snapshot_rows is not None and self.content_snapshot_rows < 1:
+            raise ModelError("content_snapshot_rows must be positive when set")
+        if not self.seed_name:
+            object.__setattr__(self, "seed_name", self.name)
+
+    def supports(self, level: EmbeddingLevel) -> bool:
+        return level in self.levels

@@ -1,0 +1,184 @@
+"""Numpy transformer encoder for surrogate models.
+
+A small pre-norm transformer (multi-head self-attention + FFN with residual
+connections) whose every parameter is generated deterministically from the
+model's seed name.  Token *content* vectors are shared across all models
+(``repro.seeding.token_vector``), so different surrogates are different
+transforms of a common lexical space — the property that makes cross-model
+comparisons such as entity stability (P6) meaningful.
+
+The encoder realizes the configuration axes of :class:`ModelConfig`:
+positional schemes (absolute indices, TAPAS-style row/column ids, T5-style
+relative-distance attention bias, or none), attention masks (full, TaBERT's
+vertical column-local, TapTap's row-local), output normalization, and the
+anisotropic output amplification that reproduces T5's stretched embedding
+geometry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.models.config import AttentionMask, ModelConfig, OutputNorm, PositionKind
+from repro.models.serializers import Token, TokenRole
+from repro.models.weights import ModelWeights
+from repro.seeding import token_vector
+
+_LN_EPS = 1e-6
+
+# Contextual embedding spaces are anisotropic: all vectors share a dominant
+# common direction (a well-documented property of BERT-family spaces).  The
+# surrogates model it by mixing a fixed global direction into every content
+# vector; it is what gives sample fidelity (P5) its high baseline — two
+# disjoint halves of a column still point broadly the same way.
+_CONTENT_ANISOTROPY = 1.0
+
+# Content vectors are model-agnostic; cache them once per process.
+_CONTENT_CACHE: Dict[str, np.ndarray] = {}
+_GLOBAL_DIRECTION: Dict[int, np.ndarray] = {}
+
+
+def _global_direction(dim: int) -> np.ndarray:
+    direction = _GLOBAL_DIRECTION.get(dim)
+    if direction is None:
+        raw = token_vector("__global_direction__", dim, namespace="content-global")
+        direction = raw / np.linalg.norm(raw) * np.sqrt(dim)
+        _GLOBAL_DIRECTION[dim] = direction
+    return direction
+
+
+def _content_vector(piece: str, dim: int) -> np.ndarray:
+    key = f"{dim}:{piece}"
+    vec = _CONTENT_CACHE.get(key)
+    if vec is None:
+        vec = token_vector(piece, dim) + _CONTENT_ANISOTROPY * _global_direction(dim)
+        _CONTENT_CACHE[key] = vec
+    return vec
+
+
+def _layer_norm(x: np.ndarray) -> np.ndarray:
+    mean = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    return (x - mean) / np.sqrt(var + _LN_EPS)
+
+
+def _softmax(scores: np.ndarray) -> np.ndarray:
+    shifted = scores - scores.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+class Encoder:
+    """Deterministic transformer encoder configured by a :class:`ModelConfig`."""
+
+    def __init__(self, config: ModelConfig):
+        self.config = config
+        self.weights = ModelWeights(config.seed_name, config.dim, config.n_layers)
+
+    # ------------------------------------------------------------------
+    # Input embedding
+    # ------------------------------------------------------------------
+
+    def embed_tokens(self, tokens: List[Token]) -> np.ndarray:
+        """Initial embeddings: content + segment + positional terms."""
+        cfg = self.config
+        dim = cfg.dim
+        x = np.empty((len(tokens), dim), dtype=np.float64)
+        for i, tok in enumerate(tokens):
+            vec = _content_vector(tok.piece, dim).copy()
+            vec += 0.05 * self.weights.segment_vector(tok.role.value)
+            if cfg.position_kind == PositionKind.ABSOLUTE and cfg.position_scale:
+                vec += cfg.position_scale * self.weights.position_vector("abs", i)
+            if cfg.position_kind == PositionKind.ROW_COLUMN:
+                if tok.row >= 0 and cfg.row_position_scale:
+                    vec += cfg.row_position_scale * self.weights.position_vector(
+                        "row", tok.row
+                    )
+                if tok.col >= 0 and cfg.column_position_scale:
+                    vec += cfg.column_position_scale * self.weights.position_vector(
+                        "col", tok.col
+                    )
+            elif cfg.column_position_scale and tok.col >= 0:
+                # Mild column-identity signal for non-ROW_COLUMN schemes.
+                vec += cfg.column_position_scale * self.weights.position_vector(
+                    "col", tok.col
+                )
+            x[i] = vec
+        return x
+
+    # ------------------------------------------------------------------
+    # Attention structure
+    # ------------------------------------------------------------------
+
+    def attention_mask(self, tokens: List[Token]) -> np.ndarray:
+        """Boolean [L, L] visibility matrix according to the config."""
+        n = len(tokens)
+        kind = self.config.attention_mask
+        if kind == AttentionMask.FULL:
+            return np.ones((n, n), dtype=bool)
+        cols = np.array([t.col for t in tokens])
+        rows = np.array([t.row for t in tokens])
+        is_global = np.array(
+            [t.role == TokenRole.SPECIAL and t.col < 0 and t.row < 0 for t in tokens]
+        ) | np.array([t.role == TokenRole.CAPTION for t in tokens])
+        if kind == AttentionMask.COLUMN_LOCAL:
+            same = (cols[:, None] == cols[None, :]) & (cols[:, None] >= 0)
+        else:  # ROW_LOCAL
+            same = (rows[:, None] == rows[None, :]) & (rows[:, None] >= 0)
+        mask = same | is_global[:, None] | is_global[None, :]
+        np.fill_diagonal(mask, True)
+        return mask
+
+    def attention_bias(self, tokens: List[Token]) -> np.ndarray:
+        """Additive [L, L] score bias (relative-distance decay for T5)."""
+        n = len(tokens)
+        if self.config.position_kind != PositionKind.RELATIVE:
+            return np.zeros((n, n), dtype=np.float64)
+        idx = np.arange(n, dtype=np.float64)
+        distance = np.abs(idx[:, None] - idx[None, :])
+        return -distance / self.config.relative_tau
+
+    # ------------------------------------------------------------------
+    # Forward pass
+    # ------------------------------------------------------------------
+
+    def encode(self, tokens: List[Token]) -> np.ndarray:
+        """Final token embeddings, shape [len(tokens), dim]."""
+        if not tokens:
+            return np.zeros((0, self.config.dim), dtype=np.float64)
+        cfg = self.config
+        x = self.embed_tokens(tokens)
+        mask = self.attention_mask(tokens)
+        bias = self.attention_bias(tokens)
+        neg = np.where(mask, 0.0, -1e9)
+        n_heads = cfg.n_heads
+        head_dim = cfg.dim // n_heads
+        scale = cfg.attention_temperature / np.sqrt(head_dim)
+
+        for layer in self.weights.layers:
+            h = _layer_norm(x)
+            q = h @ layer.wq
+            k = h @ layer.wk
+            v = h @ layer.wv
+            attn_out = np.empty_like(x)
+            for head in range(n_heads):
+                sl = slice(head * head_dim, (head + 1) * head_dim)
+                scores = (q[:, sl] @ k[:, sl].T) * scale + bias + neg
+                attn_out[:, sl] = _softmax(scores) @ v[:, sl]
+            x = x + cfg.attention_gain * (attn_out @ layer.wo)
+            h = _layer_norm(x)
+            x = x + np.maximum(h @ layer.w1, 0.0) @ layer.w2
+
+        if cfg.output_norm == OutputNorm.LAYER:
+            # Final layer norm leaves token norms at sqrt(dim), the same
+            # scale real transformer hidden states carry — absolute
+            # distance measures (P4's translation variance) depend on it.
+            x = _layer_norm(x)
+        if cfg.output_scale != 1.0:
+            x = x * cfg.output_scale
+        if cfg.anisotropy:
+            coeff = cfg.anisotropy_shift + x @ self.weights.anisotropy_probe
+            x = x + cfg.anisotropy * np.outer(coeff, self.weights.anisotropy_direction)
+        return x

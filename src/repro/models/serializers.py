@@ -1,0 +1,234 @@
+"""Table serialization: flattening tables into token sequences.
+
+Transformer models consume flat token sequences, so tables must be
+serialized (Section 4.3 of the paper).  Two families are implemented:
+
+* row-wise — rows concatenated with separators (TURL, TAPAS, TaBERT, and
+  the vanilla LMs applied to tables);
+* column-wise — columns concatenated, each introduced by its own ``[CLS]``
+  anchor that doubles as the column representation (DODUO);
+
+plus TapTap's per-row text templates.  Serializers enforce the model input
+limit the way the paper does: *keep every column, binary-search the maximum
+number of rows that fits*.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import List, Optional
+
+from repro.errors import SerializationError
+from repro.relational.table import Table
+from repro.text.tokenizer import Tokenizer
+from repro.text.vocab import CELL, CLS, HEADER, ROW, SEP
+
+
+class TokenRole(enum.Enum):
+    """Structural role of a serialized token."""
+
+    SPECIAL = "special"
+    CAPTION = "caption"
+    HEADER = "header"
+    VALUE = "value"
+
+
+@dataclasses.dataclass(frozen=True)
+class Token:
+    """One serialized token with table provenance.
+
+    ``row``/``col`` are -1 when the token does not belong to a specific
+    row/column (caption, global specials).  ``col`` is set on per-column
+    specials such as DODUO's column [CLS] anchors so aggregation can find
+    them.
+    """
+
+    piece: str
+    role: TokenRole
+    row: int = -1
+    col: int = -1
+
+    @property
+    def is_anchor(self) -> bool:
+        """True for per-column [CLS] anchors (DODUO-style)."""
+        return self.role == TokenRole.SPECIAL and self.piece == CLS and self.col >= 0
+
+
+class RowWiseSerializer:
+    """Row-by-row serialization with header block and row separators.
+
+    Layout::
+
+        [CLS] caption? [SEP] h1 h2 … [SEP] [ROW] r1c1 [CELL] r1c2 … [SEP] [ROW] …
+
+    Cell boundaries inside a row are marked with ``[CELL]`` so that cell- and
+    entity-level aggregation can recover token spans without inserting one
+    special per cell (which would eat the input budget, as the paper notes).
+    """
+
+    def __init__(
+        self,
+        tokenizer: Tokenizer,
+        max_tokens: int = 512,
+        *,
+        include_header: bool = True,
+        include_caption: bool = False,
+    ):
+        self.tokenizer = tokenizer
+        self.max_tokens = max_tokens
+        self.include_header = include_header
+        self.include_caption = include_caption
+
+    def serialize_rows(self, table: Table, n_rows: int) -> List[Token]:
+        """Serialize the first ``n_rows`` rows without enforcing the budget."""
+        tokens: List[Token] = [Token(CLS, TokenRole.SPECIAL)]
+        if self.include_caption and table.caption:
+            tokens.extend(
+                Token(p, TokenRole.CAPTION)
+                for p in self.tokenizer.tokenize(table.caption)
+            )
+            tokens.append(Token(SEP, TokenRole.SPECIAL))
+        if self.include_header:
+            for c, name in enumerate(table.header):
+                tokens.extend(
+                    Token(p, TokenRole.HEADER, col=c)
+                    for p in self.tokenizer.tokenize(name)
+                )
+                tokens.append(Token(HEADER, TokenRole.SPECIAL, col=c))
+            tokens.append(Token(SEP, TokenRole.SPECIAL))
+        for r in range(min(n_rows, table.num_rows)):
+            tokens.append(Token(ROW, TokenRole.SPECIAL, row=r))
+            for c in range(table.num_columns):
+                value = table.cell(r, c)
+                pieces = self.tokenizer.tokenize("" if value is None else str(value))
+                tokens.extend(Token(p, TokenRole.VALUE, row=r, col=c) for p in pieces)
+                if c < table.num_columns - 1:
+                    tokens.append(Token(CELL, TokenRole.SPECIAL, row=r, col=c))
+            tokens.append(Token(SEP, TokenRole.SPECIAL, row=r))
+        return tokens
+
+    def fit_rows(self, table: Table) -> int:
+        """Maximum number of rows that fits the budget (binary search).
+
+        Mirrors the paper's protocol: all columns are always kept; at least
+        one row is attempted even if it overflows (the sequence is then
+        truncated hard by :meth:`serialize`).
+        """
+        lo, hi, best = 1, table.num_rows, 0
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            if len(self.serialize_rows(table, mid)) <= self.max_tokens:
+                best = mid
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        return best
+
+    def serialize(self, table: Table, n_rows: Optional[int] = None) -> List[Token]:
+        """Serialize within budget; returns at most ``max_tokens`` tokens."""
+        if table.num_rows == 0:
+            return self.serialize_rows(table, 0)[: self.max_tokens]
+        if n_rows is None:
+            n_rows = self.fit_rows(table)
+        if n_rows == 0:
+            # Even a single row overflows: keep one row, truncate hard.
+            return self.serialize_rows(table, 1)[: self.max_tokens]
+        return self.serialize_rows(table, n_rows)
+
+
+class ColumnWiseSerializer:
+    """Column-by-column serialization with per-column [CLS] anchors (DODUO).
+
+    Layout::
+
+        [CLS]₀ v(0,0) v(1,0) … [SEP] [CLS]₁ v(0,1) … [SEP] …
+
+    DODUO feeds *values only* — headers are ignored, which is why its
+    embeddings show exactly zero variance under schema perturbations (P7).
+    ``include_header`` exists for ablations.
+    """
+
+    def __init__(
+        self,
+        tokenizer: Tokenizer,
+        max_tokens: int = 512,
+        *,
+        include_header: bool = False,
+    ):
+        self.tokenizer = tokenizer
+        self.max_tokens = max_tokens
+        self.include_header = include_header
+
+    def serialize_rows(self, table: Table, n_rows: int) -> List[Token]:
+        tokens: List[Token] = []
+        for c in range(table.num_columns):
+            tokens.append(Token(CLS, TokenRole.SPECIAL, col=c))
+            if self.include_header:
+                tokens.extend(
+                    Token(p, TokenRole.HEADER, col=c)
+                    for p in self.tokenizer.tokenize(table.header[c])
+                )
+                tokens.append(Token(HEADER, TokenRole.SPECIAL, col=c))
+            for r in range(min(n_rows, table.num_rows)):
+                value = table.cell(r, c)
+                pieces = self.tokenizer.tokenize("" if value is None else str(value))
+                tokens.extend(Token(p, TokenRole.VALUE, row=r, col=c) for p in pieces)
+            tokens.append(Token(SEP, TokenRole.SPECIAL, col=c))
+        return tokens
+
+    def fit_rows(self, table: Table) -> int:
+        lo, hi, best = 1, table.num_rows, 0
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            if len(self.serialize_rows(table, mid)) <= self.max_tokens:
+                best = mid
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        return best
+
+    def serialize(self, table: Table, n_rows: Optional[int] = None) -> List[Token]:
+        if table.num_rows == 0:
+            return self.serialize_rows(table, 0)[: self.max_tokens]
+        if n_rows is None:
+            n_rows = self.fit_rows(table)
+        if n_rows == 0:
+            return self.serialize_rows(table, 1)[: self.max_tokens]
+        return self.serialize_rows(table, n_rows)
+
+
+class RowTemplateSerializer:
+    """Per-row natural-language templates (TapTap).
+
+    Each row becomes its own independent sequence: ``name is Alice [CELL]
+    age is 30 …``.  Rows never see each other, which is why TapTap only
+    yields row embeddings and is excluded from the order-sensitivity
+    properties.
+    """
+
+    def __init__(self, tokenizer: Tokenizer, max_tokens: int = 512):
+        self.tokenizer = tokenizer
+        self.max_tokens = max_tokens
+
+    def serialize_row(self, table: Table, row: int) -> List[Token]:
+        if not 0 <= row < table.num_rows:
+            raise SerializationError(f"row {row} out of range")
+        tokens: List[Token] = [Token(CLS, TokenRole.SPECIAL, row=row)]
+        for c, name in enumerate(table.header):
+            tokens.extend(
+                Token(p, TokenRole.HEADER, row=row, col=c)
+                for p in self.tokenizer.tokenize(name)
+            )
+            tokens.append(Token("is", TokenRole.SPECIAL, row=row, col=c))
+            value = table.cell(row, c)
+            tokens.extend(
+                Token(p, TokenRole.VALUE, row=row, col=c)
+                for p in self.tokenizer.tokenize("" if value is None else str(value))
+            )
+            tokens.append(Token(CELL, TokenRole.SPECIAL, row=row, col=c))
+        return tokens[: self.max_tokens]
+
+    def serialize(self, table: Table) -> List[List[Token]]:
+        """One token sequence per row."""
+        return [self.serialize_row(table, r) for r in range(table.num_rows)]

@@ -1,0 +1,76 @@
+"""Deterministic parameter generation for surrogate encoders.
+
+All weights are drawn from seeded Gaussians keyed by (model seed name,
+layer, part) so that a model's parameters are identical across processes —
+the reproducibility property every Observatory measure depends on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.seeding import rng_for
+
+
+def _matrix(seed_name: str, label: str, rows: int, cols: int, scale: float) -> np.ndarray:
+    rng = rng_for("weights", seed_name, label)
+    return (rng.standard_normal((rows, cols)) * scale).astype(np.float64)
+
+
+class LayerWeights:
+    """Parameters of one transformer layer (pre-norm MHSA + FFN)."""
+
+    def __init__(self, seed_name: str, layer: int, dim: int, hidden: int):
+        # 1/sqrt(dim) keeps activations near unit variance through depth.
+        scale = 1.0 / np.sqrt(dim)
+        tag = f"layer{layer}"
+        self.wq = _matrix(seed_name, f"{tag}.wq", dim, dim, scale)
+        self.wk = _matrix(seed_name, f"{tag}.wk", dim, dim, scale)
+        self.wv = _matrix(seed_name, f"{tag}.wv", dim, dim, scale)
+        self.wo = _matrix(seed_name, f"{tag}.wo", dim, dim, scale)
+        self.w1 = _matrix(seed_name, f"{tag}.w1", dim, hidden, scale)
+        self.w2 = _matrix(seed_name, f"{tag}.w2", hidden, dim, 1.0 / np.sqrt(hidden))
+
+
+class ModelWeights:
+    """All parameters of a surrogate encoder, generated once per model."""
+
+    def __init__(self, seed_name: str, dim: int, n_layers: int, ffn_multiplier: int = 2):
+        self.seed_name = seed_name
+        self.dim = dim
+        self.layers = [
+            LayerWeights(seed_name, i, dim, ffn_multiplier * dim)
+            for i in range(n_layers)
+        ]
+        rng = rng_for("weights", seed_name, "anisotropy")
+        direction = rng.standard_normal(dim)
+        self.anisotropy_direction = direction / np.linalg.norm(direction)
+        probe = rng.standard_normal(dim)
+        self.anisotropy_probe = probe / np.linalg.norm(probe)
+        self._position_cache: Dict[str, np.ndarray] = {}
+
+    def position_vector(self, kind: str, index: int) -> np.ndarray:
+        """Deterministic embedding for a positional index (cached).
+
+        ``kind`` namespaces the three positional vocabularies ("abs", "row",
+        "col") so row id 3 and column id 3 get independent vectors.
+        """
+        key = f"{kind}:{index}"
+        cached = self._position_cache.get(key)
+        if cached is None:
+            rng = rng_for("weights", self.seed_name, "pos", kind, index)
+            cached = rng.standard_normal(self.dim).astype(np.float64)
+            self._position_cache[key] = cached
+        return cached
+
+    def segment_vector(self, kind: str) -> np.ndarray:
+        """Embedding for a token's structural role (header/value/caption/special)."""
+        key = f"seg:{kind}"
+        cached = self._position_cache.get(key)
+        if cached is None:
+            rng = rng_for("weights", self.seed_name, "segment", kind)
+            cached = rng.standard_normal(self.dim).astype(np.float64)
+            self._position_cache[key] = cached
+        return cached

@@ -1,0 +1,29 @@
+"""The model zoo: the nine models the paper evaluates.
+
+Three vanilla language models (BERT, RoBERTa, T5) and six table embedding
+models (TURL, DODUO, TAPAS, TaBERT, TaPEx, TapTap), each a
+:class:`~repro.models.base.SurrogateModel` configured to exhibit the
+architectural mechanisms of its namesake (DESIGN.md, section 5).
+"""
+
+from repro.models.zoo.bert import CONFIG as BERT_CONFIG, build as build_bert
+from repro.models.zoo.roberta import CONFIG as ROBERTA_CONFIG, build as build_roberta
+from repro.models.zoo.t5 import CONFIG as T5_CONFIG, build as build_t5
+from repro.models.zoo.turl import CONFIG as TURL_CONFIG, build as build_turl
+from repro.models.zoo.doduo import CONFIG as DODUO_CONFIG, build as build_doduo
+from repro.models.zoo.tapas import CONFIG as TAPAS_CONFIG, build as build_tapas
+from repro.models.zoo.tabert import CONFIG as TABERT_CONFIG, build as build_tabert
+from repro.models.zoo.tapex import CONFIG as TAPEX_CONFIG, build as build_tapex
+from repro.models.zoo.taptap import CONFIG as TAPTAP_CONFIG, build as build_taptap
+
+__all__ = [
+    "BERT_CONFIG", "build_bert",
+    "ROBERTA_CONFIG", "build_roberta",
+    "T5_CONFIG", "build_t5",
+    "TURL_CONFIG", "build_turl",
+    "DODUO_CONFIG", "build_doduo",
+    "TAPAS_CONFIG", "build_tapas",
+    "TABERT_CONFIG", "build_tabert",
+    "TAPEX_CONFIG", "build_tapex",
+    "TAPTAP_CONFIG", "build_taptap",
+]

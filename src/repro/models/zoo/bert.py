@@ -1,0 +1,32 @@
+"""BERT surrogate.
+
+The baseline vanilla language model: row-wise serialization (tables have no
+native format for an LM, so the paper applies row/column-wise serialization
+experimentally), weak absolute position embeddings, full attention,
+lowercasing tokenizer.  The paper finds BERT's column and row embeddings
+highly robust to row shuffling (Figure 5) and its schema-perturbation
+robustness among the best (Figure 13).
+"""
+
+from __future__ import annotations
+
+from repro.models.base import SurrogateModel
+from repro.models.config import AttentionMask, ModelConfig, PositionKind, Serialization
+
+CONFIG = ModelConfig(
+    name="bert",
+    serialization=Serialization.ROW_WISE,
+    position_kind=PositionKind.ABSOLUTE,
+    position_scale=0.8,
+    column_position_scale=0.15,  # mild neighbor-column context signal
+    attention_mask=AttentionMask.FULL,
+    attention_gain=1.5,
+    attention_temperature=1.5,
+    header_weight=1.0,
+    lowercase=True,
+)
+
+
+def build() -> SurrogateModel:
+    """Construct the BERT surrogate."""
+    return SurrogateModel(CONFIG)

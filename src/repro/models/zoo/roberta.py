@@ -1,0 +1,32 @@
+"""RoBERTa surrogate.
+
+Same architecture family as BERT with two differences that matter to
+Observatory: a case-sensitive byte-level-style tokenizer — which fragments
+abbreviated headers differently and produces RoBERTa's low outliers under
+schema-abbreviation perturbations (Figure 13) — and stronger positional
+sensitivity, visible as the larger cosine drop under column shuffling
+(Figure 7).
+"""
+
+from __future__ import annotations
+
+from repro.models.base import SurrogateModel
+from repro.models.config import AttentionMask, ModelConfig, PositionKind, Serialization
+
+CONFIG = ModelConfig(
+    name="roberta",
+    serialization=Serialization.ROW_WISE,
+    position_kind=PositionKind.ABSOLUTE,
+    position_scale=1.6,
+    column_position_scale=0.35,  # stronger neighbor-column context signal
+    attention_mask=AttentionMask.FULL,
+    attention_gain=1.4,
+    attention_temperature=1.5,
+    header_weight=3.0,  # schema-heavy column pooling: P7 fragility
+    lowercase=False,
+)
+
+
+def build() -> SurrogateModel:
+    """Construct the RoBERTa surrogate."""
+    return SurrogateModel(CONFIG)

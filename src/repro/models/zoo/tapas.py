@@ -1,0 +1,32 @@
+"""TAPAS surrogate.
+
+Weakly-supervised table parser with dedicated *row-id and column-id*
+positional embeddings instead of a purely sequential index.  Pooled over a
+column, the set of row ids is permutation-invariant, which is why TAPAS
+column embeddings are robust to row shuffling (Figure 5) while its
+column-id embeddings make it sensitive to column order (Figure 7), and why
+whole-table context shifts its column embeddings strongly (Table 5).
+"""
+
+from __future__ import annotations
+
+from repro.models.base import SurrogateModel
+from repro.models.config import AttentionMask, ModelConfig, PositionKind, Serialization
+
+CONFIG = ModelConfig(
+    name="tapas",
+    serialization=Serialization.ROW_WISE,
+    position_kind=PositionKind.ROW_COLUMN,
+    row_position_scale=0.8,
+    column_position_scale=0.5,
+    attention_mask=AttentionMask.FULL,
+    attention_gain=2.0,
+    attention_temperature=2.0,
+    header_weight=1.0,
+    lowercase=True,
+)
+
+
+def build() -> SurrogateModel:
+    """Construct the TAPAS surrogate."""
+    return SurrogateModel(CONFIG)

@@ -1,0 +1,37 @@
+"""TaPEx surrogate.
+
+Pretrained as a neural SQL executor over (SQL query, table) inputs; exposes
+row and table embeddings natively (Table 1 of the paper) and column
+embeddings by aggregation.  Moderate absolute positional sensitivity shows
+up in the paper as wider row-embedding MCV under shuffling (Figure 5,
+middle).
+"""
+
+from __future__ import annotations
+
+from repro.core.levels import EmbeddingLevel
+from repro.models.base import SurrogateModel
+from repro.models.config import AttentionMask, ModelConfig, PositionKind, Serialization
+
+CONFIG = ModelConfig(
+    name="tapex",
+    serialization=Serialization.ROW_WISE,
+    position_kind=PositionKind.ABSOLUTE,
+    position_scale=1.0,
+    attention_mask=AttentionMask.FULL,
+    header_weight=0.8,
+    levels=frozenset(
+        {
+            EmbeddingLevel.COLUMN,
+            EmbeddingLevel.ROW,
+            EmbeddingLevel.TABLE,
+            EmbeddingLevel.ENTITY,
+        }
+    ),
+    lowercase=True,
+)
+
+
+def build() -> SurrogateModel:
+    """Construct the TaPEx surrogate."""
+    return SurrogateModel(CONFIG)

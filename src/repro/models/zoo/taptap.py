@@ -1,0 +1,30 @@
+"""TapTap surrogate.
+
+Generative tabular-prediction model that serializes each row independently
+through a text template ("name is Alice, age is 30, …") — rows never attend
+to each other, so TapTap only yields row embeddings and is trivially
+insensitive to row order.  The paper accordingly excludes it from every
+property except where row embeddings suffice; the surrogate enforces the
+same level restriction.
+"""
+
+from __future__ import annotations
+
+from repro.core.levels import EmbeddingLevel
+from repro.models.base import SurrogateModel
+from repro.models.config import AttentionMask, ModelConfig, PositionKind, Serialization
+
+CONFIG = ModelConfig(
+    name="taptap",
+    serialization=Serialization.ROW_TEMPLATE,
+    position_kind=PositionKind.NONE,
+    attention_mask=AttentionMask.ROW_LOCAL,
+    header_weight=1.0,
+    levels=frozenset({EmbeddingLevel.ROW}),
+    lowercase=True,
+)
+
+
+def build() -> SurrogateModel:
+    """Construct the TapTap surrogate."""
+    return SurrogateModel(CONFIG)

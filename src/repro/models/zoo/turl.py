@@ -1,0 +1,39 @@
+"""TURL surrogate.
+
+Entity-centric table model pretrained on entity-rich web tables: consumes
+the caption and cell entity mentions, exposing entity, cell, column, and
+table embeddings (no row level — TURL's objectives are entity/column
+oriented).  The paper notes TURL is "designed and implemented to output
+embeddings from entity-rich tables like those in WikiTables", which is why
+it is excluded from the Spider/NextiaJD/SOTAB-based properties.
+"""
+
+from __future__ import annotations
+
+from repro.core.levels import EmbeddingLevel
+from repro.models.base import SurrogateModel
+from repro.models.config import AttentionMask, ModelConfig, PositionKind, Serialization
+
+CONFIG = ModelConfig(
+    name="turl",
+    serialization=Serialization.ROW_WISE,
+    position_kind=PositionKind.ABSOLUTE,
+    position_scale=1.7,
+    attention_mask=AttentionMask.FULL,
+    header_weight=1.0,
+    include_caption=True,
+    levels=frozenset(
+        {
+            EmbeddingLevel.TABLE,
+            EmbeddingLevel.COLUMN,
+            EmbeddingLevel.CELL,
+            EmbeddingLevel.ENTITY,
+        }
+    ),
+    lowercase=True,
+)
+
+
+def build() -> SurrogateModel:
+    """Construct the TURL surrogate."""
+    return SurrogateModel(CONFIG)

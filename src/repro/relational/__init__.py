@@ -1,0 +1,64 @@
+"""Relational data-model substrate.
+
+This subpackage implements the relational machinery Observatory measures are
+defined over: typed values, schemas, tables with provenance-preserving
+shuffles and projections, permutation sampling, row sampling and column
+chunking, value-overlap measures, and functional dependencies (definition,
+verification, and HyFD-style discovery).
+"""
+
+from repro.relational.values import DataType, infer_type, infer_column_type, parse_value
+from repro.relational.schema import ColumnSchema, TableSchema
+from repro.relational.table import Table
+from repro.relational.permutations import sample_permutations, permutation_count
+from repro.relational.sampling import sample_rows, sample_column_values, chunk_values
+from repro.relational.overlap import (
+    containment,
+    jaccard,
+    multiset_jaccard,
+    OVERLAP_MEASURES,
+)
+from repro.relational.fd import FunctionalDependency, fd_groups, satisfies
+from repro.relational.fd_discovery import discover_fds, discover_unary_fds
+from repro.relational.algebra import (
+    distinct,
+    group_by,
+    hash_join,
+    project,
+    select,
+    semi_join,
+    sort_by,
+    union,
+)
+
+__all__ = [
+    "DataType",
+    "infer_type",
+    "infer_column_type",
+    "parse_value",
+    "ColumnSchema",
+    "TableSchema",
+    "Table",
+    "sample_permutations",
+    "permutation_count",
+    "sample_rows",
+    "sample_column_values",
+    "chunk_values",
+    "containment",
+    "jaccard",
+    "multiset_jaccard",
+    "OVERLAP_MEASURES",
+    "FunctionalDependency",
+    "fd_groups",
+    "satisfies",
+    "discover_fds",
+    "discover_unary_fds",
+    "select",
+    "project",
+    "distinct",
+    "union",
+    "hash_join",
+    "semi_join",
+    "group_by",
+    "sort_by",
+]

@@ -1,0 +1,186 @@
+"""Relational algebra over :class:`~repro.relational.table.Table`.
+
+The join-relationship property (P3) exists because *joining* is the
+operation practitioners discover candidates for; this module closes the
+loop by actually executing the operators — selection, projection, inner and
+left joins (hash joins on stringified keys), union, distinct, and
+group-by aggregation — so examples and tests can verify that discovered
+join candidates really join.
+
+All operators are pure: they return new tables and never mutate inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import TableError
+from repro.relational.schema import ColumnSchema, TableSchema
+from repro.relational.table import Table
+from repro.relational.values import infer_column_type
+
+Predicate = Callable[[tuple], bool]
+Aggregator = Callable[[List[object]], object]
+
+
+def _key(value: object) -> str:
+    return "" if value is None else str(value)
+
+
+def select(table: Table, predicate: Predicate) -> Table:
+    """Rows satisfying ``predicate`` (called with the row tuple)."""
+    kept = [row for row in table.rows if predicate(row)]
+    return Table(table.schema, kept, caption=table.caption, table_id=table.table_id)
+
+
+def select_eq(table: Table, column: str, value: object) -> Table:
+    """Shorthand: rows whose ``column`` equals ``value`` (string compare)."""
+    index = table.schema.index_of(column)
+    return select(table, lambda row: _key(row[index]) == _key(value))
+
+
+def project(table: Table, columns: Sequence[str]) -> Table:
+    """Projection by column names (order follows ``columns``)."""
+    indices = [table.schema.index_of(name) for name in columns]
+    return table.project(indices)
+
+
+def distinct(table: Table) -> Table:
+    """Duplicate-free copy (first occurrence wins, order preserved)."""
+    seen = set()
+    kept = []
+    for row in table.rows:
+        key = tuple(_key(v) for v in row)
+        if key not in seen:
+            seen.add(key)
+            kept.append(row)
+    return Table(table.schema, kept, caption=table.caption, table_id=table.table_id)
+
+
+def union(left: Table, right: Table) -> Table:
+    """Set union: schemas must have equal width; headers follow the left."""
+    if left.num_columns != right.num_columns:
+        raise TableError(
+            f"union requires equal arity ({left.num_columns} vs {right.num_columns})"
+        )
+    return distinct(Table(left.schema, list(left.rows) + list(right.rows)))
+
+
+def _joined_schema(left: Table, right: Table, right_on: int) -> TableSchema:
+    right_columns = [
+        col if col.name not in set(left.header) else col.renamed(f"{col.name}_right")
+        for i, col in enumerate(right.schema)
+        if i != right_on
+    ]
+    return TableSchema(list(left.schema.columns) + right_columns)
+
+
+def hash_join(
+    left: Table,
+    right: Table,
+    left_on: str,
+    right_on: str,
+    *,
+    how: str = "inner",
+) -> Table:
+    """Equi-join on one column per side (classic build/probe hash join).
+
+    The right join column is dropped from the output (it duplicates the
+    left's); clashing right column names get a ``_right`` suffix.
+    ``how`` is ``"inner"`` or ``"left"`` (unmatched left rows padded with
+    None).
+    """
+    if how not in ("inner", "left"):
+        raise TableError(f"unsupported join type {how!r}")
+    li = left.schema.index_of(left_on)
+    ri = right.schema.index_of(right_on)
+    build: Dict[str, List[tuple]] = {}
+    for row in right.rows:
+        build.setdefault(_key(row[ri]), []).append(row)
+    schema = _joined_schema(left, right, ri)
+    out_rows = []
+    pad = tuple([None] * (right.num_columns - 1))
+    for row in left.rows:
+        matches = build.get(_key(row[li]), [])
+        if matches:
+            for match in matches:
+                rest = tuple(v for i, v in enumerate(match) if i != ri)
+                out_rows.append(tuple(row) + rest)
+        elif how == "left":
+            out_rows.append(tuple(row) + pad)
+    return Table(schema, out_rows, table_id=f"{left.table_id}|x|{right.table_id}")
+
+
+def semi_join(left: Table, right: Table, left_on: str, right_on: str) -> Table:
+    """Left rows with at least one match on the right."""
+    ri = right.schema.index_of(right_on)
+    keys = {_key(row[ri]) for row in right.rows}
+    li = left.schema.index_of(left_on)
+    return select(left, lambda row: _key(row[li]) in keys)
+
+
+# Common aggregators for group_by.
+AGGREGATORS: Dict[str, Aggregator] = {
+    "count": lambda values: len(values),
+    "sum": lambda values: sum(float(v) for v in values if v is not None),
+    "min": lambda values: min(values),
+    "max": lambda values: max(values),
+    "avg": lambda values: (
+        sum(float(v) for v in values if v is not None)
+        / max(1, sum(1 for v in values if v is not None))
+    ),
+    "first": lambda values: values[0],
+}
+
+
+def group_by(
+    table: Table,
+    keys: Sequence[str],
+    aggregations: Dict[str, Tuple[str, str]],
+) -> Table:
+    """Group rows by ``keys`` and aggregate.
+
+    ``aggregations`` maps output column name -> (input column, aggregator
+    name from :data:`AGGREGATORS`).  Output columns are the keys followed by
+    the aggregates, groups in first-seen order.
+    """
+    key_idx = [table.schema.index_of(k) for k in keys]
+    specs = []
+    for out_name, (in_name, agg_name) in aggregations.items():
+        if agg_name not in AGGREGATORS:
+            raise TableError(f"unknown aggregator {agg_name!r}")
+        specs.append((out_name, table.schema.index_of(in_name), AGGREGATORS[agg_name]))
+
+    groups: Dict[tuple, List[tuple]] = {}
+    order: List[tuple] = []
+    for row in table.rows:
+        group_key = tuple(_key(row[i]) for i in key_idx)
+        if group_key not in groups:
+            order.append(group_key)
+            groups[group_key] = []
+        groups[group_key].append(row)
+
+    out_rows = []
+    for group_key in order:
+        rows = groups[group_key]
+        base = [rows[0][i] for i in key_idx]
+        for _, in_idx, aggregator in specs:
+            base.append(aggregator([row[in_idx] for row in rows]))
+        out_rows.append(tuple(base))
+
+    out_columns = [table.schema[i] for i in key_idx]
+    for j, (out_name, _, _) in enumerate(specs):
+        sample = [row[len(key_idx) + j] for row in out_rows]
+        out_columns.append(ColumnSchema(out_name, infer_column_type(sample)))
+    return Table(TableSchema(out_columns), out_rows, table_id=f"{table.table_id}|groupby")
+
+
+def sort_by(table: Table, column: str, *, descending: bool = False) -> Table:
+    """Stable sort by one column (string order for mixed types)."""
+    index = table.schema.index_of(column)
+    order = sorted(
+        range(table.num_rows),
+        key=lambda r: _key(table.rows[r][index]),
+        reverse=descending,
+    )
+    return table.take_rows(order)

@@ -1,0 +1,128 @@
+"""Functional dependencies: definition, verification, and FD groups.
+
+A relation T over attributes U satisfies the functional dependency X -> Y
+when any two tuples agreeing on X also agree on Y.  Property 4 probes
+whether embedding spaces preserve FDs as stable translations: within each
+FD group (the tuples sharing one determinant value), the vector from the
+determinant-cell embedding to the dependent-cell embedding should be
+constant if the relationship is preserved.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import TableError
+from repro.relational.table import Table
+
+
+@dataclasses.dataclass(frozen=True)
+class FunctionalDependency:
+    """X -> Y over column indices of a specific table.
+
+    Attributes:
+        determinant: column indices of X (the paper mines |X| = 1).
+        dependent: column indices of Y.
+    """
+
+    determinant: Tuple[int, ...]
+    dependent: Tuple[int, ...]
+
+    def __post_init__(self):
+        if not self.determinant or not self.dependent:
+            raise ValueError("determinant and dependent must be non-empty")
+        if set(self.determinant) & set(self.dependent):
+            raise ValueError("determinant and dependent must be disjoint")
+
+    @classmethod
+    def unary(cls, lhs: int, rhs: int) -> "FunctionalDependency":
+        """Single-column determinant and dependent (the paper's setting)."""
+        return cls(determinant=(lhs,), dependent=(rhs,))
+
+    def describe(self, table: Table) -> str:
+        names = table.header
+        lhs = ", ".join(names[i] for i in self.determinant)
+        rhs = ", ".join(names[i] for i in self.dependent)
+        return f"{lhs} -> {rhs}"
+
+
+def _projection(row: Sequence[object], indices: Tuple[int, ...]) -> Tuple:
+    return tuple("" if row[i] is None else str(row[i]) for i in indices)
+
+
+def satisfies(table: Table, fd: FunctionalDependency) -> bool:
+    """Check whether ``table`` satisfies ``fd`` exactly."""
+    _check_indices(table, fd)
+    seen: Dict[Tuple, Tuple] = {}
+    for row in table.rows:
+        lhs = _projection(row, fd.determinant)
+        rhs = _projection(row, fd.dependent)
+        if lhs in seen:
+            if seen[lhs] != rhs:
+                return False
+        else:
+            seen[lhs] = rhs
+    return True
+
+
+def violation_pairs(
+    table: Table, fd: FunctionalDependency, limit: int = 10
+) -> List[Tuple[int, int]]:
+    """Row-index pairs witnessing FD violations (up to ``limit``), for tests."""
+    _check_indices(table, fd)
+    first_row: Dict[Tuple, int] = {}
+    rhs_of: Dict[Tuple, Tuple] = {}
+    violations: List[Tuple[int, int]] = []
+    for r, row in enumerate(table.rows):
+        lhs = _projection(row, fd.determinant)
+        rhs = _projection(row, fd.dependent)
+        if lhs in rhs_of and rhs_of[lhs] != rhs:
+            violations.append((first_row[lhs], r))
+            if len(violations) >= limit:
+                return violations
+        elif lhs not in rhs_of:
+            rhs_of[lhs] = rhs
+            first_row[lhs] = r
+    return violations
+
+
+def fd_groups(table: Table, fd: FunctionalDependency) -> Dict[Tuple, List[int]]:
+    """Partition row indices by determinant value (the FD groups of Measure 4).
+
+    Keys are the projected determinant values, values are the row indices in
+    that group, in table order.  The groups partition the table: every row
+    appears in exactly one group.
+    """
+    _check_indices(table, fd)
+    groups: Dict[Tuple, List[int]] = {}
+    for r, row in enumerate(table.rows):
+        groups.setdefault(_projection(row, fd.determinant), []).append(r)
+    return groups
+
+
+def group_value_pairs(
+    table: Table, fd: FunctionalDependency
+) -> List[List[Tuple[int, int, int, int]]]:
+    """Per-group lists of (row, lhs_col, row, rhs_col) cell coordinate pairs.
+
+    For unary FDs this yields, per FD group, the (determinant cell,
+    dependent cell) coordinates whose embeddings Measure 4 subtracts.
+    Multi-attribute FDs are flattened pairwise (each determinant column is
+    paired with each dependent column).
+    """
+    coords: List[List[Tuple[int, int, int, int]]] = []
+    for rows in fd_groups(table, fd).values():
+        group_coords = []
+        for r in rows:
+            for lhs in fd.determinant:
+                for rhs in fd.dependent:
+                    group_coords.append((r, lhs, r, rhs))
+        coords.append(group_coords)
+    return coords
+
+
+def _check_indices(table: Table, fd: FunctionalDependency) -> None:
+    for i in fd.determinant + fd.dependent:
+        if not 0 <= i < table.num_columns:
+            raise TableError(f"FD column index {i} out of range for {table!r}")

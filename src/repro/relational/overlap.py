@@ -1,0 +1,101 @@
+"""Value-overlap measures between columns (Measure 3).
+
+The join-relationship property correlates embedding cosine similarity with a
+syntactic value-overlap measure R over (query, candidate) column pairs.  The
+paper uses three: containment |Q ∩ C| / |Q| (set semantics, asymmetric, not
+biased toward small sets), Jaccard |Q ∩ C| / |Q ∪ C| (set semantics), and
+multiset Jaccard |Q ∩ C| / (|Q| + |C|) with multiset semantics, whose maximum
+attainable value is 1/2.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Dict, Iterable, Mapping, Sequence
+
+from repro.errors import MeasureError
+
+
+def _normalize(values: Iterable[object]) -> list:
+    """Stringify and strip values; drop empties (join keys are non-null)."""
+    out = []
+    for value in values:
+        if value is None:
+            continue
+        text = str(value).strip()
+        if text:
+            out.append(text)
+    return out
+
+
+def _as_multiset(values: Iterable[object]) -> Counter:
+    return Counter(_normalize(values))
+
+
+def containment(query: Sequence[object], candidate: Sequence[object]) -> float:
+    """Set containment |Q ∩ C| / |Q| of the query's distinct values.
+
+    Ranges in [0, 1]; equals 1 when every distinct query value appears in
+    the candidate.  Asymmetric: ``containment(q, c) != containment(c, q)``
+    in general.
+    """
+    q = set(_normalize(query))
+    if not q:
+        raise MeasureError("containment is undefined for an empty query column")
+    c = set(_normalize(candidate))
+    return len(q & c) / len(q)
+
+
+def jaccard(query: Sequence[object], candidate: Sequence[object]) -> float:
+    """Set Jaccard similarity |Q ∩ C| / |Q ∪ C|, in [0, 1]."""
+    q = set(_normalize(query))
+    c = set(_normalize(candidate))
+    union = q | c
+    if not union:
+        raise MeasureError("jaccard is undefined when both columns are empty")
+    return len(q & c) / len(union)
+
+
+def multiset_jaccard(query: Sequence[object], candidate: Sequence[object]) -> float:
+    """Multiset Jaccard |Q ∩ C| / (|Q| + |C|) with multiplicity-aware ∩.
+
+    The intersection counts each value min(count_Q, count_C) times and the
+    denominator is the *sum* of multiset cardinalities, so the measure is
+    bounded above by 1/2 (attained when the multisets are identical).  This
+    is the variant the paper finds most correlated with embedding cosine
+    similarity, because embedding inference consumes all values including
+    duplicates.
+    """
+    q = _as_multiset(query)
+    c = _as_multiset(candidate)
+    total = sum(q.values()) + sum(c.values())
+    if total == 0:
+        raise MeasureError("multiset jaccard is undefined when both columns are empty")
+    inter = sum(min(count, c[value]) for value, count in q.items())
+    return inter / total
+
+
+def weighted_containment(
+    query: Mapping[str, int], candidate: Mapping[str, int]
+) -> float:
+    """Multiset containment over precomputed multisets (extension measure).
+
+    Counts query duplicates: sum(min(q_v, c_v)) / |Q| with multiset |Q|.
+    Included as an ablation alternative; not used by the paper's Table 3.
+    """
+    total = sum(query.values())
+    if total == 0:
+        raise MeasureError("weighted containment is undefined for an empty query")
+    inter = sum(min(count, candidate.get(value, 0)) for value, count in query.items())
+    return inter / total
+
+
+OverlapFn = Callable[[Sequence[object], Sequence[object]], float]
+
+# Registry used by the join-relationship property and its benchmarks; keys
+# match the row labels of the paper's Table 3.
+OVERLAP_MEASURES: Dict[str, OverlapFn] = {
+    "containment": containment,
+    "jaccard": jaccard,
+    "multiset_jaccard": multiset_jaccard,
+}

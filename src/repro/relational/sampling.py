@@ -1,0 +1,89 @@
+"""Row sampling and column chunking (Measure 5 machinery).
+
+Sample fidelity compares the embedding of a *sampled* column against the
+embedding of the *full* column.  Full columns may exceed a model's input
+limit, so — following the paper (and TUTA's practice it cites) — the full
+column is split into chunks that share the header, each chunk is embedded,
+and the chunk embeddings are aggregated.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import DatasetError
+from repro.relational.table import Table
+from repro.seeding import rng_for
+
+
+def sample_rows(
+    table: Table,
+    fraction: float,
+    *,
+    seed_parts: Tuple = (),
+    minimum: int = 1,
+) -> Table:
+    """Uniformly sample a fraction of a table's rows (without replacement).
+
+    Row order of the sample follows the original table (sampling should not
+    double as a shuffle — P1 measures shuffling separately).
+    """
+    if not 0 < fraction <= 1:
+        raise DatasetError(f"fraction must be in (0, 1], got {fraction}")
+    n = table.num_rows
+    k = max(minimum, round(n * fraction))
+    k = min(k, n)
+    rng = rng_for("sample_rows", table.table_id, fraction, *seed_parts)
+    chosen = sorted(rng.choice(n, size=k, replace=False).tolist())
+    return table.take_rows(chosen)
+
+
+def sample_column_values(
+    values: Sequence[object],
+    fraction: float,
+    *,
+    seed_parts: Tuple = (),
+    minimum: int = 1,
+) -> List[object]:
+    """Uniformly sample values from a column, preserving original order."""
+    if not 0 < fraction <= 1:
+        raise DatasetError(f"fraction must be in (0, 1], got {fraction}")
+    n = len(values)
+    if n == 0:
+        return []
+    k = min(n, max(minimum, round(n * fraction)))
+    rng = rng_for("sample_values", fraction, *seed_parts)
+    chosen = sorted(rng.choice(n, size=k, replace=False).tolist())
+    return [values[i] for i in chosen]
+
+
+def chunk_values(values: Sequence[object], chunk_size: int) -> List[List[object]]:
+    """Split column values into consecutive chunks of at most ``chunk_size``.
+
+    Every chunk is non-empty; the final chunk may be shorter.  Chunks share
+    the column header when embedded (the caller attaches it).
+    """
+    if chunk_size < 1:
+        raise DatasetError("chunk_size must be positive")
+    return [list(values[i : i + chunk_size]) for i in range(0, len(values), chunk_size)]
+
+
+def distinct_samples(
+    values: Sequence[object],
+    fraction: float,
+    n_samples: int,
+    *,
+    seed_parts: Tuple = (),
+) -> List[List[object]]:
+    """Draw ``n_samples`` independent uniform samples of a column.
+
+    Samples are drawn independently (they may collide on tiny columns, where
+    fewer distinct subsets exist than requested; the paper's corpora make
+    collisions negligible).
+    """
+    if n_samples < 1:
+        raise DatasetError("n_samples must be positive")
+    return [
+        sample_column_values(values, fraction, seed_parts=(*seed_parts, i))
+        for i in range(n_samples)
+    ]

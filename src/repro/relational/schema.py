@@ -1,0 +1,130 @@
+"""Column and table schemas.
+
+Schemas carry the metadata Observatory's properties need beyond raw values:
+header names (perturbed in P7), data types (textual vs non-textual split in
+P8), semantic types (ground truth for the Section 6 column-type-prediction
+harness), and the subject-column flag (context setting (b) in P8).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, Optional, Sequence
+
+from repro.errors import SchemaError
+from repro.relational.values import DataType
+
+
+@dataclasses.dataclass(frozen=True)
+class ColumnSchema:
+    """Schema of one column.
+
+    Attributes:
+        name: header string; empty string means the table is headerless.
+        data_type: primitive :class:`DataType` of the column's values.
+        semantic_type: optional fine-grained label (e.g. ``"country"``),
+            used as ground truth by downstream harnesses.
+        is_subject: whether this is the table's subject column (the column
+            holding the entities the table is about).
+    """
+
+    name: str
+    data_type: DataType = DataType.TEXT
+    semantic_type: Optional[str] = None
+    is_subject: bool = False
+
+    def renamed(self, new_name: str) -> "ColumnSchema":
+        """Return a copy with a different header (used by P7 perturbations)."""
+        return dataclasses.replace(self, name=new_name)
+
+    def with_type(self, data_type: DataType) -> "ColumnSchema":
+        return dataclasses.replace(self, data_type=data_type)
+
+
+class TableSchema:
+    """Ordered collection of :class:`ColumnSchema` with name lookup.
+
+    Column order is significant here — the whole point of P2 is to measure
+    what happens to embeddings when it changes — so the schema is a sequence,
+    not a mapping.  Duplicate names are allowed (they occur in web tables);
+    name lookup returns the first match.
+    """
+
+    def __init__(self, columns: Sequence[ColumnSchema]):
+        self._columns = tuple(columns)
+        if not self._columns:
+            raise SchemaError("a table schema needs at least one column")
+
+    @classmethod
+    def from_names(cls, names: Sequence[str]) -> "TableSchema":
+        """Build a schema of TEXT columns from header names."""
+        return cls([ColumnSchema(name=name) for name in names])
+
+    @property
+    def columns(self) -> tuple:
+        return self._columns
+
+    @property
+    def names(self) -> list:
+        return [col.name for col in self._columns]
+
+    @property
+    def width(self) -> int:
+        return len(self._columns)
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __iter__(self) -> Iterator[ColumnSchema]:
+        return iter(self._columns)
+
+    def __getitem__(self, index: int) -> ColumnSchema:
+        return self._columns[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TableSchema):
+            return NotImplemented
+        return self._columns == other._columns
+
+    def __hash__(self) -> int:
+        return hash(self._columns)
+
+    def __repr__(self) -> str:
+        return f"TableSchema({list(self.names)!r})"
+
+    def index_of(self, name: str) -> int:
+        """Index of the first column named ``name``; raises SchemaError."""
+        for i, col in enumerate(self._columns):
+            if col.name == name:
+                return i
+        raise SchemaError(f"no column named {name!r}")
+
+    def subject_index(self) -> Optional[int]:
+        """Index of the subject column, or None if the table has none."""
+        for i, col in enumerate(self._columns):
+            if col.is_subject:
+                return i
+        return None
+
+    def reordered(self, order: Sequence[int]) -> "TableSchema":
+        """Return the schema with columns permuted by ``order``."""
+        if sorted(order) != list(range(self.width)):
+            raise SchemaError(
+                f"order {order!r} is not a permutation of 0..{self.width - 1}"
+            )
+        return TableSchema([self._columns[i] for i in order])
+
+    def projected(self, indices: Sequence[int]) -> "TableSchema":
+        """Return the schema restricted to ``indices`` (order preserved)."""
+        for i in indices:
+            if not 0 <= i < self.width:
+                raise SchemaError(f"column index {i} out of range")
+        return TableSchema([self._columns[i] for i in indices])
+
+    def renamed(self, index: int, new_name: str) -> "TableSchema":
+        """Return the schema with column ``index`` renamed."""
+        if not 0 <= index < self.width:
+            raise SchemaError(f"column index {index} out of range")
+        columns = list(self._columns)
+        columns[index] = columns[index].renamed(new_name)
+        return TableSchema(columns)

@@ -1,0 +1,315 @@
+"""The Table: the unit every Observatory property operates on.
+
+A :class:`Table` is an immutable rectangle of cell values with a
+:class:`~repro.relational.schema.TableSchema`, optional caption, and optional
+per-cell entity links (used by TURL-style models and P6 entity stability).
+All structural operations — row/column shuffles, projections, sampling —
+return *new* tables so that experiment code can hold the original and its
+variants side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import TableError
+from repro.relational.schema import ColumnSchema, TableSchema
+from repro.relational.values import DataType, infer_column_type
+
+
+class Table:
+    """An ordered relation: rows of cells under a schema.
+
+    Attributes:
+        schema: the table's :class:`TableSchema`.
+        rows: tuple of row tuples, each of width ``schema.width``.
+        caption: optional table caption (web-table metadata).
+        table_id: stable identifier used for seeding and reporting.
+        entity_links: mapping from (row, col) to a linked entity id, for
+            entity-rich tables.
+    """
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        rows: Sequence[Sequence[object]],
+        caption: str = "",
+        table_id: str = "",
+        entity_links: Optional[Dict[Tuple[int, int], str]] = None,
+    ):
+        width = schema.width
+        frozen_rows = []
+        for r, row in enumerate(rows):
+            row = tuple(row)
+            if len(row) != width:
+                raise TableError(
+                    f"row {r} has {len(row)} cells, expected {width}"
+                )
+            frozen_rows.append(row)
+        self.schema = schema
+        self.rows = tuple(frozen_rows)
+        self.caption = caption
+        self.table_id = table_id
+        self.entity_links = dict(entity_links or {})
+        for (r, c) in self.entity_links:
+            if not (0 <= r < len(self.rows) and 0 <= c < width):
+                raise TableError(f"entity link at ({r}, {c}) is out of range")
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_columns(
+        cls,
+        named_columns: Sequence[Tuple[str, Sequence[object]]],
+        caption: str = "",
+        table_id: str = "",
+    ) -> "Table":
+        """Build a table from ``(header, values)`` pairs.
+
+        Column data types are inferred from the values; all columns must have
+        the same length.
+        """
+        if not named_columns:
+            raise TableError("at least one column is required")
+        lengths = {len(values) for _, values in named_columns}
+        if len(lengths) != 1:
+            raise TableError(f"columns have unequal lengths: {sorted(lengths)}")
+        schema = TableSchema(
+            [
+                ColumnSchema(name=name, data_type=infer_column_type(values))
+                for name, values in named_columns
+            ]
+        )
+        n_rows = lengths.pop()
+        rows = [
+            tuple(values[r] for _, values in named_columns) for r in range(n_rows)
+        ]
+        return cls(schema, rows, caption=caption, table_id=table_id)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.rows)
+
+    @property
+    def num_columns(self) -> int:
+        return self.schema.width
+
+    @property
+    def header(self) -> List[str]:
+        return self.schema.names
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __repr__(self) -> str:
+        ident = f" id={self.table_id!r}" if self.table_id else ""
+        return f"Table({self.num_rows}x{self.num_columns}{ident})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        return (
+            self.schema == other.schema
+            and self.rows == other.rows
+            and self.caption == other.caption
+        )
+
+    def column_values(self, index: int) -> List[object]:
+        """Values of column ``index``, top to bottom."""
+        if not 0 <= index < self.num_columns:
+            raise TableError(f"column index {index} out of range")
+        return [row[index] for row in self.rows]
+
+    def column_by_name(self, name: str) -> List[object]:
+        return self.column_values(self.schema.index_of(name))
+
+    def cell(self, row: int, col: int) -> object:
+        if not (0 <= row < self.num_rows and 0 <= col < self.num_columns):
+            raise TableError(f"cell ({row}, {col}) out of range")
+        return self.rows[row][col]
+
+    def column_multiset(self, index: int) -> Dict[str, int]:
+        """Multiset of stringified values in a column (for overlap measures)."""
+        counts: Dict[str, int] = {}
+        for value in self.column_values(index):
+            key = "" if value is None else str(value)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def subject_column_index(self) -> Optional[int]:
+        """Subject column if annotated, else the first textual column.
+
+        P8 context setting (b) uses the subject column as context and, when a
+        table has none, falls back to "the first textual column from the
+        left" — that fallback lives here so all callers agree on it.
+        """
+        annotated = self.schema.subject_index()
+        if annotated is not None:
+            return annotated
+        for i, col in enumerate(self.schema):
+            if col.data_type.is_textual:
+                return i
+        return None
+
+    # ------------------------------------------------------------------
+    # Structural transforms (all return new tables)
+    # ------------------------------------------------------------------
+
+    def with_rows(self, rows: Sequence[Sequence[object]]) -> "Table":
+        """Same schema/metadata, different rows (entity links dropped)."""
+        return Table(
+            self.schema, rows, caption=self.caption, table_id=self.table_id
+        )
+
+    def reorder_rows(self, order: Sequence[int]) -> "Table":
+        """Permute rows by ``order``; entity links follow their cells."""
+        if sorted(order) != list(range(self.num_rows)):
+            raise TableError(
+                f"order is not a permutation of 0..{self.num_rows - 1}"
+            )
+        new_pos = {old: new for new, old in enumerate(order)}
+        links = {
+            (new_pos[r], c): entity for (r, c), entity in self.entity_links.items()
+        }
+        return Table(
+            self.schema,
+            [self.rows[i] for i in order],
+            caption=self.caption,
+            table_id=self.table_id,
+            entity_links=links,
+        )
+
+    def reorder_columns(self, order: Sequence[int]) -> "Table":
+        """Permute columns by ``order``; schema and links follow."""
+        if sorted(order) != list(range(self.num_columns)):
+            raise TableError(
+                f"order is not a permutation of 0..{self.num_columns - 1}"
+            )
+        new_pos = {old: new for new, old in enumerate(order)}
+        links = {
+            (r, new_pos[c]): entity for (r, c), entity in self.entity_links.items()
+        }
+        return Table(
+            self.schema.reordered(order),
+            [tuple(row[i] for i in order) for row in self.rows],
+            caption=self.caption,
+            table_id=self.table_id,
+            entity_links=links,
+        )
+
+    def project(self, indices: Sequence[int]) -> "Table":
+        """Keep only the columns in ``indices`` (in the given order)."""
+        new_pos = {old: new for new, old in enumerate(indices)}
+        links = {
+            (r, new_pos[c]): entity
+            for (r, c), entity in self.entity_links.items()
+            if c in new_pos
+        }
+        return Table(
+            self.schema.projected(indices),
+            [tuple(row[i] for i in indices) for row in self.rows],
+            caption=self.caption,
+            table_id=self.table_id,
+            entity_links=links,
+        )
+
+    def take_rows(self, indices: Sequence[int]) -> "Table":
+        """Keep only the rows in ``indices`` (duplicates allowed)."""
+        for i in indices:
+            if not 0 <= i < self.num_rows:
+                raise TableError(f"row index {i} out of range")
+        kept = {old: new for new, old in enumerate(indices)}
+        links = {
+            (kept[r], c): entity
+            for (r, c), entity in self.entity_links.items()
+            if r in kept
+        }
+        return Table(
+            self.schema,
+            [self.rows[i] for i in indices],
+            caption=self.caption,
+            table_id=self.table_id,
+            entity_links=links,
+        )
+
+    def head(self, n: int) -> "Table":
+        """First ``n`` rows (fewer if the table is shorter)."""
+        return self.take_rows(range(min(n, self.num_rows)))
+
+    def rename_column(self, index: int, new_name: str) -> "Table":
+        """Rename one header (P7 schema perturbations)."""
+        return Table(
+            self.schema.renamed(index, new_name),
+            self.rows,
+            caption=self.caption,
+            table_id=self.table_id,
+            entity_links=self.entity_links,
+        )
+
+    def replace_column(
+        self, index: int, values: Sequence[object], new_schema: Optional[ColumnSchema] = None
+    ) -> "Table":
+        """Replace one column's values (P7 column-equivalence perturbation)."""
+        if len(values) != self.num_rows:
+            raise TableError(
+                f"replacement column has {len(values)} values, expected {self.num_rows}"
+            )
+        columns = list(self.schema.columns)
+        if new_schema is not None:
+            columns[index] = new_schema
+        schema = TableSchema(columns)
+        rows = [
+            tuple(values[r] if c == index else cell for c, cell in enumerate(row))
+            for r, row in enumerate(self.rows)
+        ]
+        return Table(
+            schema, rows, caption=self.caption, table_id=self.table_id,
+            entity_links=self.entity_links,
+        )
+
+    def single_column_table(self, index: int) -> "Table":
+        """A one-column table for the P8 no-context setting."""
+        return self.project([index])
+
+    def column_fingerprint(self, index: int) -> Tuple:
+        """Hashable content identity of a column (multiset + header).
+
+        Two columns with equal fingerprints contain the same header and the
+        same multiset of values — the invariant row shuffles must preserve.
+        """
+        counts = self.column_multiset(index)
+        return (self.schema[index].name, tuple(sorted(counts.items())))
+
+    def infer_types(self) -> "Table":
+        """Return a copy whose schema data types are re-inferred from values."""
+        columns = [
+            col.with_type(infer_column_type(self.column_values(i)))
+            for i, col in enumerate(self.schema)
+        ]
+        return Table(
+            TableSchema(columns),
+            self.rows,
+            caption=self.caption,
+            table_id=self.table_id,
+            entity_links=self.entity_links,
+        )
+
+    def to_markdown(self, max_rows: int = 10) -> str:
+        """Render the table as GitHub-flavoured markdown (for examples/docs)."""
+        header = "| " + " | ".join(self.header) + " |"
+        rule = "|" + "|".join(["---"] * self.num_columns) + "|"
+        lines = [header, rule]
+        for row in self.rows[:max_rows]:
+            lines.append("| " + " | ".join("" if v is None else str(v) for v in row) + " |")
+        if self.num_rows > max_rows:
+            lines.append(f"| … ({self.num_rows - max_rows} more rows) |")
+        return "\n".join(lines)

@@ -1,0 +1,166 @@
+"""Typed cell values and data-type inference.
+
+Observatory's heterogeneous-context property (P8) distinguishes textual from
+non-textual columns (dates, ISBNs, postal codes, monetary values, physical
+quantities).  This module provides the small type system used to label
+columns: a :class:`DataType` enum, per-value type inference, and a
+column-level majority-vote inference that tolerates dirty cells.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from collections import Counter
+from typing import Iterable, Optional, Sequence
+
+
+class DataType(enum.Enum):
+    """Primitive data types recognized in table cells."""
+
+    TEXT = "text"
+    INTEGER = "integer"
+    FLOAT = "float"
+    DATE = "date"
+    BOOLEAN = "boolean"
+    MONEY = "money"
+    QUANTITY = "quantity"
+    ISBN = "isbn"
+    POSTAL_CODE = "postal_code"
+    EMPTY = "empty"
+
+    @property
+    def is_textual(self) -> bool:
+        """True if the type is treated as textual in P8 (heterogeneous context)."""
+        return self in (DataType.TEXT, DataType.BOOLEAN)
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (DataType.INTEGER, DataType.FLOAT, DataType.MONEY, DataType.QUANTITY)
+
+
+_INT_RE = re.compile(r"^[+-]?\d{1,3}(,\d{3})*$|^[+-]?\d+$")
+_FLOAT_RE = re.compile(r"^[+-]?(\d{1,3}(,\d{3})*|\d*)\.\d+([eE][+-]?\d+)?$|^[+-]?\d+[eE][+-]?\d+$")
+_DATE_RES = (
+    re.compile(r"^\d{4}-\d{2}-\d{2}$"),
+    re.compile(r"^\d{1,2}/\d{1,2}/\d{4}$"),
+    re.compile(
+        r"^(January|February|March|April|May|June|July|August|September|October|"
+        r"November|December) \d{1,2}, \d{4}$"
+    ),
+    re.compile(r"^\d{4}$"),  # bare year; counts as a date-ish value
+)
+_BOOL_VALUES = {"true", "false", "yes", "no"}
+_MONEY_RE = re.compile(r"^[$€£¥]\s?\d{1,3}(,\d{3})*(\.\d+)?[MBK]?$|^\d+(\.\d+)? (USD|EUR|GBP|RON|JPY)$")
+_QUANTITY_RE = re.compile(
+    r"^[+-]?\d+(\.\d+)?\s?(kg|g|mg|lb|oz|km|m|cm|mm|mi|ft|in|l|ml|gal|s|ms|h|min|"
+    r"kwh|mph|km/h|%)$",
+    re.IGNORECASE,
+)
+_ISBN_RE = re.compile(r"^(97[89][- ]?)?\d{1,5}[- ]?\d{1,7}[- ]?\d{1,7}[- ]?[\dX]$")
+_POSTAL_RE = re.compile(r"^\d{5}(-\d{4})?$|^[A-Z]\d[A-Z] ?\d[A-Z]\d$|^[A-Z]{1,2}\d{1,2} ?\d[A-Z]{2}$")
+
+
+def infer_type(value: object) -> DataType:
+    """Infer the :class:`DataType` of a single cell value.
+
+    Non-string values are classified by their Python type; strings are matched
+    against a prioritized set of syntactic patterns (the same precedence a
+    human data-profiling pass would use: emptiness, booleans, identifiers with
+    checksum-like shapes, money/quantity with units, dates, then bare
+    numbers, then free text).
+    """
+    if value is None:
+        return DataType.EMPTY
+    if isinstance(value, bool):
+        return DataType.BOOLEAN
+    if isinstance(value, int):
+        return DataType.INTEGER
+    if isinstance(value, float):
+        return DataType.FLOAT
+    text = str(value).strip()
+    if not text:
+        return DataType.EMPTY
+    lowered = text.lower()
+    if lowered in _BOOL_VALUES:
+        return DataType.BOOLEAN
+    if _MONEY_RE.match(text):
+        return DataType.MONEY
+    if _QUANTITY_RE.match(text):
+        return DataType.QUANTITY
+    if _POSTAL_RE.match(text) and not _INT_RE.match(text):
+        return DataType.POSTAL_CODE
+    if _ISBN_RE.match(text) and sum(ch.isdigit() for ch in text) >= 9:
+        return DataType.ISBN
+    for pattern in _DATE_RES:
+        if pattern.match(text):
+            return DataType.DATE
+    if _INT_RE.match(text):
+        return DataType.INTEGER
+    if _FLOAT_RE.match(text):
+        return DataType.FLOAT
+    return DataType.TEXT
+
+
+def infer_column_type(values: Sequence[object], threshold: float = 0.6) -> DataType:
+    """Infer a column's type by majority vote over non-empty cells.
+
+    A type wins if it covers at least ``threshold`` of the non-empty cells;
+    INTEGER and FLOAT votes pool into FLOAT when mixed.  Columns with no
+    non-empty cells are EMPTY; columns with no winner fall back to TEXT.
+    """
+    votes = Counter(infer_type(v) for v in values)
+    votes.pop(DataType.EMPTY, None)
+    total = sum(votes.values())
+    if total == 0:
+        return DataType.EMPTY
+    # A bare year column is better described as INTEGER unless mixed with
+    # richer date formats; keep DATE votes as they are otherwise.
+    if votes.get(DataType.INTEGER) and votes.get(DataType.FLOAT):
+        merged = votes[DataType.INTEGER] + votes[DataType.FLOAT]
+        if merged / total >= threshold:
+            return DataType.FLOAT
+    winner, count = votes.most_common(1)[0]
+    if count / total >= threshold:
+        return winner
+    return DataType.TEXT
+
+
+def parse_value(text: str, data_type: Optional[DataType] = None) -> object:
+    """Parse ``text`` into a Python value according to ``data_type``.
+
+    With ``data_type=None`` the type is inferred first.  Values that fail to
+    parse are returned as stripped strings — dirty cells degrade to text
+    rather than raising, mirroring how table corpora are ingested in
+    practice.
+    """
+    if data_type is None:
+        data_type = infer_type(text)
+    stripped = text.strip() if isinstance(text, str) else text
+    if data_type == DataType.EMPTY:
+        return None
+    if data_type == DataType.BOOLEAN and isinstance(stripped, str):
+        return stripped.lower() in ("true", "yes")
+    if data_type == DataType.INTEGER and isinstance(stripped, str):
+        try:
+            return int(stripped.replace(",", ""))
+        except ValueError:
+            return stripped
+    if data_type == DataType.FLOAT and isinstance(stripped, str):
+        try:
+            return float(stripped.replace(",", ""))
+        except ValueError:
+            return stripped
+    return stripped
+
+
+def non_empty(values: Iterable[object]) -> list:
+    """Return values that are neither None nor blank strings."""
+    kept = []
+    for value in values:
+        if value is None:
+            continue
+        if isinstance(value, str) and not value.strip():
+            continue
+        kept.append(value)
+    return kept

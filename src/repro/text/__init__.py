@@ -1,0 +1,14 @@
+"""Tokenization substrate: normalization, vocabulary, WordPiece-style tokenizer."""
+
+from repro.text.normalize import normalize_text, split_words, split_numbers
+from repro.text.vocab import Vocabulary, SPECIAL_TOKENS
+from repro.text.tokenizer import Tokenizer
+
+__all__ = [
+    "normalize_text",
+    "split_words",
+    "split_numbers",
+    "Vocabulary",
+    "SPECIAL_TOKENS",
+    "Tokenizer",
+]

@@ -1,0 +1,60 @@
+"""Text normalization and word splitting for the tokenizer.
+
+Two normalization profiles are provided because tokenizer behaviour is one
+of the model-specific mechanisms Observatory surfaces: BERT-style models
+lowercase and strip accents, while RoBERTa-style byte-level tokenizers are
+case-sensitive, which makes them fragile to header abbreviations
+("CountryName" -> "cntry_name" shares no case-normalized pieces).
+"""
+
+from __future__ import annotations
+
+import re
+import unicodedata
+from typing import List
+
+_CAMEL_RE = re.compile(r"(?<=[a-z0-9])(?=[A-Z])|(?<=[A-Z])(?=[A-Z][a-z])")
+_WORD_RE = re.compile(r"[A-Za-z]+|\d+|[^\sA-Za-z0-9]")
+
+
+def strip_accents(text: str) -> str:
+    """Remove combining marks (é -> e)."""
+    decomposed = unicodedata.normalize("NFD", text)
+    return "".join(ch for ch in decomposed if unicodedata.category(ch) != "Mn")
+
+
+def split_camel_case(text: str) -> str:
+    """Insert spaces at camelCase boundaries ("CountryName" -> "Country Name")."""
+    return _CAMEL_RE.sub(" ", text)
+
+
+def normalize_text(text: str, *, lowercase: bool = True, accents: bool = True) -> str:
+    """Normalize raw cell/header text before word splitting.
+
+    Camel-case boundaries are always split (headers like ``birthYear`` are
+    ubiquitous in web tables); lowercasing and accent stripping depend on the
+    tokenizer profile.
+    """
+    text = split_camel_case(text)
+    if accents:
+        text = strip_accents(text)
+    if lowercase:
+        text = text.lower()
+    return text
+
+
+def split_words(text: str) -> List[str]:
+    """Split normalized text into words, digit runs, and punctuation marks."""
+    return _WORD_RE.findall(text)
+
+
+def split_numbers(word: str, group: int = 1) -> List[str]:
+    """Split a digit run into fixed-size groups ("1997" -> ["1","9","9","7"]).
+
+    Subword tokenizers shred long numbers; splitting digits individually
+    (group=1) mirrors how T5/BERT vocabularies fragment unseen numerals and
+    is what makes numeric columns hard to discriminate without context (P8).
+    """
+    if group < 1:
+        raise ValueError("group must be positive")
+    return [word[i : i + group] for i in range(0, len(word), group)]

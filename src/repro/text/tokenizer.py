@@ -1,0 +1,119 @@
+"""WordPiece-style greedy subword tokenizer.
+
+Words are matched greedily against the vocabulary from the left; unmatched
+suffixes continue as ``##``-prefixed pieces.  Because the vocabulary contains
+every single character and two-character continuation, tokenization never
+fails — the ``[UNK]`` token only appears for characters outside the
+vocabulary alphabet (rare unicode).
+
+Two profiles matter to Observatory: the default lowercasing profile (BERT,
+T5, and the table models built on them) and a case-sensitive profile
+(RoBERTa's byte-level flavour), which fragments abbreviated headers
+differently and drives RoBERTa's outlier behaviour in P7.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from repro.text.normalize import normalize_text, split_numbers, split_words
+from repro.text.vocab import UNK, Vocabulary, default_vocabulary
+
+
+@dataclasses.dataclass(frozen=True)
+class TokenizerConfig:
+    """Tokenizer behaviour knobs.
+
+    Attributes:
+        lowercase: case-fold input (BERT-style) or keep case (RoBERTa-style).
+        strip_accents: remove combining marks.
+        split_digits: split digit runs into single-digit tokens.
+        max_pieces_per_word: hard cap on subword pieces per word; longer
+            words are truncated (protects against pathological strings).
+    """
+
+    lowercase: bool = True
+    strip_accents: bool = True
+    split_digits: bool = True
+    max_pieces_per_word: int = 8
+
+
+class Tokenizer:
+    """Greedy longest-match subword tokenizer over a :class:`Vocabulary`."""
+
+    def __init__(
+        self,
+        vocab: Optional[Vocabulary] = None,
+        config: Optional[TokenizerConfig] = None,
+    ):
+        self.vocab = vocab or default_vocabulary()
+        self.config = config or TokenizerConfig()
+        # Longest token length bounds the greedy window.
+        self._max_len = max(len(t) for t in [UNK] + list(self._plain_tokens()))
+
+    def _plain_tokens(self):
+        # The vocabulary does not expose its token list directly; probing via
+        # ids keeps Vocabulary's surface minimal.
+        for i in range(len(self.vocab)):
+            yield self.vocab.token(i)
+
+    # ------------------------------------------------------------------
+
+    def tokenize_word(self, word: str) -> List[str]:
+        """Subword pieces of a single word (no whitespace)."""
+        cfg = self.config
+        if cfg.split_digits and word.isdigit() and len(word) > 1:
+            return [d for d in split_numbers(word)][: cfg.max_pieces_per_word]
+        pieces: List[str] = []
+        start = 0
+        while start < len(word) and len(pieces) < cfg.max_pieces_per_word:
+            prefix = "##" if start > 0 else ""
+            end = min(len(word), start + self._max_len)
+            match = None
+            while end > start:
+                candidate = prefix + word[start:end]
+                if candidate in self.vocab:
+                    match = candidate
+                    break
+                end -= 1
+            if match is None:
+                pieces.append(UNK)
+                start += 1
+            else:
+                pieces.append(match)
+                start = end
+        return pieces
+
+    def tokenize(self, text: str) -> List[str]:
+        """Tokenize arbitrary text into subword pieces."""
+        if text is None:
+            return []
+        cfg = self.config
+        normalized = normalize_text(
+            str(text), lowercase=cfg.lowercase, accents=cfg.strip_accents
+        )
+        pieces: List[str] = []
+        for word in split_words(normalized):
+            lookup = word if cfg.lowercase else word.lower()
+            # Case-sensitive profile: words whose original casing differs get
+            # a distinct piece stream (prefix marker), mirroring how
+            # byte-level BPE assigns different ids to "Country" vs "country".
+            if not cfg.lowercase and word != lookup:
+                pieces.append(UNK if "##^" not in self.vocab else "##^")
+                pieces.extend(self.tokenize_word(lookup))
+            else:
+                pieces.extend(self.tokenize_word(lookup))
+        return pieces
+
+    def encode(self, text: str) -> List[int]:
+        """Token ids of ``text``."""
+        return [self.vocab.id(p) for p in self.tokenize(text)]
+
+    def count(self, text: str) -> int:
+        """Number of pieces ``text`` tokenizes into (for budget planning)."""
+        return len(self.tokenize(text))
+
+    def tokenize_values(self, values: Sequence[object]) -> List[List[str]]:
+        """Tokenize each value of a column independently."""
+        return [self.tokenize("" if v is None else str(v)) for v in values]

@@ -1,0 +1,128 @@
+"""Deterministic subword vocabulary.
+
+The vocabulary is built from a fixed seed lexicon (common English words,
+table-domain terms, and the domain banks used by the dataset generators)
+plus all length-3 character n-grams, so that any string tokenizes into a
+bounded number of pieces without an unknown-token escape hatch dominating.
+The build is fully deterministic: no corpus counting, no files.
+"""
+
+from __future__ import annotations
+
+import string
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import TokenizationError
+
+# Special tokens shared by all surrogate models.  Serializers insert them to
+# mark structure; aggregation retrieves embeddings anchored at them.
+PAD = "[PAD]"
+CLS = "[CLS]"
+SEP = "[SEP]"
+MASK = "[MASK]"
+UNK = "[UNK]"
+ROW = "[ROW]"
+CELL = "[CELL]"
+HEADER = "[HEADER]"
+CAPTION = "[CAPTION]"
+
+SPECIAL_TOKENS = (PAD, CLS, SEP, MASK, UNK, ROW, CELL, HEADER, CAPTION)
+
+_BASE_WORDS = (
+    "the a an of and or in on at to for with from by is are was were be been "
+    "has have had not no yes true false null none table row column cell value "
+    "name id key type date year month day time city country continent state "
+    "region code number total count rank score points price cost amount "
+    "percent rate average min max first last title description status group "
+    "category class label player team game season match competition result "
+    "win loss draw goals medal event record world championship olympic "
+    "company revenue employees founded industry sector stock market film "
+    "movie director actor genre budget gross album song artist band track "
+    "book author publisher isbn pages language population area capital "
+    "currency gdp president university student degree department course "
+    "product brand model weight height length width color size quantity "
+    "order customer address street zip postal phone email station airport "
+    "river mountain lake island species animal plant protein vitamin "
+    "nutrient mineral calcium iron zinc sodium potassium magnesium "
+    "age birth death gender nation nationality men women male female "
+    "january february march april may june july august september october "
+    "november december monday tuesday wednesday thursday friday saturday "
+    "sunday north south east west new old big small high low long short "
+    "usd eur gbp jpy ron km mi kg lb ml gal mph"
+).split()
+
+
+def _char_trigrams() -> List[str]:
+    """All ##xyz continuation trigrams over lowercase letters and digits."""
+    alphabet = string.ascii_lowercase + string.digits
+    # Full 36^3 would be 46k entries; restrict to letter-led trigrams plus
+    # digit pairs, which covers realistic continuations compactly.
+    pieces = []
+    for a in alphabet:
+        for b in alphabet:
+            pieces.append(f"##{a}{b}")
+    return pieces
+
+
+class Vocabulary:
+    """Immutable token -> id mapping with WordPiece-style pieces.
+
+    Layout: special tokens first, then single characters (standalone and
+    ``##`` continuations), two-character continuations, then whole words.
+    Ids are stable across processes because the build is deterministic.
+    """
+
+    def __init__(self, extra_words: Optional[Iterable[str]] = None):
+        tokens: List[str] = list(SPECIAL_TOKENS)
+        alphabet = string.ascii_lowercase + string.digits + string.punctuation
+        tokens.extend(alphabet)
+        tokens.extend(f"##{ch}" for ch in alphabet)
+        tokens.extend(_char_trigrams())
+        seen = set(tokens)
+        for word in _BASE_WORDS:
+            if word not in seen:
+                tokens.append(word)
+                seen.add(word)
+        for word in sorted(set(extra_words or [])):
+            word = word.lower()
+            if word and word not in seen:
+                tokens.append(word)
+                seen.add(word)
+        self._id_of: Dict[str, int] = {tok: i for i, tok in enumerate(tokens)}
+        self._tokens = tokens
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._id_of
+
+    def id(self, token: str) -> int:
+        """Id of ``token``; raises TokenizationError if absent."""
+        try:
+            return self._id_of[token]
+        except KeyError:
+            raise TokenizationError(f"token {token!r} not in vocabulary") from None
+
+    def token(self, token_id: int) -> str:
+        if not 0 <= token_id < len(self._tokens):
+            raise TokenizationError(f"token id {token_id} out of range")
+        return self._tokens[token_id]
+
+    @property
+    def pad_id(self) -> int:
+        return self._id_of[PAD]
+
+    def is_special(self, token: str) -> bool:
+        return token in SPECIAL_TOKENS
+
+
+_DEFAULT_VOCAB: Optional[Vocabulary] = None
+
+
+def default_vocabulary() -> Vocabulary:
+    """Process-wide shared default vocabulary (built once, ~5k entries)."""
+    global _DEFAULT_VOCAB
+    if _DEFAULT_VOCAB is None:
+        _DEFAULT_VOCAB = Vocabulary()
+    return _DEFAULT_VOCAB

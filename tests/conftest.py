@@ -1,0 +1,79 @@
+"""Shared fixtures.
+
+Models are deterministic and stateless, so they are cached per session;
+tables are kept tiny to keep the suite fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.wikitables import WikiTablesGenerator
+from repro.models.registry import available_models, load_model
+from repro.relational.table import Table
+
+_MODEL_CACHE = {}
+
+
+def cached_model(name: str):
+    """Session-cached model instance (embedding calls are pure)."""
+    if name not in _MODEL_CACHE:
+        _MODEL_CACHE[name] = load_model(name)
+    return _MODEL_CACHE[name]
+
+
+@pytest.fixture(scope="session")
+def bert():
+    return cached_model("bert")
+
+
+@pytest.fixture(scope="session")
+def doduo():
+    return cached_model("doduo")
+
+
+@pytest.fixture(scope="session")
+def tabert():
+    return cached_model("tabert")
+
+
+@pytest.fixture(scope="session")
+def taptap():
+    return cached_model("taptap")
+
+
+@pytest.fixture(scope="session")
+def all_model_names():
+    return available_models()
+
+
+@pytest.fixture()
+def tennis_table() -> Table:
+    return Table.from_columns(
+        [
+            ("player", ["Roger Federer", "Rafael Nadal", "Novak Djokovic", "Andy Murray"]),
+            ("country", ["Switzerland", "Spain", "Serbia", "United Kingdom"]),
+            ("titles", [103, 92, 94, 46]),
+        ],
+        caption="tennis players",
+        table_id="tennis-test",
+    )
+
+
+@pytest.fixture()
+def fd_table() -> Table:
+    """The paper's Figure 3 example: country -> continent holds."""
+    return Table.from_columns(
+        [
+            ("city", ["Amsterdam", "Rotterdam", "Utrecht", "Toronto", "New York", "Chicago"]),
+            ("country", ["Netherlands", "Netherlands", "Netherlands", "Canada", "USA", "USA"]),
+            ("continent", ["Europe", "Europe", "Europe", "North America", "North America", "North America"]),
+            ("population", [821, 623, 345, 2731, 8336, 2746]),
+        ],
+        table_id="fd-test",
+    )
+
+
+@pytest.fixture(scope="session")
+def small_corpus():
+    return WikiTablesGenerator(seed=3).generate(6, min_rows=5, max_rows=7)

@@ -1,0 +1,163 @@
+"""Tests for the relational-algebra operators."""
+
+import pytest
+
+from repro.errors import TableError
+from repro.relational.algebra import (
+    distinct,
+    group_by,
+    hash_join,
+    project,
+    select,
+    select_eq,
+    semi_join,
+    sort_by,
+    union,
+)
+from repro.relational.table import Table
+
+
+@pytest.fixture()
+def players():
+    return Table.from_columns(
+        [
+            ("player", ["Federer", "Nadal", "Djokovic", "Murray"]),
+            ("country", ["Switzerland", "Spain", "Serbia", "United Kingdom"]),
+            ("titles", [103, 92, 94, 46]),
+        ],
+        table_id="players",
+    )
+
+
+@pytest.fixture()
+def countries():
+    return Table.from_columns(
+        [
+            ("country", ["Switzerland", "Spain", "Serbia", "France"]),
+            ("continent", ["Europe", "Europe", "Europe", "Europe"]),
+        ],
+        table_id="countries",
+    )
+
+
+def test_select(players):
+    out = select(players, lambda row: row[2] > 90)
+    assert out.num_rows == 3
+    assert players.num_rows == 4  # pure
+
+
+def test_select_eq(players):
+    out = select_eq(players, "country", "Spain")
+    assert out.num_rows == 1
+    assert out.cell(0, 0) == "Nadal"
+
+
+def test_project(players):
+    out = project(players, ["titles", "player"])
+    assert out.header == ["titles", "player"]
+    assert out.cell(0, 0) == 103
+
+
+def test_distinct():
+    table = Table.from_columns([("x", ["a", "b", "a", "a"])])
+    assert distinct(table).num_rows == 2
+
+
+def test_union(players):
+    doubled = union(players, players)
+    assert doubled.num_rows == players.num_rows  # set semantics
+    with pytest.raises(TableError):
+        union(players, project(players, ["player"]))
+
+
+def test_inner_join(players, countries):
+    joined = hash_join(players, countries, "country", "country")
+    assert joined.num_rows == 3  # Murray has no match
+    assert joined.header == ["player", "country", "titles", "continent"]
+    row = {joined.cell(r, 0): joined.cell(r, 3) for r in range(joined.num_rows)}
+    assert row["Federer"] == "Europe"
+
+
+def test_left_join_pads(players, countries):
+    joined = hash_join(players, countries, "country", "country", how="left")
+    assert joined.num_rows == 4
+    murray = [r for r in range(4) if joined.cell(r, 0) == "Murray"][0]
+    assert joined.cell(murray, 3) is None
+
+
+def test_join_duplicate_matches(countries):
+    cities = Table.from_columns(
+        [("city", ["Geneva", "Zurich", "Madrid"]),
+         ("country", ["Switzerland", "Switzerland", "Spain"])],
+    )
+    joined = hash_join(cities, countries, "country", "country")
+    assert joined.num_rows == 3
+
+
+def test_join_name_clash_suffixed(players):
+    other = Table.from_columns(
+        [("player", ["Federer"]), ("titles", [20])], table_id="other"
+    )
+    joined = hash_join(players, other, "player", "player")
+    assert "titles_right" in joined.header
+
+
+def test_join_invalid_how(players, countries):
+    with pytest.raises(TableError):
+        hash_join(players, countries, "country", "country", how="outer")
+
+
+def test_semi_join(players, countries):
+    out = semi_join(players, countries, "country", "country")
+    assert out.num_rows == 3
+    assert out.header == players.header
+
+
+def test_group_by_count_and_avg(players, countries):
+    joined = hash_join(players, countries, "country", "country")
+    grouped = group_by(
+        joined,
+        ["continent"],
+        {"players": ("player", "count"), "avg_titles": ("titles", "avg")},
+    )
+    assert grouped.num_rows == 1
+    assert grouped.cell(0, 1) == 3
+    assert grouped.cell(0, 2) == pytest.approx((103 + 92 + 94) / 3)
+
+
+def test_group_by_min_max_sum(players):
+    grouped = group_by(
+        players,
+        ["country"],
+        {"best": ("titles", "max"), "total": ("titles", "sum")},
+    )
+    assert grouped.num_rows == 4
+    assert grouped.header == ["country", "best", "total"]
+
+
+def test_group_by_unknown_aggregator(players):
+    with pytest.raises(TableError):
+        group_by(players, ["country"], {"x": ("titles", "median")})
+
+
+def test_sort_by(players):
+    out = sort_by(players, "player")
+    assert out.cell(0, 0) == "Djokovic"
+    reverse = sort_by(players, "player", descending=True)
+    assert reverse.cell(0, 0) == "Nadal"
+
+
+def test_join_discovered_candidates_actually_join():
+    """Close the P3 loop: a high-containment pair joins with high coverage."""
+    from repro.data.nextiajd import NextiaJDGenerator
+
+    pairs = NextiaJDGenerator(seed=4).generate_pairs(6)
+    best = max(pairs, key=lambda p: p.containment)
+    left = Table.from_columns([("key", list(best.query_values))])
+    right = Table.from_columns([("key", list(dict.fromkeys(best.candidate_values)))])
+    joined = hash_join(left, right, "key", "key")
+    coverage = joined.num_rows / left.num_rows
+    assert coverage == pytest.approx(
+        sum(1 for v in best.query_values if v in set(best.candidate_values))
+        / len(best.query_values)
+    )

@@ -1,0 +1,105 @@
+"""Tests for PCA and plain-text reporting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.pca import PCA, spread_ratio
+from repro.analysis.reporting import (
+    format_matrix,
+    format_value_table,
+    render_boxplot,
+    render_histogram,
+    summarize_rows,
+)
+from repro.errors import MeasureError
+from repro.seeding import rng_for
+
+
+def test_pca_recovers_dominant_direction():
+    rng = rng_for("pca-test", 1)
+    direction = np.array([3.0, 4.0]) / 5.0
+    samples = np.outer(rng.standard_normal(300) * 5, direction)
+    samples += rng.standard_normal((300, 2)) * 0.1
+    pca = PCA(n_components=2).fit(samples)
+    lead = pca.components_[0]
+    assert abs(abs(lead @ direction) - 1.0) < 0.01
+    assert pca.explained_variance_ratio_[0] > 0.95
+
+
+def test_pca_transform_shape_and_centering():
+    rng = rng_for("pca-test", 2)
+    samples = rng.standard_normal((50, 8)) + 3.0
+    projected = PCA(2).fit_transform(samples)
+    assert projected.shape == (50, 2)
+    assert np.allclose(projected.mean(axis=0), 0.0, atol=1e-9)
+
+
+def test_pca_components_orthonormal():
+    rng = rng_for("pca-test", 3)
+    samples = rng.standard_normal((40, 6))
+    pca = PCA(3).fit(samples)
+    gram = pca.components_ @ pca.components_.T
+    assert np.allclose(gram, np.eye(3), atol=1e-9)
+
+
+def test_pca_handles_n_less_than_d():
+    rng = rng_for("pca-test", 4)
+    samples = rng.standard_normal((5, 64))
+    pca = PCA(2).fit(samples)
+    assert pca.components_.shape == (2, 64)
+
+
+def test_pca_validation():
+    with pytest.raises(MeasureError):
+        PCA(0)
+    with pytest.raises(MeasureError):
+        PCA(2).fit(np.ones((1, 3)))
+    with pytest.raises(MeasureError):
+        PCA(2).transform(np.ones((2, 3)))  # not fitted
+
+
+def test_spread_ratio_isotropic_vs_stretched():
+    rng = rng_for("pca-test", 5)
+    isotropic = rng.standard_normal((500, 2))
+    stretched = isotropic * np.array([10.0, 1.0])
+    assert spread_ratio(stretched) > spread_ratio(isotropic)
+    with pytest.raises(MeasureError):
+        spread_ratio(np.ones((5, 1)))
+
+
+def test_format_value_table():
+    text = format_value_table(
+        [["bert", 0.123456], ["t5", 1.5]], ["model", "value"], title="T"
+    )
+    assert "0.123" in text and "model" in text and text.startswith("T")
+    with pytest.raises(MeasureError):
+        format_value_table([], [])
+
+
+def test_format_matrix():
+    text = format_matrix(np.eye(2), ["a", "b"])
+    assert "1.00" in text and "0.00" in text
+    with pytest.raises(MeasureError):
+        format_matrix(np.eye(2), ["a"])
+    with pytest.raises(MeasureError):
+        format_matrix(np.ones((2, 3)), ["a", "b"])
+
+
+def test_render_boxplot():
+    text = render_boxplot({"bert": [0.9, 0.95, 1.0], "t5": [0.8, 0.85, 0.9]})
+    assert "bert" in text and "|" in text and "=" in text
+    with pytest.raises(MeasureError):
+        render_boxplot({})
+
+
+def test_render_histogram():
+    text = render_histogram([1, 2, 2, 3, 3, 3], bins=3)
+    assert "#" in text
+    with pytest.raises(MeasureError):
+        render_histogram([])
+
+
+def test_summarize_rows():
+    rows = summarize_rows({"a": [1.0, 2.0, 3.0]})
+    assert rows[0][0] == "a"
+    assert rows[0][1] == 3  # n

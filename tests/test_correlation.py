@@ -1,0 +1,78 @@
+"""Tests for Spearman's rank correlation (cross-checked against scipy)."""
+
+import numpy as np
+import pytest
+
+from repro.core.measures.correlation import rankdata, spearman
+from repro.errors import MeasureError
+from repro.seeding import rng_for
+
+scipy_stats = pytest.importorskip("scipy.stats")
+
+
+def test_rankdata_simple():
+    assert list(rankdata([30, 10, 20])) == [3.0, 1.0, 2.0]
+
+
+def test_rankdata_ties_get_midranks():
+    assert list(rankdata([1, 2, 2, 3])) == [1.0, 2.5, 2.5, 4.0]
+
+
+def test_perfect_monotone():
+    x = [1, 2, 3, 4, 5]
+    assert spearman(x, [2, 4, 6, 8, 10]).rho == pytest.approx(1.0)
+    assert spearman(x, [10, 8, 6, 4, 2]).rho == pytest.approx(-1.0)
+    # Any monotone transform preserves rho = 1.
+    assert spearman(x, [v ** 3 for v in x]).rho == pytest.approx(1.0)
+
+
+def test_matches_scipy_without_ties():
+    rng = rng_for("spearman-test", 1)
+    x = rng.standard_normal(200)
+    y = 0.5 * x + rng.standard_normal(200)
+    ours = spearman(x, y)
+    theirs = scipy_stats.spearmanr(x, y)
+    assert ours.rho == pytest.approx(theirs.statistic, abs=1e-12)
+    assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-3)
+
+
+def test_matches_scipy_with_ties():
+    rng = rng_for("spearman-test", 2)
+    x = rng.integers(0, 5, size=300).astype(float)
+    y = x + rng.integers(0, 3, size=300)
+    ours = spearman(x, y)
+    theirs = scipy_stats.spearmanr(x, y)
+    assert ours.rho == pytest.approx(theirs.statistic, abs=1e-12)
+    assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-3)
+
+
+def test_independent_samples_near_zero():
+    rng = rng_for("spearman-test", 3)
+    result = spearman(rng.standard_normal(2000), rng.standard_normal(2000))
+    assert abs(result.rho) < 0.06
+    assert not result.significant
+
+
+def test_significance_flag():
+    x = list(range(100))
+    y = [v + 0.1 for v in x]
+    assert spearman(x, y).significant
+
+
+def test_input_validation():
+    with pytest.raises(MeasureError):
+        spearman([1, 2], [1, 2])  # too short
+    with pytest.raises(MeasureError):
+        spearman([1, 2, 3], [1, 2])  # length mismatch
+    with pytest.raises(MeasureError):
+        spearman([1, 1, 1], [1, 2, 3])  # constant variable
+
+
+def test_rho_bounds():
+    rng = rng_for("spearman-test", 4)
+    for i in range(10):
+        x = rng.standard_normal(30)
+        y = rng.standard_normal(30)
+        result = spearman(x, y)
+        assert -1.0 <= result.rho <= 1.0
+        assert 0.0 <= result.p_value <= 1.0

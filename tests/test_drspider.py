@@ -1,0 +1,107 @@
+"""Tests for Dr.Spider-style perturbations."""
+
+import pytest
+
+from repro.data.drspider import (
+    EQUIVALENCES,
+    PerturbationKind,
+    PerturbationSuite,
+    SYNONYMS,
+    abbreviate,
+    perturb_table,
+    synonym_of,
+)
+from repro.data.wikitables import WikiTablesGenerator
+from repro.errors import DatasetError
+from repro.relational.table import Table
+
+
+def test_abbreviate_examples():
+    assert abbreviate("CountryName") == "cntry_nm"
+    assert abbreviate("country") == "cntry"
+    assert abbreviate("daily intake") == "dly_intk"
+    assert abbreviate("age") == "age"  # too short to abbreviate
+
+
+def test_abbreviate_deterministic_lowercase():
+    out = abbreviate("PopulationCount")
+    assert out == out.lower()
+    assert "_" in out
+
+
+def test_synonym_of():
+    assert synonym_of("country") == "nation"
+    assert synonym_of("country", 1) == "state"
+    assert synonym_of("COUNTRY") == "nation"  # case-insensitive lookup
+    assert synonym_of("quux") is None
+
+
+def test_perturb_synonym(tennis_table):
+    out = perturb_table(tennis_table, 1, PerturbationKind.SCHEMA_SYNONYM)
+    assert out.header[1] == "nation"
+    assert out.rows == tennis_table.rows  # values untouched
+
+
+def test_perturb_synonym_inapplicable():
+    table = Table.from_columns([("zzz", [1, 2])])
+    assert perturb_table(table, 0, PerturbationKind.SCHEMA_SYNONYM) is None
+
+
+def test_perturb_abbreviation(tennis_table):
+    out = perturb_table(tennis_table, 0, PerturbationKind.SCHEMA_ABBREVIATION)
+    assert out.header[0] == "plyr"
+    assert out.rows == tennis_table.rows
+
+
+def test_perturb_column_equivalence_age():
+    table = Table.from_columns([("age", [30, 41])])
+    out = perturb_table(table, 0, PerturbationKind.COLUMN_EQUIVALENCE)
+    assert out.header[0] == "birthyear"
+    assert out.column_values(0) == [1994, 1983]
+
+
+def test_perturb_column_equivalence_money():
+    table = Table.from_columns([("price", ["$15.00", "$2,000.00"])])
+    out = perturb_table(table, 0, PerturbationKind.COLUMN_EQUIVALENCE)
+    assert out.column_values(0) == ["15.00 USD", "2000.00 USD"]
+
+
+def test_perturb_column_equivalence_year():
+    table = Table.from_columns([("year", [1999, 2005])])
+    out = perturb_table(table, 0, PerturbationKind.COLUMN_EQUIVALENCE)
+    assert out.header[0] == "release date"
+    assert out.column_values(0) == ["1999-01-01", "2005-01-01"]
+
+
+def test_perturb_column_equivalence_inapplicable(tennis_table):
+    assert perturb_table(tennis_table, 1, PerturbationKind.COLUMN_EQUIVALENCE) is None
+
+
+def test_perturb_out_of_range(tennis_table):
+    with pytest.raises(DatasetError):
+        perturb_table(tennis_table, 9, PerturbationKind.SCHEMA_SYNONYM)
+
+
+def test_suite_builds_cases():
+    corpus = WikiTablesGenerator(seed=4).generate(6)
+    suite = PerturbationSuite(corpus)
+    assert suite.total_cases() > 0
+    synonyms = suite.of_kind(PerturbationKind.SCHEMA_SYNONYM)
+    abbreviations = suite.of_kind(PerturbationKind.SCHEMA_ABBREVIATION)
+    assert synonyms and abbreviations
+    for case in synonyms[:5]:
+        assert case.original_header != case.perturbed_header
+        assert case.table.rows == case.perturbed_table.rows
+
+
+def test_suite_perturbations_preserve_semantics():
+    """Perturbed tables keep shape; only the targeted column changes."""
+    corpus = WikiTablesGenerator(seed=4).generate(4)
+    suite = PerturbationSuite(corpus)
+    for kind in PerturbationKind:
+        for case in suite.of_kind(kind)[:5]:
+            assert case.perturbed_table.num_rows == case.table.num_rows
+            assert case.perturbed_table.num_columns == case.table.num_columns
+            for c in range(case.table.num_columns):
+                if c != case.column_index:
+                    assert case.perturbed_table.header[c] == case.table.header[c]

@@ -1,0 +1,189 @@
+"""Edge-case coverage across modules (second pass)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.levels import EmbeddingLevel
+from repro.core.framework import DatasetSizes, Observatory
+from repro.data.drspider import EQUIVALENCES, PerturbationKind, perturb_table
+from repro.data.entities import EntityCatalog
+from repro.data.sotab import SotabGenerator
+from repro.data.spider import SpiderGenerator
+from repro.data.wikitables import WikiTablesGenerator
+from repro.errors import DatasetError, PropertyConfigError
+from repro.models.config import ModelConfig
+from repro.models.base import SurrogateModel
+from repro.relational.fd_discovery import discover_unary_fds
+from repro.relational.table import Table
+from tests.conftest import cached_model
+
+
+# --- generators --------------------------------------------------------------
+
+def test_wikitables_camel_case_fraction():
+    corpus = WikiTablesGenerator(seed=9).generate(16)
+    camel = sum(
+        1 for t in corpus if any(n != n.lower() and " " not in n for n in t.header)
+    )
+    assert 0 < camel < 16  # both header styles occur
+
+
+def test_spider_noise_table_has_no_semantic_unary_fds():
+    generator = SpiderGenerator(seed=3)
+    noise = generator._noise_table(0, 24)
+    found = discover_unary_fds(noise)
+    # employee names may coincidentally determine things on tiny tables, but
+    # the planted violating pair department -> building must never appear.
+    dept = noise.schema.index_of("department")
+    building = noise.schema.index_of("building")
+    assert all(
+        (fd.determinant[0], fd.dependent[0]) != (dept, building) for fd in found
+    )
+
+
+def test_sotab_single_subject_per_table():
+    corpus = SotabGenerator(seed=3).generate(10)
+    for table in corpus:
+        subjects = [c for c in table.schema if c.is_subject]
+        assert len(subjects) <= 1
+
+
+def test_entity_catalog_embedding_space_row_alignment():
+    catalog = EntityCatalog(seed=1, queries_per_domain=3)
+    model = cached_model("bert")
+    space = catalog.embedding_space(model)
+    assert space.shape == (len(catalog), model.dim)
+    assert np.isfinite(space).all()
+    assert (np.linalg.norm(space, axis=1) > 0).all()
+
+
+def test_drspider_equivalences_cover_revenue_and_gross():
+    table = Table.from_columns([("revenue", ["$5.0", "$7.5"]), ("gross", ["$1.0", "$2.0"])])
+    for col in (0, 1):
+        out = perturb_table(table, col, PerturbationKind.COLUMN_EQUIVALENCE)
+        assert out is not None
+        assert "usd" in out.header[col].lower()
+    assert set(EQUIVALENCES) >= {"age", "price", "year", "founded"}
+
+
+# --- models -------------------------------------------------------------------
+
+def test_attention_temperature_sharpens_outputs():
+    base = ModelConfig(name="temp-test", dim=32, n_layers=1, n_heads=4)
+    sharp = dataclasses.replace(base, attention_temperature=4.0)
+    table = Table.from_columns([("x", ["alpha", "beta", "gamma", "delta"])])
+    a = SurrogateModel(base).embed_columns(table)
+    b = SurrogateModel(sharp).embed_columns(table)
+    assert not np.allclose(a, b)
+
+
+def test_model_with_tiny_budget_still_embeds():
+    config = ModelConfig(
+        name="tiny-budget", dim=32, n_layers=1, n_heads=4, max_tokens=16,
+        seed_name="tiny-budget",
+    )
+    model = SurrogateModel(config)
+    table = Table.from_columns(
+        [("words", ["some very long cell content here"] * 20)]
+    )
+    emb = model.embed_columns(table)
+    assert np.isfinite(emb).all()
+    assert model.fitted_rows(table) >= 1
+
+
+def test_single_row_table_all_models(all_model_names):
+    table = Table.from_columns([("a", ["x"]), ("b", [1])])
+    for name in all_model_names:
+        model = cached_model(name)
+        if model.supports(EmbeddingLevel.COLUMN):
+            assert model.embed_columns(table).shape == (2, model.dim)
+        if model.supports(EmbeddingLevel.ROW):
+            assert model.embed_rows(table).shape[0] == 1
+
+
+def test_unicode_cells_tokenize_and_embed():
+    table = Table.from_columns([("city", ["Zürich", "São Paulo", "北京"])])
+    emb = cached_model("bert").embed_columns(table)
+    assert np.isfinite(emb).all()
+
+
+def test_embed_value_column_snapshot_vs_full(tabert):
+    values = [f"v{i}" for i in range(50)]
+    full = tabert.embed_value_column("col", values)
+    head = tabert.embed_value_column("col", values[:3])
+    assert np.allclose(full, head)  # snapshot: only first 3 values matter
+
+
+# --- framework ----------------------------------------------------------------
+
+def test_observatory_explicit_data_override():
+    obs = Observatory(seed=5, sizes=DatasetSizes(wikitables_tables=3, n_permutations=4))
+    custom = WikiTablesGenerator(seed=99).generate(2, min_rows=4, max_rows=5)
+    result = obs.characterize("bert", "row_order_insignificance", data=custom)
+    assert result.metadata["n_tables"] == 2
+
+
+def test_observatory_custom_property_requires_data_and_config():
+    from repro.core.registry import register_property, unregister_property
+    from repro.core.properties.base import PropertyRunner
+    from repro.core.results import PropertyResult
+
+    class Probe(PropertyRunner):
+        name = "probe-test"
+        def run(self, model, data, config=None):
+            return PropertyResult(self.name, model.name, metadata={"data": data})
+
+    register_property("probe-test", Probe)
+    try:
+        obs = Observatory(seed=0)
+        with pytest.raises(PropertyConfigError):
+            obs.characterize("bert", "probe-test")
+        result = obs.characterize("bert", "probe-test", data=123, config={})
+        assert result.metadata["data"] == 123
+    finally:
+        unregister_property("probe-test")
+
+
+def test_cli_report_happy_path(capsys):
+    from repro.cli import main as cli_main
+
+    code = cli_main(
+        ["--tables", "3", "--permutations", "4", "report", "--models", "taptap"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "taptap" in out and "|" in out
+
+
+# --- measures ------------------------------------------------------------------
+
+def test_pca_explained_variance_ratio_sums_to_at_most_one():
+    from repro.analysis.pca import PCA
+    rng = np.random.default_rng(3)
+    pca = PCA(3).fit(rng.standard_normal((30, 10)))
+    assert pca.explained_variance_ratio_.sum() <= 1.0 + 1e-9
+    assert (np.diff(pca.explained_variance_) <= 1e-9).all()
+
+
+def test_spearman_p_value_monotone_in_n():
+    from repro.core.measures.correlation import _two_sided_p
+    assert _two_sided_p(0.4, 10) > _two_sided_p(0.4, 200)
+
+
+def test_mcv_on_model_trajectory_matches_manual():
+    """MCV as computed in the property equals a direct calculation."""
+    from repro.core.measures.mcv import albert_zhang_mcv
+    model = cached_model("bert")
+    table = Table.from_columns([("c", ["a", "b", "c", "d"]), ("d", [1, 2, 3, 4])])
+    variants = [
+        model.embed_columns(table.reorder_rows(list(p)))[0]
+        for p in ((0, 1, 2, 3), (3, 2, 1, 0), (1, 0, 3, 2))
+    ]
+    stack = np.stack(variants)
+    mu = stack.mean(axis=0)
+    centered = stack - mu
+    sigma = centered.T @ centered / (len(stack) - 1)
+    manual = np.sqrt(mu @ sigma @ mu) / (mu @ mu)
+    assert albert_zhang_mcv(stack) == pytest.approx(float(manual), rel=1e-9)

@@ -1,0 +1,35 @@
+"""Smoke tests: the quick examples must run end to end.
+
+Only the two fastest examples run here (the others exercise the same API
+surfaces at larger scale and are validated manually / by benchmarks).
+"""
+
+import runpy
+import sys
+
+import pytest
+
+pytestmark = pytest.mark.integration
+
+
+def run_example(path, argv=None):
+    old_argv = sys.argv
+    sys.argv = [path] + (argv or [])
+    try:
+        runpy.run_path(path, run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart_runs(capsys):
+    run_example("examples/quickstart.py")
+    out = capsys.readouterr().out
+    assert "row-order insignificance" in out
+    assert "column/cosine" in out
+
+
+def test_custom_model_runs(capsys):
+    run_example("examples/custom_model.py")
+    out = capsys.readouterr().out
+    assert "bag-of-tokens" in out
+    assert "median=1.0000" in out

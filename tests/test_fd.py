@@ -1,0 +1,86 @@
+"""Tests for functional dependencies (definition, verification, groups)."""
+
+import pytest
+
+from repro.errors import TableError
+from repro.relational.fd import (
+    FunctionalDependency,
+    fd_groups,
+    group_value_pairs,
+    satisfies,
+    violation_pairs,
+)
+from repro.relational.table import Table
+
+
+def test_fd_validation():
+    with pytest.raises(ValueError):
+        FunctionalDependency(determinant=(), dependent=(1,))
+    with pytest.raises(ValueError):
+        FunctionalDependency(determinant=(0,), dependent=(0,))
+
+
+def test_unary_constructor():
+    fd = FunctionalDependency.unary(1, 2)
+    assert fd.determinant == (1,)
+    assert fd.dependent == (2,)
+
+
+def test_satisfies_true_fd(fd_table):
+    assert satisfies(fd_table, FunctionalDependency.unary(1, 2))  # country -> continent
+
+
+def test_satisfies_false_fd(fd_table):
+    assert not satisfies(fd_table, FunctionalDependency.unary(1, 0))  # country -/-> city
+
+
+def test_satisfies_multi_attribute(fd_table):
+    fd = FunctionalDependency(determinant=(0, 1), dependent=(2,))
+    assert satisfies(fd_table, fd)  # (city, country) -> continent
+
+
+def test_satisfies_out_of_range(fd_table):
+    with pytest.raises(TableError):
+        satisfies(fd_table, FunctionalDependency.unary(0, 9))
+
+
+def test_violation_pairs_witnesses(fd_table):
+    witnesses = violation_pairs(fd_table, FunctionalDependency.unary(1, 0))
+    assert witnesses  # country does not determine city
+    for i, j in witnesses:
+        assert str(fd_table.cell(i, 1)) == str(fd_table.cell(j, 1))
+        assert str(fd_table.cell(i, 0)) != str(fd_table.cell(j, 0))
+
+
+def test_violation_pairs_empty_for_true_fd(fd_table):
+    assert violation_pairs(fd_table, FunctionalDependency.unary(1, 2)) == []
+
+
+def test_fd_groups_partition(fd_table):
+    groups = fd_groups(fd_table, FunctionalDependency.unary(1, 2))
+    all_rows = sorted(r for rows in groups.values() for r in rows)
+    assert all_rows == list(range(fd_table.num_rows))
+    assert len(groups) == 3  # Netherlands, Canada, USA
+    assert groups[("Netherlands",)] == [0, 1, 2]
+
+
+def test_group_value_pairs_coordinates(fd_table):
+    fd = FunctionalDependency.unary(1, 2)
+    coords = group_value_pairs(fd_table, fd)
+    assert len(coords) == 3
+    total = sum(len(group) for group in coords)
+    assert total == fd_table.num_rows
+    for group in coords:
+        for (r1, c1, r2, c2) in group:
+            assert r1 == r2
+            assert (c1, c2) == (1, 2)
+
+
+def test_describe(fd_table):
+    fd = FunctionalDependency.unary(1, 2)
+    assert fd.describe(fd_table) == "country -> continent"
+
+
+def test_none_values_compare_as_empty():
+    table = Table.from_columns([("a", ["x", "x"]), ("b", [None, None])])
+    assert satisfies(table, FunctionalDependency.unary(0, 1))

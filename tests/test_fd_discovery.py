@@ -1,0 +1,102 @@
+"""Tests for HyFD-style functional-dependency discovery."""
+
+import pytest
+
+from repro.relational.fd import FunctionalDependency, satisfies
+from repro.relational.fd_discovery import (
+    discover_fds,
+    discover_unary_fds,
+    non_fd_column_pairs,
+    partition_error,
+    refines,
+    stripped_partition,
+)
+from repro.relational.table import Table
+
+
+def test_stripped_partition_strips_singletons(fd_table):
+    partition = stripped_partition(fd_table, [1])  # country
+    assert sorted(len(c) for c in partition) == [2, 3]  # USA x2, NL x3; Canada stripped
+
+
+def test_stripped_partition_key_column(fd_table):
+    assert stripped_partition(fd_table, [0]) == []  # city is unique
+
+
+def test_partition_error(fd_table):
+    partition = stripped_partition(fd_table, [1])
+    assert partition_error(partition, fd_table.num_rows) == pytest.approx(3 / 6)
+    assert partition_error([], 0) == 0.0
+
+
+def test_refines_matches_satisfies(fd_table):
+    for lhs in range(fd_table.num_columns):
+        for rhs in range(fd_table.num_columns):
+            if lhs == rhs:
+                continue
+            assert refines(fd_table, [lhs], [rhs]) == satisfies(
+                fd_table, FunctionalDependency.unary(lhs, rhs)
+            )
+
+
+def test_discover_unary_fds_finds_planted(fd_table):
+    found = discover_unary_fds(fd_table)
+    pairs = {(fd.determinant[0], fd.dependent[0]) for fd in found}
+    assert (1, 2) in pairs  # country -> continent
+    # Every discovered FD actually holds.
+    for fd in found:
+        assert satisfies(fd_table, fd)
+
+
+def test_discover_unary_excludes_keys(fd_table):
+    found = discover_unary_fds(fd_table, exclude_trivial_keys=True)
+    assert all(fd.determinant[0] != 0 for fd in found)  # city is a key
+    with_keys = discover_unary_fds(fd_table, exclude_trivial_keys=False)
+    assert any(fd.determinant[0] == 0 for fd in with_keys)
+
+
+def test_discover_unary_no_false_positives():
+    # department does not determine building here, but building -> department
+    # does hold (each building maps to one department).
+    table = Table.from_columns(
+        [
+            ("department", ["Sales", "Sales", "HR", "HR"]),
+            ("building", ["North", "South", "East", "East"]),
+        ]
+    )
+    found = {(fd.determinant[0], fd.dependent[0]) for fd in discover_unary_fds(table)}
+    assert (0, 1) not in found
+    assert (1, 0) in found
+
+
+def test_discover_fds_minimality(fd_table):
+    found = discover_fds(fd_table, max_determinant_size=2)
+    # country -> continent is found at size 1, so (city,country) -> continent
+    # must not be reported (not minimal).
+    assert any(fd.determinant == (1,) and fd.dependent == (2,) for fd in found)
+    assert not any(
+        set(fd.determinant) == {0, 1} and fd.dependent == (2,) for fd in found
+    )
+
+
+def test_discover_fds_all_hold(fd_table):
+    for fd in discover_fds(fd_table, max_determinant_size=2, exclude_trivial_keys=False):
+        assert satisfies(fd_table, fd)
+
+
+def test_discover_fds_bad_size(fd_table):
+    with pytest.raises(ValueError):
+        discover_fds(fd_table, max_determinant_size=0)
+
+
+def test_non_fd_column_pairs_all_violate(fd_table):
+    pairs = non_fd_column_pairs(fd_table, 10)
+    assert pairs
+    for lhs, rhs in pairs:
+        assert not satisfies(fd_table, FunctionalDependency.unary(lhs, rhs))
+
+
+def test_non_fd_column_pairs_deterministic(fd_table):
+    a = non_fd_column_pairs(fd_table, 5, seed_parts=("x",))
+    b = non_fd_column_pairs(fd_table, 5, seed_parts=("x",))
+    assert a == b

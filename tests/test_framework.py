@@ -1,0 +1,120 @@
+"""Tests for the Observatory facade, results, and the property registry."""
+
+import pytest
+
+from repro import Observatory
+from repro.core.framework import DatasetSizes
+from repro.core.properties.base import PropertyRunner
+from repro.core.registry import (
+    PAPER_ORDER,
+    available_properties,
+    load_property,
+    register_property,
+    unregister_property,
+)
+from repro.core.results import PropertyResult, results_table, scalars_table
+from repro.errors import PropertyConfigError
+
+
+@pytest.fixture(scope="module")
+def obs():
+    return Observatory(
+        seed=1,
+        sizes=DatasetSizes(
+            wikitables_tables=4,
+            spider_databases=2,
+            nextiajd_pairs=6,
+            sotab_tables=6,
+            n_permutations=4,
+        ),
+    )
+
+
+def test_registry_has_eight_properties():
+    names = available_properties()
+    assert len([n for n in names if n in PAPER_ORDER]) == 8
+    assert names[0] == "row_order_insignificance"
+
+
+def test_load_unknown_property():
+    with pytest.raises(PropertyConfigError):
+        load_property("telepathy")
+
+
+def test_register_custom_property():
+    class Custom(PropertyRunner):
+        name = "custom-test-prop"
+        def run(self, model, data, **kwargs):
+            return PropertyResult(self.name, getattr(model, "name", "m"))
+
+    register_property("custom-test-prop", Custom)
+    try:
+        assert "custom-test-prop" in available_properties()
+        runner = load_property("custom-test-prop")
+        assert runner.run(None, None).property_name == "custom-test-prop"
+        with pytest.raises(PropertyConfigError):
+            register_property("custom-test-prop", Custom)
+    finally:
+        unregister_property("custom-test-prop")
+
+
+def test_characterize_defaults(obs):
+    result = obs.characterize("bert", "row_order_insignificance")
+    assert result.model_name == "bert"
+    assert "column/cosine" in result.distributions
+
+
+def test_characterize_join(obs):
+    result = obs.characterize("bert", "join_relationship")
+    assert "spearman/multiset_jaccard" in result.scalars
+
+
+def test_characterize_entity_stability_needs_partner(obs):
+    with pytest.raises(PropertyConfigError):
+        obs.characterize("bert", "entity_stability")
+    result = obs.characterize("bert", "entity_stability", partner_model="t5")
+    assert result.model_name == "bert|t5"
+
+
+def test_characterize_models_skips_unsupported(obs):
+    results = obs.characterize_models(
+        ["bert", "taptap"], "sample_fidelity"
+    )
+    assert [r.model_name for r in results] == ["bert"]
+
+
+def test_model_and_dataset_caching(obs):
+    assert obs.model("bert") is obs.model("bert")
+    assert obs.wikitables() is obs.wikitables()
+    assert obs.sotab() is obs.sotab()
+
+
+def test_properties_listing(obs):
+    assert obs.properties() == available_properties()
+
+
+def test_result_add_and_lookup():
+    result = PropertyResult("p", "m")
+    result.add_distribution("x", [1.0, 2.0, 3.0], keep_series=True)
+    assert result.distribution("x").median == 2.0
+    assert result.series["x"] == [1.0, 2.0, 3.0]
+    with pytest.raises(KeyError):
+        result.distribution("missing")
+    as_dict = result.to_dict()
+    assert as_dict["property"] == "p"
+    assert "x" in as_dict["distributions"]
+
+
+def test_results_table_rendering():
+    a = PropertyResult("p", "bert")
+    a.add_distribution("k", [0.1, 0.2, 0.3])
+    b = PropertyResult("p", "t5")
+    text = results_table([a, b], "k", title="demo")
+    assert "| model |" in text and "bert" in text
+    assert "| t5 | - | - | - |" in text
+
+
+def test_scalars_table_rendering():
+    a = PropertyResult("p", "bert", scalars={"s": 0.5})
+    text = scalars_table([a], ["s", "missing"])
+    assert "0.500" in text and "-" in text

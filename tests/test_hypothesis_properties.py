@@ -1,0 +1,235 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.measures.correlation import rankdata, spearman
+from repro.core.measures.mcv import albert_zhang_mcv
+from repro.core.measures.similarity import cosine_similarity, pairwise_cosine
+from repro.core.measures.stats import summarize
+from repro.relational.fd import FunctionalDependency, fd_groups, satisfies
+from repro.relational.fd_discovery import discover_unary_fds
+from repro.relational.overlap import containment, jaccard, multiset_jaccard
+from repro.relational.permutations import sample_permutations
+from repro.relational.sampling import chunk_values
+from repro.relational.table import Table
+from repro.text.tokenizer import Tokenizer
+
+# Reusable strategies -----------------------------------------------------
+
+values_strategy = st.lists(
+    st.sampled_from(["a", "b", "c", "dd", "ee", "f g", "42", "x"]),
+    min_size=1,
+    max_size=30,
+)
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def small_tables(draw):
+    n_rows = draw(st.integers(min_value=1, max_value=8))
+    n_cols = draw(st.integers(min_value=1, max_value=4))
+    pool = ["x", "y", "z", "w", "1", "2"]
+    columns = []
+    for c in range(n_cols):
+        values = [draw(st.sampled_from(pool)) for _ in range(n_rows)]
+        columns.append((f"col{c}", values))
+    return Table.from_columns(columns, table_id="hyp")
+
+
+# Overlap measures ---------------------------------------------------------
+
+@given(values_strategy, values_strategy)
+def test_overlap_bounds(q, c):
+    assert 0.0 <= containment(q, c) <= 1.0
+    assert 0.0 <= jaccard(q, c) <= 1.0
+    assert 0.0 <= multiset_jaccard(q, c) <= 0.5
+
+
+@given(values_strategy, values_strategy)
+def test_containment_at_least_jaccard(q, c):
+    # |Q ∩ C| / |Q| >= |Q ∩ C| / |Q ∪ C| since Q ⊆ Q ∪ C.
+    assert containment(q, c) >= jaccard(q, c) - 1e-12
+
+
+@given(values_strategy)
+def test_self_overlap_maximal(values):
+    assert containment(values, values) == 1.0
+    assert jaccard(values, values) == 1.0
+    assert multiset_jaccard(values, values) == pytest.approx(0.5)
+
+
+@given(values_strategy, values_strategy)
+def test_jaccard_symmetric(q, c):
+    assert jaccard(q, c) == pytest.approx(jaccard(c, q))
+    assert multiset_jaccard(q, c) == pytest.approx(multiset_jaccard(c, q))
+
+
+# Permutations ---------------------------------------------------------------
+
+@given(st.integers(min_value=2, max_value=12), st.integers(min_value=2, max_value=40))
+def test_sampled_permutations_distinct_and_valid(n_items, cap):
+    perms = sample_permutations(n_items, cap, seed_parts=(n_items, cap))
+    assert len(perms) == len(set(perms))
+    assert all(sorted(p) == list(range(n_items)) for p in perms)
+    assert perms[0] == tuple(range(n_items))
+
+
+# Tables ---------------------------------------------------------------------
+
+@given(small_tables(), st.data())
+def test_row_shuffle_preserves_column_multisets(table, data):
+    perm = data.draw(st.permutations(range(table.num_rows)))
+    shuffled = table.reorder_rows(list(perm))
+    for c in range(table.num_columns):
+        assert table.column_multiset(c) == shuffled.column_multiset(c)
+
+
+@given(small_tables(), st.data())
+def test_column_shuffle_preserves_row_multisets(table, data):
+    perm = data.draw(st.permutations(range(table.num_columns)))
+    shuffled = table.reorder_columns(list(perm))
+    for r in range(table.num_rows):
+        assert sorted(map(str, table.rows[r])) == sorted(map(str, shuffled.rows[r]))
+
+
+@given(small_tables(), st.data())
+def test_double_shuffle_roundtrip(table, data):
+    perm = list(data.draw(st.permutations(range(table.num_rows))))
+    inverse = [0] * len(perm)
+    for new, old in enumerate(perm):
+        inverse[old] = new
+    # take_rows with the inverse ordering restores the original rows
+    assert table.reorder_rows(perm).reorder_rows(inverse).rows == table.rows
+
+
+# FDs -------------------------------------------------------------------------
+
+@given(small_tables())
+@settings(max_examples=30, deadline=None)
+def test_discovered_unary_fds_always_hold(table):
+    for fd in discover_unary_fds(table, sample_pairs=16):
+        assert satisfies(table, fd)
+
+
+@given(small_tables(), st.data())
+def test_fd_groups_partition_rows(table, data):
+    assume(table.num_columns >= 2)
+    lhs = data.draw(st.integers(min_value=0, max_value=table.num_columns - 1))
+    rhs = data.draw(
+        st.integers(min_value=0, max_value=table.num_columns - 1).filter(lambda x: x != lhs)
+    )
+    groups = fd_groups(table, FunctionalDependency.unary(lhs, rhs))
+    rows = sorted(r for group in groups.values() for r in group)
+    assert rows == list(range(table.num_rows))
+
+
+@given(small_tables(), st.data())
+def test_fd_satisfaction_invariant_under_row_shuffle(table, data):
+    assume(table.num_columns >= 2)
+    perm = list(data.draw(st.permutations(range(table.num_rows))))
+    fd = FunctionalDependency.unary(0, 1)
+    assert satisfies(table, fd) == satisfies(table.reorder_rows(perm), fd)
+
+
+# Chunking ---------------------------------------------------------------------
+
+@given(values_strategy, st.integers(min_value=1, max_value=10))
+def test_chunks_reassemble(values, size):
+    chunks = chunk_values(values, size)
+    assert [v for chunk in chunks for v in chunk] == list(values)
+    assert all(1 <= len(c) <= size for c in chunks)
+
+
+# Measures ---------------------------------------------------------------------
+
+@given(
+    st.lists(
+        st.lists(
+            st.floats(min_value=-100.0, max_value=100.0, allow_nan=False),
+            min_size=3,
+            max_size=3,
+        ),
+        min_size=2,
+        max_size=20,
+    )
+)
+def test_mcv_scale_invariance_hypothesis(rows):
+    # Shift one coordinate so the mean vector is never (numerically) zero.
+    samples = np.asarray(rows)
+    samples[:, 0] += 500.0
+    value = albert_zhang_mcv(samples)
+    scaled = albert_zhang_mcv(samples * 3.7)
+    assert value >= 0.0
+    assert scaled == pytest.approx(value, rel=1e-6, abs=1e-9)
+
+
+@given(
+    st.lists(finite_floats, min_size=4, max_size=4),
+    st.lists(finite_floats, min_size=4, max_size=4),
+)
+def test_cosine_bounds_hypothesis(a, b):
+    a, b = np.array(a), np.array(b)
+    assume(np.linalg.norm(a) > 1e-6 and np.linalg.norm(b) > 1e-6)
+    value = cosine_similarity(a, b)
+    assert -1.0 <= value <= 1.0
+    assert cosine_similarity(a, a) == pytest.approx(1.0)
+
+
+@given(st.lists(finite_floats, min_size=3, max_size=50))
+def test_rankdata_is_valid_ranking(values):
+    ranks = rankdata(values)
+    assert len(ranks) == len(values)
+    assert ranks.sum() == pytest.approx(len(values) * (len(values) + 1) / 2)
+
+
+@given(st.lists(st.tuples(finite_floats, finite_floats), min_size=3, max_size=50))
+def test_spearman_symmetry_and_bounds(pairs):
+    x = [p[0] for p in pairs]
+    y = [p[1] for p in pairs]
+    assume(len(set(x)) > 1 and len(set(y)) > 1)
+    forward = spearman(x, y)
+    backward = spearman(y, x)
+    assert -1.0 <= forward.rho <= 1.0
+    assert forward.rho == pytest.approx(backward.rho, abs=1e-9)
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=100))
+def test_summarize_ordering(values):
+    stats = summarize(values)
+    assert stats.minimum <= stats.q1 <= stats.median <= stats.q3 <= stats.maximum
+    assert stats.n == len(values)
+
+
+# Tokenizer -----------------------------------------------------------------
+
+@given(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=40))
+def test_tokenizer_total_and_deterministic(text):
+    tokenizer = Tokenizer()
+    pieces = tokenizer.tokenize(text)
+    assert pieces == tokenizer.tokenize(text)
+    for piece in pieces:
+        assert piece  # no empty pieces
+
+
+@given(
+    st.lists(
+        st.text(alphabet="abcdefghij", min_size=1, max_size=12),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_tokenizer_alpha_roundtrip(words):
+    """For plain lowercase alpha words short enough to avoid the per-word
+    piece cap, concatenating pieces (minus the ## markers) recovers the
+    normalized text."""
+    tokenizer = Tokenizer()
+    text = " ".join(words)
+    pieces = tokenizer.tokenize(text)
+    rebuilt = "".join(p[2:] if p.startswith("##") else p for p in pieces)
+    assert rebuilt == text.replace(" ", "")

@@ -1,0 +1,165 @@
+"""Integration tests: the paper's qualitative findings must hold.
+
+These run the real pipeline end to end on small corpora and assert the
+*shape* of each headline result — who wins, orderings, crossovers — not
+absolute values (see EXPERIMENTS.md for the paper-vs-measured record).
+Marked as one module so a slow-run budget stays predictable.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Observatory
+from repro.core.framework import DatasetSizes
+from repro.core.properties import ShuffleConfig
+
+pytestmark = pytest.mark.integration
+
+
+@pytest.fixture(scope="module")
+def obs():
+    return Observatory(
+        seed=0,
+        sizes=DatasetSizes(
+            wikitables_tables=8,
+            spider_databases=3,
+            nextiajd_pairs=30,
+            sotab_tables=12,
+            n_permutations=6,
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def row_order(obs):
+    return {
+        name: obs.characterize(name, "row_order_insignificance")
+        for name in ("bert", "t5", "tapas", "tabert", "doduo")
+    }
+
+
+def test_row_order_lms_robust(row_order):
+    """Figure 5: BERT/T5/TAPAS/TaBERT column embeddings are robust (Q1 high)."""
+    for name in ("bert", "t5", "tapas", "tabert"):
+        assert row_order[name].distributions["column/cosine"].q1 > 0.95, name
+
+
+def test_row_order_doduo_most_sensitive(row_order):
+    """Figure 5: DODUO shows the largest spread under row shuffling."""
+    doduo_q1 = row_order["doduo"].distributions["column/cosine"].q1
+    for name in ("bert", "t5", "tapas", "tabert"):
+        assert doduo_q1 < row_order[name].distributions["column/cosine"].q1
+
+
+def test_row_order_t5_highest_mcv_at_high_cosine(row_order):
+    """Figure 5/6: T5 combines top-band cosine with the largest MCV."""
+    t5_mcv = row_order["t5"].distributions["column/mcv"].q3
+    for name in ("bert", "tapas", "tabert"):
+        assert t5_mcv > row_order[name].distributions["column/mcv"].q3
+    assert row_order["t5"].distributions["column/cosine"].q1 > 0.97
+
+
+def test_table_embeddings_most_stable(row_order):
+    """Figure 5 bottom: table embeddings vary least under row shuffles."""
+    for name in ("bert", "t5", "tapas"):
+        result = row_order[name]
+        assert (
+            result.distributions["table/cosine"].median
+            >= result.distributions["column/cosine"].median - 1e-6
+        )
+
+
+def test_column_order_perturbs_more_than_row_order(obs, row_order):
+    """Figure 7: column shuffling causes more variation than row shuffling."""
+    for name in ("roberta", "doduo"):
+        col = obs.characterize(name, "column_order_insignificance")
+        row = obs.characterize(name, "row_order_insignificance")
+        assert (
+            col.distributions["column/cosine"].median
+            < row.distributions["column/cosine"].median
+        )
+
+
+def test_join_multiset_jaccard_most_correlated(obs):
+    """Table 3: multiset Jaccard correlates best with embedding cosine."""
+    for name in ("bert", "tapas"):
+        result = obs.characterize(name, "join_relationship")
+        mj = result.scalars["spearman/multiset_jaccard"]
+        assert mj > result.scalars["spearman/containment"]
+        assert mj > result.scalars["spearman/jaccard"]
+        assert mj > 0.3
+
+
+def test_fd_no_model_separates_cleanly(obs):
+    """Figure 10: FD and non-FD variance distributions overlap."""
+    for name in ("bert", "tapas"):
+        result = obs.characterize(name, "functional_dependencies")
+        fd = result.distributions["fd/s2"]
+        non_fd = result.distributions["non_fd/s2"]
+        assert fd.maximum > non_fd.minimum, name  # ranges overlap
+    # For the vanilla LM even the interquartile ranges overlap.
+    bert = obs.characterize("bert", "functional_dependencies")
+    assert bert.distributions["fd/s2"].q3 > bert.distributions["non_fd/s2"].q1
+
+
+def test_fd_doduo_magnitudes_dominate(obs):
+    """Table 4: DODUO's raw-stream variances dwarf the layer-normed models."""
+    doduo = obs.characterize("doduo", "functional_dependencies")
+    bert = obs.characterize("bert", "functional_dependencies")
+    assert doduo.scalars["mean_s2/fd"] > 10 * bert.scalars["mean_s2/fd"]
+
+
+def test_sample_fidelity_orderings(obs):
+    """Figure 11: fidelity rises with ratio; DODUO lags; TaBERT robust."""
+    results = {
+        name: obs.characterize(name, "sample_fidelity")
+        for name in ("bert", "tabert", "doduo")
+    }
+    for result in results.values():
+        assert (
+            result.distributions["ratio_0.75/fidelity"].median
+            >= result.distributions["ratio_0.25/fidelity"].median
+        )
+    at_25 = {
+        name: r.distributions["ratio_0.25/fidelity"].median
+        for name, r in results.items()
+    }
+    assert at_25["doduo"] < at_25["bert"]
+    assert at_25["tabert"] > 0.9
+
+
+def test_entity_stability_domain_dependence(obs):
+    """Figure 12: stability varies by domain and lies in [0, 1]."""
+    result = obs.characterize("bert", "entity_stability", partner_model="tapas")
+    values = [v for k, v in result.scalars.items() if k.startswith("stability/")]
+    assert all(0.0 <= v <= 1.0 for v in values)
+    domain_values = [
+        v for k, v in result.scalars.items()
+        if k.startswith("stability/") and not k.endswith("overall")
+    ]
+    assert max(domain_values) - min(domain_values) > 0.01  # domain matters
+
+
+def test_perturbation_robustness_orderings(obs):
+    """Figure 13: DODUO invariant; TaBERT worst; BERT among the best."""
+    results = {
+        name: obs.characterize(name, "perturbation_robustness")
+        for name in ("bert", "tabert", "doduo")
+    }
+    key = "schema-abbreviation/cosine"
+    assert results["doduo"].distributions[key].minimum == pytest.approx(1.0, abs=1e-9)
+    assert (
+        results["tabert"].distributions[key].median
+        < results["bert"].distributions[key].median
+    )
+
+
+def test_heterogeneous_context_extremes(obs):
+    """Table 5: TaBERT context-insensitive, DODUO most sensitive."""
+    tabert = obs.characterize("tabert", "heterogeneous_context")
+    doduo = obs.characterize("doduo", "heterogeneous_context")
+    bert = obs.characterize("bert", "heterogeneous_context")
+    key = "non_textual/entire_table"
+    assert tabert.distributions[key].median > 0.95
+    assert doduo.distributions[key].median < bert.distributions[key].median
+    assert doduo.distributions[key].median < tabert.distributions[key].median

@@ -1,0 +1,86 @@
+"""Tests for KNN retrieval and overlap (Measure 6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.measures.knn import average_overlap_at_k, knn_indices, knn_overlap
+from repro.errors import MeasureError
+from repro.seeding import rng_for
+
+
+def embeddings_on_line():
+    # Points on a line: neighbours of index i are i-1 and i+1 by euclidean.
+    return np.array([[float(i), 0.0] for i in range(1, 7)])
+
+
+def test_knn_euclidean_neighbours():
+    out = knn_indices(embeddings_on_line(), 2, 2, metric="euclidean")
+    assert set(out) == {1, 3}
+
+
+def test_knn_cosine_excludes_query():
+    rng = rng_for("knn-test", 1)
+    embs = rng.standard_normal((10, 4))
+    out = knn_indices(embs, 3, 5)
+    assert 3 not in out
+    assert len(out) == 5
+
+
+def test_knn_deterministic_tie_break():
+    embs = np.array([[1.0, 0.0], [1.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+    out = knn_indices(embs, 0, 2)
+    assert out == [1, 2]  # ties broken by index
+
+
+def test_knn_validation():
+    embs = np.eye(3)
+    with pytest.raises(MeasureError):
+        knn_indices(embs, 5, 1)
+    with pytest.raises(MeasureError):
+        knn_indices(embs, 0, 3)  # k > n-1
+    with pytest.raises(MeasureError):
+        knn_indices(embs, 0, 1, metric="manhattan")
+
+
+def test_knn_overlap():
+    assert knn_overlap([1, 2, 3], [3, 2, 1]) == 1.0
+    assert knn_overlap([1, 2], [3, 4]) == 0.0
+    assert knn_overlap([1, 2, 3, 4], [3, 4, 5, 6]) == 0.5
+
+
+def test_knn_overlap_validation():
+    with pytest.raises(MeasureError):
+        knn_overlap([1, 1], [2, 3])
+    with pytest.raises(MeasureError):
+        knn_overlap([1, 2], [1, 2, 3])
+    with pytest.raises(MeasureError):
+        knn_overlap([], [])
+
+
+def test_average_overlap_identical_spaces_is_one():
+    rng = rng_for("knn-test", 2)
+    space = rng.standard_normal((20, 8))
+    assert average_overlap_at_k(space, space.copy(), [0, 3, 7], 5) == 1.0
+
+
+def test_average_overlap_rotation_invariance():
+    """Cosine KNN structure survives orthogonal transforms."""
+    rng = rng_for("knn-test", 3)
+    space = rng.standard_normal((30, 8))
+    q, _ = np.linalg.qr(rng.standard_normal((8, 8)))
+    assert average_overlap_at_k(space, space @ q.T @ q, list(range(10)), 5) == 1.0
+
+
+def test_average_overlap_random_spaces_low():
+    rng = rng_for("knn-test", 4)
+    a = rng.standard_normal((50, 8))
+    b = rng.standard_normal((50, 8))
+    value = average_overlap_at_k(a, b, list(range(20)), 5)
+    assert value < 0.5
+
+
+def test_average_overlap_validation():
+    with pytest.raises(MeasureError):
+        average_overlap_at_k(np.eye(3), np.eye(4), [0], 1)
+    with pytest.raises(MeasureError):
+        average_overlap_at_k(np.eye(3), np.eye(3), [], 1)

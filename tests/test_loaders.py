@@ -1,0 +1,97 @@
+"""Tests for CSV import/export."""
+
+import pytest
+
+from repro.data.loaders import (
+    load_csv,
+    load_directory,
+    save_csv,
+    table_from_csv_text,
+    table_to_csv_text,
+)
+from repro.errors import DatasetError
+from repro.relational.values import DataType
+
+CSV = """player,country,titles
+Roger Federer,Switzerland,103
+Rafael Nadal,Spain,92
+"""
+
+
+def test_parse_with_header_and_types():
+    table = table_from_csv_text(CSV, table_id="t")
+    assert table.header == ["player", "country", "titles"]
+    assert table.num_rows == 2
+    assert table.cell(0, 2) == 103  # parsed to int
+    assert table.schema[2].data_type == DataType.INTEGER
+
+
+def test_parse_without_value_parsing():
+    table = table_from_csv_text(CSV, parse_values=False)
+    assert table.cell(0, 2) == "103"
+
+
+def test_parse_headerless():
+    table = table_from_csv_text("a,1\nb,2\n", has_header=False)
+    assert table.header == ["", ""]
+    assert table.num_rows == 2
+
+
+def test_parse_custom_delimiter():
+    table = table_from_csv_text("x;y\n1;2\n", delimiter=";")
+    assert table.header == ["x", "y"]
+
+
+def test_parse_errors():
+    with pytest.raises(DatasetError):
+        table_from_csv_text("")
+    with pytest.raises(DatasetError):
+        table_from_csv_text("a,b\n1\n")  # ragged
+    with pytest.raises(DatasetError):
+        table_from_csv_text("a,b\n")  # header only
+
+
+def test_round_trip(tmp_path, tennis_table):
+    path = tmp_path / "tennis.csv"
+    save_csv(tennis_table, path)
+    loaded = load_csv(path)
+    assert loaded.header == tennis_table.header
+    assert loaded.num_rows == tennis_table.num_rows
+    assert loaded.cell(2, 0) == tennis_table.cell(2, 0)
+    assert loaded.cell(1, 2) == tennis_table.cell(1, 2)
+    assert loaded.table_id == "tennis"
+
+
+def test_round_trip_none_becomes_empty():
+    from repro.relational.table import Table
+
+    table = Table.from_columns([("x", ["a", None]), ("y", [1, 2])])
+    reloaded = table_from_csv_text(table_to_csv_text(table))
+    assert reloaded.num_rows == 2
+    assert reloaded.cell(1, 0) in (None, "")
+    assert reloaded.cell(1, 1) == 2
+
+
+def test_load_missing_file(tmp_path):
+    with pytest.raises(DatasetError):
+        load_csv(tmp_path / "missing.csv")
+
+
+def test_load_directory(tmp_path, tennis_table, fd_table):
+    save_csv(tennis_table, tmp_path / "a.csv")
+    save_csv(fd_table, tmp_path / "b.csv")
+    tables = load_directory(tmp_path)
+    assert [t.table_id for t in tables] == ["a", "b"]
+    assert load_directory(tmp_path, limit=1)[0].table_id == "a"
+    with pytest.raises(DatasetError):
+        load_directory(tmp_path / "nope")
+    with pytest.raises(DatasetError):
+        load_directory(tmp_path, pattern="*.tsv")
+
+
+def test_loaded_table_is_embeddable(tmp_path, tennis_table, bert):
+    """The practitioner path: CSV in, Observatory measure out."""
+    save_csv(tennis_table, tmp_path / "mine.csv")
+    table = load_csv(tmp_path / "mine.csv")
+    embeddings = bert.embed_columns(table)
+    assert embeddings.shape == (table.num_columns, bert.dim)

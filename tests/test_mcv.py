@@ -1,0 +1,117 @@
+"""Tests for multivariate coefficients of variation."""
+
+import numpy as np
+import pytest
+
+from repro.core.measures.mcv import (
+    MCV_VARIANTS,
+    albert_zhang_mcv,
+    reyment_mcv,
+    van_valen_mcv,
+    voinov_nikulin_mcv,
+)
+from repro.errors import MeasureError
+from repro.seeding import rng_for
+
+
+def test_az_zero_for_identical_vectors():
+    samples = np.tile([1.0, 2.0, 3.0], (5, 1))
+    assert albert_zhang_mcv(samples) == pytest.approx(0.0, abs=1e-12)
+
+
+def test_az_univariate_matches_cv():
+    rng = rng_for("mcv-test", 1)
+    values = rng.normal(10.0, 2.0, size=500)[:, None]
+    expected_cv = values.std(ddof=1) / abs(values.mean())
+    assert albert_zhang_mcv(values) == pytest.approx(expected_cv, rel=1e-9)
+
+
+def test_az_isotropic_closed_form():
+    """For x ~ N(mu, s^2 I): gamma = s * |mu| / |mu|^2 = s / |mu|."""
+    rng = rng_for("mcv-test", 2)
+    mu = np.array([3.0, 4.0])  # |mu| = 5
+    s = 0.5
+    samples = mu + s * rng.standard_normal((20000, 2))
+    assert albert_zhang_mcv(samples) == pytest.approx(s / 5.0, rel=0.05)
+
+
+def test_az_handles_singular_covariance():
+    """n < d: the covariance is singular, AZ must still work (the paper's
+    stated reason for choosing it)."""
+    rng = rng_for("mcv-test", 3)
+    samples = rng.standard_normal((5, 64)) + 10.0
+    value = albert_zhang_mcv(samples)
+    assert np.isfinite(value) and value > 0
+
+
+def test_az_scale_invariance():
+    rng = rng_for("mcv-test", 4)
+    samples = rng.standard_normal((30, 8)) + 5.0
+    assert albert_zhang_mcv(samples * 7.3) == pytest.approx(
+        albert_zhang_mcv(samples), rel=1e-9
+    )
+
+
+def test_az_rotation_invariance():
+    rng = rng_for("mcv-test", 5)
+    samples = rng.standard_normal((50, 6)) + 4.0
+    q, _ = np.linalg.qr(rng.standard_normal((6, 6)))
+    assert albert_zhang_mcv(samples @ q) == pytest.approx(
+        albert_zhang_mcv(samples), rel=1e-9
+    )
+
+
+def test_az_zero_mean_raises():
+    samples = np.array([[1.0, 0.0], [-1.0, 0.0]])
+    with pytest.raises(MeasureError):
+        albert_zhang_mcv(samples)
+
+
+def test_az_needs_two_samples():
+    with pytest.raises(MeasureError):
+        albert_zhang_mcv(np.ones((1, 4)))
+    with pytest.raises(MeasureError):
+        albert_zhang_mcv(np.ones(4))
+
+
+def test_reyment_degenerates_on_singular():
+    rng = rng_for("mcv-test", 6)
+    samples = rng.standard_normal((5, 64)) + 10.0  # n << d
+    assert reyment_mcv(samples) == 0.0
+
+
+def test_van_valen_always_defined():
+    rng = rng_for("mcv-test", 7)
+    samples = rng.standard_normal((5, 64)) + 10.0
+    assert van_valen_mcv(samples) > 0
+
+
+def test_voinov_nikulin_raises_on_singular():
+    rng = rng_for("mcv-test", 8)
+    samples = rng.standard_normal((5, 64)) + 10.0
+    with pytest.raises(MeasureError):
+        voinov_nikulin_mcv(samples)
+
+
+def test_voinov_nikulin_on_full_rank():
+    rng = rng_for("mcv-test", 9)
+    samples = rng.standard_normal((500, 4)) + 10.0
+    assert voinov_nikulin_mcv(samples) > 0
+
+
+def test_variant_registry():
+    assert set(MCV_VARIANTS) == {"albert_zhang", "reyment", "van_valen", "voinov_nikulin"}
+
+
+def test_az_directional_variance_raises_mcv():
+    """Variance aligned with the mean direction dominates gamma — the
+    mechanism behind T5's high MCV at high cosine similarity."""
+    rng = rng_for("mcv-test", 10)
+    mu = np.zeros(16)
+    mu[0] = 10.0
+    noise = rng.standard_normal((2000, 16)) * 0.1
+    aligned = mu + noise * 0 + np.outer(rng.standard_normal(2000), mu / 10.0)
+    orthogonal = mu + np.concatenate(
+        [np.zeros((2000, 1)), rng.standard_normal((2000, 15))], axis=1
+    )
+    assert albert_zhang_mcv(aligned) > albert_zhang_mcv(orthogonal)

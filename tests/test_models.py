@@ -1,0 +1,168 @@
+"""Tests for the model base class, zoo, and registry."""
+
+import numpy as np
+import pytest
+
+from repro.core.levels import EmbeddingLevel
+from repro.errors import ModelError, UnsupportedLevelError
+from repro.models.config import ModelConfig
+from repro.models.base import SurrogateModel
+from repro.models.registry import (
+    LANGUAGE_MODELS,
+    TABLE_MODELS,
+    available_models,
+    load_model,
+    register_model,
+    unregister_model,
+)
+from repro.relational.table import Table
+from tests.conftest import cached_model
+
+
+def test_registry_lists_nine_models():
+    names = available_models()
+    assert len([n for n in names if n in LANGUAGE_MODELS + TABLE_MODELS]) == 9
+    assert names[:3] == ["bert", "roberta", "t5"]
+
+
+def test_load_unknown_model():
+    with pytest.raises(ModelError):
+        load_model("gpt-17")
+
+
+def test_register_and_unregister():
+    register_model("custom-test", lambda: load_model("bert"))
+    try:
+        assert "custom-test" in available_models()
+        with pytest.raises(ModelError):
+            register_model("custom-test", lambda: None)
+        register_model("custom-test", lambda: load_model("t5"), overwrite=True)
+    finally:
+        unregister_model("custom-test")
+    assert "custom-test" not in available_models()
+
+
+@pytest.mark.parametrize("name", LANGUAGE_MODELS + TABLE_MODELS)
+def test_every_model_embeds_its_levels(name, tennis_table):
+    model = cached_model(name)
+    levels = model.supported_levels()
+    if EmbeddingLevel.COLUMN in levels:
+        cols = model.embed_columns(tennis_table)
+        assert cols.shape == (3, model.dim)
+        assert np.isfinite(cols).all()
+    else:
+        with pytest.raises(UnsupportedLevelError):
+            model.embed_columns(tennis_table)
+    if EmbeddingLevel.ROW in levels:
+        rows = model.embed_rows(tennis_table)
+        assert rows.shape[1] == model.dim
+        assert rows.shape[0] == 4
+    if EmbeddingLevel.TABLE in levels:
+        assert model.embed_table(tennis_table).shape == (model.dim,)
+
+
+@pytest.mark.parametrize("name", ["bert", "tapas", "doduo"])
+def test_embeddings_deterministic(name, tennis_table):
+    a = load_model(name)
+    b = load_model(name)
+    assert np.allclose(a.embed_columns(tennis_table), b.embed_columns(tennis_table))
+
+
+def test_models_differ_from_each_other(tennis_table):
+    bert_cols = cached_model("bert").embed_columns(tennis_table)
+    t5_cols = cached_model("t5").embed_columns(tennis_table)
+    assert not np.allclose(bert_cols, t5_cols)
+
+
+def test_paper_level_exclusions():
+    assert not cached_model("tabert").supports(EmbeddingLevel.CELL)
+    assert not cached_model("tabert").supports(EmbeddingLevel.ENTITY)
+    assert cached_model("taptap").supported_levels() == frozenset({EmbeddingLevel.ROW})
+    assert not cached_model("doduo").supports(EmbeddingLevel.TABLE)
+    assert not cached_model("turl").supports(EmbeddingLevel.ROW)
+
+
+def test_embed_cells(tennis_table):
+    model = cached_model("bert")
+    cells = model.embed_cells(tennis_table, [(0, 0), (1, 2)])
+    assert set(cells) == {(0, 0), (1, 2)}
+    assert cells[(0, 0)].shape == (model.dim,)
+
+
+def test_embed_entities(tennis_table):
+    linked = Table(
+        tennis_table.schema,
+        tennis_table.rows,
+        entity_links={(0, 0): "tennis:Roger Federer", (1, 0): "tennis:Rafael Nadal"},
+        table_id="ent-test",
+    )
+    out = cached_model("bert").embed_entities(linked)
+    assert set(out) == {"tennis:Roger Federer", "tennis:Rafael Nadal"}
+
+
+def test_embed_value_column_shapes():
+    model = cached_model("bert")
+    emb = model.embed_value_column("country", ["Spain", "France", "Italy"])
+    assert emb.shape == (model.dim,)
+    with pytest.raises(ModelError):
+        model.embed_value_column("country", [])
+
+
+def test_embed_value_column_chunking_consistency():
+    """Long columns chunk; the aggregate should stay close to a direct pass."""
+    model = cached_model("bert")
+    values = [f"item {i}" for i in range(400)]  # forces multiple chunks
+    emb = model.embed_value_column("things", values)
+    assert np.isfinite(emb).all()
+    # Chunked full embedding should be closer to a 50% sample than to an
+    # unrelated column's embedding.
+    other = model.embed_value_column("years", [str(1900 + i) for i in range(50)])
+    sample = model.embed_value_column("things", values[::2])
+    def cos(a, b):
+        return a @ b / (np.linalg.norm(a) * np.linalg.norm(b))
+    assert cos(emb, sample) > cos(emb, other)
+
+
+def test_tabert_content_snapshot(tennis_table):
+    """TaBERT only ever sees its first 3 rows."""
+    tabert = cached_model("tabert")
+    head3 = tennis_table.head(3)
+    assert np.allclose(tabert.embed_columns(tennis_table), tabert.embed_columns(head3))
+    assert tabert.fitted_rows(tennis_table) == 3
+
+
+def test_taptap_rows_independent(tennis_table):
+    """TapTap encodes rows independently: row order cannot matter."""
+    taptap = cached_model("taptap")
+    rows = taptap.embed_rows(tennis_table)
+    shuffled = taptap.embed_rows(tennis_table.reorder_rows([2, 0, 3, 1]))
+    assert np.allclose(rows[[2, 0, 3, 1]], shuffled, atol=1e-10)
+
+
+def test_taptap_table_embed_raises(tennis_table):
+    with pytest.raises(UnsupportedLevelError):
+        cached_model("taptap").embed_table(tennis_table)
+
+
+def test_doduo_schema_blind(tennis_table):
+    """DODUO never reads headers: renaming cannot change its embeddings."""
+    doduo = cached_model("doduo")
+    renamed = tennis_table.rename_column(0, "completely different header")
+    assert np.allclose(doduo.embed_columns(tennis_table), doduo.embed_columns(renamed))
+
+
+def test_fitted_rows_respects_budget():
+    import dataclasses
+    from repro.models.zoo.bert import CONFIG
+    small = SurrogateModel(dataclasses.replace(CONFIG, max_tokens=64, name="bert-small", seed_name="bert"))
+    table = Table.from_columns([("x", [f"some words here {i}" for i in range(50)])])
+    assert small.fitted_rows(table) < 50
+
+
+def test_model_config_validation():
+    with pytest.raises(ModelError):
+        ModelConfig(name="bad", dim=30, n_heads=4)  # 30 % 4 != 0
+    with pytest.raises(ModelError):
+        ModelConfig(name="bad", max_tokens=2)
+    with pytest.raises(ModelError):
+        ModelConfig(name="bad", content_snapshot_rows=0)

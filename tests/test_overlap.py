@@ -1,0 +1,79 @@
+"""Tests for value-overlap measures (Measure 3 building blocks)."""
+
+import pytest
+
+from repro.errors import MeasureError
+from repro.relational.overlap import (
+    OVERLAP_MEASURES,
+    containment,
+    jaccard,
+    multiset_jaccard,
+    weighted_containment,
+)
+
+
+def test_containment_basic():
+    assert containment(["a", "b"], ["a", "b", "c"]) == 1.0
+    assert containment(["a", "b"], ["a"]) == 0.5
+    assert containment(["a"], ["b"]) == 0.0
+
+
+def test_containment_asymmetric():
+    q, c = ["a", "b", "c", "d"], ["a"]
+    assert containment(q, c) != containment(c, q)
+
+
+def test_containment_ignores_duplicates():
+    assert containment(["a", "a", "b"], ["a", "c"]) == 0.5
+
+
+def test_containment_empty_query_raises():
+    with pytest.raises(MeasureError):
+        containment([], ["a"])
+    with pytest.raises(MeasureError):
+        containment([None, ""], ["a"])
+
+
+def test_jaccard_basic():
+    assert jaccard(["a", "b"], ["b", "c"]) == pytest.approx(1 / 3)
+    assert jaccard(["a"], ["a"]) == 1.0
+
+
+def test_jaccard_empty_both_raises():
+    with pytest.raises(MeasureError):
+        jaccard([], [])
+
+
+def test_multiset_jaccard_counts_duplicates():
+    # q = {a:2, b:1}, c = {a:1, b:2}; inter = 1 + 1 = 2; total = 6
+    assert multiset_jaccard(["a", "a", "b"], ["a", "b", "b"]) == pytest.approx(2 / 6)
+
+
+def test_multiset_jaccard_max_is_half():
+    values = ["a", "b", "b", "c"]
+    assert multiset_jaccard(values, values) == 0.5
+
+
+def test_multiset_jaccard_disjoint():
+    assert multiset_jaccard(["a"], ["b"]) == 0.0
+
+
+def test_values_normalized_and_stringified():
+    assert containment([1, 2], ["1", "2 "]) == 1.0
+    assert jaccard([" a"], ["a"]) == 1.0
+
+
+def test_none_and_blank_dropped():
+    assert containment(["a", None, ""], ["a"]) == 1.0
+
+
+def test_weighted_containment():
+    q = {"a": 3, "b": 1}
+    c = {"a": 2}
+    assert weighted_containment(q, c) == pytest.approx(2 / 4)
+    with pytest.raises(MeasureError):
+        weighted_containment({}, c)
+
+
+def test_registry_contains_paper_measures():
+    assert set(OVERLAP_MEASURES) == {"containment", "jaccard", "multiset_jaccard"}

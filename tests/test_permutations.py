@@ -1,0 +1,82 @@
+"""Tests for distinct-permutation sampling."""
+
+import math
+
+import pytest
+
+from repro.relational.permutations import (
+    derangement_fraction,
+    permutation_count,
+    sample_permutations,
+    swap_distance,
+)
+
+
+def test_permutation_count():
+    assert permutation_count(0) == 1
+    assert permutation_count(5) == 120
+    with pytest.raises(ValueError):
+        permutation_count(-1)
+
+
+def test_small_space_enumerated_exactly():
+    perms = sample_permutations(3, 100)
+    assert len(perms) == math.factorial(3)
+    assert perms[0] == (0, 1, 2)
+    assert len(set(perms)) == 6
+
+
+def test_identity_first():
+    perms = sample_permutations(6, 10)
+    assert perms[0] == tuple(range(6))
+
+
+def test_identity_excluded_when_requested():
+    perms = sample_permutations(3, 100, include_identity=False)
+    assert tuple(range(3)) not in perms
+    assert len(perms) == 5
+
+
+def test_large_space_sampled_distinct():
+    perms = sample_permutations(30, 50, seed_parts=("t",))
+    assert len(perms) == 50
+    assert len(set(perms)) == 50
+    assert all(sorted(p) == list(range(30)) for p in perms)
+
+
+def test_deterministic_given_seed_parts():
+    a = sample_permutations(10, 20, seed_parts=("x",))
+    b = sample_permutations(10, 20, seed_parts=("x",))
+    c = sample_permutations(10, 20, seed_parts=("y",))
+    assert a == b
+    assert a != c
+
+
+def test_trivial_sizes():
+    assert sample_permutations(0, 5) == [()]
+    assert sample_permutations(1, 5) == [(0,)]
+
+
+def test_invalid_args():
+    with pytest.raises(ValueError):
+        sample_permutations(3, 0)
+    with pytest.raises(ValueError):
+        sample_permutations(-1, 5)
+
+
+def test_cap_respected():
+    perms = sample_permutations(4, 10)
+    assert len(perms) == 10  # 4! = 24 > 10
+
+
+def test_derangement_fraction_bounds():
+    perms = sample_permutations(6, 50)
+    fraction = derangement_fraction(perms)
+    assert 0.0 <= fraction <= 1.0
+    assert derangement_fraction([]) == 0.0
+
+
+def test_swap_distance():
+    assert swap_distance((0, 1, 2)) == 0
+    assert swap_distance((1, 0, 2)) == 1
+    assert swap_distance((1, 2, 0)) == 2

@@ -1,0 +1,264 @@
+"""Tests for P3-P8 runners."""
+
+import numpy as np
+import pytest
+
+from repro.core.properties import (
+    ContextConfig,
+    ContextSetting,
+    EntityStability,
+    EntityStabilityConfig,
+    FDConfig,
+    FunctionalDependencies,
+    HeterogeneousContext,
+    JoinRelationship,
+    JoinRelationshipConfig,
+    PerturbationConfig,
+    PerturbationRobustness,
+    SampleFidelity,
+    SampleFidelityConfig,
+)
+from repro.core.properties.p8_heterogeneous_context import context_projection
+from repro.data.drspider import PerturbationKind, PerturbationSuite
+from repro.data.entities import EntityCatalog
+from repro.data.nextiajd import NextiaJDGenerator
+from repro.data.sotab import SotabGenerator
+from repro.data.spider import SpiderGenerator
+from repro.errors import PropertyConfigError
+from tests.conftest import cached_model
+
+
+@pytest.fixture(scope="module")
+def join_pairs():
+    return NextiaJDGenerator(seed=9).generate_pairs(10)
+
+
+@pytest.fixture(scope="module")
+def fd_sets():
+    return SpiderGenerator(seed=9).fd_evaluation_sets(2)
+
+
+@pytest.fixture(scope="module")
+def sotab_corpus():
+    return SotabGenerator(seed=9).generate(8)
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return EntityCatalog(seed=9, queries_per_domain=4)
+
+
+# --- P3 -------------------------------------------------------------------
+
+def test_p3_produces_spearman_scalars(join_pairs):
+    result = JoinRelationship().run(cached_model("bert"), join_pairs)
+    for measure in ("containment", "jaccard", "multiset_jaccard"):
+        assert f"spearman/{measure}" in result.scalars
+        assert -1.0 <= result.scalars[f"spearman/{measure}"] <= 1.0
+        assert 0.0 <= result.scalars[f"p_value/{measure}"] <= 1.0
+    assert result.distributions["cosine"].n == len(join_pairs)
+
+
+def test_p3_empty_pairs_rejected():
+    with pytest.raises(PropertyConfigError):
+        JoinRelationship().run(cached_model("bert"), [])
+
+
+def test_p3_config_validation():
+    with pytest.raises(PropertyConfigError):
+        JoinRelationshipConfig(overlap_measures=("nonsense",))
+    with pytest.raises(PropertyConfigError):
+        JoinRelationshipConfig(overlap_measures=())
+
+
+def test_p3_keep_series(join_pairs):
+    config = JoinRelationshipConfig(keep_series=True)
+    result = JoinRelationship().run(cached_model("bert"), join_pairs, config)
+    assert len(result.series["overlap/containment"]) == len(join_pairs)
+    assert len(result.series["cosine"]) == len(join_pairs)
+
+
+# --- P4 -------------------------------------------------------------------
+
+def test_p4_outputs(fd_sets):
+    result = FunctionalDependencies().run(cached_model("bert"), fd_sets)
+    assert result.scalars["mean_s2/fd"] >= 0
+    assert result.scalars["mean_s2/non_fd"] >= 0
+    assert "fd/s2" in result.distributions
+    assert "non_fd/s2" in result.distributions
+    assert result.metadata["norm"] == "L2"
+
+
+def test_p4_l1_option(fd_sets):
+    result = FunctionalDependencies().run(
+        cached_model("bert"), fd_sets, FDConfig(norm=1)
+    )
+    assert result.metadata["norm"] == "L1"
+
+
+def test_p4_config_validation():
+    with pytest.raises(PropertyConfigError):
+        FDConfig(norm=3)
+    with pytest.raises(PropertyConfigError):
+        FDConfig(min_group_size=1)
+
+
+def test_p4_empty_cases_rejected():
+    with pytest.raises(PropertyConfigError):
+        FunctionalDependencies().run(cached_model("bert"), ([], []))
+
+
+def test_p4_case_variance_zero_for_constant_translations(fd_sets):
+    """A model mapping every cell to the same vector has S^2 = 0."""
+    class ConstantModel:
+        name, dim = "constant", 4
+        def supports(self, level):
+            return True
+        def embed_cells(self, table, coords):
+            return {c: np.ones(4) for c in coords}
+
+    fd_cases, _ = fd_sets
+    s2 = FunctionalDependencies.case_variance(ConstantModel(), fd_cases[0])
+    assert s2 == pytest.approx(0.0, abs=1e-18)
+
+
+# --- P5 -------------------------------------------------------------------
+
+def test_p5_outputs(small_corpus):
+    config = SampleFidelityConfig(ratios=(0.5,), n_samples=2)
+    result = SampleFidelity().run(cached_model("bert"), small_corpus.take(2), config)
+    stats = result.distributions["ratio_0.5/fidelity"]
+    assert 0.0 < stats.median <= 1.0
+    assert "ratio_0.5/mcv" in result.distributions
+
+
+def test_p5_fidelity_increases_with_ratio(small_corpus):
+    config = SampleFidelityConfig(ratios=(0.25, 0.75), n_samples=2)
+    result = SampleFidelity().run(cached_model("bert"), small_corpus.take(3), config)
+    assert (
+        result.distributions["ratio_0.75/fidelity"].median
+        >= result.distributions["ratio_0.25/fidelity"].median
+    )
+
+
+def test_p5_config_validation():
+    with pytest.raises(PropertyConfigError):
+        SampleFidelityConfig(ratios=())
+    with pytest.raises(PropertyConfigError):
+        SampleFidelityConfig(ratios=(1.5,))
+    with pytest.raises(PropertyConfigError):
+        SampleFidelityConfig(n_samples=0)
+
+
+# --- P6 -------------------------------------------------------------------
+
+def test_p6_pairwise_stability(catalog):
+    runner = EntityStability()
+    result = runner.run(
+        (cached_model("bert"), cached_model("t5")),
+        catalog,
+        EntityStabilityConfig(k=5),
+    )
+    assert result.model_name == "bert|t5"
+    for domain in catalog.domains():
+        value = result.scalars[f"stability/{domain}"]
+        assert 0.0 <= value <= 1.0
+    assert 0.0 <= result.scalars["stability/overall"] <= 1.0
+
+
+def test_p6_self_stability_is_one(catalog):
+    result = EntityStability().run(
+        (cached_model("bert"), cached_model("bert")),
+        catalog,
+        EntityStabilityConfig(k=5),
+    )
+    assert result.scalars["stability/overall"] == 1.0
+
+
+def test_p6_rejects_entityless_model(catalog):
+    with pytest.raises(PropertyConfigError):
+        EntityStability().run(
+            (cached_model("bert"), cached_model("tabert")), catalog
+        )
+
+
+def test_p6_unknown_domain(catalog):
+    with pytest.raises(PropertyConfigError):
+        EntityStability().run(
+            (cached_model("bert"), cached_model("t5")),
+            catalog,
+            EntityStabilityConfig(k=3, domains=("astrology",)),
+        )
+
+
+def test_p6_pairwise_matrix(catalog):
+    models = [cached_model("bert"), cached_model("t5")]
+    matrix = EntityStability.pairwise_matrix(
+        models, catalog, "movies", EntityStabilityConfig(k=5)
+    )
+    assert matrix.shape == (2, 2)
+    assert np.allclose(np.diag(matrix), 1.0)
+    assert matrix[0, 1] == matrix[1, 0]
+
+
+# --- P7 -------------------------------------------------------------------
+
+def test_p7_outputs(small_corpus):
+    suite = PerturbationSuite(small_corpus)
+    result = PerturbationRobustness().run(cached_model("bert"), suite)
+    assert "schema-synonym/cosine" in result.distributions
+    assert "mean/schema-synonym" in result.scalars
+    assert result.distributions["schema-synonym/cosine"].maximum <= 1.0
+
+
+def test_p7_doduo_exactly_invariant(small_corpus):
+    """DODUO ignores schemas: all similarities are exactly 1."""
+    suite = PerturbationSuite(small_corpus)
+    result = PerturbationRobustness().run(cached_model("doduo"), suite)
+    stats = result.distributions["schema-synonym/cosine"]
+    assert stats.minimum == pytest.approx(1.0, abs=1e-9)
+    assert stats.maximum == pytest.approx(1.0, abs=1e-9)
+
+
+def test_p7_config_validation():
+    with pytest.raises(PropertyConfigError):
+        PerturbationConfig(kinds=())
+
+
+# --- P8 -------------------------------------------------------------------
+
+def test_p8_outputs(sotab_corpus):
+    result = HeterogeneousContext().run(cached_model("bert"), sotab_corpus)
+    families = {k.split("/")[0] for k in result.distributions}
+    assert families == {"textual", "non_textual"}
+    for stats in result.distributions.values():
+        assert -1.0 <= stats.minimum <= stats.maximum <= 1.0
+
+
+def test_p8_context_projection_entire_table(sotab_corpus):
+    table = sotab_corpus[0]
+    projected, inner = context_projection(table, 1, ContextSetting.ENTIRE_TABLE)
+    assert projected is table and inner == 1
+
+
+def test_p8_context_projection_neighbors(sotab_corpus):
+    table = sotab_corpus[0]
+    projected, inner = context_projection(table, 0, ContextSetting.NEIGHBORING_COLUMNS)
+    assert projected.num_columns == 2  # leftmost column has one neighbour
+    assert projected.header[inner] == table.header[0]
+    middle, inner_mid = context_projection(table, 1, ContextSetting.NEIGHBORING_COLUMNS)
+    assert middle.num_columns == 3
+    assert middle.header[inner_mid] == table.header[1]
+
+
+def test_p8_context_projection_subject(sotab_corpus):
+    table = sotab_corpus[0]
+    target = table.num_columns - 1
+    projected, inner = context_projection(table, target, ContextSetting.SUBJECT_COLUMN)
+    assert projected.num_columns == 2
+    assert projected.header[inner] == table.header[target]
+
+
+def test_p8_config_validation():
+    with pytest.raises(PropertyConfigError):
+        ContextConfig(settings=())

@@ -1,0 +1,117 @@
+"""Tests for P1 (row order) and P2 (column order) runners."""
+
+import numpy as np
+import pytest
+
+from repro.core.levels import EmbeddingLevel
+from repro.core.properties import (
+    ColumnOrderInsignificance,
+    RowOrderInsignificance,
+    ShuffleConfig,
+)
+from repro.errors import PropertyConfigError
+from tests.conftest import cached_model
+
+
+@pytest.fixture(scope="module")
+def p1_result(small_corpus):
+    runner = RowOrderInsignificance()
+    return runner.run(
+        cached_model("bert"), small_corpus, ShuffleConfig(n_permutations=5)
+    )
+
+
+def test_p1_produces_all_levels(p1_result):
+    keys = set(p1_result.distributions)
+    assert {"column/cosine", "column/mcv", "row/cosine", "row/mcv",
+            "table/cosine", "table/mcv"} <= keys
+
+
+def test_p1_cosine_bounds(p1_result):
+    for key, stats in p1_result.distributions.items():
+        if key.endswith("cosine"):
+            assert -1.0 <= stats.minimum <= stats.maximum <= 1.0
+
+
+def test_p1_mcv_nonnegative(p1_result):
+    for key, stats in p1_result.distributions.items():
+        if key.endswith("mcv"):
+            assert stats.minimum >= 0.0
+
+
+def test_p1_sample_counts(p1_result, small_corpus):
+    # Per table: num_columns items x (n_permutations - 1) cosine samples.
+    expected = sum(t.num_columns * 4 for t in small_corpus)
+    assert p1_result.distributions["column/cosine"].n == expected
+
+
+def test_p1_metadata(p1_result, small_corpus):
+    assert p1_result.metadata["axis"] == "row"
+    assert p1_result.metadata["n_tables"] == len(small_corpus)
+
+
+def test_p1_level_filtering(small_corpus):
+    runner = RowOrderInsignificance()
+    result = runner.run(
+        cached_model("doduo"), small_corpus, ShuffleConfig(n_permutations=4)
+    )
+    # DODUO exposes only column-level embeddings among the shuffle levels.
+    assert set(result.distributions) == {"column/cosine", "column/mcv"}
+
+
+def test_p1_rejects_unsupported_model(small_corpus):
+    runner = RowOrderInsignificance()
+    with pytest.raises(PropertyConfigError):
+        runner.run(
+            cached_model("taptap"),
+            small_corpus,
+            ShuffleConfig(n_permutations=4, levels=(EmbeddingLevel.COLUMN,)),
+        )
+
+
+def test_p2_column_alignment(small_corpus):
+    runner = ColumnOrderInsignificance()
+    result = runner.run(
+        cached_model("bert"), small_corpus, ShuffleConfig(n_permutations=5)
+    )
+    assert result.metadata["axis"] == "column"
+    assert "column/cosine" in result.distributions
+    # Column shuffles should perturb at least as much as row shuffles for
+    # a position-sensitive model (paper Section 5.2).
+    p1 = RowOrderInsignificance().run(
+        cached_model("bert"), small_corpus, ShuffleConfig(n_permutations=5)
+    )
+    assert (
+        result.distributions["column/cosine"].median
+        <= p1.distributions["column/cosine"].median + 0.01
+    )
+
+
+def test_shuffle_config_validation():
+    with pytest.raises(PropertyConfigError):
+        ShuffleConfig(n_permutations=1)
+    with pytest.raises(PropertyConfigError):
+        ShuffleConfig(levels=(EmbeddingLevel.CELL,))
+
+
+def test_keep_series(small_corpus):
+    runner = RowOrderInsignificance()
+    result = runner.run(
+        cached_model("bert"),
+        small_corpus.take(2),
+        ShuffleConfig(n_permutations=4, keep_series=True),
+    )
+    assert "column/cosine" in result.series
+    assert len(result.series["column/cosine"]) == result.distributions["column/cosine"].n
+
+
+def test_identity_reference_is_unshuffled(small_corpus):
+    """The cosine references the identity permutation, so a permutation-
+    blind model scores exactly 1 everywhere."""
+    runner = RowOrderInsignificance()
+    result = runner.run(
+        cached_model("taptap"),
+        small_corpus.take(2),
+        ShuffleConfig(n_permutations=4, levels=(EmbeddingLevel.ROW,)),
+    )
+    assert result.distributions["row/cosine"].minimum == pytest.approx(1.0, abs=1e-9)

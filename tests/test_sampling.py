@@ -1,0 +1,94 @@
+"""Tests for row sampling and column chunking."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.relational.sampling import (
+    chunk_values,
+    distinct_samples,
+    sample_column_values,
+    sample_rows,
+)
+from repro.relational.table import Table
+
+
+@pytest.fixture()
+def table():
+    return Table.from_columns(
+        [("x", list(range(20))), ("y", [str(i) for i in range(20)])],
+        table_id="sampling-test",
+    )
+
+
+def test_sample_rows_size(table):
+    sampled = sample_rows(table, 0.5)
+    assert sampled.num_rows == 10
+    assert sampled.num_columns == 2
+
+
+def test_sample_rows_preserves_order(table):
+    sampled = sample_rows(table, 0.3)
+    values = sampled.column_values(0)
+    assert values == sorted(values)
+
+
+def test_sample_rows_full_fraction(table):
+    assert sample_rows(table, 1.0).num_rows == 20
+
+
+def test_sample_rows_minimum(table):
+    assert sample_rows(table, 0.001, minimum=3).num_rows == 3
+
+
+def test_sample_rows_deterministic(table):
+    a = sample_rows(table, 0.5, seed_parts=(1,))
+    b = sample_rows(table, 0.5, seed_parts=(1,))
+    c = sample_rows(table, 0.5, seed_parts=(2,))
+    assert a.rows == b.rows
+    assert a.rows != c.rows
+
+
+def test_sample_rows_bad_fraction(table):
+    with pytest.raises(DatasetError):
+        sample_rows(table, 0.0)
+    with pytest.raises(DatasetError):
+        sample_rows(table, 1.5)
+
+
+def test_sample_column_values_subset_in_order():
+    values = list("abcdefghij")
+    sample = sample_column_values(values, 0.4, seed_parts=("s",))
+    assert len(sample) == 4
+    indices = [values.index(v) for v in sample]
+    assert indices == sorted(indices)
+
+
+def test_sample_column_values_empty():
+    assert sample_column_values([], 0.5) == []
+
+
+def test_chunk_values_covers_everything():
+    values = list(range(10))
+    chunks = chunk_values(values, 3)
+    assert [len(c) for c in chunks] == [3, 3, 3, 1]
+    assert [v for chunk in chunks for v in chunk] == values
+
+
+def test_chunk_values_bad_size():
+    with pytest.raises(DatasetError):
+        chunk_values([1], 0)
+
+
+def test_distinct_samples_independent_and_deterministic():
+    values = list(range(40))
+    samples = distinct_samples(values, 0.25, 4, seed_parts=("d",))
+    assert len(samples) == 4
+    assert all(len(s) == 10 for s in samples)
+    again = distinct_samples(values, 0.25, 4, seed_parts=("d",))
+    assert samples == again
+    assert len({tuple(s) for s in samples}) > 1  # not all identical
+
+
+def test_distinct_samples_bad_count():
+    with pytest.raises(DatasetError):
+        distinct_samples([1, 2], 0.5, 0)

@@ -1,0 +1,98 @@
+"""Tests for column/table schemas."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.schema import ColumnSchema, TableSchema
+from repro.relational.values import DataType
+
+
+def make_schema():
+    return TableSchema(
+        [
+            ColumnSchema("player", DataType.TEXT, is_subject=True),
+            ColumnSchema("country", DataType.TEXT),
+            ColumnSchema("titles", DataType.INTEGER),
+        ]
+    )
+
+
+def test_empty_schema_rejected():
+    with pytest.raises(SchemaError):
+        TableSchema([])
+
+
+def test_from_names():
+    schema = TableSchema.from_names(["a", "b"])
+    assert schema.names == ["a", "b"]
+    assert all(c.data_type == DataType.TEXT for c in schema)
+
+
+def test_basic_accessors():
+    schema = make_schema()
+    assert schema.width == len(schema) == 3
+    assert schema[1].name == "country"
+    assert schema.index_of("titles") == 2
+    assert schema.subject_index() == 0
+
+
+def test_index_of_missing_raises():
+    with pytest.raises(SchemaError):
+        make_schema().index_of("nope")
+
+
+def test_duplicate_names_resolve_to_first():
+    schema = TableSchema([ColumnSchema("x"), ColumnSchema("x")])
+    assert schema.index_of("x") == 0
+
+
+def test_subject_index_none():
+    schema = TableSchema.from_names(["a", "b"])
+    assert schema.subject_index() is None
+
+
+def test_reordered():
+    schema = make_schema().reordered([2, 0, 1])
+    assert schema.names == ["titles", "player", "country"]
+
+
+def test_reordered_rejects_non_permutation():
+    with pytest.raises(SchemaError):
+        make_schema().reordered([0, 0, 1])
+
+
+def test_projected():
+    schema = make_schema().projected([2, 0])
+    assert schema.names == ["titles", "player"]
+
+
+def test_projected_out_of_range():
+    with pytest.raises(SchemaError):
+        make_schema().projected([5])
+
+
+def test_renamed_preserves_other_fields():
+    schema = make_schema().renamed(0, "athlete")
+    assert schema.names[0] == "athlete"
+    assert schema[0].is_subject  # renaming keeps the subject flag
+    assert schema[0].data_type == DataType.TEXT
+
+
+def test_renamed_out_of_range():
+    with pytest.raises(SchemaError):
+        make_schema().renamed(9, "x")
+
+
+def test_equality_and_hash():
+    assert make_schema() == make_schema()
+    assert hash(make_schema()) == hash(make_schema())
+    assert make_schema() != TableSchema.from_names(["a", "b", "c"])
+
+
+def test_column_schema_helpers():
+    col = ColumnSchema("price", DataType.MONEY)
+    assert col.renamed("cost").name == "cost"
+    assert col.with_type(DataType.FLOAT).data_type == DataType.FLOAT
+    # originals unchanged (frozen dataclass)
+    assert col.name == "price"
+    assert col.data_type == DataType.MONEY

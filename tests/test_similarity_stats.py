@@ -1,0 +1,84 @@
+"""Tests for cosine similarity utilities and distribution summaries."""
+
+import numpy as np
+import pytest
+
+from repro.core.measures.similarity import cosine_similarity, cosine_to_reference, pairwise_cosine
+from repro.core.measures.stats import DistributionStats, five_number_summary, summarize
+from repro.errors import MeasureError
+
+
+def test_cosine_basic():
+    assert cosine_similarity([1, 0], [1, 0]) == 1.0
+    assert cosine_similarity([1, 0], [0, 1]) == 0.0
+    assert cosine_similarity([1, 0], [-1, 0]) == -1.0
+
+
+def test_cosine_scale_invariant():
+    a, b = np.array([1.0, 2.0, 3.0]), np.array([2.0, -1.0, 0.5])
+    assert cosine_similarity(a, b) == pytest.approx(cosine_similarity(5 * a, 0.1 * b))
+
+
+def test_cosine_clipped_to_unit_interval():
+    a = np.full(100, 1e-3)
+    assert -1.0 <= cosine_similarity(a, a) <= 1.0
+
+
+def test_cosine_zero_vector_raises():
+    with pytest.raises(MeasureError):
+        cosine_similarity([0, 0], [1, 0])
+
+
+def test_cosine_shape_mismatch():
+    with pytest.raises(MeasureError):
+        cosine_similarity([1, 0], [1, 0, 0])
+
+
+def test_cosine_to_reference():
+    ref = np.array([1.0, 0.0])
+    others = np.array([[1.0, 0.0], [0.0, 2.0], [-3.0, 0.0]])
+    out = cosine_to_reference(ref, others)
+    assert np.allclose(out, [1.0, 0.0, -1.0])
+
+
+def test_pairwise_cosine_properties():
+    rng = np.random.default_rng(0)
+    matrix = rng.standard_normal((6, 4))
+    sims = pairwise_cosine(matrix)
+    assert sims.shape == (6, 6)
+    assert np.allclose(np.diag(sims), 1.0)
+    assert np.allclose(sims, sims.T)
+    assert sims.min() >= -1.0 and sims.max() <= 1.0
+
+
+def test_five_number_summary():
+    lo, q1, med, q3, hi = five_number_summary([1, 2, 3, 4, 5])
+    assert (lo, med, hi) == (1.0, 3.0, 5.0)
+    assert q1 == 2.0 and q3 == 4.0
+
+
+def test_summarize_fields():
+    stats = summarize([1.0, 2.0, 3.0, 4.0])
+    assert stats.n == 4
+    assert stats.mean == 2.5
+    assert stats.iqr == stats.q3 - stats.q1
+    assert stats.tukey_low == pytest.approx(stats.q1 - 1.5 * stats.iqr)
+    assert stats.tukey_high == pytest.approx(stats.q3 + 1.5 * stats.iqr)
+
+
+def test_summarize_single_value():
+    stats = summarize([7.0])
+    assert stats.std == 0.0
+    assert stats.minimum == stats.maximum == 7.0
+
+
+def test_summarize_empty_raises():
+    with pytest.raises(MeasureError):
+        summarize([])
+
+
+def test_stats_to_dict_and_str():
+    stats = summarize([1.0, 2.0, 3.0])
+    d = stats.to_dict()
+    assert {"n", "mean", "std", "min", "q1", "median", "q3", "max"} <= set(d)
+    assert "med=" in str(stats)

@@ -1,0 +1,169 @@
+"""Tests for the Table data structure."""
+
+import pytest
+
+from repro.errors import TableError
+from repro.relational.schema import ColumnSchema, TableSchema
+from repro.relational.table import Table
+from repro.relational.values import DataType
+
+
+def test_ragged_rows_rejected(tennis_table):
+    with pytest.raises(TableError):
+        Table(tennis_table.schema, [("a", "b")])
+
+
+def test_from_columns_unequal_lengths():
+    with pytest.raises(TableError):
+        Table.from_columns([("a", [1, 2]), ("b", [1])])
+
+
+def test_from_columns_empty():
+    with pytest.raises(TableError):
+        Table.from_columns([])
+
+
+def test_from_columns_infers_types(tennis_table):
+    assert tennis_table.schema[0].data_type == DataType.TEXT
+    assert tennis_table.schema[2].data_type == DataType.INTEGER
+
+
+def test_basic_accessors(tennis_table):
+    assert tennis_table.num_rows == len(tennis_table) == 4
+    assert tennis_table.num_columns == 3
+    assert tennis_table.header == ["player", "country", "titles"]
+    assert tennis_table.cell(1, 0) == "Rafael Nadal"
+    assert tennis_table.column_values(2) == [103, 92, 94, 46]
+    assert tennis_table.column_by_name("country")[0] == "Switzerland"
+
+
+def test_cell_out_of_range(tennis_table):
+    with pytest.raises(TableError):
+        tennis_table.cell(10, 0)
+    with pytest.raises(TableError):
+        tennis_table.column_values(7)
+
+
+def test_column_multiset():
+    table = Table.from_columns([("x", ["a", "b", "a", None])])
+    assert table.column_multiset(0) == {"a": 2, "b": 1, "": 1}
+
+
+def test_reorder_rows_moves_entity_links(tennis_table):
+    linked = Table(
+        tennis_table.schema,
+        tennis_table.rows,
+        entity_links={(0, 0): "e:federer", (3, 0): "e:murray"},
+        table_id="t",
+    )
+    shuffled = linked.reorder_rows([3, 2, 1, 0])
+    assert shuffled.cell(0, 0) == "Andy Murray"
+    assert shuffled.entity_links[(0, 0)] == "e:murray"
+    assert shuffled.entity_links[(3, 0)] == "e:federer"
+
+
+def test_reorder_rows_rejects_bad_permutation(tennis_table):
+    with pytest.raises(TableError):
+        tennis_table.reorder_rows([0, 1, 2])
+
+
+def test_reorder_columns_moves_schema_and_links(tennis_table):
+    linked = Table(
+        tennis_table.schema,
+        tennis_table.rows,
+        entity_links={(0, 0): "e:federer"},
+    )
+    shuffled = linked.reorder_columns([2, 0, 1])
+    assert shuffled.header == ["titles", "player", "country"]
+    assert shuffled.cell(0, 1) == "Roger Federer"
+    assert shuffled.entity_links == {(0, 1): "e:federer"}
+
+
+def test_row_shuffle_preserves_column_fingerprints(tennis_table):
+    shuffled = tennis_table.reorder_rows([2, 0, 3, 1])
+    for c in range(tennis_table.num_columns):
+        assert tennis_table.column_fingerprint(c) == shuffled.column_fingerprint(c)
+
+
+def test_project(tennis_table):
+    projected = tennis_table.project([1])
+    assert projected.header == ["country"]
+    assert projected.num_rows == 4
+
+
+def test_take_rows_allows_duplicates(tennis_table):
+    taken = tennis_table.take_rows([0, 0, 2])
+    assert taken.num_rows == 3
+    assert taken.cell(0, 0) == taken.cell(1, 0)
+
+
+def test_take_rows_out_of_range(tennis_table):
+    with pytest.raises(TableError):
+        tennis_table.take_rows([9])
+
+
+def test_head(tennis_table):
+    assert tennis_table.head(2).num_rows == 2
+    assert tennis_table.head(99).num_rows == 4
+
+
+def test_rename_column(tennis_table):
+    renamed = tennis_table.rename_column(1, "nation")
+    assert renamed.header[1] == "nation"
+    assert tennis_table.header[1] == "country"  # original untouched
+
+
+def test_replace_column(tennis_table):
+    replaced = tennis_table.replace_column(2, [1, 2, 3, 4])
+    assert replaced.column_values(2) == [1, 2, 3, 4]
+    with pytest.raises(TableError):
+        tennis_table.replace_column(2, [1, 2])
+
+
+def test_replace_column_with_schema(tennis_table):
+    new_schema = ColumnSchema("wins", DataType.INTEGER)
+    replaced = tennis_table.replace_column(2, [1, 2, 3, 4], new_schema=new_schema)
+    assert replaced.header[2] == "wins"
+
+
+def test_subject_column_fallback_first_textual():
+    table = Table.from_columns([("id", [1, 2]), ("name", ["a", "b"])])
+    assert table.subject_column_index() == 1  # first textual column
+
+
+def test_subject_column_annotated():
+    schema = TableSchema(
+        [ColumnSchema("a", DataType.TEXT), ColumnSchema("b", DataType.TEXT, is_subject=True)]
+    )
+    table = Table(schema, [("x", "y")])
+    assert table.subject_column_index() == 1
+
+
+def test_entity_links_validated():
+    schema = TableSchema.from_names(["a"])
+    with pytest.raises(TableError):
+        Table(schema, [("x",)], entity_links={(5, 0): "e"})
+
+
+def test_single_column_table(tennis_table):
+    single = tennis_table.single_column_table(1)
+    assert single.num_columns == 1
+    assert single.header == ["country"]
+
+
+def test_to_markdown(tennis_table):
+    text = tennis_table.to_markdown(max_rows=2)
+    assert "| player | country | titles |" in text
+    assert "more rows" in text
+
+
+def test_equality(tennis_table):
+    same = Table(tennis_table.schema, tennis_table.rows, caption=tennis_table.caption)
+    assert tennis_table == same
+    assert tennis_table != tennis_table.head(2)
+
+
+def test_infer_types_updates_schema():
+    schema = TableSchema.from_names(["n"])
+    table = Table(schema, [("1",), ("2",)])
+    assert table.infer_types().schema[0].data_type == DataType.INTEGER

