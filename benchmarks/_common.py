@@ -11,7 +11,7 @@ reproductions.
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Sequence
+from typing import Dict
 
 from repro import Observatory
 from repro.core.framework import DatasetSizes

@@ -8,7 +8,6 @@ small table and a wide/long generated table for both models.
 """
 
 import numpy as np
-import pytest
 
 from benchmarks._common import observatory, print_header, scaled
 from repro.analysis.reporting import format_value_table

@@ -10,7 +10,6 @@ finite, positive, and discriminative across models.
 """
 
 import numpy as np
-import pytest
 
 from benchmarks._common import observatory, print_header, scaled
 from repro.analysis.reporting import format_value_table

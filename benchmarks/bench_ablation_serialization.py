@@ -7,7 +7,6 @@ monotone in the limit, maximality of the fit) and reports how many rows of
 a wide table survive at each limit for both serialization orders.
 """
 
-import pytest
 
 from benchmarks._common import print_header, scaled
 from repro.analysis.reporting import format_value_table

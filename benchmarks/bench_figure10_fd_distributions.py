@@ -5,7 +5,6 @@ The bench renders both distributions as box plots per model and asserts
 heavy overlap (interquartile ranges intersect) for every model.
 """
 
-import pytest
 
 from benchmarks._common import TABLE4_MODELS, observatory, print_header
 from repro.analysis.reporting import render_boxplot

@@ -6,7 +6,6 @@ every model, vanilla LMs sit high, TaBERT is the most sample-robust model
 (its first-3-rows content snapshot), and DODUO lags at every ratio.
 """
 
-import pytest
 
 from benchmarks._common import FIGURE11_MODELS, characterize, print_header
 from repro.analysis.reporting import format_value_table

@@ -7,7 +7,6 @@ different domains — and every matrix is a valid symmetric overlap matrix.
 """
 
 import numpy as np
-import pytest
 
 from benchmarks._common import FIGURE12_MODELS, observatory, print_header
 from repro.analysis.reporting import format_matrix

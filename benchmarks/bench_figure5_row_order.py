@@ -6,14 +6,12 @@ DODUO the widest spread, T5 the largest MCV at top-band cosine, and table
 embeddings the most stable level.
 """
 
-import pytest
 
 from benchmarks._common import (
     characterize,
     FIGURE5_COLUMN_MODELS,
     FIGURE5_ROW_MODELS,
     FIGURE5_TABLE_MODELS,
-    observatory,
     print_header,
 )
 from repro.analysis.reporting import format_value_table

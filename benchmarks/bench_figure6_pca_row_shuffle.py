@@ -8,7 +8,6 @@ BERT's.
 """
 
 import numpy as np
-import pytest
 
 from benchmarks._common import observatory, print_header, scaled
 from repro.analysis.pca import PCA, spread_ratio

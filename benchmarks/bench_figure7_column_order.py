@@ -6,7 +6,6 @@ RoBERTa's median drops by a larger margin than BERT's, and DODUO's drop is
 the largest.
 """
 
-import pytest
 
 from benchmarks._common import FIGURE5_COLUMN_MODELS, characterize, print_header
 from repro.analysis.reporting import format_value_table

@@ -6,7 +6,6 @@ between the two shuffle axes for T5.
 """
 
 import numpy as np
-import pytest
 
 from benchmarks._common import observatory, print_header, scaled
 from repro.analysis.pca import PCA

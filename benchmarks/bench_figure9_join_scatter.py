@@ -7,7 +7,6 @@ bin, and multiset Jaccard never exceeds its theoretical maximum of 0.5.
 """
 
 import numpy as np
-import pytest
 
 from benchmarks._common import TABLE3_MODELS, observatory, print_header
 from repro.analysis.reporting import format_value_table

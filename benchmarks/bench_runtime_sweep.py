@@ -1,0 +1,177 @@
+"""Runtime benchmark: batched/cached ``Observatory.sweep`` vs legacy path.
+
+Measures the characterization runtime on the default benchmark matrix
+(2 models x 4 properties) in three configurations:
+
+1. **naive** — sequential ``characterize`` calls with the runtime disabled
+   (``RuntimeConfig(enabled=False)``): one encoder pass per level per
+   variant, no deduplication, no cache.  This is the pre-runtime compute
+   profile.
+2. **cold sweep** — ``Observatory.sweep`` with an empty cache: levels are
+   bundled into one encoder pass per variant, requests are deduplicated by
+   content hash, short sequences are batch-encoded.
+3. **warm sweep** — the same sweep again on the primed cache: the
+   re-characterization a practitioner triggers every time they iterate on
+   analysis code, add a measure, or regenerate a report over unchanged
+   data.  Only fingerprinting and the measures themselves are recomputed.
+
+Reported speedups: cold (architecture only), warm (cache), and the
+two-pass analysis workflow (characterize once, re-characterize once) —
+the workflow number is the headline the runtime targets (>= 3x); the cold
+number guards the architectural win on its own.  All three configurations
+must produce numerically identical ``PropertyResult`` measures.
+
+Usage::
+
+    python benchmarks/bench_runtime_sweep.py            # full benchmark
+    python benchmarks/bench_runtime_sweep.py --smoke    # tiny CI gate
+
+The ``--smoke`` mode runs in seconds and only asserts the invariants CI
+can check on shared hardware: identical results, an overall cache hit
+rate above 45% across the two sweeps, and a cached sweep no slower than
+the naive baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro import Observatory, RuntimeConfig
+from repro.analysis.reporting import format_value_table
+from repro.core.framework import DatasetSizes
+from repro.core.results import PropertyResult
+
+MODELS = ["bert", "tapas"]
+PROPERTIES = [
+    "row_order_insignificance",
+    "column_order_insignificance",
+    "perturbation_robustness",
+    "heterogeneous_context",
+]
+
+FULL_SIZES = DatasetSizes(
+    wikitables_tables=8,
+    sotab_tables=10,
+    n_permutations=8,
+    min_rows=14,
+    max_rows=20,
+)
+SMOKE_SIZES = DatasetSizes(
+    wikitables_tables=3,
+    sotab_tables=4,
+    n_permutations=4,
+    min_rows=5,
+    max_rows=7,
+)
+WARMUP_SIZES = DatasetSizes(
+    wikitables_tables=2,
+    sotab_tables=2,
+    n_permutations=2,
+    min_rows=4,
+    max_rows=5,
+)
+
+
+def run_naive(sizes: DatasetSizes) -> Tuple[float, Dict[Tuple[str, str], PropertyResult]]:
+    observatory = Observatory(
+        seed=0, sizes=sizes, runtime=RuntimeConfig(enabled=False)
+    )
+    started = time.perf_counter()
+    results = {
+        (model, prop): observatory.characterize(model, prop)
+        for model in MODELS
+        for prop in PROPERTIES
+    }
+    return time.perf_counter() - started, results
+
+
+def run_sweeps(sizes: DatasetSizes):
+    observatory = Observatory(seed=0, sizes=sizes, runtime=RuntimeConfig(batch_size=16))
+    started = time.perf_counter()
+    cold = observatory.sweep(MODELS, PROPERTIES)
+    t_cold = time.perf_counter() - started
+    started = time.perf_counter()
+    warm = observatory.sweep(MODELS, PROPERTIES)
+    t_warm = time.perf_counter() - started
+    return t_cold, cold, t_warm, warm, observatory.cache.stats
+
+
+def check_identical(
+    naive: Dict[Tuple[str, str], PropertyResult], sweep
+) -> None:
+    for cell in sweep.cells:
+        expected = naive[(cell.model_name, cell.property_name)].to_dict()
+        actual = cell.result.to_dict()
+        if expected != actual:
+            raise AssertionError(
+                f"results diverged for ({cell.model_name}, {cell.property_name})"
+            )
+
+
+def warmup() -> None:
+    """Amortize one-time costs (imports, shared content-vector cache) so the
+    timed configurations start from the same warmth."""
+    for enabled in (False, True):
+        observatory = Observatory(
+            seed=0, sizes=WARMUP_SIZES, runtime=RuntimeConfig(enabled=enabled)
+        )
+        for prop in PROPERTIES:
+            observatory.characterize(MODELS[0], prop)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sizes + hardware-independent assertions (CI gate)",
+    )
+    args = parser.parse_args(argv)
+    sizes = SMOKE_SIZES if args.smoke else FULL_SIZES
+
+    warmup()
+    t_naive, naive_results = run_naive(sizes)
+    t_cold, cold, t_warm, warm, cache_stats = run_sweeps(sizes)
+    check_identical(naive_results, cold)
+    check_identical(naive_results, warm)
+
+    cold_speedup = t_naive / t_cold
+    warm_speedup = t_naive / t_warm
+    workflow_speedup = (2 * t_naive) / (t_cold + t_warm)
+
+    rows = [
+        ["naive sequential (runtime off)", t_naive, 1.0],
+        ["cold sweep (batched + cached)", t_cold, cold_speedup],
+        ["warm sweep (re-characterize)", t_warm, warm_speedup],
+        ["two-pass workflow", t_cold + t_warm, workflow_speedup],
+    ]
+    print()
+    print("=" * 72)
+    print(f"Runtime sweep benchmark — {len(MODELS)} models x {len(PROPERTIES)} properties")
+    print("=" * 72)
+    print(format_value_table(rows, ["configuration", "seconds", "speedup"]))
+    print()
+    print(f"cache: {cache_stats}")
+    print("results: numerically identical across all configurations")
+
+    if args.smoke:
+        assert t_cold <= t_naive * 1.05, (
+            f"cached sweep slower than naive baseline: {t_cold:.2f}s vs {t_naive:.2f}s"
+        )
+        assert cache_stats.hit_rate > 0.45, (
+            f"cache ineffective: hit rate {cache_stats.hit_rate:.1%}"
+        )
+    else:
+        assert cold_speedup >= 2.0, f"cold sweep speedup {cold_speedup:.2f}x < 2x"
+        assert workflow_speedup >= 3.0, (
+            f"two-pass workflow speedup {workflow_speedup:.2f}x < 3x"
+        )
+    print("benchmark assertions passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,7 +7,6 @@ regenerates those three fractions for DODUO and contrasts them with BERT
 (robust embeddings -> stable predictions).
 """
 
-import pytest
 
 from benchmarks._common import observatory, print_header, scaled
 from repro.analysis.reporting import format_value_table

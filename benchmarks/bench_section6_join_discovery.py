@@ -7,7 +7,6 @@ wall-clock speedups depend on the machine, so the assertions check the
 qualitative shape: near-parity quality and clear (> 2x) indexing speedup.
 """
 
-import pytest
 
 from benchmarks._common import observatory, print_header, scaled
 from repro.analysis.reporting import format_value_table

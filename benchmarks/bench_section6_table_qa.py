@@ -8,7 +8,6 @@ perturbation kinds, with abbreviations hurting at least as much as
 synonyms.
 """
 
-import pytest
 
 from benchmarks._common import observatory, print_header, scaled
 from repro.analysis.reporting import format_value_table

@@ -6,7 +6,6 @@ significance, and asserts the headline shape: multiset Jaccard is the most
 correlated measure for every model.
 """
 
-import pytest
 
 from benchmarks._common import TABLE3_MODELS, characterize, print_header
 from repro.analysis.reporting import format_value_table

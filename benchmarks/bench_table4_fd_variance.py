@@ -6,7 +6,6 @@ S^2_FD < S^2_nonFD by a clear margin at near-zero FD variance, and DODUO's
 unnormalized magnitudes dwarf everyone.
 """
 
-import pytest
 
 from benchmarks._common import TABLE4_MODELS, characterize, print_header
 from repro.analysis.reporting import format_value_table

@@ -6,7 +6,6 @@ insensitive to context (median > 0.95 in every setting) while DODUO is the
 most sensitive, with the entire-table setting changing embeddings the most.
 """
 
-import pytest
 
 from benchmarks._common import TABLE5_MODELS, characterize, print_header
 from repro.analysis.reporting import format_value_table

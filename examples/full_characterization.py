@@ -5,15 +5,23 @@ the markdown matrix a practitioner would skim when selecting a model —
 each cell is the property's headline statistic (median cosine, Spearman
 rho, mean S^2, …), with cells outside the paper's Table 2 scope left blank.
 
+The matrix is executed through ``Observatory.sweep`` — the batched/cached
+characterization runtime — so shared tables are embedded once, every
+skipped cell is reported with its reason, and re-running the script with a
+``--disk-cache``-style persistent cache would be nearly free.  Pass
+``RuntimeConfig(enabled=False)`` to ``Observatory`` to feel the legacy
+one-call-at-a-time execution for comparison.
+
 Usage::
 
-    python examples/full_characterization.py            # three models
+    python examples/full_characterization.py            # four models
     python examples/full_characterization.py bert t5    # chosen models
 """
 
 import sys
 
-from repro.analysis.report import full_characterization, render_markdown
+from repro import RuntimeConfig
+from repro.analysis.report import render_sweep
 from repro.core.framework import DatasetSizes, Observatory
 
 
@@ -28,16 +36,17 @@ def main() -> None:
             sotab_tables=12,
             n_permutations=6,
         ),
+        runtime=RuntimeConfig(batch_size=16),
     )
     print(f"Characterizing {', '.join(models)} across the property suite…\n")
-    matrix = full_characterization(observatory, models=models)
-    print(render_markdown(matrix))
+    sweep = observatory.sweep(models)
+    print(render_sweep(sweep))
     print(
         "\nReading guide: P1/P2/P5/P7/P8 cells are median cosine similarities "
         "(higher = more invariant); P3 is Spearman rho against multiset "
         "Jaccard (higher = overlap-faithful); P4 is the mean FD-translation "
-        "variance (lower = closer to preserving FDs); — marks out-of-scope "
-        "cells per the paper's Table 2."
+        "variance (lower = closer to preserving FDs); — marks cells the "
+        "sweep skipped (out of scope for the model, or pairwise like P6)."
     )
 
 

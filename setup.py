@@ -4,14 +4,18 @@ A pyproject.toml is deliberately absent: its presence switches pip to
 PEP 517 builds with build isolation, which requires network access to fetch
 build dependencies.  The classic path (``setup.py develop``) keeps
 ``pip install -e .`` fully offline; pytest configuration lives in
-pytest.ini.
+pytest.ini and the lint configuration in ruff.toml.
+
+The ``dev`` extra pins the toolchain CI uses (see
+``.github/workflows/ci.yml``) so local ``pip install -e .[dev]`` runs the
+same pytest/ruff versions as the pipeline.
 """
 
 from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.1.0",
     description=(
         "Observatory: a framework for characterizing embeddings of "
         "relational tables (VLDB 2023 reproduction)"
@@ -20,4 +24,12 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.9",
     install_requires=["numpy>=1.21"],
+    extras_require={
+        "dev": [
+            "pytest>=8,<10",
+            "pytest-benchmark>=4,<6",
+            "hypothesis>=6,<7",
+            "ruff>=0.5,<0.15",
+        ],
+    },
 )

@@ -13,16 +13,22 @@ Quickstart::
     obs = Observatory(seed=0)
     result = obs.characterize("bert", "row_order_insignificance")
     print(result.distribution("column/cosine"))
+
+    # A whole matrix through the batched/cached runtime:
+    sweep = obs.sweep(["bert", "t5"], ["row_order_insignificance",
+                                       "sample_fidelity"])
+    print(sweep.cache_stats)
 """
 
 from repro.core.framework import DatasetSizes, Observatory
 from repro.core.levels import EmbeddingLevel
 from repro.core.registry import available_properties, load_property, register_property
-from repro.core.results import DistributionSummary, PropertyResult
+from repro.core.results import DistributionSummary, PropertyResult, SkippedCell
 from repro.models.registry import available_models, load_model, register_model
 from repro.relational.table import Table
+from repro.runtime import RuntimeConfig, SweepResult
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Observatory",
@@ -30,6 +36,9 @@ __all__ = [
     "EmbeddingLevel",
     "PropertyResult",
     "DistributionSummary",
+    "RuntimeConfig",
+    "SkippedCell",
+    "SweepResult",
     "Table",
     "available_models",
     "load_model",

@@ -5,16 +5,19 @@ applicable property.  :func:`full_characterization` runs that matrix through
 the Observatory facade (skipping model/property combinations outside the
 paper's Table 2 scope) and renders a single markdown document with the
 headline statistic per cell — the artifact a practitioner would skim before
-choosing a model.
+choosing a model.  :func:`render_sweep` renders the same kind of matrix
+from a structured :class:`~repro.runtime.sweep.SweepResult` (the output of
+``Observatory.sweep``), including skipped cells and cache accounting.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.core.framework import Observatory
 from repro.core.results import PropertyResult
 from repro.errors import ObservatoryError
+from repro.runtime.sweep import SweepResult
 
 # Headline statistic to show per property (distribution key or scalar key).
 _HEADLINES = {
@@ -106,4 +109,56 @@ def render_markdown(matrix: Dict[str, Dict[str, Optional[float]]]) -> str:
             value = row[p]
             cells.append("—" if value is None else f"{value:.3f}")
         lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def sweep_matrix(sweep: SweepResult) -> Dict[str, Dict[str, Optional[float]]]:
+    """Headline-value matrix (model -> property -> value) of a sweep.
+
+    Cells the sweep skipped — or whose property has no headline statistic
+    registered — render as ``None``, same as out-of-scope cells in
+    :func:`full_characterization`.
+    """
+    if not sweep.cells and not sweep.skipped:
+        raise ObservatoryError("empty sweep result")
+    model_names = sweep.model_names or sorted(
+        {s.model_name for s in sweep.skipped}
+    )
+    property_names = sweep.property_names or sorted(
+        {s.property_name for s in sweep.skipped}
+    )
+    matrix: Dict[str, Dict[str, Optional[float]]] = {}
+    for model_name in model_names:
+        row: Dict[str, Optional[float]] = {}
+        for property_name in property_names:
+            result = sweep.get(model_name, property_name)
+            if result is None or property_name not in _HEADLINES:
+                row[property_name] = None
+            else:
+                row[property_name] = headline_value(result, property_name)
+        matrix[model_name] = row
+    return matrix
+
+
+def render_sweep(sweep: SweepResult) -> str:
+    """Markdown rendering of a sweep: matrix, skipped cells, runtime stats."""
+    lines = [render_markdown(sweep_matrix(sweep))]
+    if sweep.skipped:
+        lines.append("")
+        lines.append("Skipped cells:")
+        for skip in sweep.skipped:
+            lines.append(
+                f"- {skip.model_name} / {skip.property_name}: {skip.reason}"
+            )
+    lines.append("")
+    lines.append(
+        f"Ran {len(sweep.cells)} cells in {sweep.seconds:.2f}s "
+        f"on {sweep.workers} worker(s)."
+    )
+    if sweep.cache_stats is not None:
+        stats = sweep.cache_stats
+        lines.append(
+            f"Embedding cache: {stats.hits} hits / {stats.requests} requests "
+            f"({stats.hit_rate:.1%} hit rate)."
+        )
     return "\n".join(lines)

@@ -7,8 +7,12 @@ Exposes the framework without writing Python::
     python -m repro characterize --model bert --property row_order_insignificance
     python -m repro characterize --model bert --property entity_stability --partner t5
     python -m repro report --models bert,t5,doduo
+    python -m repro sweep --models bert,t5 --workers 2
 
-Output is plain text suited to terminals and CI logs.
+``sweep`` runs the matrix through the batched/cached runtime and reports
+skipped cells and cache effectiveness; ``--no-cache`` falls back to the
+legacy one-call-at-a-time execution for comparison.  Output is plain text
+suited to terminals and CI logs.
 """
 
 from __future__ import annotations
@@ -17,11 +21,12 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.analysis.report import full_characterization, render_markdown
+from repro.analysis.report import full_characterization, render_markdown, render_sweep
 from repro.core.framework import DatasetSizes, Observatory
 from repro.core.registry import available_properties
 from repro.errors import ObservatoryError
 from repro.models.registry import available_models
+from repro.runtime import RuntimeConfig
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -60,10 +65,43 @@ def _build_parser() -> argparse.ArgumentParser:
         default=",".join(available_models()),
         help="comma-separated model names (default: all)",
     )
+
+    sweep = commands.add_parser(
+        "sweep", help="run a (model x property) matrix through the runtime"
+    )
+    sweep.add_argument(
+        "--models",
+        default=",".join(available_models()),
+        help="comma-separated model names (default: all)",
+    )
+    sweep.add_argument(
+        "--properties",
+        default=None,
+        help="comma-separated property names (default: all registered)",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=None, help="worker-pool size (default: auto)"
+    )
+    sweep.add_argument(
+        "--batch-size", type=int, default=8, help="encoder batch size (default 8)"
+    )
+    sweep.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the runtime (legacy one-call-at-a-time execution)",
+    )
+    sweep.add_argument(
+        "--disk-cache",
+        default=None,
+        metavar="DIR",
+        help="persist the embedding cache under DIR across runs",
+    )
     return parser
 
 
-def _make_observatory(args: argparse.Namespace) -> Observatory:
+def _make_observatory(
+    args: argparse.Namespace, runtime: Optional[RuntimeConfig] = None
+) -> Observatory:
     return Observatory(
         seed=args.seed,
         sizes=DatasetSizes(
@@ -71,6 +109,7 @@ def _make_observatory(args: argparse.Namespace) -> Observatory:
             sotab_tables=max(8, args.tables),
             n_permutations=args.permutations,
         ),
+        runtime=runtime,
     )
 
 
@@ -95,13 +134,41 @@ def _run_characterize(args: argparse.Namespace) -> int:
 
 
 def _run_report(args: argparse.Namespace) -> int:
-    models = [name.strip() for name in args.models.split(",") if name.strip()]
-    unknown = set(models) - set(available_models())
-    if unknown:
-        raise ObservatoryError(f"unknown models: {sorted(unknown)}")
+    models = _parse_models(args.models)
     observatory = _make_observatory(args)
     matrix = full_characterization(observatory, models=models)
     print(render_markdown(matrix))
+    return 0
+
+
+def _parse_models(spec: str) -> List[str]:
+    models = [name.strip() for name in spec.split(",") if name.strip()]
+    unknown = set(models) - set(available_models())
+    if unknown:
+        raise ObservatoryError(f"unknown models: {sorted(unknown)}")
+    return models
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    models = _parse_models(args.models)
+    properties = None
+    if args.properties:
+        properties = [p.strip() for p in args.properties.split(",") if p.strip()]
+        unknown = set(properties) - set(available_properties())
+        if unknown:
+            raise ObservatoryError(f"unknown properties: {sorted(unknown)}")
+    try:
+        runtime = RuntimeConfig(
+            enabled=not args.no_cache,
+            batch_size=args.batch_size,
+            disk_cache_dir=args.disk_cache,
+            max_workers=args.workers,
+        )
+    except ValueError as error:
+        raise ObservatoryError(str(error)) from None
+    observatory = _make_observatory(args, runtime=runtime)
+    sweep = observatory.sweep(models, properties)
+    print(render_sweep(sweep))
     return 0
 
 
@@ -119,6 +186,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _run_characterize(args)
         if args.command == "report":
             return _run_report(args)
+        if args.command == "sweep":
+            return _run_sweep(args)
     except ObservatoryError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -1,7 +1,7 @@
 """The Observatory facade.
 
-One object that wires models, properties, and default dataset suites
-together, so that
+One object that wires models, properties, default dataset suites, and the
+execution runtime together, so that
 
     obs = Observatory(seed=0)
     result = obs.characterize("bert", "row_order_insignificance")
@@ -11,12 +11,30 @@ the model over each table of the property's corpus and compute the measure
 over the embedding distribution.  Datasets are built lazily at standard
 (small) sizes and cached; every entry point also accepts explicit data for
 full-control runs.
+
+Execution goes through :mod:`repro.runtime`: each model is wrapped in an
+:class:`~repro.runtime.planner.EmbeddingExecutor` sharing one embedding
+cache, so repeated requests — within a property, across properties, across
+``characterize`` calls — are deduplicated, batched through the encoder,
+and served from cache.  ``Observatory.sweep`` runs a whole
+(model × property) matrix on a worker pool and returns a structured
+:class:`~repro.runtime.sweep.SweepResult`:
+
+    sweep = obs.sweep(["bert", "t5"], ["row_order_insignificance",
+                                       "column_order_insignificance"])
+    sweep.get("bert", "row_order_insignificance")   # PropertyResult
+    sweep.skipped                                   # nothing lost silently
+    sweep.cache_stats                               # hit/miss accounting
+
+Pass ``runtime=RuntimeConfig(enabled=False)`` to reproduce the legacy
+one-call-at-a-time compute profile (the benchmark baseline).
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+import threading
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.properties import (
     ContextConfig,
@@ -28,7 +46,7 @@ from repro.core.properties import (
     ShuffleConfig,
 )
 from repro.core.registry import available_properties, load_property
-from repro.core.results import PropertyResult
+from repro.core.results import ModelCharacterizations, PropertyResult, SkippedCell
 from repro.data.corpus import TableCorpus
 from repro.data.drspider import PerturbationSuite
 from repro.data.entities import EntityCatalog
@@ -39,6 +57,9 @@ from repro.data.wikitables import WikiTablesGenerator
 from repro.errors import PropertyConfigError
 from repro.models.base import EmbeddingModel
 from repro.models.registry import load_model
+from repro.runtime.cache import EmbeddingCache
+from repro.runtime.planner import EmbeddingExecutor, RuntimeConfig
+from repro.runtime.sweep import SweepResult, run_sweep
 
 
 @dataclasses.dataclass
@@ -46,7 +67,10 @@ class DatasetSizes:
     """Default sizes of the lazily built dataset suites.
 
     Kept deliberately small so the full characterization matrix runs in
-    seconds; benchmarks override with larger values.
+    seconds; benchmarks override with larger values.  ``min_rows`` /
+    ``max_rows`` bound the rows per generated table and must be set
+    together (``None``/``None`` keeps each generator's own default range)
+    — benchmarks raise them to measure encode-dominated workloads.
     """
 
     wikitables_tables: int = 24
@@ -54,16 +78,44 @@ class DatasetSizes:
     nextiajd_pairs: int = 60
     sotab_tables: int = 40
     n_permutations: int = 24
+    min_rows: Optional[int] = None
+    max_rows: Optional[int] = None
+
+    def __post_init__(self):
+        if (self.min_rows is None) != (self.max_rows is None):
+            # A lone bound would silently fight each generator's default
+            # for the other bound (e.g. min_rows=15 vs wikitables'
+            # default max_rows=12) — require an explicit pair instead.
+            raise ValueError("min_rows and max_rows must be set together")
+        if self.min_rows is not None and not 2 <= self.min_rows <= self.max_rows:
+            raise ValueError("need 2 <= min_rows <= max_rows")
+
+    def row_range_kwargs(self) -> Dict[str, int]:
+        """kwargs for generators accepting ``min_rows``/``max_rows``."""
+        if self.min_rows is None:
+            return {}
+        return {"min_rows": self.min_rows, "max_rows": self.max_rows}
 
 
 class Observatory:
     """Run (model x property x dataset) characterizations."""
 
-    def __init__(self, seed: int = 0, sizes: Optional[DatasetSizes] = None):
+    def __init__(
+        self,
+        seed: int = 0,
+        sizes: Optional[DatasetSizes] = None,
+        runtime: Optional[RuntimeConfig] = None,
+    ):
         self.seed = seed
         self.sizes = sizes or DatasetSizes()
+        self.runtime = runtime or RuntimeConfig()
+        self.cache: Optional[EmbeddingCache] = self.runtime.build_cache()
         self._models: Dict[str, EmbeddingModel] = {}
+        self._executors: Dict[str, EmbeddingExecutor] = {}
         self._datasets: Dict[str, object] = {}
+        # sweep() runs cells on a worker pool; lazy builders must not race.
+        self._model_lock = threading.Lock()
+        self._dataset_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Lazily built shared resources
@@ -71,48 +123,92 @@ class Observatory:
 
     def model(self, name: str) -> EmbeddingModel:
         """Load (and cache) a registered model."""
-        if name not in self._models:
-            self._models[name] = load_model(name)
-        return self._models[name]
+        with self._model_lock:
+            if name not in self._models:
+                self._models[name] = load_model(name)
+            return self._models[name]
+
+    def executor(self, name: str) -> EmbeddingExecutor:
+        """The runtime executor for a model: cache-backed unless disabled.
+
+        All executors of one Observatory share one embedding cache, so a
+        table embedded for any property is a hit for every later request.
+        """
+        model = self.model(name)
+        with self._model_lock:
+            if name not in self._executors:
+                self._executors[name] = EmbeddingExecutor(
+                    model,
+                    cache=self.cache,
+                    batch_size=self.runtime.batch_size,
+                    naive=not self.runtime.enabled,
+                )
+            return self._executors[name]
+
+    def _dataset(self, key: str, build) -> object:
+        with self._dataset_lock:
+            if key not in self._datasets:
+                self._datasets[key] = build()
+            return self._datasets[key]
 
     def wikitables(self) -> TableCorpus:
-        if "wikitables" not in self._datasets:
-            self._datasets["wikitables"] = WikiTablesGenerator(self.seed).generate(
-                self.sizes.wikitables_tables
-            )
-        return self._datasets["wikitables"]
+        return self._dataset(
+            "wikitables",
+            lambda: WikiTablesGenerator(self.seed).generate(
+                self.sizes.wikitables_tables, **self.sizes.row_range_kwargs()
+            ),
+        )
 
     def spider_sets(self):
-        if "spider" not in self._datasets:
-            self._datasets["spider"] = SpiderGenerator(self.seed).fd_evaluation_sets(
+        return self._dataset(
+            "spider",
+            lambda: SpiderGenerator(self.seed).fd_evaluation_sets(
                 self.sizes.spider_databases
-            )
-        return self._datasets["spider"]
+            ),
+        )
 
     def join_pairs(self, testbed: Testbed = Testbed.XS):
-        key = f"nextiajd/{testbed.value}"
-        if key not in self._datasets:
-            self._datasets[key] = NextiaJDGenerator(self.seed).generate_pairs(
+        return self._dataset(
+            f"nextiajd/{testbed.value}",
+            lambda: NextiaJDGenerator(self.seed).generate_pairs(
                 self.sizes.nextiajd_pairs, testbed
-            )
-        return self._datasets[key]
+            ),
+        )
 
     def perturbation_suite(self) -> PerturbationSuite:
-        if "drspider" not in self._datasets:
-            self._datasets["drspider"] = PerturbationSuite(self.wikitables())
-        return self._datasets["drspider"]
+        wikitables = self.wikitables()  # build outside the lock (reentrancy)
+        return self._dataset("drspider", lambda: PerturbationSuite(wikitables))
 
     def sotab(self) -> TableCorpus:
-        if "sotab" not in self._datasets:
-            self._datasets["sotab"] = SotabGenerator(self.seed).generate(
-                self.sizes.sotab_tables
-            )
-        return self._datasets["sotab"]
+        return self._dataset(
+            "sotab",
+            lambda: SotabGenerator(self.seed).generate(
+                self.sizes.sotab_tables, **self.sizes.row_range_kwargs()
+            ),
+        )
 
     def entity_catalog(self) -> EntityCatalog:
-        if "entities" not in self._datasets:
-            self._datasets["entities"] = EntityCatalog(self.seed)
-        return self._datasets["entities"]
+        return self._dataset("entities", lambda: EntityCatalog(self.seed))
+
+    def prepare_property_data(self, property_name: str) -> None:
+        """Materialize the default dataset a property will ask for.
+
+        ``sweep`` calls this serially before fanning out so worker threads
+        only ever read the dataset dict.
+        """
+        factories = {
+            "row_order_insignificance": self.wikitables,
+            "column_order_insignificance": self.wikitables,
+            "join_relationship": self.join_pairs,
+            "functional_dependencies": self.spider_sets,
+            "sample_fidelity": self.wikitables,
+            "entity_stability": self.entity_catalog,
+            "perturbation_robustness": self.perturbation_suite,
+            "heterogeneous_context": self.sotab,
+        }
+        factory = factories.get(property_name)
+        if factory is not None:
+            factory()
 
     # ------------------------------------------------------------------
     # Characterization entry points
@@ -139,13 +235,13 @@ class Observatory:
                 raise PropertyConfigError(
                     "entity_stability compares two models; pass partner_model"
                 )
-            pair = (self.model(model_name), self.model(partner_model))
+            pair = (self.executor(model_name), self.executor(partner_model))
             return runner.run(
                 pair,
                 data if data is not None else self.entity_catalog(),
                 config or EntityStabilityConfig(),
             )
-        model = self.model(model_name)
+        model = self.executor(model_name)
         defaults = {
             "row_order_insignificance": (
                 self.wikitables,
@@ -181,22 +277,59 @@ class Observatory:
         *,
         data: Optional[object] = None,
         config: Optional[object] = None,
-    ) -> List[PropertyResult]:
-        """Run one property across several models (skipping unsupported ones).
+    ) -> ModelCharacterizations:
+        """Run one property across several models, recording exclusions.
 
-        Models lacking every level the property needs are skipped silently —
-        this mirrors the paper's Table 2 "models in scope" filtering.
+        Models lacking every level the property needs are not run — the
+        paper's Table 2 "models in scope" filtering — but they are no
+        longer dropped silently: the returned
+        :class:`~repro.core.results.ModelCharacterizations` behaves like
+        the ``List[PropertyResult]`` it used to be and additionally carries
+        a ``skipped`` list of :class:`~repro.core.results.SkippedCell`
+        records.
         """
         runner = load_property(property_name)
-        results = []
+        results: List[PropertyResult] = []
+        skipped: List[SkippedCell] = []
         for name in model_names:
             model = self.model(name)
             if runner.levels and not any(model.supports(lv) for lv in runner.levels):
+                needed = "/".join(lv.value for lv in runner.levels)
+                skipped.append(
+                    SkippedCell(
+                        name, property_name, f"model exposes no {needed} embeddings"
+                    )
+                )
                 continue
             results.append(
                 self.characterize(name, property_name, data=data, config=config)
             )
-        return results
+        return ModelCharacterizations(results, skipped)
+
+    def sweep(
+        self,
+        models: Sequence[str],
+        properties: Optional[Sequence[str]] = None,
+        *,
+        max_workers: Optional[int] = None,
+    ) -> SweepResult:
+        """Run a (model × property) matrix on a worker pool.
+
+        Independent cells run concurrently (``max_workers`` defaults to
+        ``runtime.max_workers``); executors share this Observatory's
+        embedding cache, and every cell is deterministically seeded, so the
+        result is identical for any worker count.  Out-of-scope cells are
+        recorded on ``SweepResult.skipped`` rather than dropped.
+        """
+        property_names = (
+            list(properties) if properties is not None else available_properties()
+        )
+        return run_sweep(
+            self,
+            list(models),
+            property_names,
+            max_workers=max_workers or self.runtime.max_workers,
+        )
 
     @staticmethod
     def properties() -> List[str]:

@@ -23,6 +23,7 @@ from repro.errors import MeasureError, PropertyConfigError
 from repro.models.base import EmbeddingModel
 from repro.relational.permutations import sample_permutations
 from repro.relational.table import Table
+from repro.runtime.planner import as_executor
 
 # Levels the order-insignificance properties characterize, in report order.
 SHUFFLE_LEVELS = (EmbeddingLevel.COLUMN, EmbeddingLevel.ROW, EmbeddingLevel.TABLE)
@@ -108,14 +109,18 @@ class _ShuffleProperty(PropertyRunner):
         """Measure cosine-to-original and MCV across shuffled variants.
 
         For every table, up to ``n_permutations`` distinct permutations are
-        sampled (identity first, the reference).  For each supported level,
-        each item's embeddings across variants yield (a) cosine similarities
-        of every shuffled variant against the reference and (b) one
-        Albert–Zhang MCV over the variant set.
+        sampled (identity first, the reference).  All variants of a table
+        are requested from the embedding planner in one call — one encoder
+        pass yields every level, deduplicated and cached across properties
+        — then, for each supported level, each item's embeddings across
+        variants yield (a) cosine similarities of every shuffled variant
+        against the reference and (b) one Albert–Zhang MCV over the
+        variant set.
         """
+        executor = as_executor(model)
         result = PropertyResult(
             property_name=self.name,
-            model_name=model.name,
+            model_name=executor.name,
             metadata={
                 "axis": self.axis,
                 "n_permutations": config.n_permutations,
@@ -123,10 +128,10 @@ class _ShuffleProperty(PropertyRunner):
                 "n_tables": len(data),
             },
         )
-        levels = [lv for lv in config.levels if model.supports(lv)]
+        levels = [lv for lv in config.levels if executor.supports(lv)]
         if not levels:
             raise PropertyConfigError(
-                f"model {model.name!r} supports none of the requested levels"
+                f"model {executor.name!r} supports none of the requested levels"
             )
         cosines: Dict[EmbeddingLevel, List[float]] = {lv: [] for lv in levels}
         mcvs: Dict[EmbeddingLevel, List[float]] = {lv: [] for lv in levels}
@@ -140,18 +145,19 @@ class _ShuffleProperty(PropertyRunner):
                 config.n_permutations,
                 seed_parts=(table.table_id, self.axis),
             )
+            variants = [self._apply(table, perm) for perm in perms]
+            bundles = executor.embed_levels_many(variants, levels)
             variant_embeddings: Dict[EmbeddingLevel, List[np.ndarray]] = {
                 lv: [] for lv in levels
             }
-            for perm in perms:
-                variant = self._apply(table, perm)
+            for perm, bundle in zip(perms, bundles):
                 for level in levels:
                     if level == EmbeddingLevel.COLUMN:
-                        emb = self._align_columns(model.embed_columns(variant), perm)
+                        emb = self._align_columns(bundle[level], perm)
                     elif level == EmbeddingLevel.ROW:
-                        emb = self._align_rows(model.embed_rows(variant), perm)
+                        emb = self._align_rows(bundle[level], perm)
                     else:
-                        emb = model.embed_table(variant)[None, :]
+                        emb = bundle[level][None, :]
                     variant_embeddings[level].append(emb)
             for level in levels:
                 stacks = variant_embeddings[level]
@@ -186,6 +192,8 @@ def embeddings_by_variant(
     variants: Iterable[Table],
 ) -> List[np.ndarray]:
     """Column embeddings of a table and its variants (helper for figures)."""
-    out = [model.embed_columns(table)]
-    out.extend(model.embed_columns(v) for v in variants)
-    return out
+    executor = as_executor(model)
+    bundles = executor.embed_levels_many(
+        [table, *variants], (EmbeddingLevel.COLUMN,)
+    )
+    return [bundle[EmbeddingLevel.COLUMN] for bundle in bundles]

@@ -24,6 +24,7 @@ from repro.data.nextiajd import JoinPair
 from repro.errors import PropertyConfigError
 from repro.models.base import EmbeddingModel
 from repro.relational.overlap import OVERLAP_MEASURES
+from repro.runtime.planner import as_executor
 
 
 @dataclasses.dataclass(frozen=True)
@@ -55,25 +56,30 @@ class JoinRelationship(PropertyRunner):
     ) -> PropertyResult:
         """Correlate cosine similarity with each overlap measure.
 
-        For each pair, the query and candidate columns are embedded
-        standalone (header + values, chunked if long); the paired samples
+        All query and candidate columns are requested from the embedding
+        planner in one batch (standalone header + values, chunked if long;
+        repeated columns deduplicate); the paired samples
         (cosine_i, overlap_i) feed Spearman's rho.  Scalars
         ``spearman/<measure>`` and ``p_value/<measure>`` land on the result.
         """
         if not data:
             raise PropertyConfigError("join relationship needs at least one pair")
+        executor = as_executor(model)
         result = PropertyResult(
             property_name=self.name,
-            model_name=model.name,
+            model_name=executor.name,
             metadata={"n_pairs": len(data), "measures": list(config.overlap_measures)},
         )
+        requests = []
+        for pair in data:
+            requests.append((pair.query_header, list(pair.query_values)))
+            requests.append((pair.candidate_header, list(pair.candidate_values)))
+        embeddings = executor.embed_value_columns(requests)
         cosines: List[float] = []
         overlaps: Dict[str, List[float]] = {m: [] for m in config.overlap_measures}
-        for pair in data:
-            query_emb = model.embed_value_column(pair.query_header, list(pair.query_values))
-            cand_emb = model.embed_value_column(
-                pair.candidate_header, list(pair.candidate_values)
-            )
+        for i, pair in enumerate(data):
+            query_emb = embeddings[2 * i]
+            cand_emb = embeddings[2 * i + 1]
             cosines.append(cosine_similarity(query_emb, cand_emb))
             for measure in config.overlap_measures:
                 overlaps[measure].append(self._overlap_of(pair, measure))

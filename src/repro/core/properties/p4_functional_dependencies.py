@@ -13,7 +13,7 @@ distributions (Table 4, Figure 10).
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -24,6 +24,7 @@ from repro.data.spider import FDCase
 from repro.errors import PropertyConfigError
 from repro.models.base import EmbeddingModel
 from repro.relational.fd import fd_groups
+from repro.runtime.planner import as_executor
 
 
 @dataclasses.dataclass(frozen=True)
@@ -62,6 +63,7 @@ class FunctionalDependencies(PropertyRunner):
         fd_cases, non_fd_cases = data
         if not fd_cases or not non_fd_cases:
             raise PropertyConfigError("both FD and non-FD case lists are required")
+        model = as_executor(model)
         result = PropertyResult(
             property_name=self.name,
             model_name=model.name,

@@ -25,6 +25,7 @@ from repro.data.corpus import TableCorpus
 from repro.errors import MeasureError, PropertyConfigError
 from repro.models.base import EmbeddingModel
 from repro.relational.sampling import distinct_samples
+from repro.runtime.planner import as_executor
 
 
 @dataclasses.dataclass(frozen=True)
@@ -57,13 +58,17 @@ class SampleFidelity(PropertyRunner):
     ) -> PropertyResult:
         """Measure fidelity for every column of every corpus table.
 
-        Result distributions: ``ratio_<r>/fidelity`` (per-column average
-        cosine) and ``ratio_<r>/mcv`` (MCV over the full + sample embedding
-        set), one pair per configured ratio.
+        Embedding requests — the full column plus every sample at every
+        ratio — are planned per table and submitted to the embedding
+        planner as one deduplicated batch.  Result distributions:
+        ``ratio_<r>/fidelity`` (per-column average cosine) and
+        ``ratio_<r>/mcv`` (MCV over the full + sample embedding set), one
+        pair per configured ratio.
         """
+        executor = as_executor(model)
         result = PropertyResult(
             property_name=self.name,
-            model_name=model.name,
+            model_name=executor.name,
             metadata={
                 "ratios": list(config.ratios),
                 "n_samples": config.n_samples,
@@ -73,14 +78,18 @@ class SampleFidelity(PropertyRunner):
         fidelity: Dict[float, List[float]] = {r: [] for r in config.ratios}
         mcvs: Dict[float, List[float]] = {r: [] for r in config.ratios}
         for table in data:
+            # Plan every request this table needs, then embed in one batch:
+            # index 0 per column is the full column, the rest its samples.
+            requests: List[Tuple[str, List[object]]] = []
+            plan: List[Tuple[int, int, Dict[float, Tuple[int, int]]]] = []
             for col in range(table.num_columns):
                 values = table.column_values(col)
                 if len(values) < config.min_column_size:
                     continue
                 header = table.header[col]
-                full = model.embed_value_column(header, values)
-                if np.linalg.norm(full) < 1e-12:
-                    continue
+                full_index = len(requests)
+                requests.append((header, values))
+                spans: Dict[float, Tuple[int, int]] = {}
                 for ratio in config.ratios:
                     samples = distinct_samples(
                         values,
@@ -88,9 +97,19 @@ class SampleFidelity(PropertyRunner):
                         config.n_samples,
                         seed_parts=(table.table_id, col, ratio),
                     )
-                    sample_embs = [
-                        model.embed_value_column(header, s) for s in samples
-                    ]
+                    spans[ratio] = (len(requests), len(requests) + len(samples))
+                    requests.extend((header, list(s)) for s in samples)
+                plan.append((col, full_index, spans))
+            if not requests:
+                continue
+            embeddings = executor.embed_value_columns(requests)
+            for _, full_index, spans in plan:
+                full = embeddings[full_index]
+                if np.linalg.norm(full) < 1e-12:
+                    continue
+                for ratio in config.ratios:
+                    lo, hi = spans[ratio]
+                    sample_embs = embeddings[lo:hi]
                     cosines = [
                         cosine_similarity(full, emb) for emb in sample_embs
                     ]

@@ -11,7 +11,7 @@ queries is a key factor — different model pairs agree on different domains
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -22,6 +22,7 @@ from repro.core.results import PropertyResult
 from repro.data.entities import EntityCatalog
 from repro.errors import PropertyConfigError
 from repro.models.base import EmbeddingModel
+from repro.runtime.planner import as_executor
 
 
 @dataclasses.dataclass(frozen=True)
@@ -53,7 +54,10 @@ class EntityStability(PropertyRunner):
         Scalars: ``stability/<domain>`` for each requested domain plus
         ``stability/overall`` across all query entities.
         """
-        model_a, model_b = model
+        # Executors route each table's entity pass through the shared
+        # embedding cache, so repeated pairings of the same model (every
+        # Figure 12 heatmap cell) embed the catalog once.
+        model_a, model_b = (as_executor(m) for m in model)
         for m in (model_a, model_b):
             if not m.supports(EmbeddingLevel.ENTITY):
                 raise PropertyConfigError(
@@ -94,7 +98,7 @@ class EntityStability(PropertyRunner):
         This is the data behind one Figure 12 heatmap; the diagonal is 1 by
         construction (a space agrees perfectly with itself).
         """
-        spaces = [data.embedding_space(m) for m in models]
+        spaces = [data.embedding_space(as_executor(m)) for m in models]
         queries = data.query_indices(domain)
         n = len(models)
         matrix = np.eye(n)

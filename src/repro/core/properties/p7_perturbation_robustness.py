@@ -24,6 +24,7 @@ from repro.core.results import PropertyResult
 from repro.data.drspider import PerturbationKind, PerturbationSuite
 from repro.errors import PropertyConfigError
 from repro.models.base import EmbeddingModel
+from repro.runtime.planner import as_executor
 
 
 @dataclasses.dataclass(frozen=True)
@@ -55,32 +56,47 @@ class PerturbationRobustness(PropertyRunner):
     ) -> PropertyResult:
         """Embed original and perturbed columns in their table context.
 
-        For each kind: distribution ``<kind>/cosine`` of per-column average
-        similarity and scalar ``mean/<kind>`` over all pairs (the paper
-        reports both the distribution plot and the single number).
+        Original and perturbed tables of a kind are submitted to the
+        embedding planner as one batch — originals repeat across a table's
+        perturbation cases and deduplicate there.  For each kind:
+        distribution ``<kind>/cosine`` of per-column average similarity and
+        scalar ``mean/<kind>`` over all pairs (the paper reports both the
+        distribution plot and the single number).
         """
+        executor = as_executor(model)
         result = PropertyResult(
             property_name=self.name,
-            model_name=model.name,
+            model_name=executor.name,
             metadata={"kinds": [k.value for k in config.kinds]},
         )
         for kind in config.kinds:
             cases = data.of_kind(kind)
             if not cases:
                 continue
+            # Originals repeat across a table's perturbation cases; embed
+            # each once up front (dedup here keeps even the runtime-disabled
+            # path as fast as the old per-column cache) and the perturbed
+            # variants in one batch behind them.
+            original_index: Dict[str, int] = {}
+            tables: List = []
+            for case in cases:
+                if case.table.table_id not in original_index:
+                    original_index[case.table.table_id] = len(tables)
+                    tables.append(case.table)
+            perturbed_start = len(tables)
+            tables.extend(case.perturbed_table for case in cases)
+            bundles = executor.embed_levels_many(tables, (EmbeddingLevel.COLUMN,))
             # Group variants by (table, column): Measure 7 averages over the
             # m_i variants of each original column first.
             grouped: Dict[Tuple[str, int], List[float]] = {}
             all_pairs: List[float] = []
-            column_cache: Dict[str, np.ndarray] = {}
-            for case in cases:
+            for i, case in enumerate(cases):
                 key = (case.table.table_id, case.column_index)
-                cache_key = f"{case.table.table_id}:{case.column_index}"
-                original = column_cache.get(cache_key)
-                if original is None:
-                    original = model.embed_columns(case.table)[case.column_index]
-                    column_cache[cache_key] = original
-                perturbed = model.embed_columns(case.perturbed_table)[case.column_index]
+                original_bundle = bundles[original_index[case.table.table_id]]
+                original = original_bundle[EmbeddingLevel.COLUMN][case.column_index]
+                perturbed = bundles[perturbed_start + i][EmbeddingLevel.COLUMN][
+                    case.column_index
+                ]
                 similarity = cosine_similarity(original, perturbed)
                 grouped.setdefault(key, []).append(similarity)
                 all_pairs.append(similarity)

@@ -25,6 +25,7 @@ from repro.data.corpus import TableCorpus
 from repro.errors import PropertyConfigError
 from repro.models.base import EmbeddingModel
 from repro.relational.table import Table
+from repro.runtime.planner import as_executor
 
 
 class ContextSetting(enum.Enum):
@@ -114,13 +115,18 @@ class HeterogeneousContext(PropertyRunner):
     ) -> PropertyResult:
         """Cosine between the no-context embedding and each context setting.
 
-        Distributions are keyed ``<family>/<setting>`` with family in
-        {"non_textual", "textual"} — exactly the two rows per model of the
-        paper's Table 5.
+        All projections a table induces — one single-column table per
+        target plus each context slice — are planned up front and embedded
+        through the planner in one deduplicated batch (the entire-table
+        setting projects to the *same* table for every target, so it is
+        embedded once rather than once per column).  Distributions are
+        keyed ``<family>/<setting>`` with family in {"non_textual",
+        "textual"} — exactly the two rows per model of the paper's Table 5.
         """
+        executor = as_executor(model)
         result = PropertyResult(
             property_name=self.name,
-            model_name=model.name,
+            model_name=executor.name,
             metadata={
                 "settings": [s.value for s in config.settings],
                 "corpus": data.name,
@@ -128,19 +134,34 @@ class HeterogeneousContext(PropertyRunner):
         )
         samples: Dict[str, List[float]] = {}
         for table in data:
+            if table.num_columns < 2:
+                continue
+            # Plan: per target, its single-column reference then every
+            # applicable (setting, inner-index) context slice.
+            projections: List[Table] = []
+            plan: List[Tuple[int, int, List[Tuple[ContextSetting, int, int]]]] = []
             for target in range(table.num_columns):
-                if table.num_columns < 2:
-                    continue
-                family = "textual" if _is_textual_column(table, target) else "non_textual"
-                single = model.embed_columns(table.single_column_table(target))[0]
-                if np.linalg.norm(single) < 1e-12:
-                    continue
+                single_index = len(projections)
+                projections.append(table.single_column_table(target))
+                contexts: List[Tuple[ContextSetting, int, int]] = []
                 for setting in config.settings:
                     try:
                         context_table, inner = context_projection(table, target, setting)
                     except PropertyConfigError:
                         continue
-                    contextual = model.embed_columns(context_table)[inner]
+                    contexts.append((setting, len(projections), inner))
+                    projections.append(context_table)
+                plan.append((target, single_index, contexts))
+            bundles = executor.embed_levels_many(
+                projections, (EmbeddingLevel.COLUMN,)
+            )
+            for target, single_index, contexts in plan:
+                family = "textual" if _is_textual_column(table, target) else "non_textual"
+                single = bundles[single_index][EmbeddingLevel.COLUMN][0]
+                if np.linalg.norm(single) < 1e-12:
+                    continue
+                for setting, proj_index, inner in contexts:
+                    contextual = bundles[proj_index][EmbeddingLevel.COLUMN][inner]
                     if np.linalg.norm(contextual) < 1e-12:
                         continue
                     key = f"{family}/{setting.value}"

@@ -72,6 +72,43 @@ class PropertyResult:
         )
 
 
+@dataclasses.dataclass(frozen=True)
+class SkippedCell:
+    """A (model, property) combination that was not run, and why.
+
+    Both ``Observatory.characterize_models`` and ``Observatory.sweep``
+    record these instead of dropping out-of-scope models silently.
+    """
+
+    model_name: str
+    property_name: str
+    reason: str
+
+
+class ModelCharacterizations(list):
+    """Results of one property across several models, with skip records.
+
+    Behaves exactly like the plain ``List[PropertyResult]`` it used to be
+    (indexing, iteration, ``len``), plus a ``skipped`` attribute listing
+    every model that was excluded and the reason — the paper's Table 2
+    scoping made visible instead of silent.
+    """
+
+    def __init__(
+        self,
+        results: Sequence[PropertyResult] = (),
+        skipped: Sequence[SkippedCell] = (),
+    ):
+        super().__init__(results)
+        self.skipped: List[SkippedCell] = list(skipped)
+
+    def __repr__(self) -> str:
+        return (
+            f"ModelCharacterizations({len(self)} results, "
+            f"{len(self.skipped)} skipped)"
+        )
+
+
 def results_table(
     results: Sequence[PropertyResult],
     distribution_key: str,

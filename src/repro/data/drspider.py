@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.data.corpus import TableCorpus
 from repro.errors import DatasetError

@@ -12,7 +12,7 @@ entities in context, never as bare strings).
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
 import numpy as np
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 import csv
 import io
 from pathlib import Path
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Union
 
 from repro.errors import DatasetError
 from repro.relational.schema import ColumnSchema, TableSchema

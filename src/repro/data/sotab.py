@@ -18,7 +18,7 @@ from repro.data.corpus import TableCorpus
 from repro.errors import DatasetError
 from repro.relational.schema import ColumnSchema, TableSchema
 from repro.relational.table import Table
-from repro.relational.values import DataType, infer_column_type
+from repro.relational.values import infer_column_type
 from repro.seeding import rng_for
 
 # 20 semantic types: 10 textual, 10 non-textual, mirroring the balanced

@@ -14,7 +14,7 @@ exactly, mirroring the paper's pipeline.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Sequence, Tuple
+from typing import List, Tuple
 
 from repro.data import banks
 from repro.errors import DatasetError

@@ -9,16 +9,15 @@ stability), and the Section 6 column-type-prediction harness.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Tuple
 
-import numpy as np
 
 from repro.data import banks
 from repro.data.corpus import TableCorpus
 from repro.errors import DatasetError
 from repro.relational.schema import ColumnSchema, TableSchema
 from repro.relational.table import Table
-from repro.relational.values import DataType, infer_column_type
+from repro.relational.values import infer_column_type
 from repro.seeding import rng_for
 
 

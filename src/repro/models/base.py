@@ -11,7 +11,7 @@ zoo instantiates it nine ways.
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -149,6 +149,172 @@ class SurrogateModel(EmbeddingModel):
 
     def supported_levels(self) -> frozenset:
         return self.config.levels
+
+    # ------------------------------------------------------------------
+    # Bundled / batched level embeddings (the runtime's fast path)
+    # ------------------------------------------------------------------
+
+    def _aggregate_level(
+        self,
+        level: EmbeddingLevel,
+        tokens: List[Token],
+        states: np.ndarray,
+        table: Table,
+        effective: Table,
+    ) -> np.ndarray:
+        """One level's aggregate from an already-encoded table."""
+        if level == EmbeddingLevel.COLUMN:
+            return aggregate.column_embeddings(
+                tokens,
+                states,
+                table.num_columns,
+                header_weight=self.config.header_weight,
+                use_cls_anchor=self.config.cls_per_column,
+            )
+        if level == EmbeddingLevel.ROW:
+            n_rows = aggregate.embedded_row_count(tokens)
+            return aggregate.row_embeddings(
+                tokens, states, min(n_rows, effective.num_rows)
+            )
+        if level == EmbeddingLevel.TABLE:
+            return aggregate.table_embedding(
+                tokens, states, header_weight=self.config.header_weight
+            )
+        raise ModelError(f"level {level} has no bundled aggregate")
+
+    def embed_levels(
+        self, table: Table, levels: Sequence[EmbeddingLevel]
+    ) -> Dict[EmbeddingLevel, np.ndarray]:
+        """Column/row/table embeddings from a *single* encoder pass.
+
+        The dedicated ``embed_columns``/``embed_rows``/``embed_table``
+        methods each re-encode the table; a property that needs several
+        levels of the same table (the shuffle sweeps need all three) pays
+        the transformer cost once here.  Results are identical to the
+        dedicated methods — same tokens, same states, same aggregates.
+        """
+        levels = tuple(levels)
+        for level in levels:
+            self._require(level)
+        if self.config.serialization == Serialization.ROW_TEMPLATE:
+            # Rows are encoded independently; there is no shared pass.
+            # Route through the dedicated methods so unsupported levels
+            # fail with the same ModelError the single-call path raises.
+            dedicated = {
+                EmbeddingLevel.COLUMN: self.embed_columns,
+                EmbeddingLevel.ROW: self.embed_rows,
+                EmbeddingLevel.TABLE: self.embed_table,
+            }
+            return {level: dedicated[level](table) for level in levels}
+        tokens, states, effective = self._encode_table(table)
+        return {
+            level: self._aggregate_level(level, tokens, states, table, effective)
+            for level in levels
+        }
+
+    def embed_levels_batch(
+        self,
+        tables: Sequence[Table],
+        levels_list: Sequence[Sequence[EmbeddingLevel]],
+        *,
+        batch_size: int = 8,
+    ) -> List[Dict[EmbeddingLevel, np.ndarray]]:
+        """Bundled level embeddings for many tables with a batched encoder.
+
+        ``levels_list[i]`` names the levels wanted for ``tables[i]``.  All
+        tables are serialized up front and driven through
+        :meth:`Encoder.encode_batch`, which groups same-length sequences
+        into [B, L, D] tensors — numerically identical to encoding each
+        table alone, but without the per-table Python overhead.
+        """
+        if len(tables) != len(levels_list):
+            raise ModelError("tables and levels_list must have equal length")
+        if self.config.serialization == Serialization.ROW_TEMPLATE:
+            return [
+                self.embed_levels(t, lv) for t, lv in zip(tables, levels_list)
+            ]
+        for levels in levels_list:
+            for level in levels:
+                self._require(level)
+        effectives = [self._effective_table(t) for t in tables]
+        token_lists = [self._serializer.serialize(e) for e in effectives]
+        states_list = self.encoder.encode_batch(token_lists, batch_size=batch_size)
+        out: List[Dict[EmbeddingLevel, np.ndarray]] = []
+        for table, effective, tokens, states, levels in zip(
+            tables, effectives, token_lists, states_list, levels_list
+        ):
+            out.append(
+                {
+                    level: self._aggregate_level(
+                        level, tokens, states, table, effective
+                    )
+                    for level in tuple(levels)
+                }
+            )
+        return out
+
+    def embed_value_columns_batch(
+        self,
+        requests: Sequence[Tuple[str, Sequence[object]]],
+        *,
+        batch_size: int = 8,
+    ) -> List[np.ndarray]:
+        """Standalone column embeddings for many requests, batch-encoded.
+
+        Chunk plans are laid out for every request up front and all chunk
+        serializations are driven through :meth:`Encoder.encode_batch`;
+        per-request aggregation mirrors :meth:`embed_value_column` exactly
+        (single-chunk requests return the chunk embedding directly,
+        multi-chunk requests the length-weighted mean).
+        """
+        self._require(EmbeddingLevel.COLUMN)
+        if self.config.serialization == Serialization.ROW_TEMPLATE:
+            # Rows are encoded independently; the single-call path already
+            # is the batch plan.
+            return [
+                self.embed_value_column(header, values)
+                for header, values in requests
+            ]
+        snapshot = self.config.content_snapshot_rows
+        plans: List[Tuple[int, List[int]]] = []  # (first chunk index, chunk lengths)
+        token_lists: List[List[Token]] = []
+        for header, values in requests:
+            values = list(values)
+            if not values:
+                raise ModelError("cannot embed an empty column")
+            if snapshot is not None:
+                chunks = [values[:snapshot]]
+            else:
+                chunks = self._column_chunks(header, values)
+            plans.append((len(token_lists), [len(c) for c in chunks]))
+            for chunk in chunks:
+                chunk_table = Table.from_columns([(header, list(chunk))])
+                token_lists.append(self._serializer.serialize(chunk_table))
+        states_list = self.encoder.encode_batch(token_lists, batch_size=batch_size)
+        out: List[np.ndarray] = []
+        for start, chunk_lengths in plans:
+            parts = [
+                aggregate.column_embeddings(
+                    token_lists[start + i],
+                    states_list[start + i],
+                    1,
+                    header_weight=self.config.header_weight,
+                    use_cls_anchor=self.config.cls_per_column,
+                )[0]
+                for i in range(len(chunk_lengths))
+            ]
+            if snapshot is not None:
+                # Snapshot models return their (single) chunk directly.
+                out.append(parts[0])
+            else:
+                # Mirror embed_value_column exactly: the length-weighted
+                # mean is applied even to a single chunk (x*n/n is not
+                # bit-identical to x, and results must match the
+                # single-call path to the last ulp).
+                weights = np.array(chunk_lengths, dtype=np.float64)
+                stacked = np.stack(parts)
+                out.append((stacked * weights[:, None]).sum(axis=0) / weights.sum())
+        return out
 
     # ------------------------------------------------------------------
     # Level embeddings

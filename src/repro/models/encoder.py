@@ -17,7 +17,7 @@ geometry.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -27,6 +27,11 @@ from repro.models.weights import ModelWeights
 from repro.seeding import token_vector
 
 _LN_EPS = 1e-6
+
+# Above this token count the [B, L, L] attention temporaries of a stacked
+# batch exceed CPU cache and batched encoding measures *slower* than
+# sequence-at-a-time; encode_batch falls back to singles past it.
+_BATCH_MAX_LENGTH = 48
 
 # Contextual embedding spaces are anisotropic: all vectors share a dominant
 # common direction (a well-documented property of BERT-family spaces).  The
@@ -143,6 +148,94 @@ class Encoder:
     # ------------------------------------------------------------------
     # Forward pass
     # ------------------------------------------------------------------
+
+    def encode_batch(
+        self, token_lists: Sequence[List[Token]], batch_size: int = 8
+    ) -> List[np.ndarray]:
+        """Encode many token sequences, batching the transformer math.
+
+        Sequences are grouped by length and stacked into [B, L, D] tensors
+        so every matmul runs over the whole group at once instead of a
+        Python-level loop per table.  Because attention, layer norm, and
+        the FFN are independent per sequence, each output is numerically
+        identical to what :meth:`encode` produces for that sequence alone;
+        results are returned in input order.
+
+        Long sequences are encoded one at a time: past
+        :data:`_BATCH_MAX_LENGTH` tokens the stacked [B, L, L] attention
+        temporaries fall out of cache and batching is a measured
+        *slowdown*, while short sequences (standalone columns, narrow
+        projections) gain ~2x.  The cutoff only affects speed — outputs
+        are identical either way.
+        """
+        results: List[Optional[np.ndarray]] = [None] * len(token_lists)
+        by_length: Dict[int, List[int]] = {}
+        for i, tokens in enumerate(token_lists):
+            if not tokens:
+                results[i] = np.zeros((0, self.config.dim), dtype=np.float64)
+            elif len(tokens) > _BATCH_MAX_LENGTH:
+                results[i] = self.encode(tokens)
+            else:
+                by_length.setdefault(len(tokens), []).append(i)
+        # Batches hold same-length sequences only: padding to a common
+        # length is NOT bit-safe (BLAS kernel selection depends on matrix
+        # shape), and exactness is a harder requirement than speed here.
+        for indices in by_length.values():
+            for start in range(0, len(indices), max(1, batch_size)):
+                chunk = indices[start : start + max(1, batch_size)]
+                if len(chunk) == 1:
+                    results[chunk[0]] = self.encode(token_lists[chunk[0]])
+                    continue
+                states = self._forward_batch([token_lists[i] for i in chunk])
+                for i, arr in zip(chunk, states):
+                    results[i] = arr
+        return results
+
+    def _forward_batch(self, token_lists: Sequence[List[Token]]) -> List[np.ndarray]:
+        """Batched forward pass over same-length sequences ([B, L, D]).
+
+        Heads are carried as an explicit tensor axis ([B, H, L, d]) instead
+        of the per-head Python loop of :meth:`encode`; the reshape is pure
+        reindexing and every 2D matmul slice keeps the shapes of the
+        single-sequence path, so outputs stay bit-identical to it.
+        """
+        cfg = self.config
+        batch, length = len(token_lists), len(token_lists[0])
+        x = np.stack([self.embed_tokens(tokens) for tokens in token_lists])
+        mask = np.stack([self.attention_mask(tokens) for tokens in token_lists])
+        # The additive bias depends only on sequence length, shared here.
+        bias = self.attention_bias(token_lists[0])[None, None, :, :]
+        neg = np.where(mask, 0.0, -1e9)[:, None, :, :]
+        n_heads = cfg.n_heads
+        head_dim = cfg.dim // n_heads
+        scale = cfg.attention_temperature / np.sqrt(head_dim)
+
+        def heads(t: np.ndarray) -> np.ndarray:
+            # [B, L, D] -> [B, H, L, d]
+            return t.reshape(batch, length, n_heads, head_dim).transpose(0, 2, 1, 3)
+
+        for layer in self.weights.layers:
+            h = _layer_norm(x)
+            q = heads(h @ layer.wq)
+            k = heads(h @ layer.wk)
+            v = heads(h @ layer.wv)
+            scores = (q @ np.swapaxes(k, 2, 3)) * scale + bias + neg
+            attn = _softmax(scores) @ v  # [B, H, L, d]
+            attn_out = attn.transpose(0, 2, 1, 3).reshape(batch, length, cfg.dim)
+            x = x + cfg.attention_gain * (attn_out @ layer.wo)
+            h = _layer_norm(x)
+            x = x + np.maximum(h @ layer.w1, 0.0) @ layer.w2
+
+        if cfg.output_norm == OutputNorm.LAYER:
+            x = _layer_norm(x)
+        if cfg.output_scale != 1.0:
+            x = x * cfg.output_scale
+        if cfg.anisotropy:
+            coeff = cfg.anisotropy_shift + x @ self.weights.anisotropy_probe
+            x = x + cfg.anisotropy * (
+                coeff[..., None] * self.weights.anisotropy_direction
+            )
+        return [x[b] for b in range(batch)]
 
     def encode(self, tokens: List[Token]) -> np.ndarray:
         """Final token embeddings, shape [len(tokens), dim]."""

@@ -12,7 +12,7 @@ All operators are pure: they return new tables and never mutate inputs.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.errors import TableError
 from repro.relational.schema import ColumnSchema, TableSchema

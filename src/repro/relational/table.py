@@ -14,7 +14,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import TableError
 from repro.relational.schema import ColumnSchema, TableSchema
-from repro.relational.values import DataType, infer_column_type
+from repro.relational.values import infer_column_type
 
 
 class Table:

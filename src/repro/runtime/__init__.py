@@ -1,0 +1,46 @@
+"""The characterization runtime: batching, caching, and parallel sweeps.
+
+Observatory's workload is a (model × property × dataset) matrix whose
+properties repeatedly re-embed the same tables under permutations, samples,
+and perturbations.  This package removes that redundancy:
+
+- :mod:`repro.runtime.fingerprint` — content hashes that identify an
+  embedding request exactly (order-sensitive, type-aware).
+- :mod:`repro.runtime.cache` — a thread-safe LRU embedding cache keyed by
+  ``(model, level, fingerprint)`` with an optional on-disk tier.
+- :mod:`repro.runtime.planner` — :class:`EmbeddingExecutor`, which
+  deduplicates requests, bundles levels into one encoder pass, and drives
+  the encoder in configurable batches.
+- :mod:`repro.runtime.sweep` — ``Observatory.sweep``'s worker-pool engine
+  returning a structured :class:`SweepResult` (including skipped cells).
+"""
+
+from repro.runtime.cache import CacheStats, EmbeddingCache
+from repro.runtime.fingerprint import (
+    coords_fingerprint,
+    table_fingerprint,
+    value_column_fingerprint,
+)
+from repro.runtime.planner import (
+    BUNDLE_LEVELS,
+    EmbeddingExecutor,
+    RuntimeConfig,
+    as_executor,
+)
+from repro.runtime.sweep import SkippedCell, SweepCell, SweepResult, run_sweep
+
+__all__ = [
+    "BUNDLE_LEVELS",
+    "CacheStats",
+    "EmbeddingCache",
+    "EmbeddingExecutor",
+    "RuntimeConfig",
+    "SkippedCell",
+    "SweepCell",
+    "SweepResult",
+    "as_executor",
+    "coords_fingerprint",
+    "run_sweep",
+    "table_fingerprint",
+    "value_column_fingerprint",
+]

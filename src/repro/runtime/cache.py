@@ -1,0 +1,162 @@
+"""Embedding cache: in-memory LRU tier + optional on-disk tier.
+
+Entries are keyed by ``(model_name, kind, fingerprint)`` where ``kind`` is
+an embedding level (``"column"``, ``"row"``, ``"table"``, …) or a composite
+request kind (``"cells/<coords-hash>"``).  Values are either a single
+``np.ndarray`` or a dict of arrays (cell/entity requests).
+
+The memory tier is a thread-safe LRU bounded by entry count.  The optional
+disk tier persists plain-array entries as ``.npy`` files under a directory,
+so repeated benchmark runs (or sweeps across processes) only pay for what
+actually changed; dict-valued entries stay memory-only.  All accounting is
+exposed as :class:`CacheStats` for reporting and the bench-smoke CI gate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+CacheKey = Tuple[str, ...]
+CacheValue = Union[np.ndarray, Dict[object, np.ndarray]]
+
+# Salt mixed into every disk-tier filename.  The on-disk cache outlives the
+# process, so entries must be invalidated whenever the embedding *math*
+# changes even though table content (the key) did not.  Bump this constant
+# in any PR that alters encoder numerics, serialization, aggregation, or
+# model configs — old entries then simply miss instead of silently serving
+# stale embeddings.
+CACHE_SCHEMA_VERSION = 1
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Counters for cache effectiveness (hits include disk-tier hits)."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    disk_hits: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "disk_hits": self.disk_hits,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"hit_rate={self.hit_rate:.2%}, evictions={self.evictions})"
+        )
+
+
+class EmbeddingCache:
+    """Bounded, thread-safe LRU of embedding results with a disk tier.
+
+    Args:
+        max_entries: memory-tier capacity; least recently used entries are
+            evicted first (they remain on disk if the disk tier is active).
+        disk_dir: optional directory for the persistent tier.  Only plain
+            ``np.ndarray`` values are persisted.
+    """
+
+    def __init__(self, max_entries: int = 4096, disk_dir: Optional[str] = None):
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.disk_dir = disk_dir
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[CacheKey, CacheValue]" = OrderedDict()
+        self._lock = threading.Lock()
+        if disk_dir is not None:
+            os.makedirs(disk_dir, exist_ok=True)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def _disk_path(self, key: CacheKey) -> str:
+        salted = (f"schema={CACHE_SCHEMA_VERSION}",) + key
+        name = hashlib.sha256("\x00".join(salted).encode("utf-8")).hexdigest()
+        return os.path.join(self.disk_dir, f"{name}.npy")
+
+    def get(self, key: CacheKey) -> Optional[CacheValue]:
+        """Look up ``key`` in memory, then disk; ``None`` on a miss.
+
+        Returned arrays are read-only views of the cached entry (mutating
+        one would corrupt every aliased result); dict-valued entries come
+        back as shallow copies so callers may add/remove keys freely.
+        """
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return dict(value) if isinstance(value, dict) else value
+        if self.disk_dir is not None:
+            path = self._disk_path(key)
+            if os.path.exists(path):
+                try:
+                    value = np.load(path)
+                except (OSError, ValueError):
+                    value = None
+                if value is not None:
+                    with self._lock:
+                        self.stats.hits += 1
+                        self.stats.disk_hits += 1
+                        self._store(key, value)
+                    return value
+        with self._lock:
+            self.stats.misses += 1
+        return None
+
+    def put(self, key: CacheKey, value: CacheValue) -> None:
+        """Insert ``value`` (also written to the disk tier when eligible)."""
+        with self._lock:
+            self.stats.puts += 1
+            self._store(key, value)
+        if self.disk_dir is not None and isinstance(value, np.ndarray):
+            try:
+                np.save(self._disk_path(key), value)
+            except OSError:
+                pass  # disk tier is best-effort; memory tier already holds it
+
+    def _store(self, key: CacheKey, value: CacheValue) -> None:
+        # Caller holds the lock.  Freeze arrays so external mutation of a
+        # returned result raises instead of silently poisoning the cache.
+        if isinstance(value, np.ndarray):
+            value.setflags(write=False)
+        elif isinstance(value, dict):
+            for member in value.values():
+                if isinstance(member, np.ndarray):
+                    member.setflags(write=False)
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop the memory tier (disk entries are kept)."""
+        with self._lock:
+            self._entries.clear()

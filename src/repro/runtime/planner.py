@@ -1,0 +1,303 @@
+"""Batched embedding planner.
+
+:class:`EmbeddingExecutor` sits between property runners and an
+:class:`~repro.models.base.EmbeddingModel`.  Runners declare *what* they
+need — "column/row/table embeddings of these 200 variant tables", "these
+400 standalone value columns" — and the executor decides *how* to get it:
+
+1. **Deduplicate** requests by content fingerprint (shuffle sweeps and
+   context settings re-embed identical tables constantly).
+2. **Probe the cache** keyed ``(model, level, fingerprint)`` so variants
+   shared across properties (e.g. the identity permutation P1 and P2 both
+   embed) are computed once per model.
+3. **Bundle levels**: one encoder forward pass yields column, row, *and*
+   table embeddings of a table (the legacy path ran three).
+4. **Batch the encoder**: misses are driven through
+   ``EmbeddingModel.embed_levels_batch`` in configurable batches rather
+   than one-table-at-a-time loops.
+
+The executor also duck-types the single-call ``embed_*`` surface of
+:class:`EmbeddingModel` (with caching), so any code written against a raw
+model — entity catalogs, downstream harnesses, custom properties — works
+unchanged against an executor.
+
+A ``naive=True`` executor disables every optimization and reproduces the
+pre-runtime compute profile (separate encode per level, no dedup, no
+cache); it is the baseline ``benchmarks/bench_runtime_sweep.py`` measures
+against.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.levels import EmbeddingLevel
+from repro.relational.table import Table
+from repro.runtime.cache import CacheStats, EmbeddingCache
+from repro.runtime.fingerprint import (
+    coords_fingerprint,
+    table_fingerprint,
+    value_column_fingerprint,
+)
+
+# Levels the bundle path covers; CELL and ENTITY requests carry extra
+# arguments and go through their dedicated cached entry points.
+BUNDLE_LEVELS = (EmbeddingLevel.COLUMN, EmbeddingLevel.ROW, EmbeddingLevel.TABLE)
+
+
+@dataclasses.dataclass(frozen=True)
+class RuntimeConfig:
+    """Knobs of the characterization runtime.
+
+    Attributes:
+        enabled: when False the Observatory runs every embedding request
+            through the legacy one-call-at-a-time path (no cache, no
+            batching) — the baseline configuration for benchmarks.
+        batch_size: tables per encoder batch in ``embed_levels_batch``.
+        cache_entries: memory-tier LRU capacity of the shared cache.
+        disk_cache_dir: optional directory for the persistent cache tier.
+        max_workers: default worker count for ``Observatory.sweep``
+            (``None`` = one worker per (model, property) cell, capped at 4).
+    """
+
+    enabled: bool = True
+    batch_size: int = 8
+    cache_entries: int = 16384
+    disk_cache_dir: Optional[str] = None
+    max_workers: Optional[int] = None
+
+    def __post_init__(self):
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        if self.cache_entries < 1:
+            raise ValueError("cache_entries must be positive")
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError("max_workers must be positive")
+
+    def build_cache(self) -> Optional[EmbeddingCache]:
+        if not self.enabled:
+            return None
+        return EmbeddingCache(
+            max_entries=self.cache_entries, disk_dir=self.disk_cache_dir
+        )
+
+
+class EmbeddingExecutor:
+    """Plan, deduplicate, cache, and batch embedding requests for one model."""
+
+    def __init__(
+        self,
+        model,
+        cache: Optional[EmbeddingCache] = None,
+        *,
+        batch_size: int = 8,
+        naive: bool = False,
+    ):
+        self.model = model
+        self.cache = cache
+        self.batch_size = batch_size
+        self.naive = naive
+        self.name = model.name
+        self.dim = model.dim
+
+    def __repr__(self) -> str:
+        mode = "naive" if self.naive else "batched"
+        return f"EmbeddingExecutor({self.name!r}, mode={mode}, cached={self.cache is not None})"
+
+    # ------------------------------------------------------------------
+    # EmbeddingModel surface (duck-typed, cached)
+    # ------------------------------------------------------------------
+
+    def supported_levels(self) -> frozenset:
+        return self.model.supported_levels()
+
+    def supports(self, level: EmbeddingLevel) -> bool:
+        return self.model.supports(level)
+
+    def embed_columns(self, table: Table) -> np.ndarray:
+        return self.embed_levels(table, (EmbeddingLevel.COLUMN,))[EmbeddingLevel.COLUMN]
+
+    def embed_rows(self, table: Table) -> np.ndarray:
+        return self.embed_levels(table, (EmbeddingLevel.ROW,))[EmbeddingLevel.ROW]
+
+    def embed_table(self, table: Table) -> np.ndarray:
+        return self.embed_levels(table, (EmbeddingLevel.TABLE,))[EmbeddingLevel.TABLE]
+
+    def embed_cells(
+        self, table: Table, coords: Sequence[Tuple[int, int]]
+    ) -> Dict[Tuple[int, int], np.ndarray]:
+        if self.naive or self.cache is None:
+            return self.model.embed_cells(table, coords)
+        key = (self.name, f"cells/{coords_fingerprint(coords)}", table_fingerprint(table))
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+        value = self.model.embed_cells(table, coords)
+        self.cache.put(key, value)
+        return value
+
+    def embed_entities(self, table: Table) -> Dict[str, np.ndarray]:
+        if self.naive or self.cache is None:
+            return self.model.embed_entities(table)
+        key = (self.name, "entity", table_fingerprint(table))
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+        value = self.model.embed_entities(table)
+        self.cache.put(key, value)
+        return value
+
+    def embed_value_column(self, header: str, values: Sequence[object]) -> np.ndarray:
+        return self.embed_value_columns([(header, list(values))])[0]
+
+    # ------------------------------------------------------------------
+    # Batch planning API
+    # ------------------------------------------------------------------
+
+    def embed_levels(
+        self, table: Table, levels: Sequence[EmbeddingLevel]
+    ) -> Dict[EmbeddingLevel, np.ndarray]:
+        """Requested level embeddings of one table (one encode when possible)."""
+        return self.embed_levels_many([table], levels)[0]
+
+    def embed_levels_many(
+        self,
+        tables: Sequence[Table],
+        levels: Sequence[EmbeddingLevel],
+    ) -> List[Dict[EmbeddingLevel, np.ndarray]]:
+        """Level embeddings for every table, deduplicated, cached, batched.
+
+        Returns one ``{level: array}`` dict per input table, in input
+        order.  Duplicate tables (by content fingerprint) are embedded
+        once; cache hits skip computation entirely; the remaining misses
+        are driven through the model's batch encoder.
+        """
+        levels = tuple(levels)
+        unknown = set(levels) - set(BUNDLE_LEVELS)
+        if unknown:
+            raise ValueError(f"embed_levels_many covers {BUNDLE_LEVELS}, got {unknown}")
+        if self.naive:
+            return [self._compute_naive(table, levels) for table in tables]
+
+        fingerprints = [table_fingerprint(t) for t in tables]
+        # One slot per *unique* table, preserving first-seen order.
+        slots: Dict[str, Dict[EmbeddingLevel, np.ndarray]] = {}
+        pending: List[Tuple[str, Table, Tuple[EmbeddingLevel, ...]]] = []
+        for fp, table in zip(fingerprints, tables):
+            if fp in slots:
+                continue
+            bundle: Dict[EmbeddingLevel, np.ndarray] = {}
+            if self.cache is not None:
+                for level in levels:
+                    hit = self.cache.get((self.name, level.value, fp))
+                    if hit is not None:
+                        bundle[level] = hit
+            slots[fp] = bundle
+            missing = tuple(lv for lv in levels if lv not in bundle)
+            if missing:
+                pending.append((fp, table, missing))
+
+        if pending:
+            computed = self._compute_batch(
+                [t for _, t, _ in pending], [lv for _, _, lv in pending]
+            )
+            for (fp, _, missing), bundle in zip(pending, computed):
+                slots[fp].update(bundle)
+                if self.cache is not None:
+                    for level in missing:
+                        self.cache.put((self.name, level.value, fp), bundle[level])
+
+        return [dict(slots[fp]) for fp in fingerprints]
+
+    def embed_value_columns(
+        self, requests: Sequence[Tuple[str, Sequence[object]]]
+    ) -> List[np.ndarray]:
+        """Standalone column embeddings for many (header, values) requests."""
+        if self.naive:
+            return [
+                self.model.embed_value_column(header, list(values))
+                for header, values in requests
+            ]
+        out: List[Optional[np.ndarray]] = [None] * len(requests)
+        first_seen: Dict[str, List[int]] = {}
+        for i, (header, values) in enumerate(requests):
+            fp = value_column_fingerprint(header, values)
+            first_seen.setdefault(fp, []).append(i)
+        misses: List[str] = []
+        for fp, indices in first_seen.items():
+            value = self.cache.get((self.name, "valuecol", fp)) if self.cache else None
+            if value is None:
+                misses.append(fp)
+            else:
+                for i in indices:
+                    out[i] = value
+        if misses:
+            miss_requests = [
+                (requests[first_seen[fp][0]][0], list(requests[first_seen[fp][0]][1]))
+                for fp in misses
+            ]
+            batch_api = getattr(self.model, "embed_value_columns_batch", None)
+            if batch_api is not None:
+                values = batch_api(miss_requests, batch_size=self.batch_size)
+            else:
+                values = [
+                    self.model.embed_value_column(h, v) for h, v in miss_requests
+                ]
+            for fp, value in zip(misses, values):
+                if self.cache is not None:
+                    self.cache.put((self.name, "valuecol", fp), value)
+                for i in first_seen[fp]:
+                    out[i] = value
+        return out
+
+    # ------------------------------------------------------------------
+
+    @property
+    def cache_stats(self) -> Optional[CacheStats]:
+        return self.cache.stats if self.cache is not None else None
+
+    _LEVEL_METHODS = {
+        EmbeddingLevel.COLUMN: "embed_columns",
+        EmbeddingLevel.ROW: "embed_rows",
+        EmbeddingLevel.TABLE: "embed_table",
+    }
+
+    def _compute_naive(
+        self, table: Table, levels: Tuple[EmbeddingLevel, ...]
+    ) -> Dict[EmbeddingLevel, np.ndarray]:
+        """Legacy path: one dedicated model call (one encode) per level."""
+        return {
+            level: getattr(self.model, self._LEVEL_METHODS[level])(table)
+            for level in levels
+        }
+
+    def _compute_batch(
+        self,
+        tables: Sequence[Table],
+        levels_list: Sequence[Tuple[EmbeddingLevel, ...]],
+    ) -> List[Dict[EmbeddingLevel, np.ndarray]]:
+        batch_api = getattr(self.model, "embed_levels_batch", None)
+        if batch_api is not None:
+            return batch_api(tables, levels_list, batch_size=self.batch_size)
+        bundle_api = getattr(self.model, "embed_levels", None)
+        if bundle_api is not None:
+            return [bundle_api(t, lv) for t, lv in zip(tables, levels_list)]
+        # Generic EmbeddingModel: no shared-encode capability, call per level.
+        return [
+            self._compute_naive(t, lv) for t, lv in zip(tables, levels_list)
+        ]
+
+
+def as_executor(model) -> EmbeddingExecutor:
+    """Wrap a raw model in a (cacheless) executor; executors pass through.
+
+    Property runners call this on whatever they were handed, so they can be
+    driven either directly with an :class:`EmbeddingModel` (standalone use,
+    tests) or with a cache-backed executor from the Observatory runtime.
+    """
+    if isinstance(model, EmbeddingExecutor):
+        return model
+    return EmbeddingExecutor(model)

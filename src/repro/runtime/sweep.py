@@ -1,0 +1,197 @@
+"""Parallel (model × property) sweep execution.
+
+``Observatory.sweep`` delegates here: every (model, property) cell of the
+requested matrix is an independent, deterministically seeded unit of work.
+Cells run on a thread pool — the surrogate encoders spend their time in
+numpy, which releases the GIL — while all executors share one embedding
+cache, so a table embedded for P1 is a cache hit when P2 asks for it.
+
+Determinism: a cell's result is a pure function of (seed, model, property,
+dataset sizes).  The cache only short-circuits recomputation of values
+that would have been identical anyway, and cells never exchange data, so
+sweep results are independent of worker count and scheduling order —
+``tests/test_runtime_sweep.py`` locks this in.
+
+Cells whose model lacks every level the property needs (the paper's
+Table 2 scoping) and pairwise properties that need an explicit partner are
+not run; unlike the historical silent skip, each one is recorded as a
+:class:`SkippedCell` on the returned :class:`SweepResult`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.results import PropertyResult, SkippedCell
+from repro.errors import ObservatoryError
+
+# Threads only pay off when cores exist to run numpy sections in parallel;
+# on a single-core host the pool degenerates to sequential execution.
+_DEFAULT_WORKER_CAP = min(4, os.cpu_count() or 1)
+
+
+@dataclasses.dataclass
+class SweepCell:
+    """One completed (model, property) characterization."""
+
+    model_name: str
+    property_name: str
+    result: PropertyResult
+    seconds: float
+
+
+@dataclasses.dataclass
+class SweepResult:
+    """Structured outcome of ``Observatory.sweep``.
+
+    Attributes:
+        cells: completed cells in (model-major) request order.
+        skipped: cells that were not run, with reasons — nothing is
+            dropped silently.
+        seconds: wall-clock of the whole sweep.
+        workers: worker-pool size used.
+        cache_stats: shared embedding-cache counters (``None`` when the
+            runtime cache is disabled).
+    """
+
+    cells: List[SweepCell] = dataclasses.field(default_factory=list)
+    skipped: List[SkippedCell] = dataclasses.field(default_factory=list)
+    seconds: float = 0.0
+    workers: int = 1
+    cache_stats: Optional[object] = None
+
+    @property
+    def results(self) -> List[PropertyResult]:
+        return [cell.result for cell in self.cells]
+
+    @property
+    def model_names(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for cell in self.cells:
+            seen.setdefault(cell.model_name, None)
+        return list(seen)
+
+    @property
+    def property_names(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for cell in self.cells:
+            seen.setdefault(cell.property_name, None)
+        return list(seen)
+
+    def get(self, model_name: str, property_name: str) -> Optional[PropertyResult]:
+        """The cell result for (model, property), or ``None`` if absent."""
+        for cell in self.cells:
+            if cell.model_name == model_name and cell.property_name == property_name:
+                return cell.result
+        return None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "cells": [
+                {
+                    "model": cell.model_name,
+                    "property": cell.property_name,
+                    "seconds": cell.seconds,
+                    "result": cell.result.to_dict(),
+                }
+                for cell in self.cells
+            ],
+            "skipped": [dataclasses.asdict(s) for s in self.skipped],
+            "seconds": self.seconds,
+            "workers": self.workers,
+            "cache": self.cache_stats.to_dict() if self.cache_stats else None,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SweepResult(cells={len(self.cells)}, skipped={len(self.skipped)}, "
+            f"seconds={self.seconds:.2f}, workers={self.workers})"
+        )
+
+
+def plan_cells(
+    observatory,
+    model_names: Sequence[str],
+    property_names: Sequence[str],
+) -> Tuple[List[Tuple[str, str]], List[SkippedCell]]:
+    """Split the matrix into runnable cells and recorded skips."""
+    from repro.core.registry import load_property
+
+    runnable: List[Tuple[str, str]] = []
+    skipped: List[SkippedCell] = []
+    for property_name in property_names:
+        runner = load_property(property_name)
+        for model_name in model_names:
+            if property_name == "entity_stability":
+                skipped.append(
+                    SkippedCell(
+                        model_name,
+                        property_name,
+                        "pairwise property; run characterize(..., partner_model=...)",
+                    )
+                )
+                continue
+            model = observatory.model(model_name)
+            if runner.levels and not any(model.supports(lv) for lv in runner.levels):
+                needed = "/".join(lv.value for lv in runner.levels)
+                skipped.append(
+                    SkippedCell(
+                        model_name,
+                        property_name,
+                        f"model exposes no {needed} embeddings",
+                    )
+                )
+                continue
+            runnable.append((model_name, property_name))
+    return runnable, skipped
+
+
+def run_sweep(
+    observatory,
+    model_names: Sequence[str],
+    property_names: Sequence[str],
+    *,
+    max_workers: Optional[int] = None,
+) -> SweepResult:
+    """Execute the matrix on a worker pool; see module docstring."""
+    if not model_names:
+        raise ObservatoryError("sweep needs at least one model")
+    if not property_names:
+        raise ObservatoryError("sweep needs at least one property")
+    started = time.perf_counter()
+    runnable, skipped = plan_cells(observatory, model_names, property_names)
+
+    # Materialize shared resources serially before fanning out: dataset
+    # generators and model construction are the only mutating steps.
+    for model_name in {m for m, _ in runnable}:
+        observatory.executor(model_name)
+    for property_name in {p for _, p in runnable}:
+        observatory.prepare_property_data(property_name)
+
+    workers = max_workers or min(_DEFAULT_WORKER_CAP, max(1, len(runnable)))
+
+    def run_cell(cell: Tuple[str, str]) -> SweepCell:
+        model_name, property_name = cell
+        t0 = time.perf_counter()
+        result = observatory.characterize(model_name, property_name)
+        return SweepCell(model_name, property_name, result, time.perf_counter() - t0)
+
+    cells: List[SweepCell]
+    if workers <= 1 or len(runnable) <= 1:
+        cells = [run_cell(c) for c in runnable]
+    else:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            cells = list(pool.map(run_cell, runnable))
+
+    cache = getattr(observatory, "cache", None)
+    return SweepResult(
+        cells=cells,
+        skipped=skipped,
+        seconds=time.perf_counter() - started,
+        workers=workers,
+        cache_stats=cache.stats if cache is not None else None,
+    )

@@ -42,6 +42,11 @@ class TokenizerConfig:
 class Tokenizer:
     """Greedy longest-match subword tokenizer over a :class:`Vocabulary`."""
 
+    # Tokenization is a pure function of (text, config); embedding sweeps
+    # re-tokenize the same cell values thousands of times across variants,
+    # so results are memoized per tokenizer (bounded — see _CACHE_LIMIT).
+    _CACHE_LIMIT = 65536
+
     def __init__(
         self,
         vocab: Optional[Vocabulary] = None,
@@ -51,6 +56,7 @@ class Tokenizer:
         self.config = config or TokenizerConfig()
         # Longest token length bounds the greedy window.
         self._max_len = max(len(t) for t in [UNK] + list(self._plain_tokens()))
+        self._cache: dict = {}
 
     def _plain_tokens(self):
         # The vocabulary does not expose its token list directly; probing via
@@ -86,12 +92,22 @@ class Tokenizer:
         return pieces
 
     def tokenize(self, text: str) -> List[str]:
-        """Tokenize arbitrary text into subword pieces."""
+        """Tokenize arbitrary text into subword pieces (memoized)."""
         if text is None:
             return []
+        text = str(text)
+        cached = self._cache.get(text)
+        if cached is not None:
+            return list(cached)
+        pieces = self._tokenize_uncached(text)
+        if len(self._cache) < self._CACHE_LIMIT:
+            self._cache[text] = tuple(pieces)
+        return pieces
+
+    def _tokenize_uncached(self, text: str) -> List[str]:
         cfg = self.config
         normalized = normalize_text(
-            str(text), lowercase=cfg.lowercase, accents=cfg.strip_accents
+            text, lowercase=cfg.lowercase, accents=cfg.strip_accents
         )
         pieces: List[str] = []
         for word in split_words(normalized):

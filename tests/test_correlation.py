@@ -1,6 +1,5 @@
 """Tests for Spearman's rank correlation (cross-checked against scipy)."""
 
-import numpy as np
 import pytest
 
 from repro.core.measures.correlation import rankdata, spearman

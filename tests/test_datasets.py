@@ -5,7 +5,7 @@ import pytest
 from repro.data import banks
 from repro.data.corpus import TableCorpus
 from repro.data.entities import EntityCatalog, QUERY_DOMAINS
-from repro.data.nextiajd import JoinPair, NextiaJDGenerator, Testbed, join_quality
+from repro.data.nextiajd import NextiaJDGenerator, Testbed, join_quality
 from repro.data.sotab import NON_TEXTUAL_TYPES, SEMANTIC_TYPES, TEXTUAL_TYPES, SotabGenerator, is_textual_type
 from repro.data.spider import SpiderGenerator
 from repro.data.wikitables import WikiTablesGenerator

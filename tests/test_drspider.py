@@ -3,10 +3,8 @@
 import pytest
 
 from repro.data.drspider import (
-    EQUIVALENCES,
     PerturbationKind,
     PerturbationSuite,
-    SYNONYMS,
     abbreviate,
     perturb_table,
     synonym_of,

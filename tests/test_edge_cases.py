@@ -12,7 +12,7 @@ from repro.data.entities import EntityCatalog
 from repro.data.sotab import SotabGenerator
 from repro.data.spider import SpiderGenerator
 from repro.data.wikitables import WikiTablesGenerator
-from repro.errors import DatasetError, PropertyConfigError
+from repro.errors import PropertyConfigError
 from repro.models.config import ModelConfig
 from repro.models.base import SurrogateModel
 from repro.relational.fd_discovery import discover_unary_fds

@@ -3,7 +3,6 @@
 import dataclasses
 
 import numpy as np
-import pytest
 
 from repro.models.config import AttentionMask, ModelConfig, OutputNorm, PositionKind
 from repro.models.encoder import Encoder

@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 
 from repro.core.measures.correlation import rankdata, spearman
 from repro.core.measures.mcv import albert_zhang_mcv
-from repro.core.measures.similarity import cosine_similarity, pairwise_cosine
+from repro.core.measures.similarity import cosine_similarity
 from repro.core.measures.stats import summarize
 from repro.relational.fd import FunctionalDependency, fd_groups, satisfies
 from repro.relational.fd_discovery import discover_unary_fds

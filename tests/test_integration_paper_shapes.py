@@ -6,12 +6,10 @@ absolute values (see EXPERIMENTS.md for the paper-vs-measured record).
 Marked as one module so a slow-run budget stays predictable.
 """
 
-import numpy as np
 import pytest
 
 from repro import Observatory
 from repro.core.framework import DatasetSizes
-from repro.core.properties import ShuffleConfig
 
 pytestmark = pytest.mark.integration
 

@@ -19,7 +19,7 @@ from repro.core.properties import (
     SampleFidelityConfig,
 )
 from repro.core.properties.p8_heterogeneous_context import context_projection
-from repro.data.drspider import PerturbationKind, PerturbationSuite
+from repro.data.drspider import PerturbationSuite
 from repro.data.entities import EntityCatalog
 from repro.data.nextiajd import NextiaJDGenerator
 from repro.data.sotab import SotabGenerator

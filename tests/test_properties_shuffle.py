@@ -1,6 +1,5 @@
 """Tests for P1 (row order) and P2 (column order) runners."""
 
-import numpy as np
 import pytest
 
 from repro.core.levels import EmbeddingLevel

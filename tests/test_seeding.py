@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.seeding import (
-    derive_seed,
     hash_to_unit_interval,
     rng_for,
     shuffled,

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.measures.similarity import cosine_similarity, cosine_to_reference, pairwise_cosine
-from repro.core.measures.stats import DistributionStats, five_number_summary, summarize
+from repro.core.measures.stats import five_number_summary, summarize
 from repro.errors import MeasureError
 
 

@@ -5,7 +5,7 @@ import pytest
 from repro.errors import TokenizationError
 from repro.text.normalize import normalize_text, split_camel_case, split_numbers, split_words, strip_accents
 from repro.text.tokenizer import Tokenizer, TokenizerConfig
-from repro.text.vocab import CLS, SEP, SPECIAL_TOKENS, UNK, Vocabulary, default_vocabulary
+from repro.text.vocab import CLS, SPECIAL_TOKENS, Vocabulary, default_vocabulary
 
 
 # --- normalization ------------------------------------------------------
