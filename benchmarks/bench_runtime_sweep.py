@@ -15,27 +15,42 @@ Measures the characterization runtime on the default benchmark matrix
    analysis code, add a measure, or regenerate a report over unchanged
    data.  Only fingerprinting and the measures themselves are recomputed.
 
+It then measures **process-sharded execution**
+(``Observatory.sweep(execution="process")``): cells spread across spawned
+worker processes sharing an on-disk cache tier, which scales the
+GIL-bound Python half of the matrix past one core.  Reported as
+single-process vs multi-process wall-clock (thread-vs-process scaling);
+on a single-core host the sharded run degenerates to spawn overhead and
+the report says so.
+
 Reported speedups: cold (architecture only), warm (cache), and the
 two-pass analysis workflow (characterize once, re-characterize once) —
 the workflow number is the headline the runtime targets (>= 3x); the cold
-number guards the architectural win on its own.  All three configurations
-must produce numerically identical ``PropertyResult`` measures.
+number guards the architectural win on its own.  All configurations —
+including every process shard count — must produce numerically identical
+``PropertyResult`` measures.
 
 Usage::
 
-    python benchmarks/bench_runtime_sweep.py            # full benchmark
-    python benchmarks/bench_runtime_sweep.py --smoke    # tiny CI gate
+    python benchmarks/bench_runtime_sweep.py                       # full benchmark
+    python benchmarks/bench_runtime_sweep.py --smoke               # tiny CI gate
+    python benchmarks/bench_runtime_sweep.py --smoke --execution process
 
 The ``--smoke`` mode runs in seconds and only asserts the invariants CI
 can check on shared hardware: identical results, an overall cache hit
-rate above 45% across the two sweeps, and a cached sweep no slower than
-the naive baseline.
+rate above 45% across the two sweeps, and (thread engine) a cached sweep
+no slower than the naive baseline.  ``--execution process`` points the
+smoke gate at the process engine instead: identical results plus a warm
+disk-tier hit rate, with no wall-clock gate (spawn cost is hardware
+noise).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import tempfile
 import time
 from typing import Dict, List, Optional, Tuple
 
@@ -43,6 +58,7 @@ from repro import Observatory, RuntimeConfig
 from repro.analysis.reporting import format_value_table
 from repro.core.framework import DatasetSizes
 from repro.core.results import PropertyResult
+from repro.runtime.cache import CacheStats
 
 MODELS = ["bert", "tapas"]
 PROPERTIES = [
@@ -91,12 +107,51 @@ def run_naive(sizes: DatasetSizes) -> Tuple[float, Dict[Tuple[str, str], Propert
 def run_sweeps(sizes: DatasetSizes):
     observatory = Observatory(seed=0, sizes=sizes, runtime=RuntimeConfig(batch_size=16))
     started = time.perf_counter()
-    cold = observatory.sweep(MODELS, PROPERTIES)
+    cold = observatory.sweep(MODELS, PROPERTIES, execution="thread")
     t_cold = time.perf_counter() - started
     started = time.perf_counter()
-    warm = observatory.sweep(MODELS, PROPERTIES)
+    warm = observatory.sweep(MODELS, PROPERTIES, execution="thread")
     t_warm = time.perf_counter() - started
     return t_cold, cold, t_warm, warm, observatory.cache.stats
+
+
+def run_process_sweep(sizes: DatasetSizes, disk_dir: str, workers: int):
+    """One process-sharded sweep sharing ``disk_dir`` as the cache tier."""
+    observatory = Observatory(
+        seed=0,
+        sizes=sizes,
+        runtime=RuntimeConfig(batch_size=16, disk_cache_dir=disk_dir),
+    )
+    started = time.perf_counter()
+    sweep = observatory.sweep(
+        MODELS, PROPERTIES, max_workers=workers, execution="process"
+    )
+    return time.perf_counter() - started, sweep
+
+
+def run_process_scaling(sizes: DatasetSizes):
+    """Cold single-shard vs cold multi-shard process sweeps + a warm pass.
+
+    Each cold run uses a fresh disk dir so shard counts are compared on
+    equal (empty-cache) footing; the warm pass reuses the multi-shard
+    dir to measure the shared disk tier across process boundaries.
+    """
+    multi = min(4, os.cpu_count() or 1, len(MODELS) * len(PROPERTIES))
+    with tempfile.TemporaryDirectory() as single_dir:
+        t_single, single = run_process_sweep(sizes, single_dir, workers=1)
+    with tempfile.TemporaryDirectory() as multi_dir:
+        t_multi, cold = run_process_sweep(sizes, multi_dir, workers=multi)
+        t_warm, warm = run_process_sweep(sizes, multi_dir, workers=multi)
+    return {
+        "single_workers": 1,
+        "multi_workers": multi,
+        "t_single": t_single,
+        "t_multi": t_multi,
+        "t_warm": t_warm,
+        "single": single,
+        "cold": cold,
+        "warm": warm,
+    }
 
 
 def check_identical(
@@ -122,6 +177,35 @@ def warmup() -> None:
             observatory.characterize(MODELS[0], prop)
 
 
+def report_process_scaling(scaling: Dict[str, object]) -> None:
+    cores = os.cpu_count() or 1
+    t_single, t_multi = scaling["t_single"], scaling["t_multi"]
+    multi = scaling["multi_workers"]
+    shards = f"{multi} shard{'s' if multi != 1 else ''}"
+    rows = [
+        ["process sweep, 1 shard (cold)", t_single, 1.0],
+        [f"process sweep, {shards} (cold)", t_multi, t_single / t_multi],
+        [
+            f"process sweep, {shards} (warm disk tier)",
+            scaling["t_warm"],
+            t_single / scaling["t_warm"],
+        ],
+    ]
+    print()
+    print(f"Thread-vs-process scaling ({cores} core(s) available):")
+    print(format_value_table(rows, ["configuration", "seconds", "scaling"]))
+    if cores < 2:
+        print(
+            "note: single-core host — process sharding can only add spawn "
+            "overhead here; scaling numbers are meaningful on >= 2 cores."
+        )
+    warm_stats: CacheStats = scaling["warm"].cache_stats
+    print(
+        f"shared disk tier: {warm_stats.disk_hits} cross-process disk hits "
+        f"on the warm pass ({warm_stats.hit_rate:.1%} hit rate)"
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -129,11 +213,44 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="tiny sizes + hardware-independent assertions (CI gate)",
     )
+    parser.add_argument(
+        "--execution",
+        choices=["thread", "process"],
+        default="thread",
+        help="which sweep engine the smoke gate exercises (default: thread)",
+    )
     args = parser.parse_args(argv)
     sizes = SMOKE_SIZES if args.smoke else FULL_SIZES
 
     warmup()
     t_naive, naive_results = run_naive(sizes)
+
+    if args.execution == "process":
+        scaling = run_process_scaling(sizes)
+        for sweep in (scaling["single"], scaling["cold"], scaling["warm"]):
+            check_identical(naive_results, sweep)
+        print()
+        print("=" * 72)
+        print(
+            f"Runtime sweep benchmark (process engine) — "
+            f"{len(MODELS)} models x {len(PROPERTIES)} properties"
+        )
+        print("=" * 72)
+        report_process_scaling(scaling)
+        print("results: numerically identical across all shard counts")
+        if args.smoke:
+            combined = CacheStats.merged(
+                [scaling["cold"].cache_stats, scaling["warm"].cache_stats]
+            )
+            assert combined.hit_rate > 0.45, (
+                f"shared disk tier ineffective: hit rate {combined.hit_rate:.1%}"
+            )
+            assert scaling["warm"].cache_stats.disk_hits > 0, (
+                "warm process sweep never hit the shared disk tier"
+            )
+        print("benchmark assertions passed")
+        return 0
+
     t_cold, cold, t_warm, warm, cache_stats = run_sweeps(sizes)
     check_identical(naive_results, cold)
     check_identical(naive_results, warm)
@@ -156,6 +273,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     print()
     print(f"cache: {cache_stats}")
     print("results: numerically identical across all configurations")
+
+    if not args.smoke:
+        scaling = run_process_scaling(sizes)
+        for sweep in (scaling["single"], scaling["cold"], scaling["warm"]):
+            check_identical(naive_results, sweep)
+        report_process_scaling(scaling)
 
     if args.smoke:
         assert t_cold <= t_naive * 1.05, (

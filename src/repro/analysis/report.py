@@ -153,7 +153,7 @@ def render_sweep(sweep: SweepResult) -> str:
     lines.append("")
     lines.append(
         f"Ran {len(sweep.cells)} cells in {sweep.seconds:.2f}s "
-        f"on {sweep.workers} worker(s)."
+        f"on {sweep.workers} {sweep.execution} worker(s)."
     )
     if sweep.cache_stats is not None:
         stats = sweep.cache_stats
@@ -161,4 +161,10 @@ def render_sweep(sweep: SweepResult) -> str:
             f"Embedding cache: {stats.hits} hits / {stats.requests} requests "
             f"({stats.hit_rate:.1%} hit rate)."
         )
+        if stats.evictions or stats.disk_evictions or stats.disk_drops:
+            lines.append(
+                f"Cache eviction: {stats.evictions} memory, "
+                f"{stats.disk_evictions} disk (size/age), "
+                f"{stats.disk_drops} corrupt entries dropped."
+            )
     return "\n".join(lines)

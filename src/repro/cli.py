@@ -10,9 +10,11 @@ Exposes the framework without writing Python::
     python -m repro sweep --models bert,t5 --workers 2
 
 ``sweep`` runs the matrix through the batched/cached runtime and reports
-skipped cells and cache effectiveness; ``--no-cache`` falls back to the
-legacy one-call-at-a-time execution for comparison.  Output is plain text
-suited to terminals and CI logs.
+skipped cells and cache effectiveness; ``--execution process`` shards
+cells across spawned worker processes (sharing the ``--disk-cache`` tier,
+bounded by ``--cache-max-bytes``/``--cache-max-age``), and ``--no-cache``
+falls back to the legacy one-call-at-a-time execution for comparison.
+Output is plain text suited to terminals and CI logs.
 """
 
 from __future__ import annotations
@@ -83,6 +85,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None, help="worker-pool size (default: auto)"
     )
     sweep.add_argument(
+        "--execution",
+        choices=["thread", "process"],
+        default=None,
+        help=(
+            "sweep engine: 'thread' shares one in-process cache, 'process' "
+            "shards cells across spawned workers sharing only the disk "
+            "cache (default: $REPRO_SWEEP_EXECUTION or thread)"
+        ),
+    )
+    sweep.add_argument(
         "--batch-size", type=int, default=8, help="encoder batch size (default 8)"
     )
     sweep.add_argument(
@@ -95,6 +107,20 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="DIR",
         help="persist the embedding cache under DIR across runs",
+    )
+    sweep.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="byte budget of the disk cache; LRU-evicted past it (default: unbounded)",
+    )
+    sweep.add_argument(
+        "--cache-max-age",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="expire disk-cache entries older than this (default: never)",
     )
     return parser
 
@@ -162,7 +188,10 @@ def _run_sweep(args: argparse.Namespace) -> int:
             enabled=not args.no_cache,
             batch_size=args.batch_size,
             disk_cache_dir=args.disk_cache,
+            cache_max_bytes=args.cache_max_bytes,
+            cache_max_age=args.cache_max_age,
             max_workers=args.workers,
+            execution=args.execution,
         )
     except ValueError as error:
         raise ObservatoryError(str(error)) from None

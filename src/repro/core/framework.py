@@ -312,13 +312,20 @@ class Observatory:
         properties: Optional[Sequence[str]] = None,
         *,
         max_workers: Optional[int] = None,
+        execution: Optional[str] = None,
     ) -> SweepResult:
         """Run a (model × property) matrix on a worker pool.
 
         Independent cells run concurrently (``max_workers`` defaults to
-        ``runtime.max_workers``); executors share this Observatory's
-        embedding cache, and every cell is deterministically seeded, so the
-        result is identical for any worker count.  Out-of-scope cells are
+        ``runtime.max_workers``); every cell is deterministically seeded,
+        so the result is identical for any worker count and execution
+        mode.  ``execution="thread"`` (default) shares this Observatory's
+        embedding cache across a thread pool; ``execution="process"``
+        shards cells across spawned worker processes that rebuild models
+        from configuration and share only the on-disk cache tier —
+        scaling Python-heavy cells past the GIL.  Unset, the mode falls
+        back to ``runtime.execution``, then the ``REPRO_SWEEP_EXECUTION``
+        environment variable, then ``"thread"``.  Out-of-scope cells are
         recorded on ``SweepResult.skipped`` rather than dropped.
         """
         property_names = (
@@ -329,6 +336,7 @@ class Observatory:
             list(models),
             property_names,
             max_workers=max_workers or self.runtime.max_workers,
+            execution=execution,
         )
 
     @staticmethod

@@ -11,12 +11,20 @@ and perturbations.  This package removes that redundancy:
 - :mod:`repro.runtime.planner` — :class:`EmbeddingExecutor`, which
   deduplicates requests, bundles levels into one encoder pass, and drives
   the encoder in configurable batches.
+- :mod:`repro.runtime.disk` — :class:`DiskTier`, the bounded, indexed,
+  crash-safe persistent tier (versioned JSON index, byte/age LRU
+  eviction, atomic write-temp-then-rename, stale-lock reclaim).
 - :mod:`repro.runtime.sweep` — ``Observatory.sweep``'s worker-pool engine
   returning a structured :class:`SweepResult` (including skipped cells).
+- :mod:`repro.runtime.process_sweep` — :class:`ProcessShardedSweep`,
+  which shards sweep cells across spawned worker processes that share
+  only the disk cache tier (``execution="process"``).
 """
 
 from repro.runtime.cache import CacheStats, EmbeddingCache
+from repro.runtime.disk import DiskTier
 from repro.runtime.fingerprint import (
+    cache_entry_digest,
     coords_fingerprint,
     table_fingerprint,
     value_column_fingerprint,
@@ -27,19 +35,35 @@ from repro.runtime.planner import (
     RuntimeConfig,
     as_executor,
 )
-from repro.runtime.sweep import SkippedCell, SweepCell, SweepResult, run_sweep
+from repro.runtime.process_sweep import ProcessShardedSweep, partition_shards
+from repro.runtime.sweep import (
+    EXECUTION_MODES,
+    SkippedCell,
+    SweepCell,
+    SweepResult,
+    order_cells,
+    resolve_execution,
+    run_sweep,
+)
 
 __all__ = [
     "BUNDLE_LEVELS",
     "CacheStats",
+    "DiskTier",
+    "EXECUTION_MODES",
     "EmbeddingCache",
     "EmbeddingExecutor",
+    "ProcessShardedSweep",
     "RuntimeConfig",
     "SkippedCell",
     "SweepCell",
     "SweepResult",
     "as_executor",
+    "cache_entry_digest",
     "coords_fingerprint",
+    "order_cells",
+    "partition_shards",
+    "resolve_execution",
     "run_sweep",
     "table_fingerprint",
     "value_column_fingerprint",

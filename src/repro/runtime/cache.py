@@ -1,4 +1,4 @@
-"""Embedding cache: in-memory LRU tier + optional on-disk tier.
+"""Embedding cache: in-memory LRU tier + optional bounded on-disk tier.
 
 Entries are keyed by ``(model_name, kind, fingerprint)`` where ``kind`` is
 an embedding level (``"column"``, ``"row"``, ``"table"``, …) or a composite
@@ -6,22 +6,27 @@ request kind (``"cells/<coords-hash>"``).  Values are either a single
 ``np.ndarray`` or a dict of arrays (cell/entity requests).
 
 The memory tier is a thread-safe LRU bounded by entry count.  The optional
-disk tier persists plain-array entries as ``.npy`` files under a directory,
-so repeated benchmark runs (or sweeps across processes) only pay for what
-actually changed; dict-valued entries stay memory-only.  All accounting is
-exposed as :class:`CacheStats` for reporting and the bench-smoke CI gate.
+disk tier (:class:`~repro.runtime.disk.DiskTier`) persists plain-array
+entries as ``.npy`` files governed by a versioned JSON index, a byte
+budget, and an age limit, so repeated benchmark runs — and the worker
+processes of a sharded sweep, which share the directory — only pay for
+what actually changed; dict-valued entries stay memory-only.  All
+accounting is exposed as :class:`CacheStats` for reporting and the
+bench-smoke CI gate.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import hashlib
-import os
 import threading
+import time
 from collections import OrderedDict
-from typing import Dict, Optional, Tuple, Union
+from typing import Callable, Dict, Iterable, Optional, Tuple, Union
 
 import numpy as np
+
+from repro.runtime.disk import DiskTier
+from repro.runtime.fingerprint import cache_entry_digest
 
 CacheKey = Tuple[str, ...]
 CacheValue = Union[np.ndarray, Dict[object, np.ndarray]]
@@ -37,13 +42,22 @@ CACHE_SCHEMA_VERSION = 1
 
 @dataclasses.dataclass
 class CacheStats:
-    """Counters for cache effectiveness (hits include disk-tier hits)."""
+    """Counters for cache effectiveness (hits include disk-tier hits).
+
+    ``evictions`` counts memory-tier LRU drops; ``disk_evictions`` counts
+    disk-tier reclaims (size budget or age expiry); ``disk_drops`` counts
+    corrupt/torn disk entries discarded on read.  Stats are plain counters
+    so per-process sweep shards can be summed with :meth:`merged`.
+    """
 
     hits: int = 0
     misses: int = 0
     puts: int = 0
     evictions: int = 0
     disk_hits: int = 0
+    disk_puts: int = 0
+    disk_evictions: int = 0
+    disk_drops: int = 0
 
     @property
     def requests(self) -> int:
@@ -53,6 +67,19 @@ class CacheStats:
     def hit_rate(self) -> float:
         return self.hits / self.requests if self.requests else 0.0
 
+    @classmethod
+    def merged(cls, parts: Iterable["CacheStats"]) -> "CacheStats":
+        """Sum of several stats (e.g. one per sweep worker process)."""
+        total = cls()
+        for part in parts:
+            for field in dataclasses.fields(cls):
+                setattr(
+                    total,
+                    field.name,
+                    getattr(total, field.name) + getattr(part, field.name),
+                )
+        return total
+
     def to_dict(self) -> Dict[str, float]:
         return {
             "hits": self.hits,
@@ -60,13 +87,17 @@ class CacheStats:
             "puts": self.puts,
             "evictions": self.evictions,
             "disk_hits": self.disk_hits,
+            "disk_puts": self.disk_puts,
+            "disk_evictions": self.disk_evictions,
+            "disk_drops": self.disk_drops,
             "hit_rate": round(self.hit_rate, 4),
         }
 
     def __repr__(self) -> str:
         return (
             f"CacheStats(hits={self.hits}, misses={self.misses}, "
-            f"hit_rate={self.hit_rate:.2%}, evictions={self.evictions})"
+            f"hit_rate={self.hit_rate:.2%}, evictions={self.evictions}, "
+            f"disk_evictions={self.disk_evictions})"
         )
 
 
@@ -78,9 +109,21 @@ class EmbeddingCache:
             evicted first (they remain on disk if the disk tier is active).
         disk_dir: optional directory for the persistent tier.  Only plain
             ``np.ndarray`` values are persisted.
+        disk_max_bytes: byte budget of the disk tier (``None`` = unbounded).
+        disk_max_age: seconds after which disk entries expire
+            (``None`` = never).
+        clock: time source for the disk tier's eviction policy.
     """
 
-    def __init__(self, max_entries: int = 4096, disk_dir: Optional[str] = None):
+    def __init__(
+        self,
+        max_entries: int = 4096,
+        disk_dir: Optional[str] = None,
+        *,
+        disk_max_bytes: Optional[int] = None,
+        disk_max_age: Optional[float] = None,
+        clock: Callable[[], float] = time.time,
+    ):
         if max_entries < 1:
             raise ValueError("max_entries must be positive")
         self.max_entries = max_entries
@@ -88,17 +131,23 @@ class EmbeddingCache:
         self.stats = CacheStats()
         self._entries: "OrderedDict[CacheKey, CacheValue]" = OrderedDict()
         self._lock = threading.Lock()
+        self.disk: Optional[DiskTier] = None
         if disk_dir is not None:
-            os.makedirs(disk_dir, exist_ok=True)
+            self.disk = DiskTier(
+                disk_dir,
+                max_bytes=disk_max_bytes,
+                max_age=disk_max_age,
+                clock=clock,
+            )
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
 
-    def _disk_path(self, key: CacheKey) -> str:
-        salted = (f"schema={CACHE_SCHEMA_VERSION}",) + key
-        name = hashlib.sha256("\x00".join(salted).encode("utf-8")).hexdigest()
-        return os.path.join(self.disk_dir, f"{name}.npy")
+    def _entry_name(self, key: CacheKey) -> str:
+        # CACHE_SCHEMA_VERSION is read at call time so a bump (or a test
+        # monkeypatching it) invalidates every outstanding entry name.
+        return cache_entry_digest(key, CACHE_SCHEMA_VERSION)
 
     def get(self, key: CacheKey) -> Optional[CacheValue]:
         """Look up ``key`` in memory, then disk; ``None`` on a miss.
@@ -113,19 +162,17 @@ class EmbeddingCache:
                 self._entries.move_to_end(key)
                 self.stats.hits += 1
                 return dict(value) if isinstance(value, dict) else value
-        if self.disk_dir is not None:
-            path = self._disk_path(key)
-            if os.path.exists(path):
-                try:
-                    value = np.load(path)
-                except (OSError, ValueError):
-                    value = None
-                if value is not None:
-                    with self._lock:
-                        self.stats.hits += 1
-                        self.stats.disk_hits += 1
-                        self._store(key, value)
-                    return value
+        if self.disk is not None:
+            value = self.disk.get(self._entry_name(key))
+            if value is not None:
+                with self._lock:
+                    self.stats.hits += 1
+                    self.stats.disk_hits += 1
+                    self._sync_disk_counters()
+                    self._store(key, value)
+                return value
+            with self._lock:
+                self._sync_disk_counters()
         with self._lock:
             self.stats.misses += 1
         return None
@@ -135,11 +182,20 @@ class EmbeddingCache:
         with self._lock:
             self.stats.puts += 1
             self._store(key, value)
-        if self.disk_dir is not None and isinstance(value, np.ndarray):
-            try:
-                np.save(self._disk_path(key), value)
-            except OSError:
-                pass  # disk tier is best-effort; memory tier already holds it
+        if self.disk is not None and isinstance(value, np.ndarray):
+            stored = self.disk.put(self._entry_name(key), value)
+            with self._lock:
+                if stored:
+                    self.stats.disk_puts += 1
+                self._sync_disk_counters()
+
+    def _sync_disk_counters(self) -> None:
+        # Caller holds the lock.  The tier's counters are cumulative and
+        # monotonic, so mirroring them by assignment is race-free —
+        # accumulating per-call deltas would double-count under the
+        # thread-pool sweep (two threads reading the same "before").
+        self.stats.disk_evictions = self.disk.evictions
+        self.stats.disk_drops = self.disk.drops
 
     def _store(self, key: CacheKey, value: CacheValue) -> None:
         # Caller holds the lock.  Freeze arrays so external mutation of a

@@ -72,3 +72,16 @@ def coords_fingerprint(coords: Iterable[Tuple[int, int]]) -> str:
     for r, c in sorted(set(coords)):
         _update_value(digest, (r, c))
     return digest.hexdigest()
+
+
+def cache_entry_digest(key: Sequence[str], schema_version: int) -> str:
+    """Filename-safe digest of a cache key, salted by the cache schema.
+
+    The on-disk tier outlives the process, so the digest mixes in the
+    cache schema version: bumping it makes every old entry miss instead
+    of silently serving embeddings produced by different math.  Stable
+    across processes (pure sha256) — process-sharded sweep workers and
+    the parent agree on every entry name.
+    """
+    salted = (f"schema={schema_version}",) + tuple(key)
+    return hashlib.sha256("\x00".join(salted).encode("utf-8")).hexdigest()

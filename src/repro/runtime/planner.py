@@ -59,29 +59,52 @@ class RuntimeConfig:
         batch_size: tables per encoder batch in ``embed_levels_batch``.
         cache_entries: memory-tier LRU capacity of the shared cache.
         disk_cache_dir: optional directory for the persistent cache tier.
+        cache_max_bytes: byte budget of the disk tier (``None`` =
+            unbounded); size eviction is least-recently-used.
+        cache_max_age: seconds after which disk entries expire and are
+            reclaimed before any younger entry (``None`` = never).
         max_workers: default worker count for ``Observatory.sweep``
             (``None`` = one worker per (model, property) cell, capped at 4).
+        execution: default sweep execution mode — ``"thread"`` (one pool of
+            threads sharing this process's cache) or ``"process"``
+            (spawned worker processes sharing only the disk tier).
+            ``None`` defers to the ``REPRO_SWEEP_EXECUTION`` environment
+            variable, falling back to ``"thread"``.
     """
 
     enabled: bool = True
     batch_size: int = 8
     cache_entries: int = 16384
     disk_cache_dir: Optional[str] = None
+    cache_max_bytes: Optional[int] = None
+    cache_max_age: Optional[float] = None
     max_workers: Optional[int] = None
+    execution: Optional[str] = None
 
     def __post_init__(self):
         if self.batch_size < 1:
             raise ValueError("batch_size must be positive")
         if self.cache_entries < 1:
             raise ValueError("cache_entries must be positive")
+        if self.cache_max_bytes is not None and self.cache_max_bytes < 1:
+            raise ValueError("cache_max_bytes must be positive")
+        if self.cache_max_age is not None and self.cache_max_age <= 0:
+            raise ValueError("cache_max_age must be positive")
         if self.max_workers is not None and self.max_workers < 1:
             raise ValueError("max_workers must be positive")
+        if self.execution not in (None, "thread", "process"):
+            raise ValueError(
+                f"execution must be 'thread' or 'process', got {self.execution!r}"
+            )
 
     def build_cache(self) -> Optional[EmbeddingCache]:
         if not self.enabled:
             return None
         return EmbeddingCache(
-            max_entries=self.cache_entries, disk_dir=self.disk_cache_dir
+            max_entries=self.cache_entries,
+            disk_dir=self.disk_cache_dir,
+            disk_max_bytes=self.cache_max_bytes,
+            disk_max_age=self.cache_max_age,
         )
 
 

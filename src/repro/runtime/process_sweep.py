@@ -1,0 +1,164 @@
+"""Process-sharded sweep engine.
+
+Thread-pool sweeps only scale the numpy-bound half of the characterization
+matrix: serializers, aggregates, and planner bookkeeping hold the GIL, so
+Python-heavy cells serialize onto one core.  :class:`ProcessShardedSweep`
+partitions the runnable (model, property) cells into per-process shards
+and runs each shard in a **spawned** worker process.
+
+Isolation contract:
+
+- Workers never receive pickled encoders or datasets.  A shard payload is
+  ``(seed, DatasetSizes, RuntimeConfig, cells)`` — plain dataclasses of
+  primitives — and the worker rebuilds its own Observatory, models (from
+  the registry / :class:`~repro.models.config.ModelConfig`), and corpora
+  from the seed.  Spawn-safety follows: nothing crosses the process
+  boundary except configuration in and results out.
+- The only *shared* state is the on-disk cache tier
+  (``RuntimeConfig.disk_cache_dir``), whose atomic writes and locked index
+  make concurrent workers safe; without a disk dir each worker runs a
+  private memory cache.
+- Every cell is a pure function of (seed, model, property, sizes), so
+  results are bit-identical to thread mode and to ``workers=1`` for any
+  shard count — ``tests/test_runtime_process_sweep.py`` locks this in.
+
+Shards are contiguous chunks of the cache-aware cell order
+(:func:`repro.runtime.sweep.order_cells`), so cells sharing a model and a
+corpus land in the same worker and hit its warm memory tier.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ObservatoryError
+from repro.runtime.cache import CacheStats
+
+_DEFAULT_PROCESS_CAP = 4
+
+
+@dataclasses.dataclass
+class ShardOutcome:
+    """What the parent gets back from the engine (pre-ordering)."""
+
+    cells: List["SweepCell"]
+    workers: int
+    cache_stats: Optional[CacheStats]
+
+
+def partition_shards(
+    cells: Sequence[Tuple[str, str]], n_shards: int
+) -> List[List[Tuple[str, str]]]:
+    """Split ``cells`` into ``n_shards`` contiguous, near-equal chunks.
+
+    Contiguity preserves the cache-aware ordering inside each shard; the
+    first ``len(cells) % n_shards`` shards take one extra cell.  Empty
+    shards are never produced.
+    """
+    n_shards = max(1, min(n_shards, len(cells)))
+    base, extra = divmod(len(cells), n_shards)
+    shards: List[List[Tuple[str, str]]] = []
+    start = 0
+    for i in range(n_shards):
+        size = base + (1 if i < extra else 0)
+        shards.append(list(cells[start : start + size]))
+        start += size
+    return shards
+
+
+def _run_shard(payload: Dict[str, object]) -> Dict[str, object]:
+    """Spawn-safe worker entrypoint: rebuild everything, run the shard.
+
+    Top-level so the spawned interpreter can import it by qualified name;
+    imports live inside the function to keep this module import-light and
+    free of parent-module cycles (framework → sweep → here).
+    """
+    from repro.core.framework import Observatory
+
+    observatory = Observatory(
+        seed=payload["seed"],
+        sizes=payload["sizes"],
+        runtime=payload["runtime"],
+    )
+    cells = []
+    for model_name, property_name in payload["cells"]:
+        t0 = time.perf_counter()
+        result = observatory.characterize(model_name, property_name)
+        cells.append((model_name, property_name, result, time.perf_counter() - t0))
+    stats = observatory.cache.stats if observatory.cache is not None else None
+    return {"cells": cells, "stats": stats}
+
+
+class ProcessShardedSweep:
+    """Run sweep cells across spawned worker processes.
+
+    Args:
+        observatory: the parent Observatory; only its ``seed``, ``sizes``,
+            and ``runtime`` config travel to workers (models and datasets
+            are rebuilt per process, never pickled).
+        max_workers: shard count; defaults to
+            ``min(4, cpu_count, len(cells))``.
+    """
+
+    def __init__(self, observatory, *, max_workers: Optional[int] = None):
+        self.observatory = observatory
+        self.max_workers = max_workers
+
+    def _worker_runtime(self):
+        """The runtime config a worker rebuilds its Observatory with.
+
+        Workers run their shard serially (``execution="thread"`` with the
+        cells already assigned), so the parent's execution/worker settings
+        must not recurse into them.
+        """
+        return dataclasses.replace(
+            self.observatory.runtime, execution="thread", max_workers=1
+        )
+
+    def run(self, cells: Sequence[Tuple[str, str]]) -> ShardOutcome:
+        """Execute ``cells`` (already cache-aware-ordered) in shards."""
+        from repro.runtime.sweep import SweepCell
+
+        workers = self.max_workers or min(
+            _DEFAULT_PROCESS_CAP, os.cpu_count() or 1, max(1, len(cells))
+        )
+        shards = partition_shards(cells, workers)
+        payloads = [
+            {
+                "seed": self.observatory.seed,
+                "sizes": self.observatory.sizes,
+                "runtime": self._worker_runtime(),
+                "cells": shard,
+            }
+            for shard in shards
+        ]
+        # spawn, not fork: workers must rebuild state from configuration
+        # (fork would silently share the parent's loaded models and numpy
+        # state, masking pickling bugs and breaking on non-POSIX hosts).
+        context = multiprocessing.get_context("spawn")
+        try:
+            with ProcessPoolExecutor(
+                max_workers=len(shards), mp_context=context
+            ) as pool:
+                outcomes = list(pool.map(_run_shard, payloads))
+        except BrokenProcessPool as error:
+            raise ObservatoryError(
+                "process-sharded sweep worker died; rerun with "
+                "execution='thread' to debug in-process"
+            ) from error
+        merged_cells = [
+            SweepCell(model_name, property_name, result, seconds)
+            for outcome in outcomes
+            for model_name, property_name, result, seconds in outcome["cells"]
+        ]
+        shard_stats = [o["stats"] for o in outcomes if o["stats"] is not None]
+        stats = CacheStats.merged(shard_stats) if shard_stats else None
+        return ShardOutcome(
+            cells=merged_cells, workers=len(shards), cache_stats=stats
+        )

@@ -2,15 +2,27 @@
 
 ``Observatory.sweep`` delegates here: every (model, property) cell of the
 requested matrix is an independent, deterministically seeded unit of work.
-Cells run on a thread pool — the surrogate encoders spend their time in
-numpy, which releases the GIL — while all executors share one embedding
-cache, so a table embedded for P1 is a cache hit when P2 asks for it.
+Two execution engines are available:
+
+- ``"thread"`` — cells run on a thread pool; the surrogate encoders spend
+  their time in numpy, which releases the GIL, and all executors share one
+  embedding cache, so a table embedded for P1 is a cache hit when P2 asks
+  for it.
+- ``"process"`` — cells are sharded across spawned worker processes
+  (:mod:`repro.runtime.process_sweep`), which scales the Python-heavy half
+  of the matrix (serializers, aggregates, planners) past the GIL.  Workers
+  rebuild models from the registry and share only the on-disk cache tier.
 
 Determinism: a cell's result is a pure function of (seed, model, property,
 dataset sizes).  The cache only short-circuits recomputation of values
 that would have been identical anyway, and cells never exchange data, so
-sweep results are independent of worker count and scheduling order —
-``tests/test_runtime_sweep.py`` locks this in.
+sweep results are independent of worker count, scheduling order, *and*
+execution mode — ``tests/test_runtime_sweep.py`` and
+``tests/test_runtime_process_sweep.py`` lock this in.
+
+Cells are *executed* in cache-aware order — grouped so cells sharing a
+dataset corpus run back-to-back, raising the intra-sweep hit rate — but
+*returned* in request order, so the ordering is invisible to callers.
 
 Cells whose model lacks every level the property needs (the paper's
 Table 2 scoping) and pairwise properties that need an explicit partner are
@@ -28,10 +40,49 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.results import PropertyResult, SkippedCell
 from repro.errors import ObservatoryError
+from repro.runtime.cache import CacheStats
 
-# Threads only pay off when cores exist to run numpy sections in parallel;
-# on a single-core host the pool degenerates to sequential execution.
+# Workers only pay off when cores exist to run cells in parallel; on a
+# single-core host the pool degenerates to sequential execution.
 _DEFAULT_WORKER_CAP = min(4, os.cpu_count() or 1)
+
+# Environment override for the default execution engine; the CI matrix
+# runs the whole suite under REPRO_SWEEP_EXECUTION=process so both
+# engines are gated on every push.
+EXECUTION_ENV = "REPRO_SWEEP_EXECUTION"
+EXECUTION_MODES = ("thread", "process")
+
+# Which default dataset corpus each property characterizes over.  Cells
+# sharing a corpus are scheduled back-to-back (per model) so embeddings
+# computed for one property are still memory-tier-warm for the next —
+# cache-aware ordering.  perturbation_robustness runs the drspider suite,
+# which is *derived from* wikitables and embeds the original wikitables
+# tables alongside the perturbed variants — hence its wikitables group.
+# A property missing here orders by its own name (correct, just not
+# grouped); tests/test_runtime_process_sweep.py guards that every
+# registered property stays mapped.
+PROPERTY_CORPUS = {
+    "row_order_insignificance": "wikitables",
+    "column_order_insignificance": "wikitables",
+    "sample_fidelity": "wikitables",
+    "perturbation_robustness": "wikitables",
+    "heterogeneous_context": "sotab",
+    "functional_dependencies": "spider",
+    "join_relationship": "nextiajd",
+    "entity_stability": "entities",
+}
+
+
+def resolve_execution(
+    explicit: Optional[str], configured: Optional[str] = None
+) -> str:
+    """Pick the sweep engine: explicit arg > RuntimeConfig > env > thread."""
+    choice = explicit or configured or os.environ.get(EXECUTION_ENV) or "thread"
+    if choice not in EXECUTION_MODES:
+        raise ObservatoryError(
+            f"unknown execution mode {choice!r}; expected one of {EXECUTION_MODES}"
+        )
+    return choice
 
 
 @dataclasses.dataclass
@@ -49,20 +100,23 @@ class SweepResult:
     """Structured outcome of ``Observatory.sweep``.
 
     Attributes:
-        cells: completed cells in (model-major) request order.
+        cells: completed cells in request order.
         skipped: cells that were not run, with reasons — nothing is
             dropped silently.
         seconds: wall-clock of the whole sweep.
-        workers: worker-pool size used.
-        cache_stats: shared embedding-cache counters (``None`` when the
-            runtime cache is disabled).
+        workers: worker-pool size used (threads or processes).
+        execution: engine that ran the cells (``"thread"``/``"process"``).
+        cache_stats: embedding-cache counters — the shared cache in thread
+            mode, the merged per-worker counters in process mode, ``None``
+            when the runtime cache is disabled.
     """
 
     cells: List[SweepCell] = dataclasses.field(default_factory=list)
     skipped: List[SkippedCell] = dataclasses.field(default_factory=list)
     seconds: float = 0.0
     workers: int = 1
-    cache_stats: Optional[object] = None
+    execution: str = "thread"
+    cache_stats: Optional[CacheStats] = None
 
     @property
     def results(self) -> List[PropertyResult]:
@@ -103,13 +157,15 @@ class SweepResult:
             "skipped": [dataclasses.asdict(s) for s in self.skipped],
             "seconds": self.seconds,
             "workers": self.workers,
+            "execution": self.execution,
             "cache": self.cache_stats.to_dict() if self.cache_stats else None,
         }
 
     def __repr__(self) -> str:
         return (
             f"SweepResult(cells={len(self.cells)}, skipped={len(self.skipped)}, "
-            f"seconds={self.seconds:.2f}, workers={self.workers})"
+            f"seconds={self.seconds:.2f}, workers={self.workers}, "
+            f"execution={self.execution!r})"
         )
 
 
@@ -150,29 +206,92 @@ def plan_cells(
     return runnable, skipped
 
 
+def order_cells(cells: Sequence[Tuple[str, str]]) -> List[Tuple[str, str]]:
+    """Cache-aware execution order: model-major, corpus-grouped within.
+
+    Keeping one model's cells together maximizes reuse of its executor's
+    cached embeddings, and running properties that share a corpus
+    back-to-back (P1/P2/P5/P7 all characterize over wikitables) means the
+    second property's tables are still warm from the first.  Models and
+    corpora keep their first-seen request order so the schedule — and
+    thus shard assignment — is deterministic.
+    """
+    model_rank: Dict[str, int] = {}
+    corpus_rank: Dict[str, int] = {}
+    property_rank: Dict[str, int] = {}
+    for model_name, property_name in cells:
+        model_rank.setdefault(model_name, len(model_rank))
+        corpus = PROPERTY_CORPUS.get(property_name, property_name)
+        corpus_rank.setdefault(corpus, len(corpus_rank))
+        property_rank.setdefault(property_name, len(property_rank))
+    return sorted(
+        cells,
+        key=lambda cell: (
+            model_rank[cell[0]],
+            corpus_rank[PROPERTY_CORPUS.get(cell[1], cell[1])],
+            property_rank[cell[1]],
+        ),
+    )
+
+
 def run_sweep(
     observatory,
     model_names: Sequence[str],
     property_names: Sequence[str],
     *,
     max_workers: Optional[int] = None,
+    execution: Optional[str] = None,
 ) -> SweepResult:
     """Execute the matrix on a worker pool; see module docstring."""
     if not model_names:
         raise ObservatoryError("sweep needs at least one model")
     if not property_names:
         raise ObservatoryError("sweep needs at least one property")
+    engine = resolve_execution(execution, getattr(observatory.runtime, "execution", None))
     started = time.perf_counter()
     runnable, skipped = plan_cells(observatory, model_names, property_names)
+    # Execute cache-aware, return request-order (see order_cells).
+    request_rank = {cell: i for i, cell in enumerate(runnable)}
+    ordered = order_cells(runnable)
+
+    if engine == "process":
+        if not ordered:
+            # Every cell was skipped: no workers spawn, no cache is
+            # touched — report that honestly rather than falling through
+            # to the thread path with the parent's live counters.
+            return SweepResult(
+                skipped=skipped,
+                seconds=time.perf_counter() - started,
+                workers=0,
+                execution="process",
+                cache_stats=None,
+            )
+        from repro.runtime.process_sweep import ProcessShardedSweep
+
+        engine_result = ProcessShardedSweep(
+            observatory, max_workers=max_workers
+        ).run(ordered)
+        cells = sorted(
+            engine_result.cells,
+            key=lambda c: request_rank[(c.model_name, c.property_name)],
+        )
+        return SweepResult(
+            cells=cells,
+            skipped=skipped,
+            seconds=time.perf_counter() - started,
+            workers=engine_result.workers,
+            execution="process",
+            cache_stats=engine_result.cache_stats,
+        )
 
     # Materialize shared resources serially before fanning out: dataset
     # generators and model construction are the only mutating steps.
-    for model_name in {m for m, _ in runnable}:
+    for model_name in {m for m, _ in ordered}:
         observatory.executor(model_name)
-    for property_name in {p for _, p in runnable}:
+    for property_name in {p for _, p in ordered}:
         observatory.prepare_property_data(property_name)
 
-    workers = max_workers or min(_DEFAULT_WORKER_CAP, max(1, len(runnable)))
+    workers = max_workers or min(_DEFAULT_WORKER_CAP, max(1, len(ordered)))
 
     def run_cell(cell: Tuple[str, str]) -> SweepCell:
         model_name, property_name = cell
@@ -181,11 +300,12 @@ def run_sweep(
         return SweepCell(model_name, property_name, result, time.perf_counter() - t0)
 
     cells: List[SweepCell]
-    if workers <= 1 or len(runnable) <= 1:
-        cells = [run_cell(c) for c in runnable]
+    if workers <= 1 or len(ordered) <= 1:
+        cells = [run_cell(c) for c in ordered]
     else:
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            cells = list(pool.map(run_cell, runnable))
+            cells = list(pool.map(run_cell, ordered))
+    cells.sort(key=lambda c: request_rank[(c.model_name, c.property_name)])
 
     cache = getattr(observatory, "cache", None)
     return SweepResult(
@@ -193,5 +313,6 @@ def run_sweep(
         skipped=skipped,
         seconds=time.perf_counter() - started,
         workers=workers,
+        execution=engine,
         cache_stats=cache.stats if cache is not None else None,
     )

@@ -1,0 +1,219 @@
+"""Property-based tests for the bounded disk cache tier.
+
+Hypothesis drives random insert/evict/read sequences against
+:class:`repro.runtime.disk.DiskTier` under a virtual clock and checks,
+after **every prefix** of operations:
+
+1. the directory never exceeds ``max_bytes``;
+2. an entry younger than ``max_age`` is never evicted while an
+   older-than-``max_age`` entry remains, and size eviction is LRU;
+3. the JSON index always matches the directory contents exactly.
+"""
+
+import json
+import os
+import tempfile
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.cache import EmbeddingCache
+from repro.runtime.disk import INDEX_NAME, DiskTier
+
+MAX_BYTES = 2000
+MAX_AGE = 50.0
+
+# float64 payload lengths; the largest exceeds the whole byte budget and
+# must be rejected outright rather than evicting everything else.
+SIZES = (4, 64, 200, 400)
+KEYS = tuple(f"entry-{i}" for i in range(6))
+
+
+class FakeClock:
+    def __init__(self, start: float = 1_000.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+
+ops = st.one_of(
+    st.tuples(st.just("put"), st.sampled_from(KEYS), st.sampled_from(SIZES)),
+    st.tuples(st.just("get"), st.sampled_from(KEYS), st.just(0)),
+    st.tuples(st.just("tick"), st.just(""), st.floats(min_value=1.0, max_value=30.0)),
+)
+
+
+def disk_listing(directory):
+    """{entry-name: file size} for every payload file in the directory."""
+    return {
+        name[: -len(".npy")]: os.path.getsize(os.path.join(directory, name))
+        for name in os.listdir(directory)
+        if name.endswith(".npy") and not name.startswith(".tmp-")
+    }
+
+
+def read_index(directory):
+    with open(os.path.join(directory, INDEX_NAME), "r", encoding="utf-8") as handle:
+        return json.load(handle)["entries"]
+
+
+def check_invariants(directory, snapshot, now, touched=None):
+    """Assert the three eviction invariants after one operation.
+
+    ``touched`` is the key the operation just wrote: a re-``put`` of a
+    live key refreshes its recency (and creation time), so its snapshot
+    stamps no longer apply.
+    """
+    listing = disk_listing(directory)
+    assert sum(listing.values()) <= MAX_BYTES, "byte budget exceeded"
+
+    if not os.path.exists(os.path.join(directory, INDEX_NAME)):
+        assert not listing, "payloads on disk but no index"
+        return {}
+    entries = read_index(directory)
+    assert set(entries) == set(listing), "index does not match directory"
+    for name, entry in entries.items():
+        assert int(entry["bytes"]) == listing[name], f"stale size for {name}"
+
+    victims = set(snapshot) - set(entries)
+    for victim in victims:
+        victim_age = now - snapshot[victim]["created"]
+        if victim_age <= MAX_AGE:  # young victim: size eviction
+            for survivor in entries:
+                if survivor == touched or survivor not in snapshot:
+                    continue  # just (re)written: most recent by definition
+                survivor_age = now - snapshot[survivor]["created"]
+                assert survivor_age <= MAX_AGE, (
+                    "young entry evicted while an expired one remained"
+                )
+                assert snapshot[survivor]["atime"] >= snapshot[victim]["atime"], (
+                    "evicted a more recently used entry (LRU violated)"
+                )
+    return entries
+
+
+@settings(max_examples=40, deadline=None)
+@given(operations=st.lists(ops, min_size=1, max_size=25))
+def test_random_sequences_hold_invariants(operations):
+    with tempfile.TemporaryDirectory() as directory:
+        clock = FakeClock()
+        tier = DiskTier(
+            directory, max_bytes=MAX_BYTES, max_age=MAX_AGE, clock=clock
+        )
+        snapshot = {}
+        for kind, key, arg in operations:
+            clock.now += 1.0  # distinct stamps per operation
+            if kind == "tick":
+                clock.now += arg
+                continue
+            touched = None
+            if kind == "put":
+                stored = tier.put(key, np.full(arg, 1.5))
+                oversized = 128 + arg * 8 > MAX_BYTES
+                assert stored != oversized, (
+                    "oversized entries must be rejected, fitting ones kept"
+                )
+                touched = key if stored else None
+            else:
+                value = tier.get(key)
+                if value is not None:
+                    assert value.shape[0] in SIZES
+                    assert float(value[0]) == 1.5
+            snapshot = check_invariants(directory, snapshot, clock.now, touched)
+
+
+@settings(max_examples=25, deadline=None)
+@given(operations=st.lists(ops, min_size=1, max_size=20))
+def test_unbounded_tier_index_always_matches_directory(operations):
+    # Without budgets nothing is ever evicted, but the index/directory
+    # agreement must still hold after any prefix of operations.
+    with tempfile.TemporaryDirectory() as directory:
+        clock = FakeClock()
+        tier = DiskTier(directory, clock=clock)
+        live = set()
+        for kind, key, arg in operations:
+            clock.now += 1.0
+            if kind == "tick":
+                clock.now += arg
+            elif kind == "put":
+                assert tier.put(key, np.full(arg, 2.5))
+                live.add(key)
+            else:
+                value = tier.get(key)
+                assert (value is not None) == (key in live)
+            listing = disk_listing(directory)
+            assert set(listing) == live
+            if live:
+                assert set(read_index(directory)) == live
+        assert tier.evictions == 0
+
+
+class TestExpiry:
+    def test_expired_entry_is_a_miss_and_reclaimed(self):
+        with tempfile.TemporaryDirectory() as directory:
+            clock = FakeClock()
+            tier = DiskTier(directory, max_age=10.0, clock=clock)
+            tier.put("k", np.ones(8))
+            clock.now += 5.0
+            assert tier.get("k") is not None
+            clock.now += 10.1  # creation age governs expiry, not access
+            assert tier.get("k") is None
+            assert disk_listing(directory) == {}
+            assert tier.evictions == 1
+
+    def test_expired_entries_reclaimed_before_young_ones(self):
+        with tempfile.TemporaryDirectory() as directory:
+            clock = FakeClock()
+            tier = DiskTier(
+                directory, max_bytes=1200, max_age=50.0, clock=clock
+            )
+            tier.put("old", np.ones(64))  # ~640 bytes
+            clock.now += 60.0  # "old" expires
+            tier.put("young", np.ones(64))
+            tier.put("trigger", np.ones(4))  # forces reclaim over budget
+            listing = disk_listing(directory)
+            assert "old" not in listing
+            assert {"young", "trigger"} <= set(listing)
+
+
+class TestByteBudgetThroughEmbeddingCache:
+    def test_disk_usage_stays_bounded_across_many_puts(self, tmp_path):
+        cache = EmbeddingCache(
+            max_entries=2, disk_dir=str(tmp_path), disk_max_bytes=MAX_BYTES
+        )
+        rng = np.random.default_rng(0)
+        for i in range(30):
+            cache.put(("m", "column", f"fp{i}"), rng.standard_normal(48))
+        assert sum(disk_listing(str(tmp_path)).values()) <= MAX_BYTES
+        assert cache.stats.disk_evictions > 0
+        assert cache.stats.disk_evictions == cache.disk.evictions
+
+    def test_oldest_entries_evicted_first(self, tmp_path):
+        clock = FakeClock()
+        cache = EmbeddingCache(
+            max_entries=1,
+            disk_dir=str(tmp_path),
+            disk_max_bytes=1500,
+            clock=clock,
+        )
+        for i in range(4):
+            clock.now += 1.0
+            cache.put(("m", "column", f"fp{i}"), np.full(64, float(i)))
+        # ~640 bytes each: only the two most recent fit the budget.
+        assert cache.get(("m", "column", "fp0")) is None
+        assert cache.get(("m", "column", "fp3")) is not None
+
+    def test_rejects_bad_budgets(self):
+        with pytest.raises(ValueError):
+            DiskTier("/tmp/unused", max_bytes=0)
+        with pytest.raises(ValueError):
+            DiskTier("/tmp/unused", max_age=0)
+        from repro.runtime.planner import RuntimeConfig
+
+        with pytest.raises(ValueError):
+            RuntimeConfig(cache_max_bytes=0)
+        with pytest.raises(ValueError):
+            RuntimeConfig(cache_max_age=-1.0)

@@ -1,4 +1,12 @@
-"""Tests for Observatory.sweep, skip recording, and runtime determinism."""
+"""Tests for Observatory.sweep, skip recording, and runtime determinism.
+
+The suite passes under either sweep engine: CI runs it once with the
+default thread engine and once with ``REPRO_SWEEP_EXECUTION=process``, so
+every assertion here holds for both (engine-specific behaviour lives in
+``tests/test_runtime_process_sweep.py``).
+"""
+
+import os
 
 import pytest
 
@@ -7,6 +15,7 @@ from repro.analysis.report import render_sweep, sweep_matrix
 from repro.core.framework import DatasetSizes
 from repro.core.results import ModelCharacterizations, SkippedCell
 from repro.errors import ObservatoryError
+from repro.runtime.cache import CacheStats
 
 SIZES = DatasetSizes(
     wikitables_tables=3,
@@ -50,7 +59,25 @@ class TestSweep:
         as_dict = sweep.to_dict()
         assert len(as_dict["cells"]) == len(sweep.cells)
         assert as_dict["cache"]["hits"] == sweep.cache_stats.hits
+        assert as_dict["execution"] == os.environ.get(
+            "REPRO_SWEEP_EXECUTION", "thread"
+        )
         assert "SweepResult" in repr(sweep)
+
+    def test_cache_stats_is_typed(self, sweep):
+        # SweepResult.cache_stats is a real CacheStats, not Optional[object]:
+        # counters and derived rates are part of the structured result.
+        assert isinstance(sweep.cache_stats, CacheStats)
+        assert sweep.cache_stats.requests == (
+            sweep.cache_stats.hits + sweep.cache_stats.misses
+        )
+        assert set(sweep.cache_stats.to_dict()) >= {
+            "hits",
+            "misses",
+            "disk_evictions",
+            "disk_drops",
+            "hit_rate",
+        }
 
     def test_entity_stability_recorded_not_run(self):
         sweep = make_observatory().sweep(
