@@ -30,25 +30,40 @@ number guards the architectural win on its own.  All configurations —
 including every process shard count — must produce numerically identical
 ``PropertyResult`` measures.
 
+It also measures the **encoder-backend tiers**: exact same-length
+batching vs padded tolerance-tier batching on a heterogeneous-length
+corpus where every sequence has a distinct token length (same-length
+grouping degenerates to batch-size-1 there), plus the **streaming
+pipeline**: cold sweeps with async encode on vs off, reporting how much
+encode time overlapped foreground CPU work.
+
 Usage::
 
     python benchmarks/bench_runtime_sweep.py                       # full benchmark
     python benchmarks/bench_runtime_sweep.py --smoke               # tiny CI gate
     python benchmarks/bench_runtime_sweep.py --smoke --execution process
+    python benchmarks/bench_runtime_sweep.py --smoke --json BENCH_smoke.json
 
 The ``--smoke`` mode runs in seconds and only asserts the invariants CI
 can check on shared hardware: identical results, an overall cache hit
-rate above 45% across the two sweeps, and (thread engine) a cached sweep
-no slower than the naive baseline.  ``--execution process`` points the
-smoke gate at the process engine instead: identical results plus a warm
-disk-tier hit rate, with no wall-clock gate (spawn cost is hardware
-noise).
+rate above 45% across the two sweeps, a cached sweep no slower than the
+naive baseline, a two-pass workflow at least 3.5x over naive, padded
+batching no slower than exact on the degenerate corpus, and padded
+numerics inside the documented tolerance.  ``--execution process``
+points the smoke gate at the process engine instead: identical results
+plus a warm disk-tier hit rate, with no wall-clock gate (spawn cost is
+hardware noise).  ``--json PATH`` writes every timing, speedup, and the
+host fingerprint to a machine-readable record so CI can track the perf
+trajectory per push.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import os
+import platform
 import sys
 import tempfile
 import time
@@ -58,6 +73,9 @@ from repro import Observatory, RuntimeConfig
 from repro.analysis.reporting import format_value_table
 from repro.core.framework import DatasetSizes
 from repro.core.results import PropertyResult
+from repro.models.backends import LocalBackend, PaddedBackend, max_relative_error
+from repro.models.registry import load_model
+from repro.relational.table import Table
 from repro.runtime.cache import CacheStats
 
 MODELS = ["bert", "tapas"]
@@ -89,6 +107,176 @@ WARMUP_SIZES = DatasetSizes(
     min_rows=4,
     max_rows=5,
 )
+
+
+# ----------------------------------------------------------------------
+# Encoder-backend comparison: exact same-length vs padded tolerance tiers
+# ----------------------------------------------------------------------
+
+_WORDS = [
+    "alpha", "bravo", "delta", "echo", "golf", "hotel", "india", "kilo",
+    "lima", "mike", "oscar", "papa", "romeo", "sierra", "tango", "victor",
+]
+
+
+def heterogeneous_corpus(model, max_length: int = 32) -> List[Table]:
+    """Narrow standalone columns whose token lengths are all *distinct*.
+
+    This is the workload padded batching exists for: every sequence has a
+    different length, so exact same-length grouping degenerates to
+    batch-size-1 (the EmbDI-style heterogeneous-corpus regime), while
+    tolerance tiers still form real batches.  Lengths are kept short —
+    under ``max_length`` tokens — because that is where batching pays on
+    CPU (past ~48 tokens the stacked attention temporaries leave cache).
+    """
+    tables: List[Table] = []
+    seen: set = set()
+    i = 0
+    for k in (1, 2, 3, 4):
+        for extra in range(6):
+            vals = [_WORDS[(i + j) % 16] for j in range(k)]
+            for e in range(extra):
+                vals[e % k] += " " + _WORDS[(i + e + 7) % 16]
+            table = Table.from_columns([(_WORDS[i % 16], vals)])
+            length = len(model._serializer.serialize(table))
+            if length not in seen and length <= max_length:
+                seen.add(length)
+                tables.append(table)
+            i += 1
+    return tables
+
+
+def run_backend_comparison(*, repeats: int = 6, trials: int = 3) -> Dict[str, object]:
+    """Exact vs padded throughput on the heterogeneous-length corpus.
+
+    Times ``encode_batch`` under both backends (best-of-``trials``, each
+    timing ``repeats`` passes) and verifies the padded outputs stay within
+    the documented tolerance of exact.
+    """
+    exact_model = load_model("bert")
+    corpus = heterogeneous_corpus(exact_model)
+    token_lists = [exact_model._serializer.serialize(t) for t in corpus]
+    # Only the backend differs between the timed configurations; both
+    # drive the same encoder instance.
+    local: LocalBackend = exact_model.encoder.backend
+    padded = PaddedBackend(tier_width=8)
+    encoder = exact_model.encoder
+    # Warm content-vector caches so both sides start equally hot.
+    local.encode_batch(encoder, token_lists, 16)
+    padded.encode_batch(encoder, token_lists, 16)
+    t_exact = t_padded = float("inf")
+    exact_states = padded_states = None
+    for _ in range(trials):
+        t0 = time.perf_counter()
+        for _ in range(repeats):
+            exact_states = local.encode_batch(encoder, token_lists, 16)
+        t_exact = min(t_exact, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        for _ in range(repeats):
+            padded_states = padded.encode_batch(encoder, token_lists, 16)
+        t_padded = min(t_padded, time.perf_counter() - t0)
+    max_err = max(
+        max_relative_error(p, e)
+        for p, e in zip(padded_states, exact_states)
+    )
+    return {
+        "sequences": len(token_lists),
+        "lengths": sorted(len(t) for t in token_lists),
+        "t_exact": t_exact,
+        "t_padded": t_padded,
+        "padded_speedup": t_exact / t_padded,
+        "max_relative_error": max_err,
+        "tolerance": padded.tolerance,
+        "tier_width": padded.tier_width,
+        "waste_ratio": padded.stats.waste_ratio,
+    }
+
+
+def report_backend_comparison(cmp: Dict[str, object]) -> None:
+    rows = [
+        ["local backend (exact, same-length only)", cmp["t_exact"], 1.0],
+        ["padded backend (tolerance tiers)", cmp["t_padded"], cmp["padded_speedup"]],
+    ]
+    print()
+    print(
+        f"Exact vs padded batching — {cmp['sequences']} standalone columns, "
+        f"all-distinct token lengths {cmp['lengths'][0]}..{cmp['lengths'][-1]}:"
+    )
+    print(format_value_table(rows, ["backend", "seconds", "speedup"]))
+    print(
+        f"padded numerics: max relative error {cmp['max_relative_error']:.1e} "
+        f"(documented bound {cmp['tolerance']:.0e}), "
+        f"padding waste {cmp['waste_ratio']:.1%} "
+        f"(tier width {cmp['tier_width']})"
+    )
+
+
+# ----------------------------------------------------------------------
+# Sync-vs-async streaming comparison
+# ----------------------------------------------------------------------
+
+
+def run_async_comparison(sizes: DatasetSizes) -> Dict[str, object]:
+    """Cold sweeps with the streaming pipeline on vs off (results must match).
+
+    On a single-core host the overlap cannot shorten wall time (there is
+    no second core to hide the encode behind) — the number that matters
+    everywhere is the overlap ratio: how much encode time the submitting
+    thread did *not* block on.
+
+    Permutation counts are raised past one pipeline chunk (a shuffle
+    property submits ``n_permutations`` variants per ``embed_levels_many``
+    call) so the streaming path actually engages at smoke sizes.
+    """
+    sizes = dataclasses.replace(sizes, n_permutations=max(12, sizes.n_permutations))
+    o_sync = Observatory(
+        seed=0, sizes=sizes, runtime=RuntimeConfig(batch_size=8, async_encode=False)
+    )
+    t0 = time.perf_counter()
+    sweep_sync = o_sync.sweep(MODELS[:1], PROPERTIES, execution="thread")
+    t_sync = time.perf_counter() - t0
+    o_async = Observatory(
+        seed=0, sizes=sizes, runtime=RuntimeConfig(batch_size=8, async_encode=True)
+    )
+    t0 = time.perf_counter()
+    sweep_async = o_async.sweep(MODELS[:1], PROPERTIES, execution="thread")
+    t_async = time.perf_counter() - t0
+    for cell_s, cell_a in zip(sweep_sync.cells, sweep_async.cells):
+        if cell_s.result.to_dict() != cell_a.result.to_dict():
+            raise AssertionError(
+                f"async pipeline changed results for "
+                f"({cell_a.model_name}, {cell_a.property_name})"
+            )
+    pipe = sweep_async.pipeline
+    return {
+        "t_sync": t_sync,
+        "t_async": t_async,
+        "async_speedup": t_sync / t_async,
+        "overlap_ratio": pipe.overlap_ratio if pipe else 0.0,
+        "async_batches": pipe.batches if pipe else 0,
+        "encode_seconds": pipe.encode_seconds if pipe else 0.0,
+    }
+
+
+def report_async_comparison(cmp: Dict[str, object]) -> None:
+    cores = os.cpu_count() or 1
+    rows = [
+        ["synchronous encode", cmp["t_sync"], 1.0],
+        ["streaming pipeline (async encode)", cmp["t_async"], cmp["async_speedup"]],
+    ]
+    print()
+    print(f"Sync vs async streaming ({cores} core(s) available):")
+    print(format_value_table(rows, ["configuration", "seconds", "speedup"]))
+    print(
+        f"pipeline: {cmp['async_batches']} background batches, "
+        f"{cmp['encode_seconds']:.2f}s encoding, "
+        f"{cmp['overlap_ratio']:.1%} overlapped with foreground CPU work"
+    )
+    if cores < 2:
+        print(
+            "note: single-core host — overlap cannot shorten wall time "
+            "here; the overlap ratio is the portable signal."
+        )
 
 
 def run_naive(sizes: DatasetSizes) -> Tuple[float, Dict[Tuple[str, str], PropertyResult]]:
@@ -206,6 +394,15 @@ def report_process_scaling(scaling: Dict[str, object]) -> None:
     )
 
 
+def write_json(path: Optional[str], payload: Dict[str, object]) -> None:
+    """Persist the machine-readable benchmark record (CI perf artifact)."""
+    if not path:
+        return
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True, default=str)
+    print(f"wrote {path}")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -219,79 +416,187 @@ def main(argv: Optional[List[str]] = None) -> int:
         default="thread",
         help="which sweep engine the smoke gate exercises (default: thread)",
     )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        dest="json_path",
+        help="write a machine-readable BENCH_*.json record of all timings",
+    )
     args = parser.parse_args(argv)
     sizes = SMOKE_SIZES if args.smoke else FULL_SIZES
 
+    payload: Dict[str, object] = {
+        "bench": "runtime_sweep",
+        "schema_version": 2,
+        "mode": "smoke" if args.smoke else "full",
+        "engine": args.execution,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "models": MODELS,
+        "properties": PROPERTIES,
+        "sizes": dataclasses.asdict(sizes),
+        "timestamp": time.time(),
+    }
+
     warmup()
     t_naive, naive_results = run_naive(sizes)
+    payload["t_naive"] = t_naive
 
     if args.execution == "process":
-        scaling = run_process_scaling(sizes)
-        for sweep in (scaling["single"], scaling["cold"], scaling["warm"]):
-            check_identical(naive_results, sweep)
-        print()
-        print("=" * 72)
-        print(
-            f"Runtime sweep benchmark (process engine) — "
-            f"{len(MODELS)} models x {len(PROPERTIES)} properties"
-        )
-        print("=" * 72)
-        report_process_scaling(scaling)
-        print("results: numerically identical across all shard counts")
-        if args.smoke:
-            combined = CacheStats.merged(
-                [scaling["cold"].cache_stats, scaling["warm"].cache_stats]
+        # try/finally from the first measurement on: the JSON record must
+        # survive a failing comparison or gate.
+        try:
+            scaling = run_process_scaling(sizes)
+            for sweep in (scaling["single"], scaling["cold"], scaling["warm"]):
+                check_identical(naive_results, sweep)
+            print()
+            print("=" * 72)
+            print(
+                f"Runtime sweep benchmark (process engine) — "
+                f"{len(MODELS)} models x {len(PROPERTIES)} properties"
             )
-            assert combined.hit_rate > 0.45, (
-                f"shared disk tier ineffective: hit rate {combined.hit_rate:.1%}"
+            print("=" * 72)
+            report_process_scaling(scaling)
+            print("results: numerically identical across all shard counts")
+            payload.update(
+                {
+                    "backend": scaling["cold"].backend,
+                    "t_process_single": scaling["t_single"],
+                    "t_process_multi": scaling["t_multi"],
+                    "t_process_warm": scaling["t_warm"],
+                    "process_workers": scaling["multi_workers"],
+                    "warm_disk_hit_rate": scaling["warm"].cache_stats.hit_rate,
+                }
             )
-            assert scaling["warm"].cache_stats.disk_hits > 0, (
-                "warm process sweep never hit the shared disk tier"
-            )
+            if args.smoke:
+                combined = CacheStats.merged(
+                    [scaling["cold"].cache_stats, scaling["warm"].cache_stats]
+                )
+                assert combined.hit_rate > 0.45, (
+                    f"shared disk tier ineffective: hit rate {combined.hit_rate:.1%}"
+                )
+                assert scaling["warm"].cache_stats.disk_hits > 0, (
+                    "warm process sweep never hit the shared disk tier"
+                )
+            payload["gates_passed"] = True
+        finally:
+            write_json(args.json_path, payload)
         print("benchmark assertions passed")
         return 0
 
-    t_cold, cold, t_warm, warm, cache_stats = run_sweeps(sizes)
-    check_identical(naive_results, cold)
-    check_identical(naive_results, warm)
-
-    cold_speedup = t_naive / t_cold
-    warm_speedup = t_naive / t_warm
-    workflow_speedup = (2 * t_naive) / (t_cold + t_warm)
-
-    rows = [
-        ["naive sequential (runtime off)", t_naive, 1.0],
-        ["cold sweep (batched + cached)", t_cold, cold_speedup],
-        ["warm sweep (re-characterize)", t_warm, warm_speedup],
-        ["two-pass workflow", t_cold + t_warm, workflow_speedup],
-    ]
-    print()
-    print("=" * 72)
-    print(f"Runtime sweep benchmark — {len(MODELS)} models x {len(PROPERTIES)} properties")
-    print("=" * 72)
-    print(format_value_table(rows, ["configuration", "seconds", "speedup"]))
-    print()
-    print(f"cache: {cache_stats}")
-    print("results: numerically identical across all configurations")
-
-    if not args.smoke:
-        scaling = run_process_scaling(sizes)
-        for sweep in (scaling["single"], scaling["cold"], scaling["warm"]):
-            check_identical(naive_results, sweep)
-        report_process_scaling(scaling)
-
-    if args.smoke:
-        assert t_cold <= t_naive * 1.05, (
-            f"cached sweep slower than naive baseline: {t_cold:.2f}s vs {t_naive:.2f}s"
+    # Everything from here down runs inside try/finally so the JSON perf
+    # record survives a failing comparison, identity check, or gate —
+    # that record is exactly what a regression needs.
+    try:
+        t_cold, cold, t_warm, warm, cache_stats = run_sweeps(sizes)
+        cold_speedup = t_naive / t_cold
+        warm_speedup = t_naive / t_warm
+        workflow_speedup = (2 * t_naive) / (t_cold + t_warm)
+        payload.update(
+            {
+                "backend": cold.backend,
+                "t_cold": t_cold,
+                "t_warm": t_warm,
+                "cold_speedup": cold_speedup,
+                "warm_speedup": warm_speedup,
+                "workflow_speedup": workflow_speedup,
+                "cache_hit_rate": cache_stats.hit_rate,
+                "cold_overlap_ratio": (
+                    cold.pipeline.overlap_ratio if cold.pipeline else 0.0
+                ),
+                "cell_records": cold.records,
+            }
         )
-        assert cache_stats.hit_rate > 0.45, (
-            f"cache ineffective: hit rate {cache_stats.hit_rate:.1%}"
+        check_identical(naive_results, cold)
+        check_identical(naive_results, warm)
+
+        rows = [
+            ["naive sequential (runtime off)", t_naive, 1.0],
+            ["cold sweep (batched + cached)", t_cold, cold_speedup],
+            ["warm sweep (re-characterize)", t_warm, warm_speedup],
+            ["two-pass workflow", t_cold + t_warm, workflow_speedup],
+        ]
+        print()
+        print("=" * 72)
+        print(
+            f"Runtime sweep benchmark — "
+            f"{len(MODELS)} models x {len(PROPERTIES)} properties"
         )
-    else:
-        assert cold_speedup >= 2.0, f"cold sweep speedup {cold_speedup:.2f}x < 2x"
-        assert workflow_speedup >= 3.0, (
-            f"two-pass workflow speedup {workflow_speedup:.2f}x < 3x"
+        print("=" * 72)
+        print(format_value_table(rows, ["configuration", "seconds", "speedup"]))
+        print()
+        print(f"cache: {cache_stats}")
+        if cold.pipeline is not None:
+            print(
+                f"pipeline: {cold.pipeline.batches} async batches, "
+                f"{cold.pipeline.overlap_ratio:.1%} of encode time overlapped"
+            )
+        print("results: numerically identical across all configurations")
+
+        backend_cmp = run_backend_comparison()
+        report_backend_comparison(backend_cmp)
+        payload["backend_comparison"] = backend_cmp
+
+        async_cmp = run_async_comparison(sizes)
+        report_async_comparison(async_cmp)
+        payload["async_comparison"] = async_cmp
+
+        if not args.smoke:
+            scaling = run_process_scaling(sizes)
+            for sweep in (scaling["single"], scaling["cold"], scaling["warm"]):
+                check_identical(naive_results, sweep)
+            report_process_scaling(scaling)
+            payload.update(
+                {
+                    "t_process_single": scaling["t_single"],
+                    "t_process_multi": scaling["t_multi"],
+                    "t_process_warm": scaling["t_warm"],
+                    "process_workers": scaling["multi_workers"],
+                }
+            )
+
+        # Numerics gate in every mode: padded stays inside its documented
+        # tolerance (the async comparison asserted result-identity
+        # internally already).
+        assert backend_cmp["max_relative_error"] <= backend_cmp["tolerance"], (
+            f"padded backend error {backend_cmp['max_relative_error']:.2e} exceeds "
+            f"documented tolerance {backend_cmp['tolerance']:.0e}"
         )
+        if args.smoke:
+            assert t_cold <= t_naive * 1.05, (
+                f"cached sweep slower than naive baseline: {t_cold:.2f}s vs {t_naive:.2f}s"
+            )
+            # Tightened from "not slower" once two PRs of variance data
+            # showed the two-pass workflow holding >= 4.3x on 1-core
+            # runners; 3.5x keeps ~20% margin for runner noise.
+            assert workflow_speedup >= 3.5, (
+                f"two-pass workflow speedup {workflow_speedup:.2f}x < 3.5x"
+            )
+            assert cache_stats.hit_rate > 0.45, (
+                f"cache ineffective: hit rate {cache_stats.hit_rate:.1%}"
+            )
+            # Measured edge ~1.2-1.5x on a quiet host; 0.9 leaves the same
+            # noise margin the other smoke gates carry while still
+            # catching padded becoming materially slower than exact.
+            assert backend_cmp["padded_speedup"] >= 0.9, (
+                f"padded batching materially slower than same-length "
+                f"batching on the heterogeneous corpus: "
+                f"{backend_cmp['padded_speedup']:.2f}x"
+            )
+        else:
+            assert cold_speedup >= 2.0, f"cold sweep speedup {cold_speedup:.2f}x < 2x"
+            assert workflow_speedup >= 3.5, (
+                f"two-pass workflow speedup {workflow_speedup:.2f}x < 3.5x"
+            )
+            assert backend_cmp["padded_speedup"] >= 1.05, (
+                f"padded batching does not beat same-length batching on the "
+                f"heterogeneous corpus: {backend_cmp['padded_speedup']:.2f}x"
+            )
+        payload["gates_passed"] = True
+    finally:
+        write_json(args.json_path, payload)
     print("benchmark assertions passed")
     return 0
 

@@ -141,7 +141,8 @@ def sweep_matrix(sweep: SweepResult) -> Dict[str, Dict[str, Optional[float]]]:
 
 
 def render_sweep(sweep: SweepResult) -> str:
-    """Markdown rendering of a sweep: matrix, skipped cells, runtime stats."""
+    """Markdown rendering of a sweep: matrix, skipped cells, runtime stats,
+    encoder backend/pipeline accounting, and the slowest cells."""
     lines = [render_markdown(sweep_matrix(sweep))]
     if sweep.skipped:
         lines.append("")
@@ -153,7 +154,8 @@ def render_sweep(sweep: SweepResult) -> str:
     lines.append("")
     lines.append(
         f"Ran {len(sweep.cells)} cells in {sweep.seconds:.2f}s "
-        f"on {sweep.workers} {sweep.execution} worker(s)."
+        f"on {sweep.workers} {sweep.execution} worker(s); "
+        f"encoder backend: {sweep.backend}."
     )
     if sweep.cache_stats is not None:
         stats = sweep.cache_stats
@@ -166,5 +168,28 @@ def render_sweep(sweep: SweepResult) -> str:
                 f"Cache eviction: {stats.evictions} memory, "
                 f"{stats.disk_evictions} disk (size/age), "
                 f"{stats.disk_drops} corrupt entries dropped."
+            )
+    if sweep.pipeline is not None:
+        pipe = sweep.pipeline
+        lines.append(
+            f"Encode pipeline: {pipe.batches} async batches "
+            f"({pipe.sequences} sequences), {pipe.encode_seconds:.2f}s encoding, "
+            f"{pipe.overlap_ratio:.1%} overlapped with CPU work."
+        )
+    if sweep.padding is not None:
+        pad = sweep.padding
+        lines.append(
+            f"Padded batching: {pad.padded_batches} mixed-length batches "
+            f"({pad.sequences} sequences), {pad.waste_ratio:.1%} padding waste."
+        )
+    slowest = sweep.slowest(3)
+    if slowest:
+        lines.append("")
+        lines.append("Slowest cells (encode/aggregate split):")
+        for cell in slowest:
+            lines.append(
+                f"- {cell.model_name} / {cell.property_name}: "
+                f"{cell.seconds:.2f}s (encode {cell.encode_seconds:.2f}s, "
+                f"aggregate {cell.aggregate_seconds:.2f}s)"
             )
     return "\n".join(lines)

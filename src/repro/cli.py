@@ -10,11 +10,15 @@ Exposes the framework without writing Python::
     python -m repro sweep --models bert,t5 --workers 2
 
 ``sweep`` runs the matrix through the batched/cached runtime and reports
-skipped cells and cache effectiveness; ``--execution process`` shards
-cells across spawned worker processes (sharing the ``--disk-cache`` tier,
-bounded by ``--cache-max-bytes``/``--cache-max-age``), and ``--no-cache``
-falls back to the legacy one-call-at-a-time execution for comparison.
-Output is plain text suited to terminals and CI logs.
+skipped cells, cache effectiveness, the encoder backend, and the slowest
+cells; ``--execution process`` shards cells across spawned worker
+processes (sharing the ``--disk-cache`` tier, bounded by
+``--cache-max-bytes``/``--cache-max-age``), ``--no-exact`` (or
+``--backend padded``) opts into padded tolerance-tier batching for
+throughput on heterogeneous-length corpora, ``--no-async`` disables the
+streaming encode pipeline, and ``--no-cache`` falls back to the legacy
+one-call-at-a-time execution for comparison.  Output is plain text suited
+to terminals and CI logs.
 """
 
 from __future__ import annotations
@@ -96,6 +100,43 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--batch-size", type=int, default=8, help="encoder batch size (default 8)"
+    )
+    sweep.add_argument(
+        "--backend",
+        choices=["local", "padded"],
+        default=None,
+        help=(
+            "encoder backend: 'local' batches same-length sequences only "
+            "(bit-exact), 'padded' batches mixed lengths inside tolerance "
+            "tiers (default: derived from --exact/--no-exact)"
+        ),
+    )
+    sweep.add_argument(
+        "--exact",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help=(
+            "numerics mode: --exact (the default) keeps embeddings "
+            "bit-identical to unbatched encoding; --no-exact opts into "
+            "padded batching within the documented ~1e-15 tolerance for "
+            "throughput on heterogeneous-length corpora.  Unset, it is "
+            "derived from --backend (padded implies --no-exact)"
+        ),
+    )
+    sweep.add_argument(
+        "--padding-tier",
+        type=int,
+        default=8,
+        metavar="TOKENS",
+        help="tier width of the padded backend (default 8)",
+    )
+    sweep.add_argument(
+        "--no-async",
+        action="store_true",
+        help=(
+            "disable the streaming encode pipeline (encode synchronously "
+            "instead of overlapping serialization with forward passes)"
+        ),
     )
     sweep.add_argument(
         "--no-cache",
@@ -192,6 +233,13 @@ def _run_sweep(args: argparse.Namespace) -> int:
             cache_max_age=args.cache_max_age,
             max_workers=args.workers,
             execution=args.execution,
+            # Unset --exact/--no-exact follows the backend: an explicit
+            # `--backend padded` alone must work (padded implies
+            # non-exact), while `--exact --backend padded` still errors.
+            exact=args.exact if args.exact is not None else args.backend != "padded",
+            backend=args.backend,
+            padding_tier=args.padding_tier,
+            async_encode=not args.no_async,
         )
     except ValueError as error:
         raise ObservatoryError(str(error)) from None

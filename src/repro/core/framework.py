@@ -54,10 +54,12 @@ from repro.data.nextiajd import NextiaJDGenerator, Testbed
 from repro.data.sotab import SotabGenerator
 from repro.data.spider import SpiderGenerator
 from repro.data.wikitables import WikiTablesGenerator
-from repro.errors import PropertyConfigError
+from repro.errors import ObservatoryError, PropertyConfigError
+from repro.models.backends.padded import PaddedBackend, PaddingStats
 from repro.models.base import EmbeddingModel
 from repro.models.registry import load_model
 from repro.runtime.cache import EmbeddingCache
+from repro.runtime.pipeline import PipelineStats
 from repro.runtime.planner import EmbeddingExecutor, RuntimeConfig
 from repro.runtime.sweep import SweepResult, run_sweep
 
@@ -110,6 +112,10 @@ class Observatory:
         self.sizes = sizes or DatasetSizes()
         self.runtime = runtime or RuntimeConfig()
         self.cache: Optional[EmbeddingCache] = self.runtime.build_cache()
+        # One encoder backend shared by every model of this Observatory:
+        # backends are stateless w.r.t. encoding (the encoder travels per
+        # call), so sharing is safe and yields one merged PaddingStats.
+        self.encoder_backend = self.runtime.build_backend()
         self._models: Dict[str, EmbeddingModel] = {}
         self._executors: Dict[str, EmbeddingExecutor] = {}
         self._datasets: Dict[str, object] = {}
@@ -122,10 +128,23 @@ class Observatory:
     # ------------------------------------------------------------------
 
     def model(self, name: str) -> EmbeddingModel:
-        """Load (and cache) a registered model."""
+        """Load (and cache) a registered model on the configured backend."""
         with self._model_lock:
             if name not in self._models:
-                self._models[name] = load_model(name)
+                model = load_model(name)
+                setter = getattr(model, "set_backend", None)
+                if setter is not None:
+                    setter(self.encoder_backend)
+                elif self.runtime.backend_name() != "local":
+                    # A custom model that can't honor the requested
+                    # non-default numerics must fail loudly, not silently
+                    # compute on whatever strategy it hard-codes.
+                    raise ObservatoryError(
+                        f"model {name!r} does not support encoder backends; "
+                        f"cannot run it with backend "
+                        f"{self.runtime.backend_name()!r}"
+                    )
+                self._models[name] = model
             return self._models[name]
 
     def executor(self, name: str) -> EmbeddingExecutor:
@@ -142,8 +161,29 @@ class Observatory:
                     cache=self.cache,
                     batch_size=self.runtime.batch_size,
                     naive=not self.runtime.enabled,
+                    async_encode=self.runtime.enabled and self.runtime.async_encode,
                 )
             return self._executors[name]
+
+    # ------------------------------------------------------------------
+    # Runtime observability
+    # ------------------------------------------------------------------
+
+    def backend_description(self) -> str:
+        """Human rendering of the configured encoder backend."""
+        return self.encoder_backend.describe()
+
+    def pipeline_stats(self) -> PipelineStats:
+        """Async-encode accounting merged across this Observatory's executors."""
+        with self._model_lock:
+            executors = list(self._executors.values())
+        return PipelineStats.merged([e.pipeline_stats for e in executors])
+
+    def padding_stats(self) -> Optional[PaddingStats]:
+        """Cumulative padding-waste snapshot, ``None`` under an exact backend."""
+        if isinstance(self.encoder_backend, PaddedBackend):
+            return self.encoder_backend.stats_snapshot()
+        return None
 
     def _dataset(self, key: str, build) -> object:
         with self._dataset_lock:

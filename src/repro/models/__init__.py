@@ -8,15 +8,30 @@ anchors, header/value weighting, and output geometry — on top of a content
 space shared across models.
 """
 
+from repro.models.backends import (
+    EncoderBackend,
+    LocalBackend,
+    PaddedBackend,
+    available_backends,
+    register_backend,
+    resolve_backend,
+)
 from repro.models.config import ModelConfig
-from repro.models.base import EmbeddingModel, SurrogateModel
+from repro.models.base import EmbeddingModel, LevelBatchPlan, SurrogateModel
 from repro.models.registry import available_models, load_model, register_model
 
 __all__ = [
+    "EncoderBackend",
+    "LocalBackend",
     "ModelConfig",
     "EmbeddingModel",
+    "LevelBatchPlan",
+    "PaddedBackend",
     "SurrogateModel",
+    "available_backends",
     "available_models",
     "load_model",
+    "register_backend",
     "register_model",
+    "resolve_backend",
 ]

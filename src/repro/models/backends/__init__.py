@@ -1,0 +1,79 @@
+"""Pluggable encoder backends.
+
+The batching strategy of every surrogate encoder is a swappable
+:class:`EncoderBackend`:
+
+- :class:`LocalBackend` (``"local"``) — exact same-length batching,
+  bit-identical to single-sequence encoding.  The default.
+- :class:`PaddedBackend` (``"padded"``) — length-bucketed padded batching
+  with attention-masked padding; within the documented
+  :data:`PADDED_TOLERANCE` of exact, and much faster on
+  heterogeneous-length corpora.  Opt in via ``RuntimeConfig(exact=False)``.
+
+Backends also expose ``aencode_batch`` (awaitable encoding), the hook the
+streaming executor and any future remote/GPU backend plug into.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Union
+
+from repro.errors import ModelError
+from repro.models.backends.base import BATCH_MAX_LENGTH, EncoderBackend
+from repro.models.backends.local import LocalBackend
+from repro.models.backends.padded import (
+    DEFAULT_TIER_WIDTH,
+    PADDED_TOLERANCE,
+    PaddedBackend,
+    PaddingStats,
+    max_relative_error,
+)
+
+_FACTORIES: Dict[str, Callable[[], EncoderBackend]] = {
+    "local": LocalBackend,
+    "padded": PaddedBackend,
+}
+
+
+def available_backends() -> List[str]:
+    return sorted(_FACTORIES)
+
+
+def register_backend(
+    name: str, factory: Callable[[], EncoderBackend], *, overwrite: bool = False
+) -> None:
+    """Extension point for new strategies (remote, GPU, quantized...)."""
+    if name in _FACTORIES and not overwrite:
+        raise ModelError(f"backend {name!r} already registered")
+    _FACTORIES[name] = factory
+
+
+def resolve_backend(backend: Union[str, EncoderBackend, None]) -> EncoderBackend:
+    """Accept a backend instance, a registered name, or None (= local)."""
+    if backend is None:
+        return LocalBackend()
+    if isinstance(backend, EncoderBackend):
+        return backend
+    try:
+        factory = _FACTORIES[backend]
+    except KeyError:
+        raise ModelError(
+            f"unknown encoder backend {backend!r}; "
+            f"available: {', '.join(available_backends())}"
+        ) from None
+    return factory()
+
+
+__all__ = [
+    "BATCH_MAX_LENGTH",
+    "DEFAULT_TIER_WIDTH",
+    "EncoderBackend",
+    "LocalBackend",
+    "PADDED_TOLERANCE",
+    "PaddedBackend",
+    "PaddingStats",
+    "available_backends",
+    "max_relative_error",
+    "register_backend",
+    "resolve_backend",
+]

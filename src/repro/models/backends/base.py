@@ -1,0 +1,81 @@
+"""The encoder-backend contract.
+
+An :class:`EncoderBackend` owns the *batching strategy* of an
+:class:`~repro.models.encoder.Encoder`: given many token sequences, it
+decides how they are grouped, padded (or not), and driven through the
+encoder's forward passes.  The encoder keeps the transformer math; the
+backend keeps the scheduling policy.  This is the seam that lets the
+runtime swap exact same-length batching (:class:`LocalBackend`) for
+padded tolerance-tier batching (:class:`PaddedBackend`) — and, later,
+remote or GPU encoders — without touching models, properties, or the
+planner.
+
+Every backend also exposes :meth:`aencode_batch`, the awaitable variant
+the streaming executor drives.  The default implementation offloads the
+synchronous :meth:`encode_batch` to a worker thread: numpy's BLAS kernels
+release the GIL, so an awaiting caller genuinely overlaps pure-Python
+work (fingerprinting, serialization, cache probes) with the forward
+passes.  A remote backend would override it with real network I/O.
+"""
+
+from __future__ import annotations
+
+import abc
+import asyncio
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.models.serializers import Token
+
+# Above this token count the [B, L, L] attention temporaries of a stacked
+# batch exceed CPU cache and batched encoding measures *slower* than
+# sequence-at-a-time; backends fall back to singles past it.
+BATCH_MAX_LENGTH = 48
+
+
+class EncoderBackend(abc.ABC):
+    """Batching strategy for an :class:`~repro.models.encoder.Encoder`.
+
+    Attributes:
+        name: registry name of the strategy (``"local"``, ``"padded"``).
+        exact: whether outputs are bit-identical to encoding each sequence
+            alone with :meth:`Encoder.encode`.  Non-exact backends must
+            document a per-element ``tolerance`` bound instead.
+    """
+
+    name: str = "abstract"
+    exact: bool = True
+
+    @abc.abstractmethod
+    def encode_batch(
+        self, encoder, token_lists: Sequence[List[Token]], batch_size: int = 8
+    ) -> List[np.ndarray]:
+        """Encode every sequence; results in input order.
+
+        ``encoder`` is the owning :class:`~repro.models.encoder.Encoder`;
+        backends call its ``encode``/``forward_batch``/``forward_padded``
+        primitives rather than reimplementing the transformer.
+        """
+
+    async def aencode_batch(
+        self, encoder, token_lists: Sequence[List[Token]], batch_size: int = 8
+    ) -> List[np.ndarray]:
+        """Awaitable :meth:`encode_batch`; default offloads to a thread.
+
+        BLAS releases the GIL inside the forward passes, so awaiting this
+        overlaps the event loop's other work with the encoder math.
+        Remote/GPU backends override this with genuine async I/O.
+        """
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, lambda: self.encode_batch(encoder, token_lists, batch_size)
+        )
+
+    def describe(self) -> str:
+        """One-line human rendering for reports and benchmarks."""
+        mode = "exact" if self.exact else "tolerance"
+        return f"{self.name} ({mode})"
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r}, exact={self.exact})"

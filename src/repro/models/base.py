@@ -11,13 +11,16 @@ zoo instantiates it nine ways.
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Sequence, Tuple
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+import repro.telemetry as telemetry
 from repro.core.levels import EmbeddingLevel
 from repro.errors import ModelError, UnsupportedLevelError
 from repro.models import aggregate
+from repro.models.backends import resolve_backend
 from repro.models.config import ModelConfig, Serialization
 from repro.models.encoder import Encoder
 from repro.models.serializers import (
@@ -88,17 +91,33 @@ class EmbeddingModel(abc.ABC):
         return f"{type(self).__name__}(name={self.name!r}, dim={self.dim})"
 
 
+@dataclasses.dataclass
+class LevelBatchPlan:
+    """Serialized half of a level-batch request (see ``serialize_levels``).
+
+    Holds everything :meth:`SurrogateModel.finish_levels` needs to turn
+    encoder outputs back into per-table level bundles — the seam that lets
+    the streaming executor serialize chunk *k+1* while chunk *k*'s token
+    lists are still inside the encoder.
+    """
+
+    tables: List[Table]
+    effectives: List[Table]
+    token_lists: List[List[Token]]
+    levels_list: List[Tuple[EmbeddingLevel, ...]]
+
+
 class SurrogateModel(EmbeddingModel):
     """Config-driven surrogate: tokenize -> serialize -> encode -> aggregate."""
 
-    def __init__(self, config: ModelConfig):
+    def __init__(self, config: ModelConfig, backend=None):
         self.config = config
         self.name = config.name
         self.dim = config.dim
         self.tokenizer = Tokenizer(
             config=TokenizerConfig(lowercase=config.lowercase)
         )
-        self.encoder = Encoder(config)
+        self.encoder = Encoder(config, backend=backend)
         if config.serialization == Serialization.COLUMN_WISE:
             self._serializer = ColumnWiseSerializer(
                 self.tokenizer,
@@ -114,6 +133,22 @@ class SurrogateModel(EmbeddingModel):
                 include_header=config.header_weight > 0,
                 include_caption=config.include_caption,
             )
+
+    # ------------------------------------------------------------------
+    # Encoder backend
+    # ------------------------------------------------------------------
+
+    @property
+    def backend(self):
+        """The encoder's batching strategy (:mod:`repro.models.backends`)."""
+        return self.encoder.backend
+
+    def set_backend(self, backend) -> "SurrogateModel":
+        """Swap the batching strategy; embeddings of the exact (local)
+        backend are bit-identical, padded backends are within their
+        documented tolerance.  Returns self for chaining."""
+        self.encoder.backend = resolve_backend(backend)
+        return self
 
     # ------------------------------------------------------------------
     # Pipeline plumbing
@@ -132,8 +167,10 @@ class SurrogateModel(EmbeddingModel):
                 f"{self.name} encodes rows independently; use embed_rows"
             )
         effective = self._effective_table(table)
-        tokens = self._serializer.serialize(effective)
-        states = self.encoder.encode(tokens)
+        with telemetry.span("serialize"):
+            tokens = self._serializer.serialize(effective)
+        with telemetry.span("encode"):
+            states = self.encoder.encode(tokens)
         return tokens, states, effective
 
     def fitted_rows(self, table: Table) -> int:
@@ -207,10 +244,59 @@ class SurrogateModel(EmbeddingModel):
             }
             return {level: dedicated[level](table) for level in levels}
         tokens, states, effective = self._encode_table(table)
-        return {
-            level: self._aggregate_level(level, tokens, states, table, effective)
-            for level in levels
-        }
+        with telemetry.span("aggregate"):
+            return {
+                level: self._aggregate_level(level, tokens, states, table, effective)
+                for level in levels
+            }
+
+    def serialize_levels(
+        self,
+        tables: Sequence[Table],
+        levels_list: Sequence[Sequence[EmbeddingLevel]],
+    ) -> Optional[LevelBatchPlan]:
+        """Serialization half of :meth:`embed_levels_batch`.
+
+        Returns ``None`` when there is no shared encoder pass to plan
+        (ROW_TEMPLATE models encode rows independently) — callers fall
+        back to the per-table path.  Splitting serialization from the
+        encode lets the streaming executor overlap the two across chunks.
+        """
+        if len(tables) != len(levels_list):
+            raise ModelError("tables and levels_list must have equal length")
+        if self.config.serialization == Serialization.ROW_TEMPLATE:
+            return None
+        for levels in levels_list:
+            for level in levels:
+                self._require(level)
+        with telemetry.span("serialize"):
+            effectives = [self._effective_table(t) for t in tables]
+            token_lists = [self._serializer.serialize(e) for e in effectives]
+        return LevelBatchPlan(
+            tables=list(tables),
+            effectives=effectives,
+            token_lists=token_lists,
+            levels_list=[tuple(levels) for levels in levels_list],
+        )
+
+    def finish_levels(
+        self, plan: LevelBatchPlan, states_list: Sequence[np.ndarray]
+    ) -> List[Dict[EmbeddingLevel, np.ndarray]]:
+        """Aggregation half of :meth:`embed_levels_batch`."""
+        out: List[Dict[EmbeddingLevel, np.ndarray]] = []
+        with telemetry.span("aggregate"):
+            for table, effective, tokens, states, levels in zip(
+                plan.tables, plan.effectives, plan.token_lists, states_list, plan.levels_list
+            ):
+                out.append(
+                    {
+                        level: self._aggregate_level(
+                            level, tokens, states, table, effective
+                        )
+                        for level in levels
+                    }
+                )
+        return out
 
     def embed_levels_batch(
         self,
@@ -222,36 +308,22 @@ class SurrogateModel(EmbeddingModel):
         """Bundled level embeddings for many tables with a batched encoder.
 
         ``levels_list[i]`` names the levels wanted for ``tables[i]``.  All
-        tables are serialized up front and driven through
-        :meth:`Encoder.encode_batch`, which groups same-length sequences
-        into [B, L, D] tensors — numerically identical to encoding each
-        table alone, but without the per-table Python overhead.
+        tables are serialized up front (:meth:`serialize_levels`) and
+        driven through :meth:`Encoder.encode_batch`, whose configured
+        backend batches the transformer math — the exact local backend is
+        numerically identical to encoding each table alone; a padded
+        backend is within its documented tolerance.
         """
-        if len(tables) != len(levels_list):
-            raise ModelError("tables and levels_list must have equal length")
-        if self.config.serialization == Serialization.ROW_TEMPLATE:
+        plan = self.serialize_levels(tables, levels_list)
+        if plan is None:
             return [
                 self.embed_levels(t, lv) for t, lv in zip(tables, levels_list)
             ]
-        for levels in levels_list:
-            for level in levels:
-                self._require(level)
-        effectives = [self._effective_table(t) for t in tables]
-        token_lists = [self._serializer.serialize(e) for e in effectives]
-        states_list = self.encoder.encode_batch(token_lists, batch_size=batch_size)
-        out: List[Dict[EmbeddingLevel, np.ndarray]] = []
-        for table, effective, tokens, states, levels in zip(
-            tables, effectives, token_lists, states_list, levels_list
-        ):
-            out.append(
-                {
-                    level: self._aggregate_level(
-                        level, tokens, states, table, effective
-                    )
-                    for level in tuple(levels)
-                }
+        with telemetry.span("encode"):
+            states_list = self.encoder.encode_batch(
+                plan.token_lists, batch_size=batch_size
             )
-        return out
+        return self.finish_levels(plan, states_list)
 
     def embed_value_columns_batch(
         self,
@@ -278,42 +350,49 @@ class SurrogateModel(EmbeddingModel):
         snapshot = self.config.content_snapshot_rows
         plans: List[Tuple[int, List[int]]] = []  # (first chunk index, chunk lengths)
         token_lists: List[List[Token]] = []
-        for header, values in requests:
-            values = list(values)
-            if not values:
-                raise ModelError("cannot embed an empty column")
-            if snapshot is not None:
-                chunks = [values[:snapshot]]
-            else:
-                chunks = self._column_chunks(header, values)
-            plans.append((len(token_lists), [len(c) for c in chunks]))
-            for chunk in chunks:
-                chunk_table = Table.from_columns([(header, list(chunk))])
-                token_lists.append(self._serializer.serialize(chunk_table))
-        states_list = self.encoder.encode_batch(token_lists, batch_size=batch_size)
+        with telemetry.span("serialize"):
+            for header, values in requests:
+                values = list(values)
+                if not values:
+                    raise ModelError("cannot embed an empty column")
+                if snapshot is not None:
+                    chunks = [values[:snapshot]]
+                else:
+                    chunks = self._column_chunks(header, values)
+                plans.append((len(token_lists), [len(c) for c in chunks]))
+                for chunk in chunks:
+                    chunk_table = Table.from_columns([(header, list(chunk))])
+                    token_lists.append(self._serializer.serialize(chunk_table))
+        with telemetry.span("encode"):
+            states_list = self.encoder.encode_batch(
+                token_lists, batch_size=batch_size
+            )
         out: List[np.ndarray] = []
-        for start, chunk_lengths in plans:
-            parts = [
-                aggregate.column_embeddings(
-                    token_lists[start + i],
-                    states_list[start + i],
-                    1,
-                    header_weight=self.config.header_weight,
-                    use_cls_anchor=self.config.cls_per_column,
-                )[0]
-                for i in range(len(chunk_lengths))
-            ]
-            if snapshot is not None:
-                # Snapshot models return their (single) chunk directly.
-                out.append(parts[0])
-            else:
-                # Mirror embed_value_column exactly: the length-weighted
-                # mean is applied even to a single chunk (x*n/n is not
-                # bit-identical to x, and results must match the
-                # single-call path to the last ulp).
-                weights = np.array(chunk_lengths, dtype=np.float64)
-                stacked = np.stack(parts)
-                out.append((stacked * weights[:, None]).sum(axis=0) / weights.sum())
+        with telemetry.span("aggregate"):
+            for start, chunk_lengths in plans:
+                parts = [
+                    aggregate.column_embeddings(
+                        token_lists[start + i],
+                        states_list[start + i],
+                        1,
+                        header_weight=self.config.header_weight,
+                        use_cls_anchor=self.config.cls_per_column,
+                    )[0]
+                    for i in range(len(chunk_lengths))
+                ]
+                if snapshot is not None:
+                    # Snapshot models return their (single) chunk directly.
+                    out.append(parts[0])
+                else:
+                    # Mirror embed_value_column exactly: the length-weighted
+                    # mean is applied even to a single chunk (x*n/n is not
+                    # bit-identical to x, and results must match the
+                    # single-call path to the last ulp).
+                    weights = np.array(chunk_lengths, dtype=np.float64)
+                    stacked = np.stack(parts)
+                    out.append(
+                        (stacked * weights[:, None]).sum(axis=0) / weights.sum()
+                    )
         return out
 
     # ------------------------------------------------------------------

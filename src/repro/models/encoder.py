@@ -17,21 +17,17 @@ geometry.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 
+from repro.models.backends import resolve_backend
 from repro.models.config import AttentionMask, ModelConfig, OutputNorm, PositionKind
 from repro.models.serializers import Token, TokenRole
 from repro.models.weights import ModelWeights
 from repro.seeding import token_vector
 
 _LN_EPS = 1e-6
-
-# Above this token count the [B, L, L] attention temporaries of a stacked
-# batch exceed CPU cache and batched encoding measures *slower* than
-# sequence-at-a-time; encode_batch falls back to singles past it.
-_BATCH_MAX_LENGTH = 48
 
 # Contextual embedding spaces are anisotropic: all vectors share a dominant
 # common direction (a well-documented property of BERT-family spaces).  The
@@ -78,9 +74,13 @@ def _softmax(scores: np.ndarray) -> np.ndarray:
 class Encoder:
     """Deterministic transformer encoder configured by a :class:`ModelConfig`."""
 
-    def __init__(self, config: ModelConfig):
+    def __init__(self, config: ModelConfig, backend=None):
         self.config = config
         self.weights = ModelWeights(config.seed_name, config.dim, config.n_layers)
+        # The batching strategy is pluggable (repro.models.backends): the
+        # encoder owns the transformer math, the backend owns grouping,
+        # padding, and (a)sync scheduling.
+        self.backend = resolve_backend(backend)
 
     # ------------------------------------------------------------------
     # Input embedding
@@ -152,60 +152,41 @@ class Encoder:
     def encode_batch(
         self, token_lists: Sequence[List[Token]], batch_size: int = 8
     ) -> List[np.ndarray]:
-        """Encode many token sequences, batching the transformer math.
+        """Encode many token sequences via the configured backend.
 
-        Sequences are grouped by length and stacked into [B, L, D] tensors
-        so every matmul runs over the whole group at once instead of a
-        Python-level loop per table.  Because attention, layer norm, and
-        the FFN are independent per sequence, each output is numerically
-        identical to what :meth:`encode` produces for that sequence alone;
-        results are returned in input order.
-
-        Long sequences are encoded one at a time: past
-        :data:`_BATCH_MAX_LENGTH` tokens the stacked [B, L, L] attention
-        temporaries fall out of cache and batching is a measured
-        *slowdown*, while short sequences (standalone columns, narrow
-        projections) gain ~2x.  The cutoff only affects speed — outputs
-        are identical either way.
+        The grouping/padding strategy lives in ``self.backend``
+        (:mod:`repro.models.backends`): :class:`LocalBackend` groups by
+        exact length (bit-identical to :meth:`encode` per sequence),
+        :class:`PaddedBackend` pads within tolerance tiers for throughput
+        on heterogeneous corpora.  Results are returned in input order
+        either way.
         """
-        results: List[Optional[np.ndarray]] = [None] * len(token_lists)
-        by_length: Dict[int, List[int]] = {}
-        for i, tokens in enumerate(token_lists):
-            if not tokens:
-                results[i] = np.zeros((0, self.config.dim), dtype=np.float64)
-            elif len(tokens) > _BATCH_MAX_LENGTH:
-                results[i] = self.encode(tokens)
-            else:
-                by_length.setdefault(len(tokens), []).append(i)
-        # Batches hold same-length sequences only: padding to a common
-        # length is NOT bit-safe (BLAS kernel selection depends on matrix
-        # shape), and exactness is a harder requirement than speed here.
-        for indices in by_length.values():
-            for start in range(0, len(indices), max(1, batch_size)):
-                chunk = indices[start : start + max(1, batch_size)]
-                if len(chunk) == 1:
-                    results[chunk[0]] = self.encode(token_lists[chunk[0]])
-                    continue
-                states = self._forward_batch([token_lists[i] for i in chunk])
-                for i, arr in zip(chunk, states):
-                    results[i] = arr
-        return results
+        return self.backend.encode_batch(self, token_lists, batch_size=batch_size)
 
-    def _forward_batch(self, token_lists: Sequence[List[Token]]) -> List[np.ndarray]:
-        """Batched forward pass over same-length sequences ([B, L, D]).
+    async def aencode_batch(
+        self, token_lists: Sequence[List[Token]], batch_size: int = 8
+    ) -> List[np.ndarray]:
+        """Awaitable :meth:`encode_batch` (the streaming executor's hook)."""
+        return await self.backend.aencode_batch(
+            self, token_lists, batch_size=batch_size
+        )
 
+    def _transform_stacked(
+        self, x: np.ndarray, neg: np.ndarray, bias: np.ndarray
+    ) -> np.ndarray:
+        """Layer loop + output head shared by both stacked forwards.
+
+        ``x`` is [B, L, D]; ``neg``/``bias`` broadcast over [B, H, L, L].
         Heads are carried as an explicit tensor axis ([B, H, L, d]) instead
         of the per-head Python loop of :meth:`encode`; the reshape is pure
         reindexing and every 2D matmul slice keeps the shapes of the
-        single-sequence path, so outputs stay bit-identical to it.
+        single-sequence path, so same-length outputs stay bit-identical to
+        it.  Keeping this in ONE place is a numerics requirement: the
+        padded forward's tolerance contract assumes it runs the exact same
+        op sequence as the exact forward.
         """
         cfg = self.config
-        batch, length = len(token_lists), len(token_lists[0])
-        x = np.stack([self.embed_tokens(tokens) for tokens in token_lists])
-        mask = np.stack([self.attention_mask(tokens) for tokens in token_lists])
-        # The additive bias depends only on sequence length, shared here.
-        bias = self.attention_bias(token_lists[0])[None, None, :, :]
-        neg = np.where(mask, 0.0, -1e9)[:, None, :, :]
+        batch, length = x.shape[0], x.shape[1]
         n_heads = cfg.n_heads
         head_dim = cfg.dim // n_heads
         scale = cfg.attention_temperature / np.sqrt(head_dim)
@@ -235,7 +216,53 @@ class Encoder:
             x = x + cfg.anisotropy * (
                 coeff[..., None] * self.weights.anisotropy_direction
             )
-        return [x[b] for b in range(batch)]
+        return x
+
+    def forward_batch(self, token_lists: Sequence[List[Token]]) -> List[np.ndarray]:
+        """Batched forward pass over same-length sequences ([B, L, D]).
+
+        Outputs are bit-identical to :meth:`encode` per sequence (see
+        :meth:`_transform_stacked`).
+        """
+        x = np.stack([self.embed_tokens(tokens) for tokens in token_lists])
+        mask = np.stack([self.attention_mask(tokens) for tokens in token_lists])
+        # The additive bias depends only on sequence length, shared here.
+        bias = self.attention_bias(token_lists[0])[None, None, :, :]
+        neg = np.where(mask, 0.0, -1e9)[:, None, :, :]
+        x = self._transform_stacked(x, neg, bias)
+        return [x[b] for b in range(len(token_lists))]
+
+    def forward_padded(self, token_lists: Sequence[List[Token]]) -> List[np.ndarray]:
+        """Batched forward over *mixed-length* sequences, padded + masked.
+
+        Shorter sequences are right-padded with zero vectors to the
+        batch's longest length and the padded positions are additively
+        masked to -1e9 in every attention score involving them as keys —
+        which underflows to exactly 0.0 weight after the softmax, so
+        padding never feeds into a real token's state.  Padded *query*
+        rows accumulate garbage but are sliced away before returning.
+
+        Outputs are within :data:`~repro.models.backends.PADDED_TOLERANCE`
+        of the per-sequence forward, not bit-identical: BLAS kernel choice
+        and numpy's pairwise-summation tree depend on matrix shape.  The
+        relative-distance attention bias is safely shared because it only
+        depends on absolute index distance — the top-left [L, L] corner of
+        the longest sequence's bias *is* a length-L sequence's bias.
+        """
+        batch = len(token_lists)
+        lengths = [len(tokens) for tokens in token_lists]
+        length = max(lengths)
+        x = np.zeros((batch, length, self.config.dim), dtype=np.float64)
+        neg = np.full((batch, 1, length, length), -1e9, dtype=np.float64)
+        for b, tokens in enumerate(token_lists):
+            n = lengths[b]
+            x[b, :n] = self.embed_tokens(tokens)
+            mask = self.attention_mask(tokens)
+            neg[b, 0, :n, :n] = np.where(mask, 0.0, -1e9)
+        longest = token_lists[lengths.index(length)]
+        bias = self.attention_bias(longest)[None, None, :, :]
+        x = self._transform_stacked(x, neg, bias)
+        return [x[b, : lengths[b]] for b in range(batch)]
 
     def encode(self, tokens: List[Token]) -> np.ndarray:
         """Final token embeddings, shape [len(tokens), dim]."""

@@ -39,15 +39,31 @@ def available_models() -> List[str]:
     return builtin + extras
 
 
-def load_model(name: str) -> EmbeddingModel:
-    """Instantiate a registered model by name."""
+def load_model(name: str, *, backend=None) -> EmbeddingModel:
+    """Instantiate a registered model by name.
+
+    ``backend`` optionally selects the encoder batching strategy — a
+    :class:`~repro.models.backends.EncoderBackend` instance or registered
+    backend name (``"local"``/``"padded"``).  Only models that expose
+    ``set_backend`` (the surrogates) accept one; passing a backend to a
+    custom registered model without that hook is an error rather than a
+    silent no-op.
+    """
     try:
         factory = _REGISTRY[name]
     except KeyError:
         raise ModelError(
             f"unknown model {name!r}; available: {', '.join(available_models())}"
         ) from None
-    return factory()
+    model = factory()
+    if backend is not None:
+        setter = getattr(model, "set_backend", None)
+        if setter is None:
+            raise ModelError(
+                f"model {name!r} does not support encoder backends"
+            )
+        setter(backend)
+    return model
 
 
 def register_model(name: str, factory: ModelFactory, *, overwrite: bool = False) -> None:

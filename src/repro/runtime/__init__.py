@@ -11,6 +11,10 @@ and perturbations.  This package removes that redundancy:
 - :mod:`repro.runtime.planner` — :class:`EmbeddingExecutor`, which
   deduplicates requests, bundles levels into one encoder pass, and drives
   the encoder in configurable batches.
+- :mod:`repro.runtime.pipeline` — :class:`EncodeLoop`, the background
+  asyncio loop the executor streams encoder batches through so
+  serialization/fingerprinting overlap the forward passes (BLAS releases
+  the GIL); :class:`PipelineStats` reports the overlap ratio.
 - :mod:`repro.runtime.disk` — :class:`DiskTier`, the bounded, indexed,
   crash-safe persistent tier (versioned JSON index, byte/age LRU
   eviction, atomic write-temp-then-rename, stale-lock reclaim).
@@ -29,6 +33,7 @@ from repro.runtime.fingerprint import (
     table_fingerprint,
     value_column_fingerprint,
 )
+from repro.runtime.pipeline import EncodeLoop, PipelineStats, encode_loop
 from repro.runtime.planner import (
     BUNDLE_LEVELS,
     EmbeddingExecutor,
@@ -53,7 +58,10 @@ __all__ = [
     "EXECUTION_MODES",
     "EmbeddingCache",
     "EmbeddingExecutor",
+    "EncodeLoop",
+    "PipelineStats",
     "ProcessShardedSweep",
+    "encode_loop",
     "RuntimeConfig",
     "SkippedCell",
     "SweepCell",

@@ -1,0 +1,124 @@
+"""The async encode loop behind the streaming executor.
+
+:class:`EncodeLoop` owns one background thread running an asyncio event
+loop.  The :class:`~repro.runtime.planner.EmbeddingExecutor` submits
+``EncoderBackend.aencode_batch`` coroutines to it and keeps working —
+fingerprinting, serializing, cache-probing the *next* chunk — while the
+submitted chunk's forward passes run.  Because numpy's BLAS kernels
+release the GIL, the overlap is real parallelism on multi-core hosts and
+harmless interleaving on one core.  Synchronous callers never see the
+loop: the executor's public surface blocks on the returned futures, so
+every existing call site (property runners, both sweep engines, the
+benchmarks) works unchanged — the asynchrony is an implementation detail
+behind a synchronous facade.
+
+:class:`PipelineStats` quantifies the win: ``encode_seconds`` is the
+background busy time, ``wait_seconds`` how long the submitting thread
+actually blocked on results; their gap is encode time hidden behind
+useful foreground work (the ``overlap_ratio`` benchmarks and
+``render_sweep`` report).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import threading
+from concurrent.futures import Future
+from typing import Coroutine, Dict, Optional, Sequence
+
+
+@dataclasses.dataclass
+class PipelineStats:
+    """Cumulative async-encode accounting (picklable, lock kept outside)."""
+
+    batches: int = 0
+    sequences: int = 0
+    encode_seconds: float = 0.0
+    wait_seconds: float = 0.0
+
+    @property
+    def overlap_seconds(self) -> float:
+        """Background encode time hidden behind foreground work."""
+        return max(0.0, self.encode_seconds - self.wait_seconds)
+
+    @property
+    def overlap_ratio(self) -> float:
+        """Fraction of encode time the caller did not block for."""
+        return self.overlap_seconds / self.encode_seconds if self.encode_seconds else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "batches": self.batches,
+            "sequences": self.sequences,
+            "encode_seconds": self.encode_seconds,
+            "wait_seconds": self.wait_seconds,
+            "overlap_ratio": self.overlap_ratio,
+        }
+
+    @classmethod
+    def merged(cls, many: Sequence["PipelineStats"]) -> "PipelineStats":
+        out = cls()
+        for stats in many:
+            out.batches += stats.batches
+            out.sequences += stats.sequences
+            out.encode_seconds += stats.encode_seconds
+            out.wait_seconds += stats.wait_seconds
+        return out
+
+    def since(self, baseline: "PipelineStats") -> "PipelineStats":
+        """Counters accumulated after ``baseline`` was snapshotted.
+
+        Executors keep cumulative totals; a sweep reports only its own
+        work by snapshotting before it starts and diffing after.
+        """
+        return PipelineStats(
+            batches=self.batches - baseline.batches,
+            sequences=self.sequences - baseline.sequences,
+            encode_seconds=self.encode_seconds - baseline.encode_seconds,
+            wait_seconds=self.wait_seconds - baseline.wait_seconds,
+        )
+
+
+class EncodeLoop:
+    """A daemon thread running an asyncio loop for encode submissions."""
+
+    def __init__(self):
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-encode-loop", daemon=True
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+
+    def is_alive(self) -> bool:
+        return self._thread.is_alive()
+
+    def submit(self, coro: Coroutine) -> Future:
+        """Schedule a coroutine on the loop; returns a blocking future."""
+        return asyncio.run_coroutine_threadsafe(coro, self._loop)
+
+    def close(self) -> None:
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=2.0)
+
+
+_loop_lock = threading.Lock()
+_shared_loop: Optional[EncodeLoop] = None
+
+
+def encode_loop() -> EncodeLoop:
+    """The process-wide encode loop, created lazily (one daemon thread).
+
+    Spawned sweep workers each get their own — nothing here survives a
+    process boundary, which is exactly the isolation the process engine
+    promises.
+    """
+    global _shared_loop
+    with _loop_lock:
+        if _shared_loop is None or not _shared_loop.is_alive():
+            _shared_loop = EncodeLoop()
+        return _shared_loop

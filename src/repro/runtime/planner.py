@@ -30,11 +30,21 @@ against.
 from __future__ import annotations
 
 import dataclasses
+import threading
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+import repro.telemetry as telemetry
 from repro.core.levels import EmbeddingLevel
+from repro.models.backends import (
+    DEFAULT_TIER_WIDTH,
+    EncoderBackend,
+    LocalBackend,
+    PaddedBackend,
+    available_backends,
+)
 from repro.relational.table import Table
 from repro.runtime.cache import CacheStats, EmbeddingCache
 from repro.runtime.fingerprint import (
@@ -42,6 +52,7 @@ from repro.runtime.fingerprint import (
     table_fingerprint,
     value_column_fingerprint,
 )
+from repro.runtime.pipeline import PipelineStats, encode_loop
 
 # Levels the bundle path covers; CELL and ENTITY requests carry extra
 # arguments and go through their dedicated cached entry points.
@@ -70,6 +81,23 @@ class RuntimeConfig:
             (spawned worker processes sharing only the disk tier).
             ``None`` defers to the ``REPRO_SWEEP_EXECUTION`` environment
             variable, falling back to ``"thread"``.
+        exact: numerics mode.  ``True`` (default) keeps every embedding
+            bit-identical to single-sequence encoding (same-length
+            batching only).  ``False`` opts into the padded backend:
+            heterogeneous-length sequences are batched inside tolerance
+            tiers, within the documented per-element
+            :data:`~repro.models.backends.PADDED_TOLERANCE` of exact.
+        backend: explicit encoder backend name (``"local"``/``"padded"``
+            or anything registered); ``None`` derives it from ``exact``.
+            Naming a non-exact backend with ``exact=True`` is rejected —
+            exactness is a promise, not a preference.
+        padding_tier: tier width in tokens for the padded backend; padding
+            waste per sequence is strictly below it.
+        async_encode: stream encoder batches through the background
+            asyncio encode loop so serialization/fingerprinting of the
+            next chunk overlaps the current chunk's forward passes.
+            Results are unchanged (the local backend stays bit-identical);
+            this is purely a scheduling knob.
     """
 
     enabled: bool = True
@@ -80,6 +108,10 @@ class RuntimeConfig:
     cache_max_age: Optional[float] = None
     max_workers: Optional[int] = None
     execution: Optional[str] = None
+    exact: bool = True
+    backend: Optional[str] = None
+    padding_tier: int = DEFAULT_TIER_WIDTH
+    async_encode: bool = True
 
     def __post_init__(self):
         if self.batch_size < 1:
@@ -96,6 +128,39 @@ class RuntimeConfig:
             raise ValueError(
                 f"execution must be 'thread' or 'process', got {self.execution!r}"
             )
+        if self.padding_tier < 1:
+            raise ValueError("padding_tier must be positive")
+        if self.backend is not None:
+            if self.backend not in available_backends():
+                raise ValueError(
+                    f"unknown backend {self.backend!r}; "
+                    f"available: {', '.join(available_backends())}"
+                )
+            # Exactness is a promise, not a preference: probe the actual
+            # backend's contract rather than special-casing names, so any
+            # registered non-exact backend is rejected under exact=True.
+            if self.exact and not self.build_backend().exact:
+                raise ValueError(
+                    f"backend={self.backend!r} is not exact; pass "
+                    "exact=False to opt into tolerance batching"
+                )
+
+    def backend_name(self) -> str:
+        """The resolved backend: explicit name, else derived from exact."""
+        if self.backend is not None:
+            return self.backend
+        return "local" if self.exact else "padded"
+
+    def build_backend(self) -> EncoderBackend:
+        """One backend instance per call (stats are per-instance)."""
+        name = self.backend_name()
+        if name == "padded":
+            return PaddedBackend(tier_width=self.padding_tier)
+        if name == "local":
+            return LocalBackend()
+        from repro.models.backends import resolve_backend
+
+        return resolve_backend(name)
 
     def build_cache(self) -> Optional[EmbeddingCache]:
         if not self.enabled:
@@ -109,7 +174,16 @@ class RuntimeConfig:
 
 
 class EmbeddingExecutor:
-    """Plan, deduplicate, cache, and batch embedding requests for one model."""
+    """Plan, deduplicate, cache, and batch embedding requests for one model.
+
+    With ``async_encode`` (the default), pending encode work streams
+    through the shared background :func:`~repro.runtime.pipeline.encode_loop`
+    in chunks: while chunk *k* runs its forward passes (BLAS, GIL
+    released), the executor serializes chunk *k+1* and aggregates chunk
+    *k-1* on the calling thread.  The public surface stays fully
+    synchronous — callers never touch the event loop — and outputs are
+    unchanged: chunking only regroups independent sequences.
+    """
 
     def __init__(
         self,
@@ -118,17 +192,44 @@ class EmbeddingExecutor:
         *,
         batch_size: int = 8,
         naive: bool = False,
+        async_encode: bool = True,
+        pipeline_chunk: Optional[int] = None,
     ):
         self.model = model
         self.cache = cache
         self.batch_size = batch_size
         self.naive = naive
+        self.async_encode = async_encode
+        # One encoder batch per submission: a chunk's encode (~10ms+)
+        # dwarfs the event-loop round-trip (~0.1ms), so fine granularity
+        # buys overlap without measurable overhead; streaming engages only
+        # when at least two chunks exist.
+        self.pipeline_chunk = pipeline_chunk or max(4, batch_size)
         self.name = model.name
         self.dim = model.dim
+        backend = getattr(getattr(model, "encoder", None), "backend", None)
+        if backend is not None and not getattr(backend, "exact", True):
+            # Non-exact embeddings must never cross into an exact run (or
+            # another tolerance backend) through a shared/persistent
+            # cache: tolerance-tier results live in their own key space.
+            # Exact backends share the model's plain namespace — they are
+            # bit-identical by contract, so their entries are
+            # interchangeable.
+            self._cache_space = f"{model.name}|{backend.name}"
+        else:
+            self._cache_space = model.name
+        self._pipeline_lock = threading.Lock()
+        self._pipeline_stats = PipelineStats()
 
     def __repr__(self) -> str:
         mode = "naive" if self.naive else "batched"
         return f"EmbeddingExecutor({self.name!r}, mode={mode}, cached={self.cache is not None})"
+
+    @property
+    def pipeline_stats(self) -> PipelineStats:
+        """Snapshot of this executor's async-encode accounting."""
+        with self._pipeline_lock:
+            return dataclasses.replace(self._pipeline_stats)
 
     # ------------------------------------------------------------------
     # EmbeddingModel surface (duck-typed, cached)
@@ -154,7 +255,11 @@ class EmbeddingExecutor:
     ) -> Dict[Tuple[int, int], np.ndarray]:
         if self.naive or self.cache is None:
             return self.model.embed_cells(table, coords)
-        key = (self.name, f"cells/{coords_fingerprint(coords)}", table_fingerprint(table))
+        key = (
+            self._cache_space,
+            f"cells/{coords_fingerprint(coords)}",
+            table_fingerprint(table),
+        )
         cached = self.cache.get(key)
         if cached is not None:
             return cached
@@ -165,7 +270,7 @@ class EmbeddingExecutor:
     def embed_entities(self, table: Table) -> Dict[str, np.ndarray]:
         if self.naive or self.cache is None:
             return self.model.embed_entities(table)
-        key = (self.name, "entity", table_fingerprint(table))
+        key = (self._cache_space, "entity", table_fingerprint(table))
         cached = self.cache.get(key)
         if cached is not None:
             return cached
@@ -215,7 +320,7 @@ class EmbeddingExecutor:
             bundle: Dict[EmbeddingLevel, np.ndarray] = {}
             if self.cache is not None:
                 for level in levels:
-                    hit = self.cache.get((self.name, level.value, fp))
+                    hit = self.cache.get((self._cache_space, level.value, fp))
                     if hit is not None:
                         bundle[level] = hit
             slots[fp] = bundle
@@ -224,14 +329,14 @@ class EmbeddingExecutor:
                 pending.append((fp, table, missing))
 
         if pending:
-            computed = self._compute_batch(
+            computed = self._compute_pending(
                 [t for _, t, _ in pending], [lv for _, _, lv in pending]
             )
             for (fp, _, missing), bundle in zip(pending, computed):
                 slots[fp].update(bundle)
                 if self.cache is not None:
                     for level in missing:
-                        self.cache.put((self.name, level.value, fp), bundle[level])
+                        self.cache.put((self._cache_space, level.value, fp), bundle[level])
 
         return [dict(slots[fp]) for fp in fingerprints]
 
@@ -251,7 +356,11 @@ class EmbeddingExecutor:
             first_seen.setdefault(fp, []).append(i)
         misses: List[str] = []
         for fp, indices in first_seen.items():
-            value = self.cache.get((self.name, "valuecol", fp)) if self.cache else None
+            value = (
+                self.cache.get((self._cache_space, "valuecol", fp))
+                if self.cache
+                else None
+            )
             if value is None:
                 misses.append(fp)
             else:
@@ -271,7 +380,7 @@ class EmbeddingExecutor:
                 ]
             for fp, value in zip(misses, values):
                 if self.cache is not None:
-                    self.cache.put((self.name, "valuecol", fp), value)
+                    self.cache.put((self._cache_space, "valuecol", fp), value)
                 for i in first_seen[fp]:
                     out[i] = value
         return out
@@ -297,6 +406,19 @@ class EmbeddingExecutor:
             for level in levels
         }
 
+    def _compute_pending(
+        self,
+        tables: Sequence[Table],
+        levels_list: Sequence[Tuple[EmbeddingLevel, ...]],
+    ) -> List[Dict[EmbeddingLevel, np.ndarray]]:
+        """Compute cache misses: streamed through the encode loop when
+        worthwhile, plain batch otherwise."""
+        if self.async_encode and len(tables) > self.pipeline_chunk:
+            computed = self._compute_streaming(tables, levels_list)
+            if computed is not None:
+                return computed
+        return self._compute_batch(tables, levels_list)
+
     def _compute_batch(
         self,
         tables: Sequence[Table],
@@ -312,6 +434,77 @@ class EmbeddingExecutor:
         return [
             self._compute_naive(t, lv) for t, lv in zip(tables, levels_list)
         ]
+
+    def _compute_streaming(
+        self,
+        tables: Sequence[Table],
+        levels_list: Sequence[Tuple[EmbeddingLevel, ...]],
+    ) -> Optional[List[Dict[EmbeddingLevel, np.ndarray]]]:
+        """Producer/consumer plan over the background encode loop.
+
+        Chunk *k*'s token lists encode on the loop while this thread
+        serializes chunk *k+1* and aggregates chunk *k-1*.  Returns
+        ``None`` when the model offers no serialize/encode/finish split
+        (generic models, ROW_TEMPLATE serialization) — callers fall back
+        to the synchronous batch path.
+        """
+        serialize = getattr(self.model, "serialize_levels", None)
+        finish = getattr(self.model, "finish_levels", None)
+        encoder = getattr(self.model, "encoder", None)
+        if serialize is None or finish is None or encoder is None:
+            return None
+        timings = telemetry.current()
+        loop = encode_loop()
+        chunk_size = self.pipeline_chunk
+        out: List[Dict[EmbeddingLevel, np.ndarray]] = []
+        prev: Optional[Tuple[object, object]] = None  # (plan, future)
+
+        def collect(plan, future) -> None:
+            t0 = time.perf_counter()
+            states = future.result()
+            waited = time.perf_counter() - t0
+            with self._pipeline_lock:
+                self._pipeline_stats.wait_seconds += waited
+            out.extend(finish(plan, states))
+
+        for start in range(0, len(tables), chunk_size):
+            plan = serialize(
+                tables[start : start + chunk_size],
+                levels_list[start : start + chunk_size],
+            )
+            if plan is None:
+                # No shared encoder pass for this model; first chunk, so
+                # nothing is in flight yet — let the sync path handle all.
+                return None
+            future = loop.submit(
+                self._encode_on_loop(encoder, plan.token_lists, timings)
+            )
+            if prev is not None:
+                collect(*prev)  # aggregate k-1 while k encodes
+            prev = (plan, future)
+        if prev is not None:
+            collect(*prev)
+        return out
+
+    async def _encode_on_loop(self, encoder, token_lists, timings):
+        """One chunk's encode via the backend's awaitable entry point.
+
+        Busy time is credited to the *submitting* cell's telemetry (the
+        captured ``timings``) and to this executor's pipeline stats — the
+        foreground thread is elsewhere while this runs.
+        """
+        t0 = time.perf_counter()
+        try:
+            return await encoder.aencode_batch(
+                token_lists, batch_size=self.batch_size
+            )
+        finally:
+            busy = time.perf_counter() - t0
+            telemetry.add("encode", busy, timings=timings)
+            with self._pipeline_lock:
+                self._pipeline_stats.batches += 1
+                self._pipeline_stats.sequences += len(token_lists)
+                self._pipeline_stats.encode_seconds += busy
 
 
 def as_executor(model) -> EmbeddingExecutor:

@@ -38,7 +38,9 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ObservatoryError
+from repro.models.backends.padded import PaddingStats
 from repro.runtime.cache import CacheStats
+from repro.runtime.pipeline import PipelineStats
 
 _DEFAULT_PROCESS_CAP = 4
 
@@ -50,6 +52,8 @@ class ShardOutcome:
     cells: List["SweepCell"]
     workers: int
     cache_stats: Optional[CacheStats]
+    pipeline: Optional[PipelineStats] = None
+    padding: Optional[PaddingStats] = None
 
 
 def partition_shards(
@@ -79,7 +83,9 @@ def _run_shard(payload: Dict[str, object]) -> Dict[str, object]:
     imports live inside the function to keep this module import-light and
     free of parent-module cycles (framework → sweep → here).
     """
+    import repro.telemetry as telemetry
     from repro.core.framework import Observatory
+    from repro.runtime.sweep import SweepCell
 
     observatory = Observatory(
         seed=payload["seed"],
@@ -88,11 +94,30 @@ def _run_shard(payload: Dict[str, object]) -> Dict[str, object]:
     )
     cells = []
     for model_name, property_name in payload["cells"]:
+        timings = telemetry.start_cell()
         t0 = time.perf_counter()
-        result = observatory.characterize(model_name, property_name)
-        cells.append((model_name, property_name, result, time.perf_counter() - t0))
+        try:
+            result = observatory.characterize(model_name, property_name)
+        finally:
+            telemetry.stop_cell()
+        cells.append(
+            SweepCell(
+                model_name,
+                property_name,
+                result,
+                time.perf_counter() - t0,
+                serialize_seconds=timings.serialize_seconds,
+                encode_seconds=timings.encode_seconds,
+                aggregate_seconds=timings.aggregate_seconds,
+            )
+        )
     stats = observatory.cache.stats if observatory.cache is not None else None
-    return {"cells": cells, "stats": stats}
+    return {
+        "cells": cells,
+        "stats": stats,
+        "pipeline": observatory.pipeline_stats(),
+        "padding": observatory.padding_stats(),
+    }
 
 
 class ProcessShardedSweep:
@@ -123,8 +148,6 @@ class ProcessShardedSweep:
 
     def run(self, cells: Sequence[Tuple[str, str]]) -> ShardOutcome:
         """Execute ``cells`` (already cache-aware-ordered) in shards."""
-        from repro.runtime.sweep import SweepCell
-
         workers = self.max_workers or min(
             _DEFAULT_PROCESS_CAP, os.cpu_count() or 1, max(1, len(cells))
         )
@@ -152,13 +175,21 @@ class ProcessShardedSweep:
                 "process-sharded sweep worker died; rerun with "
                 "execution='thread' to debug in-process"
             ) from error
-        merged_cells = [
-            SweepCell(model_name, property_name, result, seconds)
-            for outcome in outcomes
-            for model_name, property_name, result, seconds in outcome["cells"]
-        ]
+        merged_cells = [cell for outcome in outcomes for cell in outcome["cells"]]
         shard_stats = [o["stats"] for o in outcomes if o["stats"] is not None]
         stats = CacheStats.merged(shard_stats) if shard_stats else None
+        pipelines = [o["pipeline"] for o in outcomes if o["pipeline"] is not None]
+        pipeline = PipelineStats.merged(pipelines) if pipelines else None
+        if pipeline is not None and not pipeline.batches:
+            pipeline = None
+        paddings = [o["padding"] for o in outcomes if o["padding"] is not None]
+        padding = PaddingStats.merged(paddings) if paddings else None
+        if padding is not None and not padding.padded_batches:
+            padding = None
         return ShardOutcome(
-            cells=merged_cells, workers=len(shards), cache_stats=stats
+            cells=merged_cells,
+            workers=len(shards),
+            cache_stats=stats,
+            pipeline=pipeline,
+            padding=padding,
         )

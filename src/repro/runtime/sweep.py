@@ -38,9 +38,12 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import repro.telemetry as telemetry
 from repro.core.results import PropertyResult, SkippedCell
 from repro.errors import ObservatoryError
+from repro.models.backends.padded import PaddingStats
 from repro.runtime.cache import CacheStats
+from repro.runtime.pipeline import PipelineStats
 
 # Workers only pay off when cores exist to run cells in parallel; on a
 # single-core host the pool degenerates to sequential execution.
@@ -87,12 +90,33 @@ def resolve_execution(
 
 @dataclasses.dataclass
 class SweepCell:
-    """One completed (model, property) characterization."""
+    """One completed (model, property) characterization.
+
+    ``seconds`` is the cell's wall clock; the ``*_seconds`` phase fields
+    split it into serialization (Python), encoding (BLAS forward passes,
+    including background encode work the cell submitted), and aggregation
+    (numpy pooling) — the observability that makes hot cells (the known
+    heterogeneous_context ~3x skew) diagnosable from a report.
+    """
 
     model_name: str
     property_name: str
     result: PropertyResult
     seconds: float
+    serialize_seconds: float = 0.0
+    encode_seconds: float = 0.0
+    aggregate_seconds: float = 0.0
+
+    def record(self) -> Dict[str, object]:
+        """Flat observability record for reports and JSON artifacts."""
+        return {
+            "model": self.model_name,
+            "property": self.property_name,
+            "seconds": self.seconds,
+            "serialize_seconds": self.serialize_seconds,
+            "encode_seconds": self.encode_seconds,
+            "aggregate_seconds": self.aggregate_seconds,
+        }
 
 
 @dataclasses.dataclass
@@ -106,9 +130,15 @@ class SweepResult:
         seconds: wall-clock of the whole sweep.
         workers: worker-pool size used (threads or processes).
         execution: engine that ran the cells (``"thread"``/``"process"``).
+        backend: encoder-backend description (name, tier width, tolerance)
+            the sweep's embeddings went through.
         cache_stats: embedding-cache counters — the shared cache in thread
             mode, the merged per-worker counters in process mode, ``None``
             when the runtime cache is disabled.
+        pipeline: async-encode accounting (overlap ratio), merged across
+            executors/workers; ``None`` when streaming never engaged.
+        padding: padded-backend waste accounting; ``None`` under the
+            exact local backend.
     """
 
     cells: List[SweepCell] = dataclasses.field(default_factory=list)
@@ -116,7 +146,19 @@ class SweepResult:
     seconds: float = 0.0
     workers: int = 1
     execution: str = "thread"
+    backend: str = "local (exact)"
     cache_stats: Optional[CacheStats] = None
+    pipeline: Optional[PipelineStats] = None
+    padding: Optional[PaddingStats] = None
+
+    @property
+    def records(self) -> List[Dict[str, object]]:
+        """Per-cell observability records (wall time + phase split)."""
+        return [cell.record() for cell in self.cells]
+
+    def slowest(self, n: int = 3) -> List[SweepCell]:
+        """The ``n`` longest-running cells, slowest first."""
+        return sorted(self.cells, key=lambda c: c.seconds, reverse=True)[:n]
 
     @property
     def results(self) -> List[PropertyResult]:
@@ -146,26 +188,24 @@ class SweepResult:
     def to_dict(self) -> Dict[str, object]:
         return {
             "cells": [
-                {
-                    "model": cell.model_name,
-                    "property": cell.property_name,
-                    "seconds": cell.seconds,
-                    "result": cell.result.to_dict(),
-                }
+                {**cell.record(), "result": cell.result.to_dict()}
                 for cell in self.cells
             ],
             "skipped": [dataclasses.asdict(s) for s in self.skipped],
             "seconds": self.seconds,
             "workers": self.workers,
             "execution": self.execution,
+            "backend": self.backend,
             "cache": self.cache_stats.to_dict() if self.cache_stats else None,
+            "pipeline": self.pipeline.to_dict() if self.pipeline else None,
+            "padding": dataclasses.asdict(self.padding) if self.padding else None,
         }
 
     def __repr__(self) -> str:
         return (
             f"SweepResult(cells={len(self.cells)}, skipped={len(self.skipped)}, "
             f"seconds={self.seconds:.2f}, workers={self.workers}, "
-            f"execution={self.execution!r})"
+            f"execution={self.execution!r}, backend={self.backend!r})"
         )
 
 
@@ -248,6 +288,12 @@ def run_sweep(
     if not property_names:
         raise ObservatoryError("sweep needs at least one property")
     engine = resolve_execution(execution, getattr(observatory.runtime, "execution", None))
+    backend_desc = observatory.backend_description()
+    # Executors accumulate pipeline/padding counters for their lifetime;
+    # snapshot here so this sweep reports only its own work, not a
+    # previous sweep's (thread engine reuses the executors).
+    pipeline_before = observatory.pipeline_stats()
+    padding_before = observatory.padding_stats()
     started = time.perf_counter()
     runnable, skipped = plan_cells(observatory, model_names, property_names)
     # Execute cache-aware, return request-order (see order_cells).
@@ -264,6 +310,7 @@ def run_sweep(
                 seconds=time.perf_counter() - started,
                 workers=0,
                 execution="process",
+                backend=backend_desc,
                 cache_stats=None,
             )
         from repro.runtime.process_sweep import ProcessShardedSweep
@@ -281,7 +328,10 @@ def run_sweep(
             seconds=time.perf_counter() - started,
             workers=engine_result.workers,
             execution="process",
+            backend=backend_desc,
             cache_stats=engine_result.cache_stats,
+            pipeline=engine_result.pipeline,
+            padding=engine_result.padding,
         )
 
     # Materialize shared resources serially before fanning out: dataset
@@ -295,9 +345,21 @@ def run_sweep(
 
     def run_cell(cell: Tuple[str, str]) -> SweepCell:
         model_name, property_name = cell
+        timings = telemetry.start_cell()
         t0 = time.perf_counter()
-        result = observatory.characterize(model_name, property_name)
-        return SweepCell(model_name, property_name, result, time.perf_counter() - t0)
+        try:
+            result = observatory.characterize(model_name, property_name)
+        finally:
+            telemetry.stop_cell()
+        return SweepCell(
+            model_name,
+            property_name,
+            result,
+            time.perf_counter() - t0,
+            serialize_seconds=timings.serialize_seconds,
+            encode_seconds=timings.encode_seconds,
+            aggregate_seconds=timings.aggregate_seconds,
+        )
 
     cells: List[SweepCell]
     if workers <= 1 or len(ordered) <= 1:
@@ -308,11 +370,20 @@ def run_sweep(
     cells.sort(key=lambda c: request_rank[(c.model_name, c.property_name)])
 
     cache = getattr(observatory, "cache", None)
+    pipeline = observatory.pipeline_stats().since(pipeline_before)
+    padding = observatory.padding_stats()
+    if padding is not None and padding_before is not None:
+        padding = padding.since(padding_before)
+    if padding is not None and not padding.padded_batches:
+        padding = None  # padded backend configured but nothing was padded
     return SweepResult(
         cells=cells,
         skipped=skipped,
         seconds=time.perf_counter() - started,
         workers=workers,
         execution=engine,
+        backend=backend_desc,
         cache_stats=cache.stats if cache is not None else None,
+        pipeline=pipeline if pipeline.batches else None,
+        padding=padding,
     )

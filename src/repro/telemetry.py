@@ -1,0 +1,98 @@
+"""Thread-local phase timing for characterization cells.
+
+A sweep cell's wall time splits into three phases: *serialize* (tables →
+token sequences, pure Python), *encode* (transformer forward passes,
+BLAS), and *aggregate* (token states → level embeddings, numpy).  The
+model layer brackets those phases with :func:`span`; the sweep engines
+call :func:`start_cell` before running a cell and read the accumulated
+:class:`CellTimings` after, attributing every span on that thread (plus
+any background encode work explicitly credited via ``timings=``) to the
+cell.  That is what makes the known heterogeneous_context ~3x skew — and
+any future hot cell — visible in ``render_sweep`` instead of folklore.
+
+This module is deliberately dependency-free (stdlib only): it is imported
+by both the model layer and the runtime, below either in the layering.
+When no cell is active, spans are no-ops.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import threading
+import time
+from typing import Dict, Iterator, Optional
+
+PHASES = ("serialize", "encode", "aggregate")
+
+_tls = threading.local()
+
+# One CellTimings can be credited from several threads at once: the
+# owning cell's thread plus concurrent background encode batches it
+# submitted.  add() is a read-modify-write, so it takes a (module-wide,
+# uncontended) lock rather than losing updates under interleaving.
+_add_lock = threading.Lock()
+
+
+@dataclasses.dataclass
+class CellTimings:
+    """Accumulated per-phase seconds for one characterization cell."""
+
+    serialize_seconds: float = 0.0
+    encode_seconds: float = 0.0
+    aggregate_seconds: float = 0.0
+
+    def add(self, phase: str, seconds: float) -> None:
+        if phase not in PHASES:
+            raise ValueError(f"unknown phase {phase!r}; expected one of {PHASES}")
+        field = f"{phase}_seconds"
+        with _add_lock:
+            setattr(self, field, getattr(self, field) + seconds)
+
+    def to_dict(self) -> Dict[str, float]:
+        return {f"{phase}_seconds": getattr(self, f"{phase}_seconds") for phase in PHASES}
+
+
+def start_cell() -> CellTimings:
+    """Begin attributing spans on this thread to a fresh timings record."""
+    timings = CellTimings()
+    _tls.current = timings
+    return timings
+
+
+def stop_cell() -> Optional[CellTimings]:
+    """Detach and return this thread's timings record (None if absent)."""
+    timings = getattr(_tls, "current", None)
+    _tls.current = None
+    return timings
+
+
+def current() -> Optional[CellTimings]:
+    """The timings record spans on this thread accumulate into, if any."""
+    return getattr(_tls, "current", None)
+
+
+def add(phase: str, seconds: float, timings: Optional[CellTimings] = None) -> None:
+    """Credit ``seconds`` of ``phase`` to ``timings`` (default: this thread's).
+
+    The explicit ``timings`` form is how background encode threads credit
+    work to the *submitting* cell: the executor captures :func:`current`
+    at submission time and passes it into the encode closure.
+    """
+    target = timings if timings is not None else current()
+    if target is not None:
+        target.add(phase, seconds)
+
+
+@contextlib.contextmanager
+def span(phase: str, timings: Optional[CellTimings] = None) -> Iterator[None]:
+    """Time a block into ``phase``; no-op when no cell is active."""
+    target = timings if timings is not None else current()
+    if target is None:
+        yield
+        return
+    started = time.perf_counter()
+    try:
+        yield
+    finally:
+        target.add(phase, time.perf_counter() - started)

@@ -1,0 +1,293 @@
+"""Tests for the async streaming executor, telemetry, and sweep observability.
+
+The streaming pipeline is a pure scheduling change: every result must be
+bit-identical to the synchronous path (the local backend is exact and
+chunking only regroups independent sequences).  Sweeps additionally
+report per-cell phase splits, the encoder backend, and pipeline/padding
+accounting — locked in here end to end for both engines.
+"""
+
+import numpy as np
+import pytest
+
+import repro.telemetry as telemetry
+from repro.core.framework import DatasetSizes, Observatory
+from repro.core.levels import EmbeddingLevel
+from repro.errors import ObservatoryError
+from repro.models.backends import PaddedBackend
+from repro.models.registry import load_model, register_model, unregister_model
+from repro.relational.table import Table
+from repro.runtime.cache import EmbeddingCache
+from repro.runtime.pipeline import EncodeLoop, encode_loop
+from repro.runtime.planner import EmbeddingExecutor, RuntimeConfig
+
+LEVELS = (EmbeddingLevel.COLUMN, EmbeddingLevel.ROW, EmbeddingLevel.TABLE)
+
+
+def corpus(n=14):
+    tables = []
+    for i in range(n):
+        rows = 2 + i % 5
+        tables.append(
+            Table.from_columns(
+                [
+                    ("name", [f"item {j * 7 + i}" for j in range(rows)]),
+                    ("price", [j + 10 * i for j in range(rows)]),
+                ],
+                table_id=f"stream-{i}",
+            )
+        )
+    return tables
+
+
+class TestStreamingExecutor:
+    def test_streaming_bit_identical_to_sync(self, bert):
+        tables = corpus()
+        sync = EmbeddingExecutor(
+            bert, cache=EmbeddingCache(max_entries=256), async_encode=False
+        )
+        streamed = EmbeddingExecutor(
+            bert,
+            cache=EmbeddingCache(max_entries=256),
+            async_encode=True,
+            pipeline_chunk=4,
+        )
+        a = sync.embed_levels_many(tables, LEVELS)
+        b = streamed.embed_levels_many(tables, LEVELS)
+        for bundle_a, bundle_b in zip(a, b):
+            for level in LEVELS:
+                assert np.array_equal(bundle_a[level], bundle_b[level])
+        stats = streamed.pipeline_stats
+        assert stats.batches >= 2
+        assert stats.encode_seconds > 0
+        assert 0.0 <= stats.overlap_ratio <= 1.0
+
+    def test_streaming_caches_like_sync(self, bert):
+        cache = EmbeddingCache(max_entries=256)
+        executor = EmbeddingExecutor(
+            bert, cache=cache, async_encode=True, pipeline_chunk=4
+        )
+        tables = corpus()
+        executor.embed_levels_many(tables, LEVELS)
+        misses = cache.stats.misses
+        executor.embed_levels_many(tables, LEVELS)
+        assert cache.stats.misses == misses  # second pass: pure hits
+
+    def test_padded_entries_never_poison_an_exact_cache(self, bert):
+        # A shared (or persistent) cache must keep tolerance-tier
+        # embeddings in their own key space: an exact executor reading a
+        # cache populated by a padded run must still be bit-identical to
+        # uncached exact computation.
+        cache = EmbeddingCache(max_entries=512)
+        padded_exec = EmbeddingExecutor(
+            load_model("bert", backend=PaddedBackend()), cache=cache
+        )
+        exact_exec = EmbeddingExecutor(bert, cache=cache)
+        tables = corpus(8)
+        padded_exec.embed_levels_many(tables, LEVELS)  # warm with padded
+        got = exact_exec.embed_levels_many(tables, LEVELS)
+        want = EmbeddingExecutor(bert, naive=True).embed_levels_many(tables, LEVELS)
+        for bundle_got, bundle_want in zip(got, want):
+            for level in LEVELS:
+                assert np.array_equal(bundle_got[level], bundle_want[level])
+
+    def test_small_requests_skip_the_loop(self, bert):
+        executor = EmbeddingExecutor(
+            bert, cache=EmbeddingCache(max_entries=64), pipeline_chunk=64
+        )
+        executor.embed_levels_many(corpus(3), LEVELS)
+        assert executor.pipeline_stats.batches == 0
+
+    def test_generic_model_falls_back(self):
+        class Minimal:
+            name = "minimal-stream"
+            dim = 4
+
+            def supports(self, level):
+                return level == EmbeddingLevel.COLUMN
+
+            def supported_levels(self):
+                return frozenset({EmbeddingLevel.COLUMN})
+
+            def embed_columns(self, table):
+                return np.ones((table.num_columns, 4))
+
+        executor = EmbeddingExecutor(
+            Minimal(),
+            cache=EmbeddingCache(max_entries=64),
+            async_encode=True,
+            pipeline_chunk=2,
+        )
+        bundles = executor.embed_levels_many(corpus(6), (EmbeddingLevel.COLUMN,))
+        assert all(b[EmbeddingLevel.COLUMN].shape == (2, 4) for b in bundles)
+        assert executor.pipeline_stats.batches == 0
+
+    def test_row_template_model_falls_back(self, taptap):
+        executor = EmbeddingExecutor(
+            taptap,
+            cache=EmbeddingCache(max_entries=64),
+            async_encode=True,
+            pipeline_chunk=2,
+        )
+        tables = corpus(5)
+        bundles = executor.embed_levels_many(tables, (EmbeddingLevel.ROW,))
+        for table, bundle in zip(tables, bundles):
+            assert np.array_equal(
+                bundle[EmbeddingLevel.ROW], taptap.embed_rows(table)
+            )
+        assert executor.pipeline_stats.batches == 0
+
+
+class TestEncodeLoop:
+    def test_shared_loop_survives_and_submits(self):
+        loop = encode_loop()
+        assert loop is encode_loop()  # singleton
+        assert loop.is_alive()
+
+        async def compute():
+            return 21 * 2
+
+        assert loop.submit(compute()).result(timeout=5) == 42
+
+    def test_private_loop_close(self):
+        loop = EncodeLoop()
+
+        async def compute():
+            return "ok"
+
+        assert loop.submit(compute()).result(timeout=5) == "ok"
+        loop.close()
+        assert not loop.is_alive()
+
+
+class TestTelemetry:
+    def test_spans_accumulate_per_thread(self):
+        timings = telemetry.start_cell()
+        try:
+            with telemetry.span("encode"):
+                pass
+            telemetry.add("aggregate", 0.25)
+            telemetry.add("encode", 0.5, timings=timings)
+        finally:
+            stopped = telemetry.stop_cell()
+        assert stopped is timings
+        assert timings.aggregate_seconds == 0.25
+        assert timings.encode_seconds >= 0.5
+        assert telemetry.current() is None
+
+    def test_span_noop_without_cell(self):
+        telemetry.stop_cell()
+        with telemetry.span("encode"):
+            pass  # must not raise nor allocate a cell
+        assert telemetry.current() is None
+
+    def test_unknown_phase_rejected(self):
+        with pytest.raises(ValueError):
+            telemetry.CellTimings().add("network", 1.0)
+
+
+class TestSweepObservability:
+    SIZES = DatasetSizes(
+        wikitables_tables=3, sotab_tables=4, n_permutations=4, min_rows=4, max_rows=6
+    )
+    PROPS = ["row_order_insignificance", "heterogeneous_context"]
+
+    def test_records_and_slowest(self):
+        observatory = Observatory(seed=0, sizes=self.SIZES)
+        sweep = observatory.sweep(["bert"], self.PROPS)
+        assert sweep.backend == "local (exact)"
+        records = sweep.records
+        assert len(records) == len(sweep.cells) == 2
+        for record in records:
+            assert record["seconds"] > 0
+            assert record["encode_seconds"] > 0
+            assert record["encode_seconds"] + record["aggregate_seconds"] >= 0
+        slowest = sweep.slowest(1)
+        assert len(slowest) == 1
+        assert slowest[0].seconds == max(c.seconds for c in sweep.cells)
+        payload = sweep.to_dict()
+        assert payload["backend"] == "local (exact)"
+        assert "encode_seconds" in payload["cells"][0]
+
+    def test_process_engine_carries_phase_splits(self):
+        observatory = Observatory(seed=0, sizes=self.SIZES)
+        sweep = observatory.sweep(
+            ["bert"], self.PROPS, execution="process", max_workers=2
+        )
+        assert len(sweep.cells) == 2
+        assert all(cell.encode_seconds > 0 for cell in sweep.cells)
+
+    def test_render_sweep_shows_backend_and_slowest(self):
+        from repro.analysis.report import render_sweep
+
+        observatory = Observatory(seed=0, sizes=self.SIZES)
+        sweep = observatory.sweep(["bert"], self.PROPS)
+        rendered = render_sweep(sweep)
+        assert "encoder backend: local (exact)" in rendered
+        assert "Slowest cells" in rendered
+        assert "encode " in rendered
+
+    def test_padded_sweep_reports_backend_and_padding(self):
+        from repro.analysis.report import render_sweep
+
+        observatory = Observatory(
+            seed=0, sizes=self.SIZES, runtime=RuntimeConfig(exact=False)
+        )
+        sweep = observatory.sweep(["bert"], self.PROPS)
+        assert sweep.backend.startswith("padded")
+        rendered = render_sweep(sweep)
+        assert "padded" in rendered
+
+    def test_padded_sweep_close_to_exact(self):
+        exact = Observatory(seed=0, sizes=self.SIZES).sweep(["bert"], self.PROPS)
+        padded = Observatory(
+            seed=0, sizes=self.SIZES, runtime=RuntimeConfig(exact=False)
+        ).sweep(["bert"], self.PROPS)
+        for cell_e, cell_p in zip(exact.cells, padded.cells):
+            for key, value in cell_e.result.scalars.items():
+                assert cell_p.result.scalars[key] == pytest.approx(value, abs=1e-9)
+
+
+class TestRuntimeConfigBackends:
+    def test_backend_resolution(self):
+        assert RuntimeConfig().backend_name() == "local"
+        assert RuntimeConfig(exact=False).backend_name() == "padded"
+        assert RuntimeConfig(exact=False, backend="local").backend_name() == "local"
+        assert RuntimeConfig().build_backend().name == "local"
+        padded = RuntimeConfig(exact=False, padding_tier=5).build_backend()
+        assert padded.name == "padded" and padded.tier_width == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(backend="padded")  # exact=True contradiction
+        with pytest.raises(ValueError):
+            RuntimeConfig(backend="nonsense")
+        with pytest.raises(ValueError):
+            RuntimeConfig(padding_tier=0)
+
+    def test_custom_model_rejects_non_local_backend(self):
+        class Plain:
+            name = "plain-no-backend"
+            dim = 4
+
+            def supports(self, level):
+                return False
+
+            def supported_levels(self):
+                return frozenset()
+
+        register_model("plain-no-backend", Plain)
+        try:
+            obs = Observatory(runtime=RuntimeConfig(exact=False))
+            with pytest.raises(ObservatoryError):
+                obs.model("plain-no-backend")
+            # Default (local) config keeps custom models working.
+            assert Observatory().model("plain-no-backend").name == "plain-no-backend"
+        finally:
+            unregister_model("plain-no-backend")
+
+    def test_observatory_shares_one_backend(self):
+        obs = Observatory(runtime=RuntimeConfig(exact=False))
+        assert obs.model("bert").backend is obs.model("tapas").backend
+        assert obs.padding_stats() is not None
+        assert Observatory().padding_stats() is None
