@@ -19,6 +19,7 @@ from repro.models.backends import (
 from repro.models.config import ModelConfig
 from repro.models.base import EmbeddingModel, LevelBatchPlan, SurrogateModel
 from repro.models.registry import available_models, load_model, register_model
+from repro.models.token_array import Token, TokenArray, TokenInterner, TokenRole
 
 __all__ = [
     "EncoderBackend",
@@ -28,6 +29,10 @@ __all__ = [
     "LevelBatchPlan",
     "PaddedBackend",
     "SurrogateModel",
+    "Token",
+    "TokenArray",
+    "TokenInterner",
+    "TokenRole",
     "available_backends",
     "available_models",
     "load_model",

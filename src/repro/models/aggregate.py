@@ -6,16 +6,43 @@ paper, higher levels are obtained by aggregating token embeddings using the
 serialization provenance: value tokens know their (row, column), header
 tokens their column, and per-column ``[CLS]`` anchors are used directly when
 the model provides them (DODUO).
+
+All entry points consume the columnar
+:class:`~repro.models.token_array.TokenArray` (legacy ``Token`` lists are
+coerced on entry).  The per-token Python loops of the object era are gone
+— weight vectors come from vectorized boolean masks over the provenance
+arrays — but each level's pooled result is still computed with the *exact*
+expression the loops fed (``(states * weights[:, None]).sum(axis=0) /
+weights.sum()``), which keeps every output bit-identical to the legacy
+path (:mod:`repro.models.reference_plane` locks this in).  No level ever
+allocates a dense ``(n_levels, n_tokens)`` weight matrix: masks are built
+one level at a time, so transient memory stays linear in sequence length.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ModelError
-from repro.models.serializers import Token, TokenRole
+from repro.models.token_array import (
+    ROLE_CAPTION,
+    ROLE_HEADER,
+    ROLE_VALUE,
+    TokenArray,
+    TokenSequence,
+)
+
+__all__ = [
+    "column_embeddings",
+    "row_embeddings",
+    "embedded_row_count",
+    "table_embedding",
+    "cell_embedding",
+    "cell_embeddings",
+    "entity_embedding",
+]
 
 
 def _weighted_mean(states: np.ndarray, weights: np.ndarray) -> Optional[np.ndarray]:
@@ -26,7 +53,7 @@ def _weighted_mean(states: np.ndarray, weights: np.ndarray) -> Optional[np.ndarr
 
 
 def column_embeddings(
-    tokens: List[Token],
+    tokens: TokenSequence,
     states: np.ndarray,
     n_columns: int,
     *,
@@ -40,30 +67,31 @@ def column_embeddings(
     (weight ``header_weight``) of the column are mean-pooled.  Columns whose
     tokens were all truncated away fall back to the zero vector.
     """
+    ta = TokenArray.coerce(tokens)
     dim = states.shape[1] if states.size else 0
     out = np.zeros((n_columns, dim), dtype=np.float64)
     if use_cls_anchor:
-        for i, tok in enumerate(tokens):
-            if tok.is_anchor and 0 <= tok.col < n_columns:
-                out[tok.col] = states[i]
+        anchored = np.nonzero(ta.is_anchor & (ta.cols < n_columns))[0]
+        # Fancy assignment keeps sequence order: a duplicate anchor for the
+        # same column wins with its *last* occurrence, like the old loop.
+        out[ta.cols[anchored]] = states[anchored]
         return out
-    weights = np.zeros((n_columns, len(tokens)))
-    for i, tok in enumerate(tokens):
-        if not 0 <= tok.col < n_columns:
-            continue
-        if tok.role == TokenRole.VALUE:
-            weights[tok.col, i] = 1.0
-        elif tok.role == TokenRole.HEADER:
-            weights[tok.col, i] = header_weight
+    cols = ta.cols
+    value = ta.role_ids == ROLE_VALUE
+    header = ta.role_ids == ROLE_HEADER
     for c in range(n_columns):
-        pooled = _weighted_mean(states, weights[c])
+        in_col = cols == c
+        weights = np.where(
+            in_col & value, 1.0, np.where(in_col & header, header_weight, 0.0)
+        )
+        pooled = _weighted_mean(states, weights)
         if pooled is not None:
             out[c] = pooled
     return out
 
 
 def row_embeddings(
-    tokens: List[Token], states: np.ndarray, n_rows: int
+    tokens: TokenSequence, states: np.ndarray, n_rows: int
 ) -> np.ndarray:
     """Row embeddings for the first ``n_rows`` serialized rows.
 
@@ -71,38 +99,37 @@ def row_embeddings(
     the zero vector; callers that need the embedded-row count should use
     :func:`embedded_row_count`.
     """
+    ta = TokenArray.coerce(tokens)
     dim = states.shape[1] if states.size else 0
     out = np.zeros((n_rows, dim), dtype=np.float64)
+    rows = ta.rows
+    value = ta.role_ids == ROLE_VALUE
     for r in range(n_rows):
-        weights = np.fromiter(
-            (
-                1.0 if (tok.row == r and tok.role == TokenRole.VALUE) else 0.0
-                for tok in tokens
-            ),
-            dtype=np.float64,
-            count=len(tokens),
-        )
+        weights = ((rows == r) & value).astype(np.float64)
         pooled = _weighted_mean(states, weights)
         if pooled is not None:
             out[r] = pooled
     return out
 
 
-def embedded_row_count(tokens: List[Token]) -> int:
+def embedded_row_count(tokens: TokenSequence) -> int:
     """Number of distinct rows with at least one value token in the sequence."""
-    return len({tok.row for tok in tokens if tok.row >= 0 and tok.role == TokenRole.VALUE})
+    ta = TokenArray.coerce(tokens)
+    selected = ta.rows[(ta.rows >= 0) & (ta.role_ids == ROLE_VALUE)]
+    return int(np.unique(selected).size)
 
 
 def table_embedding(
-    tokens: List[Token], states: np.ndarray, *, header_weight: float = 1.0
+    tokens: TokenSequence, states: np.ndarray, *, header_weight: float = 1.0
 ) -> np.ndarray:
     """Table embedding: mean over value + weighted header + caption tokens."""
-    weights = np.zeros(len(tokens))
-    for i, tok in enumerate(tokens):
-        if tok.role == TokenRole.VALUE or tok.role == TokenRole.CAPTION:
-            weights[i] = 1.0
-        elif tok.role == TokenRole.HEADER:
-            weights[i] = header_weight
+    ta = TokenArray.coerce(tokens)
+    role = ta.role_ids
+    weights = np.where(
+        (role == ROLE_VALUE) | (role == ROLE_CAPTION),
+        1.0,
+        np.where(role == ROLE_HEADER, header_weight, 0.0),
+    )
     pooled = _weighted_mean(states, weights)
     if pooled is None:
         raise ModelError("cannot pool a table embedding from an empty sequence")
@@ -110,41 +137,63 @@ def table_embedding(
 
 
 def cell_embedding(
-    tokens: List[Token], states: np.ndarray, row: int, col: int
+    tokens: TokenSequence, states: np.ndarray, row: int, col: int
 ) -> Optional[np.ndarray]:
     """Mean of the value tokens of cell (row, col); None if truncated away."""
-    weights = np.fromiter(
-        (
-            1.0
-            if (tok.row == row and tok.col == col and tok.role == TokenRole.VALUE)
-            else 0.0
-            for tok in tokens
-        ),
-        dtype=np.float64,
-        count=len(tokens),
-    )
+    ta = TokenArray.coerce(tokens)
+    weights = (
+        (ta.rows == row) & (ta.cols == col) & (ta.role_ids == ROLE_VALUE)
+    ).astype(np.float64)
     return _weighted_mean(states, weights)
 
 
 def cell_embeddings(
-    tokens: List[Token],
+    tokens: TokenSequence,
     states: np.ndarray,
     coords: Sequence[Tuple[int, int]],
 ) -> Dict[Tuple[int, int], np.ndarray]:
-    """Cell embeddings for several coordinates in one pass."""
-    index: Dict[Tuple[int, int], List[int]] = {}
+    """Cell embeddings for several coordinates in one pass.
+
+    One vectorized grouping over the value tokens serves every requested
+    coordinate — per-coordinate mask scans would be O(|coords| * tokens),
+    a real regression for cell-heavy properties (P4 requests ~2 cells per
+    row).  Group means use ascending token indices, matching the legacy
+    one-pass dict index bit-for-bit.
+    """
+    ta = TokenArray.coerce(tokens)
     wanted = set(coords)
-    for i, tok in enumerate(tokens):
-        if tok.role == TokenRole.VALUE and (tok.row, tok.col) in wanted:
-            index.setdefault((tok.row, tok.col), []).append(i)
     out: Dict[Tuple[int, int], np.ndarray] = {}
-    for coord, token_ids in index.items():
-        out[coord] = states[token_ids].mean(axis=0)
+    if not wanted:
+        return out
+    value_idx = np.nonzero(ta.role_ids == ROLE_VALUE)[0]
+    if not value_idx.size:
+        return out
+    rows = ta.rows[value_idx].astype(np.int64)
+    cols = ta.cols[value_idx].astype(np.int64)
+    # Collapse (row, col) to one sortable key; +1 keeps -1 provenance and
+    # the span covers both the tokens' and the requested columns.
+    span = max(int(cols.max()), max(c for _, c in wanted), 0) + 2
+    keys = (rows + 1) * span + (cols + 1)
+    wanted_keys = np.fromiter(
+        ((r + 1) * span + (c + 1) for r, c in wanted),
+        dtype=np.int64,
+        count=len(wanted),
+    )
+    selected = np.nonzero(np.isin(keys, wanted_keys))[0]
+    if not selected.size:
+        return out
+    # Stable sort keeps token order ascending inside each cell's group.
+    ordered = selected[np.argsort(keys[selected], kind="stable")]
+    boundaries = np.nonzero(np.diff(keys[ordered]))[0] + 1
+    for group in np.split(ordered, boundaries):
+        first = group[0]
+        coord = (int(rows[first]), int(cols[first]))
+        out[coord] = states[value_idx[group]].mean(axis=0)
     return out
 
 
 def entity_embedding(
-    tokens: List[Token],
+    tokens: TokenSequence,
     states: np.ndarray,
     row: int,
     col: int,
@@ -157,10 +206,8 @@ def entity_embedding(
     associated metadata the paper describes (entity embeddings combine the
     mention with its context).
     """
-    weights = np.zeros(len(tokens))
-    for i, tok in enumerate(tokens):
-        if tok.row == row and tok.col == col and tok.role == TokenRole.VALUE:
-            weights[i] = 1.0
-        elif tok.col == col and tok.role == TokenRole.HEADER:
-            weights[i] = metadata_weight
+    ta = TokenArray.coerce(tokens)
+    in_cell = (ta.rows == row) & (ta.cols == col) & (ta.role_ids == ROLE_VALUE)
+    in_header = (ta.cols == col) & (ta.role_ids == ROLE_HEADER)
+    weights = np.where(in_cell, 1.0, np.where(in_header, metadata_weight, 0.0))
     return _weighted_mean(states, weights)

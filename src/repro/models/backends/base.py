@@ -26,7 +26,7 @@ from typing import List, Sequence
 
 import numpy as np
 
-from repro.models.serializers import Token
+from repro.models.token_array import TokenSequence
 
 # Above this token count the [B, L, L] attention temporaries of a stacked
 # batch exceed CPU cache and batched encoding measures *slower* than
@@ -49,7 +49,7 @@ class EncoderBackend(abc.ABC):
 
     @abc.abstractmethod
     def encode_batch(
-        self, encoder, token_lists: Sequence[List[Token]], batch_size: int = 8
+        self, encoder, token_lists: Sequence[TokenSequence], batch_size: int = 8
     ) -> List[np.ndarray]:
         """Encode every sequence; results in input order.
 
@@ -59,7 +59,7 @@ class EncoderBackend(abc.ABC):
         """
 
     async def aencode_batch(
-        self, encoder, token_lists: Sequence[List[Token]], batch_size: int = 8
+        self, encoder, token_lists: Sequence[TokenSequence], batch_size: int = 8
     ) -> List[np.ndarray]:
         """Awaitable :meth:`encode_batch`; default offloads to a thread.
 

@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.models.backends.base import BATCH_MAX_LENGTH, EncoderBackend
-from repro.models.serializers import Token
+from repro.models.token_array import TokenSequence
 
 
 class LocalBackend(EncoderBackend):
@@ -33,7 +33,7 @@ class LocalBackend(EncoderBackend):
         self.max_batch_length = max_batch_length
 
     def encode_batch(
-        self, encoder, token_lists: Sequence[List[Token]], batch_size: int = 8
+        self, encoder, token_lists: Sequence[TokenSequence], batch_size: int = 8
     ) -> List[np.ndarray]:
         results: List[Optional[np.ndarray]] = [None] * len(token_lists)
         by_length: Dict[int, List[int]] = {}

@@ -29,7 +29,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.models.backends.base import BATCH_MAX_LENGTH, EncoderBackend
-from repro.models.serializers import Token
+from repro.models.token_array import TokenSequence
 
 # Guaranteed per-element bound, relative to the output's magnitude, between
 # this backend and the single-sequence forward.  Observed differences are
@@ -109,7 +109,7 @@ class PaddedBackend(EncoderBackend):
         return (length - 1) // self.tier_width
 
     def encode_batch(
-        self, encoder, token_lists: Sequence[List[Token]], batch_size: int = 8
+        self, encoder, token_lists: Sequence[TokenSequence], batch_size: int = 8
     ) -> List[np.ndarray]:
         results: List[Optional[np.ndarray]] = [None] * len(token_lists)
         tiers: Dict[int, List[int]] = {}

@@ -27,8 +27,8 @@ from repro.models.serializers import (
     ColumnWiseSerializer,
     RowTemplateSerializer,
     RowWiseSerializer,
-    Token,
 )
+from repro.models.token_array import TokenArray
 from repro.relational.table import Table
 from repro.text.tokenizer import Tokenizer, TokenizerConfig
 
@@ -103,7 +103,7 @@ class LevelBatchPlan:
 
     tables: List[Table]
     effectives: List[Table]
-    token_lists: List[List[Token]]
+    token_lists: List[TokenArray]
     levels_list: List[Tuple[EmbeddingLevel, ...]]
 
 
@@ -161,7 +161,7 @@ class SurrogateModel(EmbeddingModel):
             return table.head(k)
         return table
 
-    def _encode_table(self, table: Table) -> Tuple[List[Token], np.ndarray, Table]:
+    def _encode_table(self, table: Table) -> Tuple[TokenArray, np.ndarray, Table]:
         if self.config.serialization == Serialization.ROW_TEMPLATE:
             raise ModelError(
                 f"{self.name} encodes rows independently; use embed_rows"
@@ -194,7 +194,7 @@ class SurrogateModel(EmbeddingModel):
     def _aggregate_level(
         self,
         level: EmbeddingLevel,
-        tokens: List[Token],
+        tokens: TokenArray,
         states: np.ndarray,
         table: Table,
         effective: Table,
@@ -349,7 +349,7 @@ class SurrogateModel(EmbeddingModel):
             ]
         snapshot = self.config.content_snapshot_rows
         plans: List[Tuple[int, List[int]]] = []  # (first chunk index, chunk lengths)
-        token_lists: List[List[Token]] = []
+        token_lists: List[TokenArray] = []
         with telemetry.span("serialize"):
             for header, values in requests:
                 values = list(values)

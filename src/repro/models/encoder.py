@@ -23,40 +23,37 @@ import numpy as np
 
 from repro.models.backends import resolve_backend
 from repro.models.config import AttentionMask, ModelConfig, OutputNorm, PositionKind
-from repro.models.serializers import Token, TokenRole
+from repro.models.token_array import (
+    CONTENT_ANISOTROPY,
+    INTERNER,
+    ROLE_CAPTION,
+    ROLE_ORDER,
+    ROLE_SPECIAL,
+    TokenArray,
+    TokenSequence,
+)
 from repro.models.weights import ModelWeights
-from repro.seeding import token_vector
 
 _LN_EPS = 1e-6
 
-# Contextual embedding spaces are anisotropic: all vectors share a dominant
-# common direction (a well-documented property of BERT-family spaces).  The
-# surrogates model it by mixing a fixed global direction into every content
-# vector; it is what gives sample fidelity (P5) its high baseline — two
-# disjoint halves of a column still point broadly the same way.
-_CONTENT_ANISOTROPY = 1.0
-
-# Content vectors are model-agnostic; cache them once per process.
-_CONTENT_CACHE: Dict[str, np.ndarray] = {}
-_GLOBAL_DIRECTION: Dict[int, np.ndarray] = {}
+# Back-compat alias: the anisotropic content mixing now lives with the
+# interner (repro.models.token_array), which owns the content vectors.
+_CONTENT_ANISOTROPY = CONTENT_ANISOTROPY
 
 
 def _global_direction(dim: int) -> np.ndarray:
-    direction = _GLOBAL_DIRECTION.get(dim)
-    if direction is None:
-        raw = token_vector("__global_direction__", dim, namespace="content-global")
-        direction = raw / np.linalg.norm(raw) * np.sqrt(dim)
-        _GLOBAL_DIRECTION[dim] = direction
-    return direction
+    """The shared anisotropy direction (delegates to the interner)."""
+    return INTERNER.global_direction(dim)
 
 
 def _content_vector(piece: str, dim: int) -> np.ndarray:
-    key = f"{dim}:{piece}"
-    vec = _CONTENT_CACHE.get(key)
-    if vec is None:
-        vec = token_vector(piece, dim) + _CONTENT_ANISOTROPY * _global_direction(dim)
-        _CONTENT_CACHE[key] = vec
-    return vec
+    """One piece's content vector (delegates to the interner's matrix).
+
+    The columnar hot path gathers whole sequences at once via
+    ``INTERNER.content_matrix(dim)[piece_ids]``; this per-piece form exists
+    for the legacy/reference token loop and external callers.
+    """
+    return INTERNER.content_vector(piece, dim)
 
 
 def _layer_norm(x: np.ndarray) -> np.ndarray:
@@ -81,53 +78,72 @@ class Encoder:
         # encoder owns the transformer math, the backend owns grouping,
         # padding, and (a)sync scheduling.
         self.backend = resolve_backend(backend)
+        # Segment vectors stacked in ROLE_ORDER so role_ids gather them.
+        self._segment_matrix = self.weights.segment_matrix(
+            tuple(role.value for role in ROLE_ORDER)
+        )
+        # attention_bias is a pure function of (length, relative_tau) and
+        # relative_tau is fixed per encoder — memoize by length.  Cached
+        # arrays are marked read-only; the forward passes only add them.
+        self._bias_cache: Dict[int, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # Input embedding
     # ------------------------------------------------------------------
 
-    def embed_tokens(self, tokens: List[Token]) -> np.ndarray:
-        """Initial embeddings: content + segment + positional terms."""
+    def embed_tokens(self, tokens: TokenSequence) -> np.ndarray:
+        """Initial embeddings: content + segment + positional terms.
+
+        A fused gather over the columnar plane: content vectors by
+        ``piece_ids``, segment vectors by ``role_ids``, positional terms
+        from precomputed per-kind matrices — bit-identical to the legacy
+        per-token loop (:func:`repro.models.reference_plane.embed_tokens_reference`),
+        because every term gathers the exact same float64 vectors and adds
+        them in the same order.
+        """
+        ta = TokenArray.coerce(tokens)
         cfg = self.config
-        dim = cfg.dim
-        x = np.empty((len(tokens), dim), dtype=np.float64)
-        for i, tok in enumerate(tokens):
-            vec = _content_vector(tok.piece, dim).copy()
-            vec += 0.05 * self.weights.segment_vector(tok.role.value)
-            if cfg.position_kind == PositionKind.ABSOLUTE and cfg.position_scale:
-                vec += cfg.position_scale * self.weights.position_vector("abs", i)
-            if cfg.position_kind == PositionKind.ROW_COLUMN:
-                if tok.row >= 0 and cfg.row_position_scale:
-                    vec += cfg.row_position_scale * self.weights.position_vector(
-                        "row", tok.row
-                    )
-                if tok.col >= 0 and cfg.column_position_scale:
-                    vec += cfg.column_position_scale * self.weights.position_vector(
-                        "col", tok.col
-                    )
-            elif cfg.column_position_scale and tok.col >= 0:
-                # Mild column-identity signal for non-ROW_COLUMN schemes.
-                vec += cfg.column_position_scale * self.weights.position_vector(
-                    "col", tok.col
-                )
-            x[i] = vec
+        n = len(ta)
+        x = INTERNER.content_matrix(cfg.dim)[ta.piece_ids]
+        x += 0.05 * self._segment_matrix[ta.role_ids]
+        if n and cfg.position_kind == PositionKind.ABSOLUTE and cfg.position_scale:
+            x += cfg.position_scale * self.weights.position_matrix("abs", n)[:n]
+        if cfg.position_kind == PositionKind.ROW_COLUMN:
+            if cfg.row_position_scale:
+                self._add_positions(x, "row", ta.rows, cfg.row_position_scale)
+            if cfg.column_position_scale:
+                self._add_positions(x, "col", ta.cols, cfg.column_position_scale)
+        elif cfg.column_position_scale:
+            # Mild column-identity signal for non-ROW_COLUMN schemes.
+            self._add_positions(x, "col", ta.cols, cfg.column_position_scale)
         return x
+
+    def _add_positions(
+        self, x: np.ndarray, kind: str, indices: np.ndarray, scale: float
+    ) -> None:
+        """Add ``scale * position(kind, index)`` where ``index >= 0``."""
+        selected = np.nonzero(indices >= 0)[0]
+        if not selected.size:
+            return
+        idx = indices[selected]
+        matrix = self.weights.position_matrix(kind, int(idx.max()) + 1)
+        x[selected] += scale * matrix[idx]
 
     # ------------------------------------------------------------------
     # Attention structure
     # ------------------------------------------------------------------
 
-    def attention_mask(self, tokens: List[Token]) -> np.ndarray:
+    def attention_mask(self, tokens: TokenSequence) -> np.ndarray:
         """Boolean [L, L] visibility matrix according to the config."""
-        n = len(tokens)
+        ta = TokenArray.coerce(tokens)
+        n = len(ta)
         kind = self.config.attention_mask
         if kind == AttentionMask.FULL:
             return np.ones((n, n), dtype=bool)
-        cols = np.array([t.col for t in tokens])
-        rows = np.array([t.row for t in tokens])
-        is_global = np.array(
-            [t.role == TokenRole.SPECIAL and t.col < 0 and t.row < 0 for t in tokens]
-        ) | np.array([t.role == TokenRole.CAPTION for t in tokens])
+        cols, rows = ta.cols, ta.rows
+        is_global = (
+            (ta.role_ids == ROLE_SPECIAL) & (cols < 0) & (rows < 0)
+        ) | (ta.role_ids == ROLE_CAPTION)
         if kind == AttentionMask.COLUMN_LOCAL:
             same = (cols[:, None] == cols[None, :]) & (cols[:, None] >= 0)
         else:  # ROW_LOCAL
@@ -136,21 +152,35 @@ class Encoder:
         np.fill_diagonal(mask, True)
         return mask
 
-    def attention_bias(self, tokens: List[Token]) -> np.ndarray:
+    def attention_bias(self, tokens: TokenSequence) -> np.ndarray:
         """Additive [L, L] score bias (relative-distance decay for T5)."""
-        n = len(tokens)
-        if self.config.position_kind != PositionKind.RELATIVE:
-            return np.zeros((n, n), dtype=np.float64)
-        idx = np.arange(n, dtype=np.float64)
-        distance = np.abs(idx[:, None] - idx[None, :])
-        return -distance / self.config.relative_tau
+        return self.bias_for_length(len(tokens))
+
+    def bias_for_length(self, n: int) -> np.ndarray:
+        """Memoized :meth:`attention_bias` keyed by sequence length.
+
+        The bias depends only on ``(length, relative_tau)``; recomputing
+        the [L, L] distance matrix per sequence was pure waste.  Returned
+        arrays are read-only and shared — callers add, never mutate.
+        """
+        cached = self._bias_cache.get(n)
+        if cached is None:
+            if self.config.position_kind != PositionKind.RELATIVE:
+                cached = np.zeros((n, n), dtype=np.float64)
+            else:
+                idx = np.arange(n, dtype=np.float64)
+                distance = np.abs(idx[:, None] - idx[None, :])
+                cached = -distance / self.config.relative_tau
+            cached.flags.writeable = False
+            self._bias_cache[n] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Forward pass
     # ------------------------------------------------------------------
 
     def encode_batch(
-        self, token_lists: Sequence[List[Token]], batch_size: int = 8
+        self, token_lists: Sequence[TokenSequence], batch_size: int = 8
     ) -> List[np.ndarray]:
         """Encode many token sequences via the configured backend.
 
@@ -164,7 +194,7 @@ class Encoder:
         return self.backend.encode_batch(self, token_lists, batch_size=batch_size)
 
     async def aencode_batch(
-        self, token_lists: Sequence[List[Token]], batch_size: int = 8
+        self, token_lists: Sequence[TokenSequence], batch_size: int = 8
     ) -> List[np.ndarray]:
         """Awaitable :meth:`encode_batch` (the streaming executor's hook)."""
         return await self.backend.aencode_batch(
@@ -218,7 +248,7 @@ class Encoder:
             )
         return x
 
-    def forward_batch(self, token_lists: Sequence[List[Token]]) -> List[np.ndarray]:
+    def forward_batch(self, token_lists: Sequence[TokenSequence]) -> List[np.ndarray]:
         """Batched forward pass over same-length sequences ([B, L, D]).
 
         Outputs are bit-identical to :meth:`encode` per sequence (see
@@ -232,7 +262,7 @@ class Encoder:
         x = self._transform_stacked(x, neg, bias)
         return [x[b] for b in range(len(token_lists))]
 
-    def forward_padded(self, token_lists: Sequence[List[Token]]) -> List[np.ndarray]:
+    def forward_padded(self, token_lists: Sequence[TokenSequence]) -> List[np.ndarray]:
         """Batched forward over *mixed-length* sequences, padded + masked.
 
         Shorter sequences are right-padded with zero vectors to the
@@ -264,9 +294,10 @@ class Encoder:
         x = self._transform_stacked(x, neg, bias)
         return [x[b, : lengths[b]] for b in range(batch)]
 
-    def encode(self, tokens: List[Token]) -> np.ndarray:
+    def encode(self, tokens: TokenSequence) -> np.ndarray:
         """Final token embeddings, shape [len(tokens), dim]."""
-        if not tokens:
+        tokens = TokenArray.coerce(tokens)
+        if not len(tokens):
             return np.zeros((0, self.config.dim), dtype=np.float64)
         cfg = self.config
         x = self.embed_tokens(tokens)

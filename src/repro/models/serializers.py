@@ -11,48 +11,77 @@ serialized (Section 4.3 of the paper).  Two families are implemented:
 plus TapTap's per-row text templates.  Serializers enforce the model input
 limit the way the paper does: *keep every column, binary-search the maximum
 number of rows that fits*.
+
+Serializers emit the columnar :class:`~repro.models.token_array.TokenArray`
+natively — piece ids are interned at append time, so the hot path never
+constructs per-token objects.  The legacy ``Token``-object emitters
+(``serialize_tokens`` and friends) are kept verbatim as the compat /
+reference API: ablations and the bit-identity suite compare the two, and
+``benchmarks/bench_runtime_sweep.py`` times the object path as the PR 3
+serialization baseline.
 """
 
 from __future__ import annotations
 
-import dataclasses
-import enum
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.errors import SerializationError
+from repro.models.token_array import (
+    INTERNER,
+    ROLE_CAPTION,
+    ROLE_HEADER,
+    ROLE_SPECIAL,
+    ROLE_VALUE,
+    Token,
+    TokenArray,
+    TokenArrayBuilder,
+    TokenRole,
+)
 from repro.relational.table import Table
 from repro.text.tokenizer import Tokenizer
 from repro.text.vocab import CELL, CLS, HEADER, ROW, SEP
 
+__all__ = [
+    "Token",
+    "TokenRole",
+    "TokenArray",
+    "RowWiseSerializer",
+    "ColumnWiseSerializer",
+    "RowTemplateSerializer",
+]
 
-class TokenRole(enum.Enum):
-    """Structural role of a serialized token."""
+# Structural specials are shared by every sequence; intern them once.
+_CLS_ID = INTERNER.intern(CLS)
+_SEP_ID = INTERNER.intern(SEP)
+_ROW_ID = INTERNER.intern(ROW)
+_CELL_ID = INTERNER.intern(CELL)
+_HEADER_ID = INTERNER.intern(HEADER)
+_IS_ID = INTERNER.intern("is")
 
-    SPECIAL = "special"
-    CAPTION = "caption"
-    HEADER = "header"
-    VALUE = "value"
 
+class _PieceIds:
+    """Memoized text → interned-piece-id list (the serializer hot path).
 
-@dataclasses.dataclass(frozen=True)
-class Token:
-    """One serialized token with table provenance.
-
-    ``row``/``col`` are -1 when the token does not belong to a specific
-    row/column (caption, global specials).  ``col`` is set on per-column
-    specials such as DODUO's column [CLS] anchors so aggregation can find
-    them.
+    Tokenization is already memoized inside :class:`Tokenizer`; this second
+    tier also skips the per-piece interner lookups for repeated cell
+    values, which shuffle sweeps re-serialize thousands of times.
     """
 
-    piece: str
-    role: TokenRole
-    row: int = -1
-    col: int = -1
+    _CACHE_LIMIT = 65536
 
-    @property
-    def is_anchor(self) -> bool:
-        """True for per-column [CLS] anchors (DODUO-style)."""
-        return self.role == TokenRole.SPECIAL and self.piece == CLS and self.col >= 0
+    __slots__ = ("tokenizer", "_cache")
+
+    def __init__(self, tokenizer: Tokenizer):
+        self.tokenizer = tokenizer
+        self._cache: Dict[str, List[int]] = {}
+
+    def ids(self, text: str) -> List[int]:
+        cached = self._cache.get(text)
+        if cached is None:
+            cached = INTERNER.intern_many(self.tokenizer.tokenize(text))
+            if len(self._cache) < self._CACHE_LIMIT:
+                self._cache[text] = cached
+        return cached
 
 
 class RowWiseSerializer:
@@ -79,9 +108,66 @@ class RowWiseSerializer:
         self.max_tokens = max_tokens
         self.include_header = include_header
         self.include_caption = include_caption
+        self._ids = _PieceIds(tokenizer)
 
-    def serialize_rows(self, table: Table, n_rows: int) -> List[Token]:
+    def serialize_rows(self, table: Table, n_rows: int) -> TokenArray:
         """Serialize the first ``n_rows`` rows without enforcing the budget."""
+        ids = self._ids.ids
+        out = TokenArrayBuilder()
+        out.append_id(_CLS_ID, ROLE_SPECIAL)
+        if self.include_caption and table.caption:
+            out.extend_ids(ids(table.caption), ROLE_CAPTION)
+            out.append_id(_SEP_ID, ROLE_SPECIAL)
+        if self.include_header:
+            for c, name in enumerate(table.header):
+                out.extend_ids(ids(name), ROLE_HEADER, col=c)
+                out.append_id(_HEADER_ID, ROLE_SPECIAL, col=c)
+            out.append_id(_SEP_ID, ROLE_SPECIAL)
+        n_columns = table.num_columns
+        for r in range(min(n_rows, table.num_rows)):
+            out.append_id(_ROW_ID, ROLE_SPECIAL, row=r)
+            for c in range(n_columns):
+                value = table.cell(r, c)
+                out.extend_ids(
+                    ids("" if value is None else str(value)), ROLE_VALUE, row=r, col=c
+                )
+                if c < n_columns - 1:
+                    out.append_id(_CELL_ID, ROLE_SPECIAL, row=r, col=c)
+            out.append_id(_SEP_ID, ROLE_SPECIAL, row=r)
+        return out.build()
+
+    def fit_rows(self, table: Table) -> int:
+        """Maximum number of rows that fits the budget (binary search).
+
+        Mirrors the paper's protocol: all columns are always kept; at least
+        one row is attempted even if it overflows (the sequence is then
+        truncated hard by :meth:`serialize`).
+        """
+        lo, hi, best = 1, table.num_rows, 0
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            if len(self.serialize_rows(table, mid)) <= self.max_tokens:
+                best = mid
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        return best
+
+    def serialize(self, table: Table, n_rows: Optional[int] = None) -> TokenArray:
+        """Serialize within budget; returns at most ``max_tokens`` tokens."""
+        if table.num_rows == 0:
+            return self.serialize_rows(table, 0)[: self.max_tokens]
+        if n_rows is None:
+            n_rows = self.fit_rows(table)
+        if n_rows == 0:
+            # Even a single row overflows: keep one row, truncate hard.
+            return self.serialize_rows(table, 1)[: self.max_tokens]
+        return self.serialize_rows(table, n_rows)
+
+    # -- legacy Token-object path (compat / reference) -----------------
+
+    def serialize_rows_tokens(self, table: Table, n_rows: int) -> List[Token]:
+        """Frozen PR 3 object emitter; layout-identical to the columnar path."""
         tokens: List[Token] = [Token(CLS, TokenRole.SPECIAL)]
         if self.include_caption and table.caption:
             tokens.extend(
@@ -108,33 +194,27 @@ class RowWiseSerializer:
             tokens.append(Token(SEP, TokenRole.SPECIAL, row=r))
         return tokens
 
-    def fit_rows(self, table: Table) -> int:
-        """Maximum number of rows that fits the budget (binary search).
-
-        Mirrors the paper's protocol: all columns are always kept; at least
-        one row is attempted even if it overflows (the sequence is then
-        truncated hard by :meth:`serialize`).
-        """
+    def fit_rows_tokens(self, table: Table) -> int:
+        """Binary search probing with the object emitter (PR 3 cost model)."""
         lo, hi, best = 1, table.num_rows, 0
         while lo <= hi:
             mid = (lo + hi) // 2
-            if len(self.serialize_rows(table, mid)) <= self.max_tokens:
+            if len(self.serialize_rows_tokens(table, mid)) <= self.max_tokens:
                 best = mid
                 lo = mid + 1
             else:
                 hi = mid - 1
         return best
 
-    def serialize(self, table: Table, n_rows: Optional[int] = None) -> List[Token]:
-        """Serialize within budget; returns at most ``max_tokens`` tokens."""
+    def serialize_tokens(self, table: Table, n_rows: Optional[int] = None) -> List[Token]:
+        """Legacy ``List[Token]`` form of :meth:`serialize` (same truncation)."""
         if table.num_rows == 0:
-            return self.serialize_rows(table, 0)[: self.max_tokens]
+            return self.serialize_rows_tokens(table, 0)[: self.max_tokens]
         if n_rows is None:
-            n_rows = self.fit_rows(table)
+            n_rows = self.fit_rows_tokens(table)
         if n_rows == 0:
-            # Even a single row overflows: keep one row, truncate hard.
-            return self.serialize_rows(table, 1)[: self.max_tokens]
-        return self.serialize_rows(table, n_rows)
+            return self.serialize_rows_tokens(table, 1)[: self.max_tokens]
+        return self.serialize_rows_tokens(table, n_rows)
 
 
 class ColumnWiseSerializer:
@@ -159,8 +239,48 @@ class ColumnWiseSerializer:
         self.tokenizer = tokenizer
         self.max_tokens = max_tokens
         self.include_header = include_header
+        self._ids = _PieceIds(tokenizer)
 
-    def serialize_rows(self, table: Table, n_rows: int) -> List[Token]:
+    def serialize_rows(self, table: Table, n_rows: int) -> TokenArray:
+        ids = self._ids.ids
+        out = TokenArrayBuilder()
+        for c in range(table.num_columns):
+            out.append_id(_CLS_ID, ROLE_SPECIAL, col=c)
+            if self.include_header:
+                out.extend_ids(ids(table.header[c]), ROLE_HEADER, col=c)
+                out.append_id(_HEADER_ID, ROLE_SPECIAL, col=c)
+            for r in range(min(n_rows, table.num_rows)):
+                value = table.cell(r, c)
+                out.extend_ids(
+                    ids("" if value is None else str(value)), ROLE_VALUE, row=r, col=c
+                )
+            out.append_id(_SEP_ID, ROLE_SPECIAL, col=c)
+        return out.build()
+
+    def fit_rows(self, table: Table) -> int:
+        lo, hi, best = 1, table.num_rows, 0
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            if len(self.serialize_rows(table, mid)) <= self.max_tokens:
+                best = mid
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        return best
+
+    def serialize(self, table: Table, n_rows: Optional[int] = None) -> TokenArray:
+        if table.num_rows == 0:
+            return self.serialize_rows(table, 0)[: self.max_tokens]
+        if n_rows is None:
+            n_rows = self.fit_rows(table)
+        if n_rows == 0:
+            return self.serialize_rows(table, 1)[: self.max_tokens]
+        return self.serialize_rows(table, n_rows)
+
+    # -- legacy Token-object path (compat / reference) -----------------
+
+    def serialize_rows_tokens(self, table: Table, n_rows: int) -> List[Token]:
+        """Frozen PR 3 object emitter; layout-identical to the columnar path."""
         tokens: List[Token] = []
         for c in range(table.num_columns):
             tokens.append(Token(CLS, TokenRole.SPECIAL, col=c))
@@ -177,25 +297,27 @@ class ColumnWiseSerializer:
             tokens.append(Token(SEP, TokenRole.SPECIAL, col=c))
         return tokens
 
-    def fit_rows(self, table: Table) -> int:
+    def fit_rows_tokens(self, table: Table) -> int:
+        """Binary search probing with the object emitter (PR 3 cost model)."""
         lo, hi, best = 1, table.num_rows, 0
         while lo <= hi:
             mid = (lo + hi) // 2
-            if len(self.serialize_rows(table, mid)) <= self.max_tokens:
+            if len(self.serialize_rows_tokens(table, mid)) <= self.max_tokens:
                 best = mid
                 lo = mid + 1
             else:
                 hi = mid - 1
         return best
 
-    def serialize(self, table: Table, n_rows: Optional[int] = None) -> List[Token]:
+    def serialize_tokens(self, table: Table, n_rows: Optional[int] = None) -> List[Token]:
+        """Legacy ``List[Token]`` form of :meth:`serialize` (same truncation)."""
         if table.num_rows == 0:
-            return self.serialize_rows(table, 0)[: self.max_tokens]
+            return self.serialize_rows_tokens(table, 0)[: self.max_tokens]
         if n_rows is None:
-            n_rows = self.fit_rows(table)
+            n_rows = self.fit_rows_tokens(table)
         if n_rows == 0:
-            return self.serialize_rows(table, 1)[: self.max_tokens]
-        return self.serialize_rows(table, n_rows)
+            return self.serialize_rows_tokens(table, 1)[: self.max_tokens]
+        return self.serialize_rows_tokens(table, n_rows)
 
 
 class RowTemplateSerializer:
@@ -210,8 +332,32 @@ class RowTemplateSerializer:
     def __init__(self, tokenizer: Tokenizer, max_tokens: int = 512):
         self.tokenizer = tokenizer
         self.max_tokens = max_tokens
+        self._ids = _PieceIds(tokenizer)
 
-    def serialize_row(self, table: Table, row: int) -> List[Token]:
+    def serialize_row(self, table: Table, row: int) -> TokenArray:
+        if not 0 <= row < table.num_rows:
+            raise SerializationError(f"row {row} out of range")
+        ids = self._ids.ids
+        out = TokenArrayBuilder()
+        out.append_id(_CLS_ID, ROLE_SPECIAL, row=row)
+        for c, name in enumerate(table.header):
+            out.extend_ids(ids(name), ROLE_HEADER, row=row, col=c)
+            out.append_id(_IS_ID, ROLE_SPECIAL, row=row, col=c)
+            value = table.cell(row, c)
+            out.extend_ids(
+                ids("" if value is None else str(value)), ROLE_VALUE, row=row, col=c
+            )
+            out.append_id(_CELL_ID, ROLE_SPECIAL, row=row, col=c)
+        return out.build()[: self.max_tokens]
+
+    def serialize(self, table: Table) -> List[TokenArray]:
+        """One token sequence per row."""
+        return [self.serialize_row(table, r) for r in range(table.num_rows)]
+
+    # -- legacy Token-object path (compat / reference) -----------------
+
+    def serialize_row_tokens(self, table: Table, row: int) -> List[Token]:
+        """Frozen PR 3 object emitter; layout-identical to the columnar path."""
         if not 0 <= row < table.num_rows:
             raise SerializationError(f"row {row} out of range")
         tokens: List[Token] = [Token(CLS, TokenRole.SPECIAL, row=row)]
@@ -229,6 +375,6 @@ class RowTemplateSerializer:
             tokens.append(Token(CELL, TokenRole.SPECIAL, row=row, col=c))
         return tokens[: self.max_tokens]
 
-    def serialize(self, table: Table) -> List[List[Token]]:
-        """One token sequence per row."""
-        return [self.serialize_row(table, r) for r in range(table.num_rows)]
+    def serialize_tokens(self, table: Table) -> List[List[Token]]:
+        """Legacy ``List[Token]`` sequences, one per row."""
+        return [self.serialize_row_tokens(table, r) for r in range(table.num_rows)]

@@ -1,0 +1,498 @@
+"""Columnar token plane: interned piece ids + parallel provenance arrays.
+
+Serialized tables used to be lists of frozen :class:`Token` dataclasses,
+and every downstream stage — input embedding, attention-mask construction,
+token-to-level aggregation — walked them one Python object at a time.
+Telemetry showed that Python half of each characterization cell rivalling
+the BLAS forward pass.  This module replaces the object stream with a
+**columnar** representation:
+
+- :class:`TokenInterner` — a process-wide mapping from token piece strings
+  to small integer ids, backed by a growable content-vector matrix per
+  embedding dimension (it subsumes the encoder's old per-piece
+  ``_CONTENT_CACHE``): ``content_matrix(dim)[piece_ids]`` is the fused
+  gather that replaces the per-token content lookup loop.
+- :class:`TokenArray` — one serialized sequence as four parallel NumPy
+  arrays (``piece_ids``, ``role_ids``, ``rows``, ``cols``).  Length is
+  ``piece_ids.shape[0]``; truncation is a NumPy slice; anchor detection is
+  a vectorized mask.  Indexing and iteration yield :class:`Token` views,
+  so object-oriented call sites (tests, ablations) keep working.
+- :class:`TokenArrayBuilder` — the serializer-side accumulator.
+
+Bit-identity contract: the interner stores the *exact* float64 content
+vectors the per-token path computed (``token_vector + anisotropy *
+global_direction``), so gathers reproduce the legacy embeddings to the
+last ulp (locked in by ``tests/test_token_array.py`` against
+:mod:`repro.models.reference_plane`).
+
+Wire format: :meth:`TokenArray.to_wire` emits a compact, process-portable
+payload — the sorted unique piece strings plus an inverse index and the
+provenance arrays — and :meth:`TokenArray.from_wire` re-interns it into
+the receiving process's interner.  Pickling goes through the wire format,
+which is what lets token batches cross process boundaries (sweep workers)
+or, later, an HTTP boundary to a remote encoder service, without ever
+shipping process-local ids.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import threading
+from typing import Dict, Iterator, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.seeding import token_vector
+from repro.text.vocab import CLS
+
+# Contextual embedding spaces are anisotropic: all vectors share a dominant
+# common direction (a well-documented property of BERT-family spaces).  The
+# surrogates model it by mixing a fixed global direction into every content
+# vector; it is what gives sample fidelity (P5) its high baseline — two
+# disjoint halves of a column still point broadly the same way.
+CONTENT_ANISOTROPY = 1.0
+
+
+class TokenRole(enum.Enum):
+    """Structural role of a serialized token."""
+
+    SPECIAL = "special"
+    CAPTION = "caption"
+    HEADER = "header"
+    VALUE = "value"
+
+
+# Integer role ids used in TokenArray.role_ids; the order also fixes the
+# row order of the encoder's segment-vector matrix.
+ROLE_SPECIAL = 0
+ROLE_CAPTION = 1
+ROLE_HEADER = 2
+ROLE_VALUE = 3
+
+ROLE_ORDER: Tuple[TokenRole, ...] = (
+    TokenRole.SPECIAL,
+    TokenRole.CAPTION,
+    TokenRole.HEADER,
+    TokenRole.VALUE,
+)
+ROLE_TO_ID: Dict[TokenRole, int] = {role: i for i, role in enumerate(ROLE_ORDER)}
+
+
+@dataclasses.dataclass(frozen=True)
+class Token:
+    """One serialized token with table provenance.
+
+    ``row``/``col`` are -1 when the token does not belong to a specific
+    row/column (caption, global specials).  ``col`` is set on per-column
+    specials such as DODUO's column [CLS] anchors so aggregation can find
+    them.
+
+    Tokens are the *object view* of the columnar plane: serializers emit
+    :class:`TokenArray` natively and materialize ``Token`` instances only
+    on demand (indexing, iteration, :meth:`TokenArray.tokens`).
+    """
+
+    piece: str
+    role: TokenRole
+    row: int = -1
+    col: int = -1
+
+    @property
+    def is_anchor(self) -> bool:
+        """True for per-column [CLS] anchors (DODUO-style)."""
+        return self.role == TokenRole.SPECIAL and self.piece == CLS and self.col >= 0
+
+
+class TokenInterner:
+    """Process-wide piece-string ↔ integer-id mapping with content vectors.
+
+    Ids are assigned densely in first-intern order and are *process-local*
+    — they must never cross a process boundary raw (the wire format
+    re-interns by string).  The per-dimension content matrix holds the
+    exact float64 vector the legacy per-token cache stored for each piece
+    (``token_vector(piece, dim) + CONTENT_ANISOTROPY * global_direction``),
+    grown geometrically and filled lazily under a lock; readers gather
+    from a returned matrix snapshot without locking.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._ids: Dict[str, int] = {}
+        self._pieces: List[str] = []
+        self._content: Dict[int, np.ndarray] = {}
+        self._filled: Dict[int, int] = {}
+        self._global: Dict[int, np.ndarray] = {}
+
+    def __len__(self) -> int:
+        return len(self._pieces)
+
+    # -- interning -----------------------------------------------------
+
+    def intern(self, piece: str) -> int:
+        """Id of ``piece``, assigning a fresh one on first sight."""
+        pid = self._ids.get(piece)
+        if pid is None:
+            with self._lock:
+                pid = self._ids.get(piece)
+                if pid is None:
+                    pid = len(self._pieces)
+                    self._pieces.append(piece)
+                    self._ids[piece] = pid
+        return pid
+
+    def intern_many(self, pieces: Sequence[str]) -> List[int]:
+        """Ids for every piece (one lock acquisition for the misses)."""
+        ids = self._ids
+        out = []
+        misses = False
+        for piece in pieces:
+            pid = ids.get(piece)
+            if pid is None:
+                misses = True
+                break
+            out.append(pid)
+        if not misses:
+            return out
+        with self._lock:
+            out = []
+            for piece in pieces:
+                pid = ids.get(piece)
+                if pid is None:
+                    pid = len(self._pieces)
+                    self._pieces.append(piece)
+                    ids[piece] = pid
+                out.append(pid)
+        return out
+
+    def piece(self, piece_id: int) -> str:
+        """The piece string of an interned id."""
+        return self._pieces[piece_id]
+
+    def id_of(self, piece: str) -> int:
+        """Id of ``piece`` if interned, else -1 (never a valid id)."""
+        return self._ids.get(piece, -1)
+
+    def pieces_for(self, piece_ids: np.ndarray) -> List[str]:
+        """Piece strings for an id array, in order."""
+        pieces = self._pieces
+        return [pieces[int(i)] for i in piece_ids]
+
+    # -- content vectors ----------------------------------------------
+
+    def global_direction(self, dim: int) -> np.ndarray:
+        direction = self._global.get(dim)
+        if direction is None:
+            raw = token_vector("__global_direction__", dim, namespace="content-global")
+            direction = raw / np.linalg.norm(raw) * np.sqrt(dim)
+            self._global[dim] = direction
+        return direction
+
+    def content_matrix(self, dim: int) -> np.ndarray:
+        """Content vectors for every interned piece, shape [n_pieces, dim].
+
+        Row ``i`` is exactly the vector the legacy per-piece cache held
+        for piece ``i``.  The returned array may have spare capacity rows
+        past the currently interned pieces; gathers by valid ids never
+        touch them.  Safe to call concurrently with interning: rows for
+        every piece interned *before* the call are filled on return.
+        """
+        n = len(self._pieces)
+        if self._filled.get(dim, 0) >= n:
+            return self._content[dim]
+        with self._lock:
+            n = len(self._pieces)
+            filled = self._filled.get(dim, 0)
+            mat = self._content.get(dim)
+            if mat is None or mat.shape[0] < n:
+                capacity = max(256, n, 2 * (mat.shape[0] if mat is not None else 0))
+                grown = np.empty((capacity, dim), dtype=np.float64)
+                if filled:
+                    grown[:filled] = mat[:filled]
+                mat = grown
+            direction = self.global_direction(dim)
+            for i in range(filled, n):
+                mat[i] = token_vector(self._pieces[i], dim) + CONTENT_ANISOTROPY * direction
+            self._content[dim] = mat
+            self._filled[dim] = n
+            return mat
+
+    def content_vector(self, piece: str, dim: int) -> np.ndarray:
+        """One piece's content vector (interning it if new).
+
+        Compat surface for the legacy per-token path; the hot path gathers
+        whole sequences via :meth:`content_matrix` instead.
+        """
+        pid = self.intern(piece)
+        return self.content_matrix(dim)[pid]
+
+
+#: The process-wide interner every serializer, encoder, and TokenArray
+#: shares; production code never builds a second one.  Wire-path tests
+#: may swap this module attribute to simulate a fresh receiving process,
+#: but ONLY for arrays rebuilt via ``from_wire`` afterwards: arrays built
+#: earlier keep ids from the old interner, and the serializers/encoder
+#: capture this binding (and special-piece ids) at import time, so
+#: serialization under a swapped interner is undefined.
+INTERNER = TokenInterner()
+
+# Intern the anchor piece eagerly so is_anchor never races first-use.
+_ = INTERNER.intern(CLS)
+
+
+def _as_index_array(values, dtype=np.int32) -> np.ndarray:
+    arr = np.asarray(values, dtype=dtype)
+    if arr.ndim != 1:
+        raise ValueError("token arrays must be one-dimensional")
+    return arr
+
+
+class TokenArray:
+    """One serialized sequence as four parallel arrays (+ Token views).
+
+    The canonical token stream of the models layer: serializers emit it,
+    encoders gather from it, aggregation reduces over it.  Sequence
+    semantics (``len``, ``[i]``, iteration, slicing) match the legacy
+    ``List[Token]`` exactly, with ``[i]`` materializing a :class:`Token`
+    view on demand and ``[a:b]`` returning a (zero-copy) ``TokenArray``.
+    """
+
+    __slots__ = ("piece_ids", "role_ids", "rows", "cols")
+
+    def __init__(self, piece_ids, role_ids, rows, cols):
+        self.piece_ids = _as_index_array(piece_ids)
+        self.role_ids = _as_index_array(role_ids, dtype=np.uint8)
+        self.rows = _as_index_array(rows)
+        self.cols = _as_index_array(cols)
+        n = self.piece_ids.shape[0]
+        if not (self.role_ids.shape[0] == self.rows.shape[0] == self.cols.shape[0] == n):
+            raise ValueError("parallel token arrays must share one length")
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "TokenArray":
+        return cls([], [], [], [])
+
+    @classmethod
+    def from_tokens(cls, tokens: Sequence[Token]) -> "TokenArray":
+        """Columnar form of a legacy ``Token`` list (round-trips exactly)."""
+        piece_ids = INTERNER.intern_many([t.piece for t in tokens])
+        return cls(
+            piece_ids,
+            [ROLE_TO_ID[t.role] for t in tokens],
+            [t.row for t in tokens],
+            [t.col for t in tokens],
+        )
+
+    @classmethod
+    def coerce(cls, tokens: "TokenSequence") -> "TokenArray":
+        """Pass ``TokenArray`` through; convert ``Token`` sequences."""
+        if isinstance(tokens, TokenArray):
+            return tokens
+        return cls.from_tokens(tokens)
+
+    # -- sequence protocol --------------------------------------------
+
+    def __len__(self) -> int:
+        return self.piece_ids.shape[0]
+
+    def token(self, i: int) -> Token:
+        """The :class:`Token` view of position ``i``."""
+        return Token(
+            INTERNER.piece(int(self.piece_ids[i])),
+            ROLE_ORDER[self.role_ids[i]],
+            row=int(self.rows[i]),
+            col=int(self.cols[i]),
+        )
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return TokenArray(
+                self.piece_ids[index],
+                self.role_ids[index],
+                self.rows[index],
+                self.cols[index],
+            )
+        return self.token(int(index))
+
+    def __iter__(self) -> Iterator[Token]:
+        pieces = INTERNER.pieces_for(self.piece_ids)
+        for piece, role, row, col in zip(pieces, self.role_ids, self.rows, self.cols):
+            yield Token(piece, ROLE_ORDER[role], row=int(row), col=int(col))
+
+    def __repr__(self) -> str:
+        return f"TokenArray(len={len(self)})"
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, TokenArray):
+            return (
+                np.array_equal(self.piece_ids, other.piece_ids)
+                and np.array_equal(self.role_ids, other.role_ids)
+                and np.array_equal(self.rows, other.rows)
+                and np.array_equal(self.cols, other.cols)
+            )
+        if isinstance(other, (list, tuple)):
+            return len(self) == len(other) and all(
+                view == tok for view, tok in zip(self, other)
+            )
+        return NotImplemented
+
+    __hash__ = None  # arrays are mutable; equality is by content
+
+    # -- views ---------------------------------------------------------
+
+    def tokens(self) -> List[Token]:
+        """Materialize the legacy ``List[Token]`` view (compat API)."""
+        return list(self)
+
+    def pieces(self) -> List[str]:
+        """Piece strings in sequence order."""
+        return INTERNER.pieces_for(self.piece_ids)
+
+    @property
+    def is_anchor(self) -> np.ndarray:
+        """Boolean mask of per-column [CLS] anchors (DODUO-style)."""
+        cls_id = INTERNER.id_of(CLS)
+        return (
+            (self.role_ids == ROLE_SPECIAL)
+            & (self.cols >= 0)
+            & (self.piece_ids == cls_id)
+        )
+
+    # -- wire format ---------------------------------------------------
+
+    def _canonical_pieces(self) -> Tuple[List[str], np.ndarray]:
+        """Unique piece strings sorted *lexicographically* + inverse index.
+
+        Canonical across processes and interner states: process-local ids
+        only pick the unique set; the ordering (and therefore the inverse
+        index) depends on the piece strings alone.  Sorting by id instead
+        would make two interners that assigned the same pieces in a
+        different order disagree on the decomposition — and with it the
+        digest — rejecting perfectly valid wire payloads.
+        """
+        unique, inverse = np.unique(self.piece_ids, return_inverse=True)
+        pieces = [INTERNER.piece(int(p)) for p in unique]
+        order = sorted(range(len(pieces)), key=pieces.__getitem__)
+        rank = np.empty(len(order), dtype=np.int32)
+        rank[np.asarray(order, dtype=np.int64)] = np.arange(
+            len(order), dtype=np.int32
+        )
+        return [pieces[i] for i in order], rank[inverse].astype(np.int32)
+
+    def to_wire(self) -> Dict[str, object]:
+        """Process-portable payload: piece *strings* + provenance arrays.
+
+        ``pieces`` holds the lexicographically sorted unique piece strings
+        and ``piece_index`` indexes into it per position — compact when a
+        sequence repeats pieces (tables do, heavily), and the shape a
+        remote encoder backend can ship over HTTP as-is.
+        """
+        pieces, piece_index = self._canonical_pieces()
+        return {
+            "pieces": pieces,
+            "piece_index": piece_index,
+            "role_ids": np.ascontiguousarray(self.role_ids),
+            "rows": np.ascontiguousarray(self.rows),
+            "cols": np.ascontiguousarray(self.cols),
+            "digest": self._digest_of(pieces, piece_index),
+        }
+
+    @classmethod
+    def from_wire(cls, wire: Dict[str, object]) -> "TokenArray":
+        """Rebuild from :meth:`to_wire` output, re-interning locally.
+
+        Raises ``ValueError`` when the payload's digest does not match the
+        rebuilt sequence (a torn or mistranslated wire payload must never
+        silently embed as something else).
+        """
+        local_ids = np.asarray(INTERNER.intern_many(list(wire["pieces"])), dtype=np.int32)
+        piece_index = np.asarray(wire["piece_index"], dtype=np.int32)
+        out = cls(
+            local_ids[piece_index] if len(piece_index) else piece_index,
+            wire["role_ids"],
+            wire["rows"],
+            wire["cols"],
+        )
+        expected = wire.get("digest")
+        if expected is not None and out.digest() != expected:
+            raise ValueError("token-array wire payload failed its digest check")
+        return out
+
+    def __reduce__(self):
+        # Pickle through the wire format: raw piece ids are process-local,
+        # so cross-process shipping (sweep workers, remote backends) must
+        # re-intern by string on the receiving side.
+        return (TokenArray.from_wire, (self.to_wire(),))
+
+    def digest(self) -> str:
+        """Content hash over piece strings + provenance array bytes.
+
+        Canonical across processes and interner states: pieces enter the
+        hash as *lexicographically* sorted unique strings plus an inverse
+        index (see :meth:`_canonical_pieces`), never as raw process-local
+        ids.  This is the serialization-side fingerprint cache layers and
+        wire transports share.
+        """
+        return self._digest_of(*self._canonical_pieces())
+
+    def _digest_of(self, pieces: List[str], piece_index: np.ndarray) -> str:
+        digest = hashlib.sha256(b"token-array\x00")
+        for piece in pieces:
+            digest.update(piece.encode("utf-8", "replace"))
+            digest.update(b"\x1f")
+        digest.update(b"\x00")
+        digest.update(piece_index.astype(np.int32).tobytes())
+        digest.update(np.ascontiguousarray(self.role_ids).tobytes())
+        digest.update(np.ascontiguousarray(self.rows).tobytes())
+        digest.update(np.ascontiguousarray(self.cols).tobytes())
+        return digest.hexdigest()
+
+
+#: What encoder/aggregation entry points accept: the native columnar form
+#: or a legacy ``Token`` sequence (coerced on entry).
+TokenSequence = Union[TokenArray, Sequence[Token]]
+
+
+class TokenArrayBuilder:
+    """Serializer-side accumulator for one :class:`TokenArray`.
+
+    Appends stay plain-Python-int lists (cheap) and become arrays once at
+    :meth:`build`.  Piece interning happens at append time so repeated
+    values hit the interner's dict, not the tokenizer.
+    """
+
+    __slots__ = ("_piece_ids", "_role_ids", "_rows", "_cols")
+
+    def __init__(self) -> None:
+        self._piece_ids: List[int] = []
+        self._role_ids: List[int] = []
+        self._rows: List[int] = []
+        self._cols: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self._piece_ids)
+
+    def append_id(self, piece_id: int, role_id: int, row: int = -1, col: int = -1) -> None:
+        """Append one token by pre-interned piece id."""
+        self._piece_ids.append(piece_id)
+        self._role_ids.append(role_id)
+        self._rows.append(row)
+        self._cols.append(col)
+
+    def extend_ids(
+        self, piece_ids: Sequence[int], role_id: int, row: int = -1, col: int = -1
+    ) -> None:
+        """Append a run of tokens sharing one (role, row, col)."""
+        k = len(piece_ids)
+        if not k:
+            return
+        self._piece_ids.extend(piece_ids)
+        self._role_ids.extend([role_id] * k)
+        self._rows.extend([row] * k)
+        self._cols.extend([col] * k)
+
+    def build(self) -> TokenArray:
+        return TokenArray(self._piece_ids, self._role_ids, self._rows, self._cols)

@@ -50,6 +50,7 @@ class ModelWeights:
         probe = rng.standard_normal(dim)
         self.anisotropy_probe = probe / np.linalg.norm(probe)
         self._position_cache: Dict[str, np.ndarray] = {}
+        self._position_matrices: Dict[str, np.ndarray] = {}
 
     def position_vector(self, kind: str, index: int) -> np.ndarray:
         """Deterministic embedding for a positional index (cached).
@@ -62,6 +63,37 @@ class ModelWeights:
         if cached is None:
             rng = rng_for("weights", self.seed_name, "pos", kind, index)
             cached = rng.standard_normal(self.dim).astype(np.float64)
+            self._position_cache[key] = cached
+        return cached
+
+    def position_matrix(self, kind: str, n: int) -> np.ndarray:
+        """Stacked positional embeddings for indices ``0..n-1`` (cached).
+
+        Row ``i`` is bit-identical to :meth:`position_vector` — same seeded
+        draw per index — but the matrix form lets the encoder add a whole
+        sequence's positional terms in one vectorized slice/gather instead
+        of a per-token loop.  Grown geometrically; callers slice or gather,
+        never mutate.  May hold more than ``n`` rows.
+        """
+        mat = self._position_matrices.get(kind)
+        have = 0 if mat is None else mat.shape[0]
+        if have < n:
+            size = max(n, 2 * have, 64)
+            grown = np.empty((size, self.dim), dtype=np.float64)
+            if have:
+                grown[:have] = mat
+            for i in range(have, size):
+                rng = rng_for("weights", self.seed_name, "pos", kind, i)
+                grown[i] = rng.standard_normal(self.dim).astype(np.float64)
+            self._position_matrices[kind] = mat = grown
+        return mat
+
+    def segment_matrix(self, kinds: "tuple") -> np.ndarray:
+        """Stacked segment vectors for the given role kinds, in order."""
+        key = "segmat:" + "|".join(kinds)
+        cached = self._position_cache.get(key)
+        if cached is None:
+            cached = np.stack([self.segment_vector(kind) for kind in kinds])
             self._position_cache[key] = cached
         return cached
 

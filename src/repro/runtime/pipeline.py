@@ -4,7 +4,12 @@
 loop.  The :class:`~repro.runtime.planner.EmbeddingExecutor` submits
 ``EncoderBackend.aencode_batch`` coroutines to it and keeps working —
 fingerprinting, serializing, cache-probing the *next* chunk — while the
-submitted chunk's forward passes run.  Because numpy's BLAS kernels
+submitted chunk's forward passes run.  Since the token plane went
+columnar, each submitted chunk is a list of
+:class:`~repro.models.token_array.TokenArray` — four NumPy arrays per
+sequence, no per-token objects — so handing a chunk to the loop (and, for
+a future remote backend, onto the wire) moves flat buffers, not object
+graphs.  Because numpy's BLAS kernels
 release the GIL, the overlap is real parallelism on multi-core hosts and
 harmless interleaving on one core.  Synchronous callers never see the
 loop: the executor's public surface blocks on the returned futures, so

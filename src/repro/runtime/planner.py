@@ -442,8 +442,10 @@ class EmbeddingExecutor:
     ) -> Optional[List[Dict[EmbeddingLevel, np.ndarray]]]:
         """Producer/consumer plan over the background encode loop.
 
-        Chunk *k*'s token lists encode on the loop while this thread
-        serializes chunk *k+1* and aggregates chunk *k-1*.  Returns
+        Chunk *k*'s token arrays (columnar
+        :class:`~repro.models.token_array.TokenArray` sequences) encode on
+        the loop while this thread serializes chunk *k+1* and aggregates
+        chunk *k-1*.  Returns
         ``None`` when the model offers no serialize/encode/finish split
         (generic models, ROW_TEMPLATE serialization) — callers fall back
         to the synchronous batch path.

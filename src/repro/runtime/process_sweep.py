@@ -13,7 +13,11 @@ Isolation contract:
   primitives — and the worker rebuilds its own Observatory, models (from
   the registry / :class:`~repro.models.config.ModelConfig`), and corpora
   from the seed.  Spawn-safety follows: nothing crosses the process
-  boundary except configuration in and results out.
+  boundary except configuration in and results out.  Token sequences in
+  particular never ship raw: piece ids are process-local interner state,
+  and :class:`~repro.models.token_array.TokenArray` pickles through its
+  wire format (piece *strings* + provenance arrays, re-interned on the
+  receiving side) should one ever ride a payload or result.
 - The only *shared* state is the on-disk cache tier
   (``RuntimeConfig.disk_cache_dir``), whose atomic writes and locked index
   make concurrent workers safe; without a disk dir each worker runs a

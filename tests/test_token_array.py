@@ -1,0 +1,461 @@
+"""Bit-identity and round-trip suite for the columnar token plane.
+
+Three contracts:
+
+1. **Round-trip** — ``List[Token] ↔ TokenArray`` is lossless for any token
+   stream Hypothesis can produce, including anchor detection
+   (``is_anchor``), truncation slicing, and the pickle/wire format that
+   re-interns piece strings on the receiving side.
+2. **Bit-identity** — every production path over ``TokenArray`` (fused
+   embedding gather, attention masks, encoding through both backends,
+   all seven aggregation reductions) equals the frozen PR 3 per-token
+   implementations (:mod:`repro.models.reference_plane`) to the last ulp
+   for every serializer × model family; the padded backend stays within
+   its pre-existing :data:`PADDED_TOLERANCE`.
+3. **No quadratic intermediates** — aggregation never allocates the old
+   dense ``(n_levels, n_tokens)`` weight matrices.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.models.token_array as token_array
+from repro.models import aggregate, reference_plane
+from repro.models.backends import PADDED_TOLERANCE, LocalBackend, PaddedBackend
+from repro.models.backends.padded import max_relative_error
+from repro.models.config import Serialization
+from repro.models.registry import available_models
+from repro.models.serializers import (
+    ColumnWiseSerializer,
+    RowTemplateSerializer,
+    RowWiseSerializer,
+)
+from repro.models.token_array import (
+    INTERNER,
+    ROLE_ORDER,
+    ROLE_TO_ID,
+    Token,
+    TokenArray,
+    TokenInterner,
+    TokenRole,
+)
+from repro.relational.table import Table
+from repro.text.tokenizer import Tokenizer
+from repro.text.vocab import CLS, SEP
+from tests.conftest import cached_model
+
+# ----------------------------------------------------------------------
+# Hypothesis round-trip: Token list <-> TokenArray
+# ----------------------------------------------------------------------
+
+_PIECES = st.sampled_from(
+    [CLS, SEP, "alpha", "bravo", "##lta", "12", "value", "[ROW]", "[CELL]"]
+)
+
+_TOKENS = st.builds(
+    Token,
+    piece=_PIECES,
+    role=st.sampled_from(list(TokenRole)),
+    row=st.integers(min_value=-1, max_value=6),
+    col=st.integers(min_value=-1, max_value=6),
+)
+
+_TOKEN_LISTS = st.lists(_TOKENS, min_size=0, max_size=40)
+
+
+@settings(deadline=None, max_examples=60)
+@given(tokens=_TOKEN_LISTS)
+def test_round_trip_tokens_to_array_and_back(tokens):
+    ta = TokenArray.from_tokens(tokens)
+    assert len(ta) == len(tokens)
+    assert ta.tokens() == tokens
+    # Indexing materializes the same views iteration does.
+    for i in range(len(tokens)):
+        assert ta[i] == tokens[i]
+    # Equality against the raw list (compat surface).
+    assert ta == tokens
+
+
+@settings(deadline=None, max_examples=60)
+@given(tokens=_TOKEN_LISTS, data=st.data())
+def test_round_trip_truncation_slicing(tokens, data):
+    ta = TokenArray.from_tokens(tokens)
+    budget = data.draw(st.integers(min_value=0, max_value=len(tokens) + 3))
+    sliced = ta[:budget]
+    assert isinstance(sliced, TokenArray)
+    assert sliced.tokens() == tokens[:budget]
+
+
+@settings(deadline=None, max_examples=60)
+@given(tokens=_TOKEN_LISTS)
+def test_round_trip_anchor_detection(tokens):
+    ta = TokenArray.from_tokens(tokens)
+    mask = ta.is_anchor
+    assert mask.dtype == bool and mask.shape == (len(tokens),)
+    assert mask.tolist() == [t.is_anchor for t in tokens]
+
+
+@settings(deadline=None, max_examples=40)
+@given(tokens=_TOKEN_LISTS)
+def test_round_trip_pickle_wire_format(tokens):
+    ta = TokenArray.from_tokens(tokens)
+    clone = pickle.loads(pickle.dumps(ta))
+    assert clone.tokens() == tokens
+    assert clone.digest() == ta.digest()
+
+
+@settings(deadline=None, max_examples=40)
+@given(tokens=_TOKEN_LISTS)
+def test_wire_format_survives_a_fresh_interner(tokens):
+    """Simulates crossing a process boundary: the receiving side has a
+    different (fresh) interner, so local piece ids differ — the logical
+    token stream and the canonical digest must not."""
+    ta = TokenArray.from_tokens(tokens)
+    wire = ta.to_wire()
+    expected = ta.tokens()
+    expected_digest = ta.digest()
+    original = token_array.INTERNER
+    token_array.INTERNER = TokenInterner()
+    try:
+        rebuilt = TokenArray.from_wire(wire)
+        assert rebuilt.tokens() == expected
+        assert rebuilt.digest() == expected_digest
+    finally:
+        token_array.INTERNER = original
+
+
+def test_wire_format_canonical_across_intern_orders():
+    """A receiver whose interner assigned the same pieces in a different
+    relative order (any process that serialized other tables first) must
+    accept the payload and agree on the digest — the canonical form sorts
+    by piece *string*, never by process-local id."""
+    tokens = [
+        Token("zeta-order-test", TokenRole.VALUE, row=0, col=0),
+        Token("alpha-order-test", TokenRole.VALUE, row=0, col=1),
+        Token("zeta-order-test", TokenRole.VALUE, row=1, col=0),
+    ]
+    ta = TokenArray.from_tokens(tokens)  # interns zeta before alpha
+    wire = ta.to_wire()
+    expected_digest = ta.digest()
+    original = token_array.INTERNER
+    token_array.INTERNER = TokenInterner()
+    try:
+        # Receiver saw alpha first: relative id order is reversed.
+        token_array.INTERNER.intern("alpha-order-test")
+        rebuilt = TokenArray.from_wire(wire)
+        assert rebuilt.tokens() == tokens
+        assert rebuilt.digest() == expected_digest
+    finally:
+        token_array.INTERNER = original
+
+
+def test_wire_format_digest_check_rejects_tampering():
+    ta = TokenArray.from_tokens(
+        [Token("alpha", TokenRole.VALUE, row=0, col=0), Token(SEP, TokenRole.SPECIAL)]
+    )
+    wire = ta.to_wire()
+    wire["rows"] = np.array([1, -1], dtype=np.int32)
+    with pytest.raises(ValueError, match="digest"):
+        TokenArray.from_wire(wire)
+
+
+def test_interner_ids_are_stable_and_shared():
+    a = INTERNER.intern("stable-piece-test")
+    b = INTERNER.intern("stable-piece-test")
+    assert a == b
+    assert INTERNER.piece(a) == "stable-piece-test"
+    assert INTERNER.id_of("stable-piece-test") == a
+    assert INTERNER.id_of("\x00never-interned\x00") == -1
+
+
+def test_content_matrix_rows_match_legacy_content_vectors():
+    """The fused gather reads the exact float64 vectors the per-piece
+    cache held: token_vector + anisotropy * global direction."""
+    from repro.seeding import token_vector
+
+    dim = 16
+    for piece in ("alpha", "bravo", CLS):
+        pid = INTERNER.intern(piece)
+        expected = token_vector(piece, dim) + token_array.CONTENT_ANISOTROPY * INTERNER.global_direction(dim)
+        assert np.array_equal(INTERNER.content_matrix(dim)[pid], expected)
+
+
+# ----------------------------------------------------------------------
+# Serializer equivalence: columnar emit == legacy object emit
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def tokenizer():
+    return Tokenizer()
+
+
+@pytest.fixture(scope="module")
+def sample_table():
+    return Table.from_columns(
+        [
+            ("name", ["Alice Smith", "Bob Jones", "Carol White", None]),
+            ("age", [30, 41, 28, 55]),
+            ("city", ["Paris", "Lima", "Oslo", "Rome"]),
+        ],
+        caption="people of note",
+        table_id="token-array-test",
+    )
+
+
+def serializer_variants(tokenizer):
+    return [
+        RowWiseSerializer(tokenizer, 512),
+        RowWiseSerializer(tokenizer, 512, include_caption=True),
+        RowWiseSerializer(tokenizer, 512, include_header=False),
+        RowWiseSerializer(tokenizer, 48),  # hard truncation
+        ColumnWiseSerializer(tokenizer, 512),
+        ColumnWiseSerializer(tokenizer, 512, include_header=True),
+        ColumnWiseSerializer(tokenizer, 40),
+    ]
+
+
+def test_serializers_columnar_equals_object_path(tokenizer, sample_table):
+    for serializer in serializer_variants(tokenizer):
+        columnar = serializer.serialize(sample_table)
+        assert isinstance(columnar, TokenArray)
+        assert columnar.tokens() == serializer.serialize_tokens(sample_table)
+
+
+def test_row_template_columnar_equals_object_path(tokenizer, sample_table):
+    serializer = RowTemplateSerializer(tokenizer, 64)
+    arrays = serializer.serialize(sample_table)
+    objects = serializer.serialize_tokens(sample_table)
+    assert len(arrays) == len(objects) == sample_table.num_rows
+    for ta, tokens in zip(arrays, objects):
+        assert ta.tokens() == tokens
+
+
+def test_empty_table_serializes_to_empty_value_plane(tokenizer):
+    from repro.relational.schema import TableSchema
+
+    empty = Table(TableSchema.from_names(["a", "b"]), [])
+    ta = RowWiseSerializer(tokenizer, 64).serialize(empty)
+    assert isinstance(ta, TokenArray)
+    assert not (ta.role_ids == token_array.ROLE_VALUE).any()
+
+
+# ----------------------------------------------------------------------
+# Encoder bit-identity: every serializer x model family x backend
+# ----------------------------------------------------------------------
+
+
+def family_tables():
+    return [
+        Table.from_columns(
+            [("name", ["Alice", "Bob", "Carol"]), ("age", [30, 41, 28])],
+            caption="people",
+            table_id="fam-0",
+        ),
+        Table.from_columns(
+            [("country", ["France", "Peru"]), ("capital", ["Paris", "Lima"]),
+             ("population", [67, 34])],
+            table_id="fam-1",
+        ),
+    ]
+
+
+@pytest.mark.parametrize("name", available_models())
+def test_encode_bit_identical_to_reference_per_family(name):
+    model = cached_model(name)
+    serializer = model._serializer
+    for table in family_tables():
+        effective = model._effective_table(table)
+        if model.config.serialization == Serialization.ROW_TEMPLATE:
+            sequences = serializer.serialize(effective)
+            legacy = serializer.serialize_tokens(effective)
+        else:
+            sequences = [serializer.serialize(effective)]
+            legacy = [serializer.serialize_tokens(effective)]
+        for ta, tokens in zip(sequences, legacy):
+            assert ta.tokens() == tokens
+            assert np.array_equal(
+                model.encoder.embed_tokens(ta),
+                reference_plane.embed_tokens_reference(model.encoder, tokens),
+            )
+            assert np.array_equal(
+                model.encoder.attention_mask(ta),
+                reference_plane.attention_mask_reference(model.encoder, tokens),
+            )
+            assert np.array_equal(
+                model.encoder.attention_bias(ta),
+                reference_plane.attention_bias_reference(model.encoder, tokens),
+            )
+            assert np.array_equal(
+                model.encoder.encode(ta),
+                reference_plane.encode_reference(model.encoder, tokens),
+            )
+
+
+@pytest.mark.parametrize("name", ["bert", "tapas", "t5", "doduo"])
+def test_backends_on_token_arrays(name):
+    """Exact backend bit-identical to the reference forward; padded within
+    its pre-existing tolerance — on columnar inputs end-to-end."""
+    model = cached_model(name)
+    if model.config.serialization == Serialization.ROW_TEMPLATE:
+        pytest.skip("no flat sequence for row-template models")
+    token_lists = [
+        model._serializer.serialize(model._effective_table(t))
+        for t in family_tables() * 2
+    ]
+    reference = [
+        reference_plane.encode_reference(model.encoder, ta.tokens())
+        for ta in token_lists
+    ]
+    exact = LocalBackend().encode_batch(model.encoder, token_lists, batch_size=2)
+    for got, want in zip(exact, reference):
+        assert np.array_equal(got, want)
+    padded = PaddedBackend(tier_width=16).encode_batch(
+        model.encoder, token_lists, batch_size=4
+    )
+    for got, want in zip(padded, reference):
+        assert max_relative_error(got, want) <= PADDED_TOLERANCE
+
+
+def test_attention_bias_memoized_by_length():
+    from repro.models.config import ModelConfig, PositionKind
+    from repro.models.encoder import Encoder
+
+    encoder = Encoder(
+        ModelConfig(
+            name="bias-memo-test",
+            dim=16,
+            n_layers=1,
+            n_heads=2,
+            position_kind=PositionKind.RELATIVE,
+            relative_tau=4.0,
+        )
+    )
+    a = encoder.bias_for_length(24)
+    b = encoder.bias_for_length(24)
+    assert a is b  # same cached object
+    assert not a.flags.writeable
+    idx = np.arange(24, dtype=np.float64)
+    expected = -np.abs(idx[:, None] - idx[None, :]) / encoder.config.relative_tau
+    assert np.array_equal(a, expected)
+
+
+# ----------------------------------------------------------------------
+# Aggregation bit-identity + the no-quadratic-intermediates guard
+# ----------------------------------------------------------------------
+
+
+def aggregation_fixture(name="tapas"):
+    model = cached_model(name)
+    table = family_tables()[0]
+    ta = model._serializer.serialize(model._effective_table(table))
+    states = np.random.default_rng(7).standard_normal((len(ta), model.dim))
+    return table, ta, states
+
+
+@pytest.mark.parametrize("header_weight", [0.0, 0.5, 1.0, 3.0])
+def test_aggregate_columns_rows_table_bit_identical(header_weight):
+    table, ta, states = aggregation_fixture()
+    tokens = ta.tokens()
+    assert np.array_equal(
+        aggregate.column_embeddings(ta, states, table.num_columns, header_weight=header_weight),
+        reference_plane.column_embeddings_reference(
+            tokens, states, table.num_columns, header_weight=header_weight
+        ),
+    )
+    assert np.array_equal(
+        aggregate.row_embeddings(ta, states, table.num_rows),
+        reference_plane.row_embeddings_reference(tokens, states, table.num_rows),
+    )
+    assert np.array_equal(
+        aggregate.table_embedding(ta, states, header_weight=header_weight),
+        reference_plane.table_embedding_reference(
+            tokens, states, header_weight=header_weight
+        ),
+    )
+    assert aggregate.embedded_row_count(ta) == reference_plane.embedded_row_count_reference(tokens)
+
+
+def test_aggregate_anchor_and_cells_and_entities_bit_identical():
+    table, ta, states = aggregation_fixture("doduo")
+    tokens = ta.tokens()
+    assert np.array_equal(
+        aggregate.column_embeddings(ta, states, table.num_columns, use_cls_anchor=True),
+        reference_plane.column_embeddings_reference(
+            tokens, states, table.num_columns, use_cls_anchor=True
+        ),
+    )
+    coords = [(0, 0), (1, 1), (2, 0), (9, 9)]
+    got = aggregate.cell_embeddings(ta, states, coords)
+    want = reference_plane.cell_embeddings_reference(tokens, states, coords)
+    assert set(got) == set(want)
+    for coord in got:
+        assert np.array_equal(got[coord], want[coord])
+    for row, col in [(0, 0), (2, 1), (7, 7)]:
+        a = aggregate.cell_embedding(ta, states, row, col)
+        b = reference_plane.cell_embedding_reference(tokens, states, row, col)
+        assert (a is None) == (b is None)
+        if a is not None:
+            assert np.array_equal(a, b)
+        a = aggregate.entity_embedding(ta, states, row, col, metadata_weight=0.5)
+        b = reference_plane.entity_embedding_reference(
+            tokens, states, row, col, metadata_weight=0.5
+        )
+        assert (a is None) == (b is None)
+        if a is not None:
+            assert np.array_equal(a, b)
+
+
+@settings(deadline=None, max_examples=30)
+@given(tokens=st.lists(_TOKENS, min_size=1, max_size=30), data=st.data())
+def test_aggregate_bit_identical_on_hypothesis_streams(tokens, data):
+    ta = TokenArray.from_tokens(tokens)
+    dim = 3
+    states = np.random.default_rng(len(tokens)).standard_normal((len(tokens), dim))
+    n_columns = data.draw(st.integers(min_value=1, max_value=8))
+    header_weight = data.draw(st.sampled_from([0.0, 0.5, 1.0, 2.0]))
+    assert np.array_equal(
+        aggregate.column_embeddings(ta, states, n_columns, header_weight=header_weight),
+        reference_plane.column_embeddings_reference(
+            tokens, states, n_columns, header_weight=header_weight
+        ),
+    )
+    n_rows = data.draw(st.integers(min_value=1, max_value=8))
+    assert np.array_equal(
+        aggregate.row_embeddings(ta, states, n_rows),
+        reference_plane.row_embeddings_reference(tokens, states, n_rows),
+    )
+    assert aggregate.embedded_row_count(ta) == reference_plane.embedded_row_count_reference(tokens)
+
+
+def test_no_quadratic_weight_intermediates():
+    """column_embeddings must not allocate the old (n_columns, n_tokens)
+    dense weight matrix; transient memory stays linear in tokens."""
+    import tracemalloc
+
+    n_tokens, n_columns, dim = 4000, 600, 4
+    tokens = TokenArray(
+        np.zeros(n_tokens, dtype=np.int32),
+        np.full(n_tokens, token_array.ROLE_VALUE, dtype=np.uint8),
+        np.arange(n_tokens, dtype=np.int32) % 50,
+        np.arange(n_tokens, dtype=np.int32) % n_columns,
+    )
+    states = np.ones((n_tokens, dim))
+    dense_bytes = n_columns * n_tokens * 8  # what the old path allocated
+    tracemalloc.start()
+    aggregate.column_embeddings(tokens, states, n_columns)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert peak < dense_bytes / 4, (
+        f"aggregation peak {peak}B suggests a dense (levels x tokens) "
+        f"intermediate (~{dense_bytes}B) is back"
+    )
+
+
+def test_role_order_covers_every_role():
+    assert set(ROLE_ORDER) == set(TokenRole)
+    assert [ROLE_TO_ID[r] for r in ROLE_ORDER] == [0, 1, 2, 3]
