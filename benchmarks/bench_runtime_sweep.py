@@ -37,6 +37,13 @@ grouping degenerates to batch-size-1 there), plus the **streaming
 pipeline**: cold sweeps with async encode on vs off, reporting how much
 encode time overlapped foreground CPU work.
 
+The **remote transport** section encodes a corpus through
+:class:`RemoteBackend` against the in-process loopback service double
+(a real local backend behind the HTTP wire), asserts bit-identity, and
+records the transport overhead (round trips, bytes, latency-aware chunk
+suggestion) into the JSON record — no gate: on a loopback link the wire
+is pure overhead by construction.
+
 The **columnar token plane** section times serialization and aggregation
 on the interned-id array path against the frozen PR 3 Token-object path
 (``serialize_tokens`` + :mod:`repro.models.reference_plane`), asserting
@@ -82,7 +89,12 @@ from repro import Observatory, RuntimeConfig
 from repro.analysis.reporting import format_value_table
 from repro.core.framework import DatasetSizes
 from repro.core.results import PropertyResult
-from repro.models.backends import LocalBackend, PaddedBackend, max_relative_error
+from repro.models.backends import (
+    LocalBackend,
+    PaddedBackend,
+    RemoteBackend,
+    max_relative_error,
+)
 from repro.models.registry import load_model
 from repro.relational.table import Table
 from repro.runtime.cache import CacheStats
@@ -116,6 +128,17 @@ WARMUP_SIZES = DatasetSizes(
     min_rows=4,
     max_rows=5,
 )
+
+
+def time_best(fn, *, trials: int, repeats: int) -> float:
+    """Best-of-``trials`` wall time of ``repeats`` back-to-back calls."""
+    best = float("inf")
+    for _ in range(trials):
+        t0 = time.perf_counter()
+        for _ in range(repeats):
+            fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
 
 
 # ----------------------------------------------------------------------
@@ -282,15 +305,6 @@ def run_token_plane_comparison(*, repeats: int = 4, trials: int = 3) -> Dict[str
             reference_plane.table_embedding_reference(tokens, st_),
         )
 
-    def time_best(fn) -> float:
-        best = float("inf")
-        for _ in range(trials):
-            t0 = time.perf_counter()
-            for _ in range(repeats):
-                fn()
-            best = min(best, time.perf_counter() - t0)
-        return best
-
     def serialize_columnar():
         for table in corpus:
             serializer.serialize(table)
@@ -317,10 +331,10 @@ def run_token_plane_comparison(*, repeats: int = 4, trials: int = 3) -> Dict[str
             )
             reference_plane.table_embedding_reference(tokens, st_)
 
-    t_ser_col = time_best(serialize_columnar)
-    t_ser_obj = time_best(serialize_objects)
-    t_agg_col = time_best(aggregate_columnar)
-    t_agg_obj = time_best(aggregate_objects)
+    t_ser_col = time_best(serialize_columnar, trials=trials, repeats=repeats)
+    t_ser_obj = time_best(serialize_objects, trials=trials, repeats=repeats)
+    t_agg_col = time_best(aggregate_columnar, trials=trials, repeats=repeats)
+    t_agg_obj = time_best(aggregate_objects, trials=trials, repeats=repeats)
     return {
         "tables": len(corpus),
         "tokens_total": sum(len(ta) for ta in arrays),
@@ -352,6 +366,90 @@ def report_token_plane(cmp: Dict[str, object]) -> None:
     )
     print(format_value_table(rows, ["phase / path", "seconds", "speedup"]))
     print(f"combined serialize+aggregate speedup: {cmp['combined_speedup']:.2f}x")
+
+
+# ----------------------------------------------------------------------
+# Remote transport: loopback HTTP encoding vs in-process local
+# ----------------------------------------------------------------------
+
+
+def run_remote_comparison(*, repeats: int = 2, trials: int = 2) -> Dict[str, object]:
+    """Transport overhead of the remote backend against its loopback double.
+
+    Encodes the token-plane corpus through the in-process local backend
+    and through :class:`RemoteBackend` pointed at a
+    :class:`~repro.testing.encoder_service.LoopbackEncoderService` (a real
+    local backend behind the HTTP wire), asserting the outputs
+    bit-identical before timing.  The interesting numbers are the
+    serialization+HTTP overhead per chunk and the latency-aware chunk
+    suggestion — on a loopback link the remote path is *expected* to be
+    slower (every byte is pure overhead; the win only appears when the
+    service has hardware the client lacks), so this section records, it
+    does not gate.
+    """
+    import numpy as np
+
+    from repro.testing import LoopbackEncoderService
+
+    model = load_model("bert")
+    encoder = model.encoder
+    corpus = token_plane_corpus(8)
+    token_lists = [model._serializer.serialize(t) for t in corpus]
+    local = LocalBackend()
+    local_states = local.encode_batch(encoder, token_lists, 16)
+
+    with LoopbackEncoderService() as service:
+        remote = RemoteBackend(service.url, timeout=30.0, retries=1)
+        remote_states = remote.encode_batch(encoder, token_lists, 16)
+        for local_arr, remote_arr in zip(local_states, remote_states):
+            assert np.array_equal(local_arr, remote_arr), (
+                "remote loopback encoding diverged from local"
+            )
+        t_local = time_best(
+            lambda: local.encode_batch(encoder, token_lists, 16),
+            trials=trials, repeats=repeats,
+        )
+        t_remote = time_best(
+            lambda: remote.encode_batch(encoder, token_lists, 16),
+            trials=trials, repeats=repeats,
+        )
+        stats = remote.stats_snapshot()
+        suggested = remote.suggest_pipeline_chunk(8)
+    return {
+        "sequences": len(token_lists),
+        "t_local": t_local,
+        "t_remote": t_remote,
+        "transport_overhead": t_remote / t_local,
+        "chunks": stats.chunks,
+        "mean_round_trip": stats.mean_round_trip,
+        "bytes_sent": stats.bytes_sent,
+        "bytes_received": stats.bytes_received,
+        "suggested_pipeline_chunk": suggested,
+    }
+
+
+def report_remote_comparison(cmp: Dict[str, object]) -> None:
+    rows = [
+        ["local backend (in-process)", cmp["t_local"], 1.0],
+        [
+            "remote backend (loopback HTTP)",
+            cmp["t_remote"],
+            cmp["t_local"] / cmp["t_remote"],
+        ],
+    ]
+    print()
+    print(
+        f"Remote transport overhead — {cmp['sequences']} sequences over "
+        f"loopback HTTP, outputs bit-identical:"
+    )
+    print(format_value_table(rows, ["backend", "seconds", "speedup"]))
+    print(
+        f"transport: {cmp['chunks']} chunks, mean round-trip "
+        f"{cmp['mean_round_trip'] * 1000.0:.1f}ms, "
+        f"{cmp['bytes_sent']} B out / {cmp['bytes_received']} B in, "
+        f"latency-aware chunk suggestion {cmp['suggested_pipeline_chunk']} "
+        f"(loopback: overhead is expected — the win needs remote hardware)"
+    )
 
 
 def phase_totals(sweep) -> Dict[str, float]:
@@ -580,7 +678,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     payload: Dict[str, object] = {
         "bench": "runtime_sweep",
-        "schema_version": 3,
+        "schema_version": 4,
         "mode": "smoke" if args.smoke else "full",
         "engine": args.execution,
         "cpu_count": os.cpu_count(),
@@ -699,6 +797,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         async_cmp = run_async_comparison(sizes)
         report_async_comparison(async_cmp)
         payload["async_comparison"] = async_cmp
+
+        remote_cmp = run_remote_comparison()
+        report_remote_comparison(remote_cmp)
+        payload["remote"] = remote_cmp
 
         if not args.smoke:
             scaling = run_process_scaling(sizes)

@@ -182,6 +182,15 @@ def render_sweep(sweep: SweepResult) -> str:
             f"Padded batching: {pad.padded_batches} mixed-length batches "
             f"({pad.sequences} sequences), {pad.waste_ratio:.1%} padding waste."
         )
+    if sweep.transport is not None:
+        net = sweep.transport
+        lines.append(
+            f"Remote transport: {net.chunks} chunks ({net.sequences} sequences) "
+            f"over {net.requests} requests, {net.retries} retried "
+            f"({net.timeouts} timeouts, {net.http_errors} 5xx); "
+            f"mean round-trip {net.mean_round_trip * 1000.0:.1f}ms, "
+            f"{net.bytes_sent} B out / {net.bytes_received} B in."
+        )
     slowest = sweep.slowest(3)
     if slowest:
         lines.append("")

@@ -15,7 +15,10 @@ cells; ``--execution process`` shards cells across spawned worker
 processes (sharing the ``--disk-cache`` tier, bounded by
 ``--cache-max-bytes``/``--cache-max-age``), ``--no-exact`` (or
 ``--backend padded``) opts into padded tolerance-tier batching for
-throughput on heterogeneous-length corpora, ``--no-async`` disables the
+throughput on heterogeneous-length corpora, ``--backend remote
+--remote-url http://host:port`` farms encoder forward passes to an HTTP
+encoding service (``--remote-timeout``/``--remote-retries`` bound the
+transport), ``--no-async`` disables the
 streaming encode pipeline, and ``--no-cache`` falls back to the legacy
 one-call-at-a-time execution for comparison.  Output is plain text suited
 to terminals and CI logs.
@@ -103,12 +106,40 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--backend",
-        choices=["local", "padded"],
+        choices=["local", "padded", "remote"],
         default=None,
         help=(
             "encoder backend: 'local' batches same-length sequences only "
             "(bit-exact), 'padded' batches mixed lengths inside tolerance "
-            "tiers (default: derived from --exact/--no-exact)"
+            "tiers, 'remote' ships batches over HTTP to an encoding "
+            "service (--remote-url; bit-exact unless --no-exact) "
+            "(default: derived from --exact/--no-exact)"
+        ),
+    )
+    sweep.add_argument(
+        "--remote-url",
+        default=None,
+        metavar="URL",
+        help=(
+            "base URL of the remote encoding service for --backend remote "
+            "(default: $REPRO_REMOTE_URL)"
+        ),
+    )
+    sweep.add_argument(
+        "--remote-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="per-request deadline of the remote transport (default 10)",
+    )
+    sweep.add_argument(
+        "--remote-retries",
+        type=int,
+        default=3,
+        metavar="N",
+        help=(
+            "retries after a transient transport fault (timeout/5xx/torn "
+            "payload) before the sweep fails (default 3)"
         ),
     )
     sweep.add_argument(
@@ -240,6 +271,9 @@ def _run_sweep(args: argparse.Namespace) -> int:
             backend=args.backend,
             padding_tier=args.padding_tier,
             async_encode=not args.no_async,
+            remote_url=args.remote_url,
+            remote_timeout=args.remote_timeout,
+            remote_retries=args.remote_retries,
         )
     except ValueError as error:
         raise ObservatoryError(str(error)) from None

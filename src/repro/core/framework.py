@@ -56,6 +56,7 @@ from repro.data.spider import SpiderGenerator
 from repro.data.wikitables import WikiTablesGenerator
 from repro.errors import ObservatoryError, PropertyConfigError
 from repro.models.backends.padded import PaddedBackend, PaddingStats
+from repro.models.backends.remote import RemoteBackend, TransportStats
 from repro.models.base import EmbeddingModel
 from repro.models.registry import load_model
 from repro.runtime.cache import EmbeddingCache
@@ -182,6 +183,12 @@ class Observatory:
     def padding_stats(self) -> Optional[PaddingStats]:
         """Cumulative padding-waste snapshot, ``None`` under an exact backend."""
         if isinstance(self.encoder_backend, PaddedBackend):
+            return self.encoder_backend.stats_snapshot()
+        return None
+
+    def transport_stats(self) -> Optional[TransportStats]:
+        """Cumulative remote-transport snapshot, ``None`` unless remote."""
+        if isinstance(self.encoder_backend, RemoteBackend):
             return self.encoder_backend.stats_snapshot()
         return None
 

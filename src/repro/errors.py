@@ -32,6 +32,10 @@ class ModelError(ObservatoryError):
     """An embedding model was misconfigured or misused."""
 
 
+class RemoteEncodeError(ModelError):
+    """The remote encoding service failed (deadline, 5xx, bad payload)."""
+
+
 class UnsupportedLevelError(ModelError):
     """The model does not expose the requested level of embeddings."""
 

@@ -12,6 +12,8 @@ from repro.models.backends import (
     EncoderBackend,
     LocalBackend,
     PaddedBackend,
+    RemoteBackend,
+    TransportStats,
     available_backends,
     register_backend,
     resolve_backend,
@@ -28,11 +30,13 @@ __all__ = [
     "EmbeddingModel",
     "LevelBatchPlan",
     "PaddedBackend",
+    "RemoteBackend",
     "SurrogateModel",
     "Token",
     "TokenArray",
     "TokenInterner",
     "TokenRole",
+    "TransportStats",
     "available_backends",
     "available_models",
     "load_model",

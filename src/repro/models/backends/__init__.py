@@ -9,9 +9,15 @@ The batching strategy of every surrogate encoder is a swappable
   with attention-masked padding; within the documented
   :data:`PADDED_TOLERANCE` of exact, and much faster on
   heterogeneous-length corpora.  Opt in via ``RuntimeConfig(exact=False)``.
+- :class:`RemoteBackend` (``"remote"``) — ships TokenArray wire payloads
+  over HTTP to an encoding service (retry/backoff, per-request deadlines,
+  latency-aware pipeline chunks); bit-identical to local in exact mode,
+  within :data:`PADDED_TOLERANCE` in padded mode.  Opt in via
+  ``RuntimeConfig(backend="remote", remote_url=...)``.
 
 Backends also expose ``aencode_batch`` (awaitable encoding), the hook the
-streaming executor and any future remote/GPU backend plug into.
+streaming executor drives — the remote backend overrides it with real
+network I/O.
 """
 
 from __future__ import annotations
@@ -64,6 +70,17 @@ def resolve_backend(backend: Union[str, EncoderBackend, None]) -> EncoderBackend
     return factory()
 
 
+# Imported after register_backend exists (remote.py must not import the
+# package during its own import); registration goes through the public
+# extension point like any third-party backend would.
+from repro.models.backends.remote import (  # noqa: E402
+    REMOTE_URL_ENV,
+    RemoteBackend,
+    TransportStats,
+)
+
+register_backend("remote", RemoteBackend)
+
 __all__ = [
     "BATCH_MAX_LENGTH",
     "DEFAULT_TIER_WIDTH",
@@ -72,6 +89,9 @@ __all__ = [
     "PADDED_TOLERANCE",
     "PaddedBackend",
     "PaddingStats",
+    "REMOTE_URL_ENV",
+    "RemoteBackend",
+    "TransportStats",
     "available_backends",
     "max_relative_error",
     "register_backend",

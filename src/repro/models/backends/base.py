@@ -47,6 +47,20 @@ class EncoderBackend(abc.ABC):
     name: str = "abstract"
     exact: bool = True
 
+    @property
+    def cache_namespace(self):
+        """Embedding-cache key-space suffix for this backend's results.
+
+        ``None`` shares the model's plain namespace — correct only for
+        exact, in-process backends, whose outputs are interchangeable
+        bit-for-bit.  Non-exact backends default to their name so
+        tolerance-tier results never cross into an exact run through a
+        shared or persistent cache; backends whose results come from
+        outside the process (remote) override this to isolate themselves
+        even when exact.
+        """
+        return None if self.exact else self.name
+
     @abc.abstractmethod
     def encode_batch(
         self, encoder, token_lists: Sequence[TokenSequence], batch_size: int = 8

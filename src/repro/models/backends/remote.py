@@ -1,0 +1,505 @@
+"""Remote encoding over HTTP: the TokenArray wire format on the network.
+
+:class:`RemoteBackend` completes the backend seam PR 3 opened: instead of
+running forward passes in-process, it ships serialized sequences — the
+JSON form of :meth:`TokenArray.to_wire` payloads, piece strings plus
+base64 provenance arrays — in batches to an encoding service and decodes
+the returned hidden states.  The shape follows "BERT Meets Relational DB"
+(arXiv:2104.14914): the client serializes and aggregates (pure Python,
+cheap) while a GPU host runs the contextual encoder (the expensive part),
+and Observatory's 8-properties × many-models sweep matrix is exactly the
+workload that wants that split.
+
+Protocol (one ``POST {url}/encode`` per chunk, ``Connection: close``)::
+
+    request:  {"protocol": 1,
+               "model": ModelConfig.to_jsonable(),
+               "mode": "exact" | "padded",
+               "padding_tier": int,
+               "batch_size": int,
+               "sequences": [wire_to_jsonable(ta.to_wire()), ...]}
+    response: {"states": [{"digest": <echo of the input sequence digest>,
+                           "shape": [L, D],
+                           "data": base64(float64 little-endian bytes),
+                           "data_digest": sha256(raw bytes)}, ...]}
+
+Failure semantics, by class:
+
+- **Transient transport faults** — connection errors, request deadlines
+  (``timeout`` per request, enforced with ``asyncio.wait_for``), HTTP
+  5xx, torn/undecodable bodies — are retried up to ``retries`` times
+  with exponential backoff and jitter.
+- **Out-of-order responses** are not faults at all: every state echoes
+  its input sequence's digest, and the client reassembles by digest, so
+  a service is free to return states in any order.
+- **Integrity failures** — a state whose bytes do not hash to its
+  ``data_digest``, a wrong shape, or an echo set that does not cover the
+  request — are *rejected immediately* (:class:`RemoteEncodeError`):
+  corrupted science must never be retried into acceptance.
+- HTTP 4xx is a client bug and raises immediately with the service's
+  message.
+
+Numerics: the service runs the same deterministic surrogate encoder
+(rebuilt from the shipped :class:`ModelConfig`), so ``mode="exact"``
+results are **bit-identical** to :class:`LocalBackend` and
+``mode="padded"`` stays within :data:`PADDED_TOLERANCE` — the loopback
+double (:mod:`repro.testing.encoder_service`) locks both in.
+
+The backend also measures per-chunk round-trip times and exposes
+:meth:`suggest_pipeline_chunk`, which the streaming executor consults so
+its chunk size adapts to network latency (amortizing per-request fixed
+cost on slow links) instead of assuming local BLAS costs.  All transport
+accounting lands in a :class:`TransportStats` the sweep report surfaces.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import dataclasses
+import hashlib
+import json
+import os
+import random
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+from urllib.parse import urlsplit
+
+import numpy as np
+
+from repro.errors import ModelError, RemoteEncodeError
+from repro.models.backends.base import EncoderBackend
+from repro.models.backends.padded import DEFAULT_TIER_WIDTH, PADDED_TOLERANCE
+from repro.models.token_array import TokenArray, TokenSequence, wire_to_jsonable
+
+#: Environment fallback for the service URL (CLI/RuntimeConfig take priority).
+REMOTE_URL_ENV = "REPRO_REMOTE_URL"
+
+#: Wire protocol version; the service rejects mismatches loudly.
+PROTOCOL_VERSION = 1
+
+DEFAULT_TIMEOUT = 10.0
+DEFAULT_RETRIES = 3
+#: First backoff delay; doubles per retry up to the cap, ±50% jitter.
+DEFAULT_BACKOFF = 0.05
+BACKOFF_CAP = 2.0
+
+#: Chunk sizing: aim for chunks worth ~this much service time, stretched
+#: to at least LATENCY_AMORTIZATION round-trips' worth of work so fixed
+#: network latency never dominates a chunk.
+TARGET_CHUNK_SECONDS = 0.25
+LATENCY_AMORTIZATION = 4.0
+MAX_PIPELINE_CHUNK = 256
+
+
+@dataclasses.dataclass
+class TransportStats:
+    """Cumulative remote-transport accounting (thread-safe via the backend).
+
+    ``requests`` counts every attempt (including retried ones); ``chunks``
+    only the successful round trips.  ``round_trip_seconds`` sums
+    successful round trips, so ``mean_round_trip`` is the per-chunk
+    latency the report shows.
+    """
+
+    requests: int = 0
+    chunks: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    http_errors: int = 0
+    sequences: int = 0
+    round_trip_seconds: float = 0.0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+
+    @property
+    def mean_round_trip(self) -> float:
+        """Mean seconds per successful chunk round trip."""
+        return self.round_trip_seconds / self.chunks if self.chunks else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        out = dataclasses.asdict(self)
+        out["mean_round_trip"] = self.mean_round_trip
+        return out
+
+    @classmethod
+    def merged(cls, many: Sequence["TransportStats"]) -> "TransportStats":
+        out = cls()
+        for stats in many:
+            for field in dataclasses.fields(cls):
+                setattr(
+                    out,
+                    field.name,
+                    getattr(out, field.name) + getattr(stats, field.name),
+                )
+        return out
+
+    def since(self, baseline: "TransportStats") -> "TransportStats":
+        """Counters accumulated after ``baseline`` was snapshotted."""
+        out = TransportStats()
+        for field in dataclasses.fields(TransportStats):
+            setattr(
+                out,
+                field.name,
+                getattr(self, field.name) - getattr(baseline, field.name),
+            )
+        return out
+
+
+class RemoteBackend(EncoderBackend):
+    """Batch token sequences to an HTTP encoding service (see module doc).
+
+    Args:
+        url: service base URL (``http://host:port``); falls back to the
+            ``REPRO_REMOTE_URL`` environment variable.
+        timeout: per-request deadline in seconds.
+        retries: additional attempts after the first (0 = fail fast).
+        exact: request bit-exact same-length batching on the service
+            (``mode="exact"``); ``False`` requests padded tolerance tiers
+            and relaxes this backend's contract to ``PADDED_TOLERANCE``.
+        padding_tier: tier width the service pads within when non-exact.
+        backoff_base / backoff_cap: exponential-backoff envelope.
+        rng: jitter source (tests inject a seeded one).
+    """
+
+    name = "remote"
+
+    def __init__(
+        self,
+        url: Optional[str] = None,
+        *,
+        timeout: float = DEFAULT_TIMEOUT,
+        retries: int = DEFAULT_RETRIES,
+        exact: bool = True,
+        padding_tier: int = DEFAULT_TIER_WIDTH,
+        backoff_base: float = DEFAULT_BACKOFF,
+        backoff_cap: float = BACKOFF_CAP,
+        target_chunk_seconds: float = TARGET_CHUNK_SECONDS,
+        rng: Optional[random.Random] = None,
+    ):
+        url = url or os.environ.get(REMOTE_URL_ENV)
+        if not url:
+            raise ModelError(
+                "remote backend needs a service URL: pass url=, use "
+                f"RuntimeConfig(remote_url=...), or set ${REMOTE_URL_ENV}"
+            )
+        split = urlsplit(url)
+        if split.scheme != "http" or not split.hostname:
+            raise ModelError(
+                f"remote backend URL must be http://host[:port][/path], got {url!r}"
+            )
+        if timeout <= 0:
+            raise ModelError("remote timeout must be positive")
+        if retries < 0:
+            raise ModelError("remote retries must be >= 0")
+        self.url = url
+        self._host = split.hostname
+        self._port = split.port or 80
+        self._path = (split.path.rstrip("/") or "") + "/encode"
+        self.timeout = timeout
+        self.retries = retries
+        self.exact = bool(exact)
+        self.tolerance = None if exact else PADDED_TOLERANCE
+        self.padding_tier = padding_tier
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.target_chunk_seconds = target_chunk_seconds
+        self._rng = rng or random.Random()
+        self.stats = TransportStats()
+        self._stats_lock = threading.Lock()
+        # Latency model for suggest_pipeline_chunk: EWMA of per-sequence
+        # service time and the smallest observed round trip (a proxy for
+        # the link's fixed latency floor).
+        self._per_seq_rtt: Optional[float] = None
+        self._min_rtt: Optional[float] = None
+
+    # -- description / policy -----------------------------------------
+
+    @property
+    def cache_namespace(self) -> str:
+        """Remote results always live in their own cache key space.
+
+        Exact-mode responses are bit-identical to local by contract, but
+        the producer is a network service outside this process's trust
+        boundary — the same isolation rule PR 3 applied to tolerance
+        tiers keeps a misbehaving service from poisoning the local/exact
+        namespace through a shared or persistent cache.
+        """
+        return "remote" if self.exact else "remote+padded"
+
+    def describe(self) -> str:
+        mode = (
+            "exact"
+            if self.exact
+            else f"padded tier={self.padding_tier} tol={self.tolerance:g}"
+        )
+        return f"{self.name} ({mode}, {self.url})"
+
+    def stats_snapshot(self) -> TransportStats:
+        """Consistent copy of the cumulative transport counters."""
+        with self._stats_lock:
+            return dataclasses.replace(self.stats)
+
+    # -- latency-aware chunk sizing ------------------------------------
+
+    def suggest_pipeline_chunk(self, default: int) -> int:
+        """Sequences per streaming-executor chunk, from measured RTTs.
+
+        Each chunk is one HTTP round trip, so the right size balances two
+        pressures: chunks must be *long* enough that fixed network latency
+        is amortized (>= ``LATENCY_AMORTIZATION`` × the observed RTT
+        floor of useful work) and *short* enough that the pipeline still
+        overlaps serialization with in-flight encodes.  Until a round
+        trip has been measured the executor's own default stands.
+        """
+        with self._stats_lock:
+            per_seq, min_rtt = self._per_seq_rtt, self._min_rtt
+        if not per_seq or per_seq <= 0:
+            return default
+        target = max(
+            self.target_chunk_seconds, LATENCY_AMORTIZATION * (min_rtt or 0.0)
+        )
+        return max(1, min(MAX_PIPELINE_CHUNK, int(target / per_seq)))
+
+    # -- encoding ------------------------------------------------------
+
+    def encode_batch(
+        self, encoder, token_lists: Sequence[TokenSequence], batch_size: int = 8
+    ) -> List[np.ndarray]:
+        """Synchronous facade over :meth:`aencode_batch`."""
+        return asyncio.run(
+            self.aencode_batch(encoder, token_lists, batch_size=batch_size)
+        )
+
+    async def aencode_batch(
+        self, encoder, token_lists: Sequence[TokenSequence], batch_size: int = 8
+    ) -> List[np.ndarray]:
+        """Ship one chunk over the wire; results in input order.
+
+        Empty sequences are answered locally (their embedding is the empty
+        ``[0, dim]`` array by definition — no forward pass exists to farm
+        out); everything else rides a single request.
+        """
+        dim = encoder.config.dim
+        results: List[Optional[np.ndarray]] = [None] * len(token_lists)
+        pending: List[Tuple[int, TokenArray]] = []
+        for i, tokens in enumerate(token_lists):
+            ta = TokenArray.coerce(tokens)
+            if len(ta):
+                pending.append((i, ta))
+            else:
+                results[i] = np.zeros((0, dim), dtype=np.float64)
+        if not pending:
+            return results
+        wires = [ta.to_wire() for _, ta in pending]
+        digests = [str(w["digest"]) for w in wires]
+        body = json.dumps(
+            {
+                "protocol": PROTOCOL_VERSION,
+                "model": encoder.config.to_jsonable(),
+                "mode": "exact" if self.exact else "padded",
+                "padding_tier": self.padding_tier,
+                "batch_size": batch_size,
+                "sequences": [wire_to_jsonable(w) for w in wires],
+            }
+        ).encode("utf-8")
+        response = await self._request_with_retry(body, n_sequences=len(pending))
+        lengths = [len(ta) for _, ta in pending]
+        states = _reassemble_states(response, digests, lengths, dim)
+        for (i, _), state in zip(pending, states):
+            results[i] = state
+        return results
+
+    # -- transport -----------------------------------------------------
+
+    async def _request_with_retry(
+        self, body: bytes, *, n_sequences: int
+    ) -> Dict[str, object]:
+        last_error: Optional[Exception] = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                with self._stats_lock:
+                    self.stats.retries += 1
+                delay = min(
+                    self.backoff_cap, self.backoff_base * (2 ** (attempt - 1))
+                )
+                # Full jitter in [0.5, 1.5) x delay decorrelates clients
+                # hammering a recovering service in lockstep.
+                await asyncio.sleep(delay * (0.5 + self._rng.random()))
+            with self._stats_lock:
+                self.stats.requests += 1
+            started = time.perf_counter()
+            try:
+                status, payload = await asyncio.wait_for(
+                    self._post(body), timeout=self.timeout
+                )
+            except asyncio.TimeoutError:
+                with self._stats_lock:
+                    self.stats.timeouts += 1
+                last_error = RemoteEncodeError(
+                    f"request deadline ({self.timeout:g}s) exceeded"
+                )
+                continue
+            except (OSError, EOFError, ValueError) as error:
+                # Connection refused/reset, torn reads, unparsable status
+                # line — all transient transport faults.
+                last_error = error
+                continue
+            rtt = time.perf_counter() - started
+            if status >= 500:
+                with self._stats_lock:
+                    self.stats.http_errors += 1
+                last_error = RemoteEncodeError(
+                    f"service error HTTP {status}: {payload[:200]!r}"
+                )
+                continue
+            if status != 200:
+                raise RemoteEncodeError(
+                    f"service rejected request (HTTP {status}): {payload[:500]!r}"
+                )
+            try:
+                decoded = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError) as error:
+                last_error = RemoteEncodeError(f"torn response body: {error}")
+                continue
+            self._record_success(rtt, n_sequences, len(body), len(payload))
+            return decoded
+        raise RemoteEncodeError(
+            f"remote encode failed after {self.retries + 1} attempt(s) "
+            f"to {self.url}: {last_error}"
+        ) from last_error
+
+    async def _post(self, body: bytes) -> Tuple[int, bytes]:
+        """One HTTP POST over an asyncio stream (one request, then close).
+
+        The request advertises **HTTP/1.0** deliberately: this minimal
+        client parses Content-Length- or EOF-delimited bodies only, and
+        an HTTP/1.1 request line would license real servers (nginx,
+        uvicorn) to answer with chunked transfer encoding, whose framing
+        would be read as body bytes.  A chunked response is detected and
+        rejected loudly just in case a server ignores the version.
+        """
+        reader, writer = await asyncio.open_connection(self._host, self._port)
+        try:
+            head = (
+                f"POST {self._path} HTTP/1.0\r\n"
+                f"Host: {self._host}:{self._port}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode("ascii")
+            writer.write(head + body)
+            await writer.drain()
+            status_line = await reader.readline()
+            parts = status_line.split(None, 2)
+            if len(parts) < 2:
+                raise ValueError(f"malformed HTTP status line {status_line!r}")
+            status = int(parts[1])
+            content_length: Optional[int] = None
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                if name.strip().lower() == "content-length":
+                    content_length = int(value.strip())
+                elif (
+                    name.strip().lower() == "transfer-encoding"
+                    and "chunked" in value.lower()
+                ):
+                    raise ValueError(
+                        "server answered with chunked transfer encoding, "
+                        "which this client does not speak"
+                    )
+            if content_length is not None:
+                # readexactly raises IncompleteReadError (EOFError) when
+                # the body is torn short of the advertised length.
+                payload = await reader.readexactly(content_length)
+            else:
+                payload = await reader.read()
+            return status, payload
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except Exception:
+                pass  # close errors on an already-broken socket are noise
+
+    def _record_success(
+        self, rtt: float, n_sequences: int, sent: int, received: int
+    ) -> None:
+        with self._stats_lock:
+            self.stats.chunks += 1
+            self.stats.sequences += n_sequences
+            self.stats.round_trip_seconds += rtt
+            self.stats.bytes_sent += sent
+            self.stats.bytes_received += received
+            per_seq = rtt / max(1, n_sequences)
+            if self._per_seq_rtt is None:
+                self._per_seq_rtt = per_seq
+            else:
+                self._per_seq_rtt = 0.7 * self._per_seq_rtt + 0.3 * per_seq
+            self._min_rtt = rtt if self._min_rtt is None else min(self._min_rtt, rtt)
+
+
+def _reassemble_states(
+    response: Dict[str, object],
+    digests: List[str],
+    lengths: List[int],
+    dim: int,
+) -> List[np.ndarray]:
+    """Decode and order response states by their echoed input digests.
+
+    Matching by digest makes response order irrelevant (duplicate inputs
+    have identical digests *and* identical states, so any assignment among
+    them is correct).  Integrity failures raise :class:`RemoteEncodeError`
+    immediately — they are never retried (see module docstring).
+    """
+    entries = response.get("states")
+    if not isinstance(entries, list) or len(entries) != len(digests):
+        got = len(entries) if isinstance(entries, list) else type(entries).__name__
+        raise RemoteEncodeError(
+            f"response covers {got} state(s) for {len(digests)} sequence(s)"
+        )
+    by_digest: Dict[str, List[Dict[str, object]]] = {}
+    for entry in entries:
+        if not isinstance(entry, dict) or "digest" not in entry:
+            raise RemoteEncodeError("response state entry carries no digest echo")
+        by_digest.setdefault(str(entry["digest"]), []).append(entry)
+    states: List[np.ndarray] = []
+    for digest, length in zip(digests, lengths):
+        bucket = by_digest.get(digest)
+        if not bucket:
+            raise RemoteEncodeError(
+                f"response does not cover requested sequence {digest[:12]}…"
+            )
+        states.append(_decode_state(bucket.pop(), length, dim))
+    return states
+
+
+def _decode_state(entry: Dict[str, object], length: int, dim: int) -> np.ndarray:
+    try:
+        raw = base64.b64decode(str(entry["data"]).encode("ascii"), validate=True)
+    except Exception as error:
+        raise RemoteEncodeError(f"undecodable state payload: {error}") from error
+    expected = entry.get("data_digest")
+    if expected is None:
+        raise RemoteEncodeError("response state carries no data digest")
+    if hashlib.sha256(raw).hexdigest() != expected:
+        raise RemoteEncodeError(
+            "response state failed its digest check (tampered or torn payload)"
+        )
+    shape = entry.get("shape")
+    if shape != [length, dim]:
+        raise RemoteEncodeError(
+            f"response state shape {shape} does not match expected [{length}, {dim}]"
+        )
+    if len(raw) != length * dim * 8:
+        raise RemoteEncodeError(
+            f"response state carries {len(raw)} bytes for shape [{length}, {dim}]"
+        )
+    return (
+        np.frombuffer(raw, dtype="<f8").astype(np.float64, copy=True)
+        .reshape(length, dim)
+    )

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import FrozenSet, Optional
+from typing import Dict, FrozenSet, Optional
 
 from repro.core.levels import EmbeddingLevel
 from repro.errors import ModelError
@@ -146,3 +146,50 @@ class ModelConfig:
 
     def supports(self, level: EmbeddingLevel) -> bool:
         return level in self.levels
+
+    # -- wire form -----------------------------------------------------
+    #
+    # The remote encoder transport ships the full config per request so
+    # the service can rebuild the exact encoder (weights are a pure
+    # function of seed_name/dim/n_layers); enums travel by value and the
+    # levels frozenset as a sorted list, so the payload is plain JSON.
+
+    def to_jsonable(self) -> Dict[str, object]:
+        """JSON-safe dict that :meth:`from_jsonable` rebuilds exactly."""
+        out: Dict[str, object] = {}
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if isinstance(value, enum.Enum):
+                value = value.value
+            elif isinstance(value, frozenset):
+                value = sorted(level.value for level in value)
+            out[field.name] = value
+        return out
+
+    @classmethod
+    def from_jsonable(cls, payload: "Dict[str, object]") -> "ModelConfig":
+        """Invert :meth:`to_jsonable`; raises :class:`ModelError` on junk."""
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ModelError(f"unknown ModelConfig fields: {unknown}")
+        kwargs = dict(payload)
+        try:
+            for key, enum_type in (
+                ("serialization", Serialization),
+                ("position_kind", PositionKind),
+                ("attention_mask", AttentionMask),
+                ("output_norm", OutputNorm),
+            ):
+                if key in kwargs:
+                    kwargs[key] = enum_type(kwargs[key])
+            if "levels" in kwargs:
+                kwargs["levels"] = frozenset(
+                    EmbeddingLevel(v) for v in kwargs["levels"]
+                )
+            # TypeError covers missing required fields and wrong-typed
+            # values reaching __post_init__'s comparisons; both are
+            # payload junk, not programming errors here.
+            return cls(**kwargs)
+        except (TypeError, ValueError) as error:
+            raise ModelError(f"malformed ModelConfig payload: {error}") from error

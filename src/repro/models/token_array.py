@@ -36,11 +36,12 @@ shipping process-local ids.
 
 from __future__ import annotations
 
+import base64
 import dataclasses
 import enum
 import hashlib
 import threading
-from typing import Dict, Iterator, List, Sequence, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -241,11 +242,100 @@ INTERNER = TokenInterner()
 _ = INTERNER.intern(CLS)
 
 
-def _as_index_array(values, dtype=np.int32) -> np.ndarray:
-    arr = np.asarray(values, dtype=dtype)
+def _as_index_array(values, dtype=np.int32, lower: Optional[int] = None) -> np.ndarray:
+    """Validating cast to a 1-D index array.
+
+    ``np.asarray(values, dtype=np.int32)`` wraps out-of-range values
+    silently (a 256th role id would become role 0 under ``uint8``), so the
+    cast goes through a range check first: out-of-range input is a bug in
+    the producer and must raise, never alias another token.  ``lower``
+    additionally floors the *values* (piece ids use 0: a negative id
+    would gather the wrong content row via Python-style wraparound) and
+    is enforced even on the no-conversion fast path.
+    """
+    arr = np.asarray(values)
     if arr.ndim != 1:
         raise ValueError("token arrays must be one-dimensional")
+    if arr.dtype != dtype:
+        if arr.size:
+            if not np.issubdtype(arr.dtype, np.integer):
+                raise ValueError(
+                    f"token arrays must hold integers, got dtype {arr.dtype}"
+                )
+            info = np.iinfo(dtype)
+            lo, hi = int(arr.min()), int(arr.max())
+            if lo < info.min or hi > info.max:
+                raise ValueError(
+                    f"token array value out of range for {np.dtype(dtype).name}: "
+                    f"saw [{lo}, {hi}], representable [{info.min}, {info.max}]"
+                )
+        arr = arr.astype(dtype)
+    if lower is not None and arr.size and int(arr.min()) < lower:
+        raise ValueError(
+            f"token index below {lower}: saw {int(arr.min())} (negative ids "
+            "would silently alias through wraparound indexing)"
+        )
     return arr
+
+
+# Content keys every wire payload must carry; ``digest`` is checked
+# separately so the legacy opt-out can name exactly what it skips.
+_WIRE_KEYS = ("pieces", "piece_index", "role_ids", "rows", "cols")
+
+
+def _wire_digest(
+    pieces: Sequence[str],
+    piece_index: np.ndarray,
+    role_ids: np.ndarray,
+    rows: np.ndarray,
+    cols: np.ndarray,
+) -> str:
+    """The canonical content hash over a (pieces, provenance) decomposition.
+
+    Shared by :meth:`TokenArray.digest` (interner-side) and
+    :meth:`TokenArray.from_wire` (payload-side, *before* any interning) —
+    one definition so the two sides can never drift.
+    """
+    digest = hashlib.sha256(b"token-array\x00")
+    for piece in pieces:
+        digest.update(piece.encode("utf-8", "replace"))
+        digest.update(b"\x1f")
+    digest.update(b"\x00")
+    digest.update(piece_index.astype(np.int32).tobytes())
+    digest.update(np.ascontiguousarray(role_ids).tobytes())
+    digest.update(np.ascontiguousarray(rows).tobytes())
+    digest.update(np.ascontiguousarray(cols).tobytes())
+    return digest.hexdigest()
+
+
+def _wire_field(
+    wire: Dict[str, object], key: str, *, lower: int, upper: Optional[int] = None
+) -> np.ndarray:
+    """One validated integer array out of a wire payload.
+
+    Checks shape, integer dtype, and the ``[lower, upper]`` value range
+    *before* any gather uses the values as indices, so malformed payloads
+    fail with a message naming the field instead of a bare ``IndexError``
+    — and negative indices can never silently alias through Python-style
+    wraparound.
+    """
+    arr = np.asarray(wire[key])
+    if arr.ndim != 1:
+        raise ValueError(f"wire field {key!r} must be one-dimensional")
+    if upper is None:
+        upper = int(np.iinfo(np.int32).max)
+    if arr.size:
+        if not np.issubdtype(arr.dtype, np.integer):
+            raise ValueError(
+                f"wire field {key!r} must hold integers, got dtype {arr.dtype}"
+            )
+        lo, hi = int(arr.min()), int(arr.max())
+        if lo < lower or hi > upper:
+            raise ValueError(
+                f"wire field {key!r} out of range: saw [{lo}, {hi}], "
+                f"valid [{lower}, {upper}]"
+            )
+    return arr.astype(np.int32)
 
 
 class TokenArray:
@@ -261,7 +351,7 @@ class TokenArray:
     __slots__ = ("piece_ids", "role_ids", "rows", "cols")
 
     def __init__(self, piece_ids, role_ids, rows, cols):
-        self.piece_ids = _as_index_array(piece_ids)
+        self.piece_ids = _as_index_array(piece_ids, lower=0)
         self.role_ids = _as_index_array(role_ids, dtype=np.uint8)
         self.rows = _as_index_array(rows)
         self.cols = _as_index_array(cols)
@@ -401,25 +491,64 @@ class TokenArray:
         }
 
     @classmethod
-    def from_wire(cls, wire: Dict[str, object]) -> "TokenArray":
+    def from_wire(
+        cls, wire: Dict[str, object], *, require_digest: bool = True
+    ) -> "TokenArray":
         """Rebuild from :meth:`to_wire` output, re-interning locally.
 
-        Raises ``ValueError`` when the payload's digest does not match the
-        rebuilt sequence (a torn or mistranslated wire payload must never
-        silently embed as something else).
+        Every field is bounds-validated *before* construction — a malformed
+        payload raises ``ValueError`` with the offending field named, never
+        a bare ``IndexError`` (and a negative ``piece_index`` must never
+        silently alias a piece through Python indexing).  The ``digest``
+        key is mandatory: transport callers (pickle, HTTP) always produce
+        it, and a torn or mistranslated payload must never silently embed
+        as something else.  ``require_digest=False`` is the explicit
+        opt-out for trusted legacy payloads built before the digest existed
+        — content validation still runs, only the integrity check is
+        skipped.
         """
-        local_ids = np.asarray(INTERNER.intern_many(list(wire["pieces"])), dtype=np.int32)
-        piece_index = np.asarray(wire["piece_index"], dtype=np.int32)
-        out = cls(
-            local_ids[piece_index] if len(piece_index) else piece_index,
-            wire["role_ids"],
-            wire["rows"],
-            wire["cols"],
+        missing = [key for key in _WIRE_KEYS if key not in wire]
+        if missing:
+            raise ValueError(f"token-array wire payload missing keys: {missing}")
+        pieces = list(wire["pieces"])
+        piece_index = _wire_field(wire, "piece_index", lower=0, upper=len(pieces) - 1)
+        role_ids = _wire_field(wire, "role_ids", lower=0, upper=len(ROLE_ORDER) - 1).astype(
+            np.uint8
         )
+        rows = _wire_field(wire, "rows", lower=-1)
+        cols = _wire_field(wire, "cols", lower=-1)
+        # Integrity check runs *before* any interning: the process-wide
+        # interner (and its content matrices) must never grow from a
+        # payload that is about to be rejected — a service fed junk
+        # payloads would otherwise leak memory per rejected request.
+        # The payload is re-canonicalized (used pieces, lexicographic,
+        # deduplicated) exactly as ``digest()`` would after construction.
         expected = wire.get("digest")
-        if expected is not None and out.digest() != expected:
-            raise ValueError("token-array wire payload failed its digest check")
-        return out
+        if expected is None:
+            if require_digest:
+                raise ValueError(
+                    "token-array wire payload carries no digest; transport "
+                    "payloads must be integrity-checked (pass "
+                    "require_digest=False only for trusted legacy payloads)"
+                )
+        else:
+            index_list = piece_index.tolist()
+            used = sorted({pieces[i] for i in index_list})
+            rank = {piece: i for i, piece in enumerate(used)}
+            canonical = np.asarray(
+                [rank[pieces[i]] for i in index_list], dtype=np.int32
+            )
+            if _wire_digest(used, canonical, role_ids, rows, cols) != expected:
+                raise ValueError(
+                    "token-array wire payload failed its digest check"
+                )
+        local_ids = np.asarray(INTERNER.intern_many(pieces), dtype=np.int32)
+        return cls(
+            local_ids[piece_index] if len(piece_index) else piece_index,
+            role_ids,
+            rows,
+            cols,
+        )
 
     def __reduce__(self):
         # Pickle through the wire format: raw piece ids are process-local,
@@ -439,16 +568,7 @@ class TokenArray:
         return self._digest_of(*self._canonical_pieces())
 
     def _digest_of(self, pieces: List[str], piece_index: np.ndarray) -> str:
-        digest = hashlib.sha256(b"token-array\x00")
-        for piece in pieces:
-            digest.update(piece.encode("utf-8", "replace"))
-            digest.update(b"\x1f")
-        digest.update(b"\x00")
-        digest.update(piece_index.astype(np.int32).tobytes())
-        digest.update(np.ascontiguousarray(self.role_ids).tobytes())
-        digest.update(np.ascontiguousarray(self.rows).tobytes())
-        digest.update(np.ascontiguousarray(self.cols).tobytes())
-        return digest.hexdigest()
+        return _wire_digest(pieces, piece_index, self.role_ids, self.rows, self.cols)
 
 
 #: What encoder/aggregation entry points accept: the native columnar form
@@ -496,3 +616,64 @@ class TokenArrayBuilder:
 
     def build(self) -> TokenArray:
         return TokenArray(self._piece_ids, self._role_ids, self._rows, self._cols)
+
+
+# ----------------------------------------------------------------------
+# JSON wire codec
+# ----------------------------------------------------------------------
+#
+# The HTTP transport (repro.models.backends.remote) ships wire payloads as
+# JSON: piece strings stay a plain string list, provenance arrays travel as
+# base64 of their canonical little-endian bytes.  The codec is lossless —
+# ``wire_from_jsonable(wire_to_jsonable(w))`` rebuilds arrays with the
+# exact dtypes ``to_wire`` emitted, so the digest (computed over those
+# bytes) survives the round trip unchanged.
+
+_WIRE_DTYPES = {
+    "piece_index": np.dtype("<i4"),
+    "role_ids": np.dtype("|u1"),
+    "rows": np.dtype("<i4"),
+    "cols": np.dtype("<i4"),
+}
+
+
+def wire_to_jsonable(wire: Dict[str, object]) -> Dict[str, object]:
+    """JSON-safe form of a :meth:`TokenArray.to_wire` payload."""
+    out: Dict[str, object] = {"pieces": list(wire["pieces"])}
+    for key, dtype in _WIRE_DTYPES.items():
+        arr = np.ascontiguousarray(np.asarray(wire[key]).astype(dtype, copy=False))
+        out[key] = base64.b64encode(arr.tobytes()).decode("ascii")
+    out["digest"] = wire["digest"]
+    return out
+
+
+def wire_from_jsonable(payload: Dict[str, object]) -> Dict[str, object]:
+    """Invert :func:`wire_to_jsonable`; feed the result to ``from_wire``.
+
+    Only decodes — all content/integrity validation (bounds, digest) lives
+    in :meth:`TokenArray.from_wire` so every transport shares one checker.
+    Raises ``ValueError`` on structurally broken payloads (missing keys,
+    non-base64 text, byte counts that are not a whole number of elements).
+    """
+    missing = [key for key in (*_WIRE_KEYS, "digest") if key not in payload]
+    if missing:
+        raise ValueError(f"JSON wire payload missing keys: {missing}")
+    pieces = payload["pieces"]
+    if not isinstance(pieces, list) or not all(isinstance(p, str) for p in pieces):
+        raise ValueError("JSON wire field 'pieces' must be a list of strings")
+    out: Dict[str, object] = {"pieces": pieces, "digest": payload["digest"]}
+    for key, dtype in _WIRE_DTYPES.items():
+        text = payload[key]
+        if not isinstance(text, str):
+            raise ValueError(f"JSON wire field {key!r} must be a base64 string")
+        try:
+            raw = base64.b64decode(text.encode("ascii"), validate=True)
+        except Exception as error:
+            raise ValueError(f"JSON wire field {key!r} is not valid base64") from error
+        if len(raw) % dtype.itemsize:
+            raise ValueError(
+                f"JSON wire field {key!r} is torn: {len(raw)} bytes is not a "
+                f"multiple of element size {dtype.itemsize}"
+            )
+        out[key] = np.frombuffer(raw, dtype=dtype)
+    return out

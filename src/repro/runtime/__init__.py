@@ -33,7 +33,12 @@ from repro.runtime.fingerprint import (
     table_fingerprint,
     value_column_fingerprint,
 )
-from repro.runtime.pipeline import EncodeLoop, PipelineStats, encode_loop
+from repro.runtime.pipeline import (
+    EncodeLoop,
+    EncodeLoopClosedError,
+    PipelineStats,
+    encode_loop,
+)
 from repro.runtime.planner import (
     BUNDLE_LEVELS,
     EmbeddingExecutor,
@@ -59,6 +64,7 @@ __all__ = [
     "EmbeddingCache",
     "EmbeddingExecutor",
     "EncodeLoop",
+    "EncodeLoopClosedError",
     "PipelineStats",
     "ProcessShardedSweep",
     "encode_loop",

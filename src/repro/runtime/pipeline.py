@@ -85,10 +85,30 @@ class PipelineStats:
         )
 
 
+class EncodeLoopClosedError(RuntimeError):
+    """Submission refused: the encode loop was closed (or died wedged)."""
+
+
 class EncodeLoop:
-    """A daemon thread running an asyncio loop for encode submissions."""
+    """A daemon thread running an asyncio loop for encode submissions.
+
+    Lifecycle contract (remote-backend deadline semantics depend on it):
+    :meth:`close` either confirms the loop thread exited or raises — it
+    never returns silently with the thread still alive, which used to let
+    a backend coroutine blocked on a dead socket wedge the loop while
+    later ``submit`` calls kept enqueueing onto it.  Once ``close`` has
+    been called (successfully or not), ``submit`` fails fast with
+    :class:`EncodeLoopClosedError` instead of scheduling work that would
+    never run.
+    """
 
     def __init__(self):
+        self._closed = False
+        # Serializes the closed-flag check in submit() against close()
+        # setting it: without this, a submit racing close could schedule
+        # onto a loop that stops before the callback runs, handing the
+        # caller a future that never completes.
+        self._lifecycle_lock = threading.Lock()
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(
             target=self._run, name="repro-encode-loop", daemon=True
@@ -99,16 +119,76 @@ class EncodeLoop:
         asyncio.set_event_loop(self._loop)
         self._loop.run_forever()
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def is_alive(self) -> bool:
-        return self._thread.is_alive()
+        return not self._closed and self._thread.is_alive()
 
     def submit(self, coro: Coroutine) -> Future:
-        """Schedule a coroutine on the loop; returns a blocking future."""
-        return asyncio.run_coroutine_threadsafe(coro, self._loop)
+        """Schedule a coroutine on the loop; returns a blocking future.
 
-    def close(self) -> None:
-        self._loop.call_soon_threadsafe(self._loop.stop)
-        self._thread.join(timeout=2.0)
+        Raises :class:`EncodeLoopClosedError` after :meth:`close` — a
+        stopping loop would accept the coroutine and never run it, leaving
+        the caller blocked on a future that cannot complete.  The check
+        and the scheduling are atomic against :meth:`close`: a submission
+        that wins the race is queued before the stop callback, one that
+        loses it fails fast here.
+        """
+        with self._lifecycle_lock:
+            if self._closed:
+                coro.close()  # suppress the "never awaited" warning
+                raise EncodeLoopClosedError(
+                    "encode loop is closed; create a fresh loop via encode_loop()"
+                )
+            return asyncio.run_coroutine_threadsafe(coro, self._loop)
+
+    def close(self, timeout: float = 2.0) -> None:
+        """Stop the loop and join its thread; raise if the thread wedged.
+
+        A loop thread that outlives ``timeout`` means some backend
+        coroutine is blocked in non-cooperative code (a dead socket, a
+        stuck syscall).  That is surfaced as ``RuntimeError`` — the daemon
+        thread cannot hurt interpreter shutdown, but pretending the close
+        succeeded would hide exactly the failures remote-backend deadline
+        tests need to see.  The loop is marked closed first either way, so
+        later submits fail fast; a submit that *won* the race has its
+        still-pending task cancelled on the loop before the stop, so its
+        future resolves with ``CancelledError`` — every racer gets a
+        terminal outcome, never a forever-pending future.
+        """
+        with self._lifecycle_lock:
+            self._closed = True
+
+        async def _shutdown() -> None:
+            # Runs on the loop thread: cancel whatever is still pending
+            # and wait for the cancellations to be processed (so their
+            # submit() futures resolve), then stop the loop.
+            tasks = [
+                task
+                for task in asyncio.all_tasks()
+                if task is not asyncio.current_task()
+            ]
+            for task in tasks:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+            # One extra iteration: task completion hands results to
+            # submit()'s concurrent futures via call_soon callbacks
+            # (_chain_future); stopping in the same batch would strand
+            # them and hang the submitter despite the task being done.
+            await asyncio.sleep(0)
+            self._loop.stop()
+
+        if self._thread.is_alive():
+            asyncio.run_coroutine_threadsafe(_shutdown(), self._loop)
+        self._thread.join(timeout=timeout)
+        if self._thread.is_alive():
+            raise RuntimeError(
+                f"encode loop thread failed to stop within {timeout:.1f}s — "
+                "a backend coroutine is wedged (dead socket? missing "
+                "deadline?); submissions are refused from now on"
+            )
 
 
 _loop_lock = threading.Lock()

@@ -38,6 +38,7 @@ import numpy as np
 
 import repro.telemetry as telemetry
 from repro.core.levels import EmbeddingLevel
+from repro.errors import ModelError
 from repro.models.backends import (
     DEFAULT_TIER_WIDTH,
     EncoderBackend,
@@ -87,12 +88,19 @@ class RuntimeConfig:
             heterogeneous-length sequences are batched inside tolerance
             tiers, within the documented per-element
             :data:`~repro.models.backends.PADDED_TOLERANCE` of exact.
-        backend: explicit encoder backend name (``"local"``/``"padded"``
-            or anything registered); ``None`` derives it from ``exact``.
-            Naming a non-exact backend with ``exact=True`` is rejected —
-            exactness is a promise, not a preference.
-        padding_tier: tier width in tokens for the padded backend; padding
-            waste per sequence is strictly below it.
+        backend: explicit encoder backend name (``"local"``/``"padded"``/
+            ``"remote"`` or anything registered); ``None`` derives it from
+            ``exact``.  Naming a non-exact backend with ``exact=True`` is
+            rejected — exactness is a promise, not a preference.
+        padding_tier: tier width in tokens for the padded backend (also
+            forwarded to the service when the remote backend runs in
+            padded mode).
+        remote_url: base URL of the remote encoding service
+            (``backend="remote"``); falls back to ``$REPRO_REMOTE_URL``.
+        remote_timeout: per-request deadline (seconds) of the remote
+            transport.
+        remote_retries: additional attempts after a transient transport
+            fault (timeout/5xx/torn payload) before the request fails.
         async_encode: stream encoder batches through the background
             asyncio encode loop so serialization/fingerprinting of the
             next chunk overlaps the current chunk's forward passes.
@@ -112,6 +120,9 @@ class RuntimeConfig:
     backend: Optional[str] = None
     padding_tier: int = DEFAULT_TIER_WIDTH
     async_encode: bool = True
+    remote_url: Optional[str] = None
+    remote_timeout: float = 10.0
+    remote_retries: int = 3
 
     def __post_init__(self):
         if self.batch_size < 1:
@@ -130,16 +141,26 @@ class RuntimeConfig:
             )
         if self.padding_tier < 1:
             raise ValueError("padding_tier must be positive")
+        if self.remote_timeout <= 0:
+            raise ValueError("remote_timeout must be positive")
+        if self.remote_retries < 0:
+            raise ValueError("remote_retries must be >= 0")
         if self.backend is not None:
             if self.backend not in available_backends():
                 raise ValueError(
                     f"unknown backend {self.backend!r}; "
                     f"available: {', '.join(available_backends())}"
                 )
-            # Exactness is a promise, not a preference: probe the actual
-            # backend's contract rather than special-casing names, so any
-            # registered non-exact backend is rejected under exact=True.
-            if self.exact and not self.build_backend().exact:
+            # Probe the actual backend rather than special-casing names:
+            # misconfiguration (a remote backend without a URL) and
+            # non-exact backends under exact=True must both fail at
+            # configuration time, not mid-sweep.  Exactness is a promise,
+            # not a preference.
+            try:
+                probe = self.build_backend()
+            except ModelError as error:
+                raise ValueError(str(error)) from None
+            if self.exact and not probe.exact:
                 raise ValueError(
                     f"backend={self.backend!r} is not exact; pass "
                     "exact=False to opt into tolerance batching"
@@ -158,6 +179,16 @@ class RuntimeConfig:
             return PaddedBackend(tier_width=self.padding_tier)
         if name == "local":
             return LocalBackend()
+        if name == "remote":
+            from repro.models.backends.remote import RemoteBackend
+
+            return RemoteBackend(
+                self.remote_url,
+                timeout=self.remote_timeout,
+                retries=self.remote_retries,
+                exact=self.exact,
+                padding_tier=self.padding_tier,
+            )
         from repro.models.backends import resolve_backend
 
         return resolve_backend(name)
@@ -208,16 +239,19 @@ class EmbeddingExecutor:
         self.name = model.name
         self.dim = model.dim
         backend = getattr(getattr(model, "encoder", None), "backend", None)
-        if backend is not None and not getattr(backend, "exact", True):
-            # Non-exact embeddings must never cross into an exact run (or
-            # another tolerance backend) through a shared/persistent
-            # cache: tolerance-tier results live in their own key space.
-            # Exact backends share the model's plain namespace — they are
-            # bit-identical by contract, so their entries are
-            # interchangeable.
-            self._cache_space = f"{model.name}|{backend.name}"
-        else:
-            self._cache_space = model.name
+        # The backend declares its own cache key space (EncoderBackend.
+        # cache_namespace): tolerance-tier results must never cross into
+        # an exact run through a shared/persistent cache, and remote
+        # results stay isolated even when exact (the producer lives
+        # outside this process's trust boundary).  Plain exact in-process
+        # backends return None and share the model's namespace — their
+        # entries are bit-identical by contract, so interchangeable.
+        namespace = getattr(backend, "cache_namespace", None)
+        if namespace is None and backend is not None and not getattr(backend, "exact", True):
+            # Duck-typed third-party backends without the property still
+            # get the PR 3 isolation rule.
+            namespace = getattr(backend, "name", "inexact")
+        self._cache_space = f"{model.name}|{namespace}" if namespace else model.name
         self._pipeline_lock = threading.Lock()
         self._pipeline_stats = PipelineStats()
 
@@ -457,7 +491,14 @@ class EmbeddingExecutor:
             return None
         timings = telemetry.current()
         loop = encode_loop()
-        chunk_size = self.pipeline_chunk
+        # Latency-aware chunk sizing: a backend that measures round trips
+        # (the remote transport) suggests how many sequences one in-flight
+        # chunk should carry — big enough to amortize network latency,
+        # small enough to keep the pipeline overlapping.  Local backends
+        # expose no sizer and the static default stands.
+        sizer = getattr(
+            getattr(encoder, "backend", None), "suggest_pipeline_chunk", None
+        )
         out: List[Dict[EmbeddingLevel, np.ndarray]] = []
         prev: Optional[Tuple[object, object]] = None  # (plan, future)
 
@@ -469,7 +510,13 @@ class EmbeddingExecutor:
                 self._pipeline_stats.wait_seconds += waited
             out.extend(finish(plan, states))
 
-        for start in range(0, len(tables), chunk_size):
+        start = 0
+        while start < len(tables):
+            chunk_size = self.pipeline_chunk
+            if sizer is not None:
+                # Re-consulted per chunk so the size adapts within one
+                # plan as round-trip measurements accumulate.
+                chunk_size = max(1, int(sizer(self.pipeline_chunk)))
             plan = serialize(
                 tables[start : start + chunk_size],
                 levels_list[start : start + chunk_size],
@@ -484,6 +531,7 @@ class EmbeddingExecutor:
             if prev is not None:
                 collect(*prev)  # aggregate k-1 while k encodes
             prev = (plan, future)
+            start += chunk_size
         if prev is not None:
             collect(*prev)
         return out

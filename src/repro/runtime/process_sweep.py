@@ -43,6 +43,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ObservatoryError
 from repro.models.backends.padded import PaddingStats
+from repro.models.backends.remote import TransportStats
 from repro.runtime.cache import CacheStats
 from repro.runtime.pipeline import PipelineStats
 
@@ -58,6 +59,7 @@ class ShardOutcome:
     cache_stats: Optional[CacheStats]
     pipeline: Optional[PipelineStats] = None
     padding: Optional[PaddingStats] = None
+    transport: Optional[TransportStats] = None
 
 
 def partition_shards(
@@ -121,6 +123,7 @@ def _run_shard(payload: Dict[str, object]) -> Dict[str, object]:
         "stats": stats,
         "pipeline": observatory.pipeline_stats(),
         "padding": observatory.padding_stats(),
+        "transport": observatory.transport_stats(),
     }
 
 
@@ -190,10 +193,17 @@ class ProcessShardedSweep:
         padding = PaddingStats.merged(paddings) if paddings else None
         if padding is not None and not padding.padded_batches:
             padding = None
+        transports = [
+            o.get("transport") for o in outcomes if o.get("transport") is not None
+        ]
+        transport = TransportStats.merged(transports) if transports else None
+        if transport is not None and not transport.chunks:
+            transport = None
         return ShardOutcome(
             cells=merged_cells,
             workers=len(shards),
             cache_stats=stats,
             pipeline=pipeline,
             padding=padding,
+            transport=transport,
         )

@@ -42,6 +42,7 @@ import repro.telemetry as telemetry
 from repro.core.results import PropertyResult, SkippedCell
 from repro.errors import ObservatoryError
 from repro.models.backends.padded import PaddingStats
+from repro.models.backends.remote import TransportStats
 from repro.runtime.cache import CacheStats
 from repro.runtime.pipeline import PipelineStats
 
@@ -139,6 +140,9 @@ class SweepResult:
             executors/workers; ``None`` when streaming never engaged.
         padding: padded-backend waste accounting; ``None`` under the
             exact local backend.
+        transport: remote-transport accounting (round trips, retries,
+            bytes), merged across workers; ``None`` unless the remote
+            backend carried chunks for this sweep.
     """
 
     cells: List[SweepCell] = dataclasses.field(default_factory=list)
@@ -150,6 +154,7 @@ class SweepResult:
     cache_stats: Optional[CacheStats] = None
     pipeline: Optional[PipelineStats] = None
     padding: Optional[PaddingStats] = None
+    transport: Optional[TransportStats] = None
 
     @property
     def records(self) -> List[Dict[str, object]]:
@@ -199,6 +204,7 @@ class SweepResult:
             "cache": self.cache_stats.to_dict() if self.cache_stats else None,
             "pipeline": self.pipeline.to_dict() if self.pipeline else None,
             "padding": dataclasses.asdict(self.padding) if self.padding else None,
+            "transport": self.transport.to_dict() if self.transport else None,
         }
 
     def __repr__(self) -> str:
@@ -294,6 +300,7 @@ def run_sweep(
     # previous sweep's (thread engine reuses the executors).
     pipeline_before = observatory.pipeline_stats()
     padding_before = observatory.padding_stats()
+    transport_before = observatory.transport_stats()
     started = time.perf_counter()
     runnable, skipped = plan_cells(observatory, model_names, property_names)
     # Execute cache-aware, return request-order (see order_cells).
@@ -332,6 +339,7 @@ def run_sweep(
             cache_stats=engine_result.cache_stats,
             pipeline=engine_result.pipeline,
             padding=engine_result.padding,
+            transport=engine_result.transport,
         )
 
     # Materialize shared resources serially before fanning out: dataset
@@ -376,6 +384,11 @@ def run_sweep(
         padding = padding.since(padding_before)
     if padding is not None and not padding.padded_batches:
         padding = None  # padded backend configured but nothing was padded
+    transport = observatory.transport_stats()
+    if transport is not None and transport_before is not None:
+        transport = transport.since(transport_before)
+    if transport is not None and not transport.chunks:
+        transport = None  # remote configured but nothing crossed the wire
     return SweepResult(
         cells=cells,
         skipped=skipped,
@@ -386,4 +399,5 @@ def run_sweep(
         cache_stats=cache.stats if cache is not None else None,
         pipeline=pipeline if pipeline.batches else None,
         padding=padding,
+        transport=transport,
     )

@@ -1,0 +1,11 @@
+"""Test doubles shipped with the library.
+
+Currently one: :class:`~repro.testing.encoder_service.LoopbackEncoderService`,
+an in-process HTTP encoding service that runs a real local backend behind
+the TokenArray wire format — what integration tests (and the CI remote
+smoke) point the ``"remote"`` encoder backend at.
+"""
+
+from repro.testing.encoder_service import LoopbackEncoderService
+
+__all__ = ["LoopbackEncoderService"]

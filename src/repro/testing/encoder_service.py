@@ -1,0 +1,260 @@
+"""Loopback encoding service: a real backend behind the real wire format.
+
+:class:`LoopbackEncoderService` is the integration-test double for
+:class:`~repro.models.backends.remote.RemoteBackend`.  It is a genuine
+HTTP server (stdlib ``http.server``, threaded, bound to a loopback port —
+no new runtime dependencies) that speaks the exact protocol the remote
+backend ships: JSON requests carrying :func:`wire_to_jsonable` payloads
+in, base64 float64 hidden states with digest echoes out.  Behind the wire
+it runs a **real** :class:`LocalBackend` (or :class:`PaddedBackend` when
+the request says ``mode="padded"``) on an encoder rebuilt from the
+shipped :class:`ModelConfig` — so a test that compares remote against
+local results is comparing two independent processes' worth of state
+(interner, weights, content vectors) reconstructed from configuration,
+which is precisely the claim the wire format makes.
+
+Fault injection: :meth:`LoopbackEncoderService.inject` queues one-shot
+faults consumed FIFO by subsequent requests —
+
+- ``"http_500"`` — respond 500 (client must retry with backoff);
+- ``"timeout"`` — sleep past the client's deadline before answering (the
+  client must abandon the request and retry);
+- ``"torn"`` — advertise the full Content-Length but write only half the
+  body (the client sees a short read and retries);
+- ``"shuffle"`` — return the states reversed (NOT a fault the client may
+  reject: it must reassemble by digest echo and still be bit-identical);
+- ``"tamper"`` — corrupt a state's bytes while keeping the original
+  ``data_digest`` (the client must *reject* this, never retry it into
+  acceptance).
+
+Run standalone for manual poking::
+
+    python -m repro.testing.encoder_service --port 8077
+"""
+
+from __future__ import annotations
+
+import argparse
+import base64
+import collections
+import hashlib
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ObservatoryError
+from repro.models.backends.local import LocalBackend
+from repro.models.backends.padded import PaddedBackend
+from repro.models.backends.remote import PROTOCOL_VERSION
+from repro.models.config import ModelConfig
+from repro.models.encoder import Encoder
+from repro.models.token_array import TokenArray, wire_from_jsonable
+
+FAULT_KINDS = ("http_500", "timeout", "torn", "shuffle", "tamper")
+
+
+class _Fault:
+    __slots__ = ("kind", "seconds")
+
+    def __init__(self, kind: str, seconds: float = 0.75):
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault {kind!r}; expected one of {FAULT_KINDS}")
+        self.kind = kind
+        self.seconds = seconds
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # HTTP/1.0 semantics: one request per connection, closed after the
+    # response — matching the client's ``Connection: close`` transport.
+
+    def log_message(self, fmt, *args):  # noqa: D102 - silence test noise
+        pass
+
+    def do_POST(self):  # noqa: N802 - http.server API
+        service: "LoopbackEncoderService" = self.server.service  # type: ignore[attr-defined]
+        if self.path.rstrip("/") != "/encode":
+            self._send(404, b'{"error": "unknown endpoint"}')
+            return
+        fault = service._next_fault()
+        if fault is not None and fault.kind == "timeout":
+            # Hold the request past the client's deadline; the response
+            # below still completes (harmlessly — the client is gone).
+            time.sleep(fault.seconds)
+        if fault is not None and fault.kind == "http_500":
+            self._send(500, b'{"error": "injected service fault"}')
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            request = json.loads(self.rfile.read(length).decode("utf-8"))
+            body = service._encode_request(request, fault)
+        except (ValueError, KeyError, ObservatoryError) as error:
+            self._send(400, json.dumps({"error": str(error)}).encode("utf-8"))
+            return
+        if fault is not None and fault.kind == "torn":
+            self.send_response(200)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body[: len(body) // 2])  # short write, then close
+            return
+        self._send(200, body)
+
+    def _send(self, status: int, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+
+class LoopbackEncoderService:
+    """In-process HTTP encoding service running real backends (see module doc).
+
+    Usable as a context manager::
+
+        with LoopbackEncoderService() as service:
+            backend = RemoteBackend(service.url)
+            ...
+
+    Attributes:
+        requests_served: successful ``/encode`` responses sent.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.service = self  # type: ignore[attr-defined]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-loopback-encoder",
+            daemon=True,
+        )
+        self._lock = threading.Lock()
+        self._faults: "collections.deque[_Fault]" = collections.deque()
+        self._encoders: Dict[Tuple[str, str, int], Encoder] = {}
+        self.requests_served = 0
+        self._thread.start()
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def url(self) -> str:
+        host, port = self._server.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "LoopbackEncoderService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- fault injection -----------------------------------------------
+
+    def inject(self, kind: str, *, seconds: float = 0.75) -> None:
+        """Queue a one-shot fault for the next request (FIFO)."""
+        with self._lock:
+            self._faults.append(_Fault(kind, seconds))
+
+    def _next_fault(self) -> Optional[_Fault]:
+        with self._lock:
+            return self._faults.popleft() if self._faults else None
+
+    # -- encoding ------------------------------------------------------
+
+    def _encoder_for(self, config: ModelConfig, mode: str, tier: int) -> Encoder:
+        """One cached encoder per (model config, backend mode, tier)."""
+        key = (json.dumps(config.to_jsonable(), sort_keys=True), mode, tier)
+        with self._lock:
+            encoder = self._encoders.get(key)
+            if encoder is None:
+                backend = (
+                    PaddedBackend(tier_width=tier)
+                    if mode == "padded"
+                    else LocalBackend()
+                )
+                encoder = Encoder(config, backend=backend)
+                self._encoders[key] = encoder
+            return encoder
+
+    def _encode_request(self, request: Dict[str, object], fault: Optional[_Fault]) -> bytes:
+        if request.get("protocol") != PROTOCOL_VERSION:
+            raise ValueError(
+                f"protocol mismatch: service speaks {PROTOCOL_VERSION}, "
+                f"request says {request.get('protocol')!r}"
+            )
+        mode = request.get("mode", "exact")
+        if mode not in ("exact", "padded"):
+            raise ValueError(f"unknown mode {mode!r}")
+        config = ModelConfig.from_jsonable(request["model"])
+        tier = int(request.get("padding_tier", 8))
+        batch_size = int(request.get("batch_size", 8))
+        encoder = self._encoder_for(config, mode, tier)
+        arrays: List[TokenArray] = []
+        digests: List[str] = []
+        for payload in request["sequences"]:
+            wire = wire_from_jsonable(payload)
+            arrays.append(TokenArray.from_wire(wire))  # digest-checked
+            digests.append(str(wire["digest"]))
+        states = encoder.backend.encode_batch(encoder, arrays, batch_size=batch_size)
+        entries = [
+            _state_entry(digest, state) for digest, state in zip(digests, states)
+        ]
+        if fault is not None and fault.kind == "shuffle":
+            entries.reverse()
+        elif fault is not None and fault.kind == "tamper":
+            entries[0] = _tampered(entries[0])
+        with self._lock:
+            self.requests_served += 1
+        return json.dumps({"states": entries}).encode("utf-8")
+
+
+def _state_entry(digest: str, state: np.ndarray) -> Dict[str, object]:
+    raw = np.ascontiguousarray(state.astype("<f8", copy=False)).tobytes()
+    return {
+        "digest": digest,
+        "shape": list(state.shape),
+        "data": base64.b64encode(raw).decode("ascii"),
+        "data_digest": hashlib.sha256(raw).hexdigest(),
+    }
+
+
+def _tampered(entry: Dict[str, object]) -> Dict[str, object]:
+    """Corrupt the state bytes while keeping the *original* digest.
+
+    This simulates payload corruption or a hostile service: the digest
+    check on the client is the only thing standing between this and a
+    silently wrong embedding.
+    """
+    raw = bytearray(base64.b64decode(str(entry["data"])))
+    if raw:
+        raw[0] ^= 0xFF
+    return {**entry, "data": base64.b64encode(bytes(raw)).decode("ascii")}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Loopback encoder service (manual/CI smoke runs)"
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8077)
+    args = parser.parse_args(argv)
+    service = LoopbackEncoderService(host=args.host, port=args.port)
+    print(f"loopback encoder service listening on {service.url}", flush=True)
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        service.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,429 @@
+"""Remote encoder backend against the loopback service double.
+
+Locks in the transport's three contracts:
+
+1. **Numerics across the wire** — for every model family, loopback-remote
+   results are *bit-identical* to the in-process local backend in exact
+   mode and within :data:`PADDED_TOLERANCE` in padded mode.  The service
+   rebuilds its encoder, interner, and weights from the shipped config,
+   so this is a genuine two-process determinism claim.
+2. **Fault tolerance** — injected timeouts, 5xx, and torn payloads are
+   retried (with backoff accounted in :class:`TransportStats`) and still
+   produce bit-identical results; out-of-order responses are reassembled
+   by digest echo; *tampered* payloads are rejected, never retried into
+   acceptance.
+3. **Wiring** — registry/RuntimeConfig/executor integration: the remote
+   backend registers as ``"remote"``, demands a URL at configuration
+   time, isolates its embedding-cache namespace, and feeds the streaming
+   executor a latency-aware chunk size.
+
+Plus a Hypothesis round trip of the JSON wire encoding (unicode pieces,
+empty sequences, single-token arrays).
+"""
+
+import json
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.framework import DatasetSizes, Observatory
+from repro.errors import ModelError, RemoteEncodeError
+from repro.models.backends import (
+    PADDED_TOLERANCE,
+    LocalBackend,
+    RemoteBackend,
+    TransportStats,
+    available_backends,
+    max_relative_error,
+)
+from repro.models.config import Serialization
+from repro.models.registry import load_model
+from repro.models.token_array import (
+    Token,
+    TokenArray,
+    TokenRole,
+    wire_from_jsonable,
+    wire_to_jsonable,
+)
+from repro.relational.table import Table
+from repro.runtime.planner import EmbeddingExecutor, RuntimeConfig
+from repro.testing import LoopbackEncoderService
+from tests.conftest import cached_model
+
+WORDS = ("alpha", "bravo", "delta", "echo", "golf", "hotel", "india", "kilo")
+
+
+@pytest.fixture(scope="module")
+def service():
+    with LoopbackEncoderService() as svc:
+        yield svc
+
+
+def fast_remote(svc, **kwargs) -> RemoteBackend:
+    """A remote backend tuned for tests: tiny backoff, seeded jitter."""
+    kwargs.setdefault("timeout", 10.0)
+    kwargs.setdefault("retries", 2)
+    kwargs.setdefault("backoff_base", 0.01)
+    kwargs.setdefault("rng", random.Random(7))
+    return RemoteBackend(svc.url, **kwargs)
+
+
+def small_tables(n=4):
+    tables = []
+    for i in range(n):
+        columns = [
+            (
+                WORDS[(i + c) % len(WORDS)],
+                [
+                    " ".join(WORDS[(i + c + r + w) % len(WORDS)] for w in range(1 + r % 2))
+                    for r in range(2 + i % 3)
+                ],
+            )
+            for c in range(1 + i % 2)
+        ]
+        tables.append(Table.from_columns(columns, table_id=f"remote-{i}"))
+    return tables
+
+
+def token_lists_for(model, tables):
+    """Every family's own serialization — ROW_TEMPLATE flattens per-row."""
+    if model.config.serialization == Serialization.ROW_TEMPLATE:
+        return [ta for t in tables for ta in model._serializer.serialize(t)]
+    return [model._serializer.serialize(model._effective_table(t)) for t in tables]
+
+
+class TestLoopbackNumerics:
+    def test_exact_bit_identical_for_every_model_family(self, service, all_model_names):
+        tables = small_tables()
+        for name in all_model_names:
+            model = cached_model(name)
+            if not hasattr(model, "encoder"):
+                continue
+            token_lists = token_lists_for(model, tables)
+            local = LocalBackend().encode_batch(model.encoder, token_lists, 4)
+            remote = fast_remote(service).encode_batch(model.encoder, token_lists, 4)
+            for local_arr, remote_arr in zip(local, remote):
+                assert np.array_equal(local_arr, remote_arr), name
+
+    def test_padded_within_tolerance_for_every_model_family(
+        self, service, all_model_names
+    ):
+        tables = small_tables(6)
+        for name in all_model_names:
+            model = cached_model(name)
+            if not hasattr(model, "encoder"):
+                continue
+            token_lists = token_lists_for(model, tables)
+            singles = [model.encoder.encode(toks) for toks in token_lists]
+            backend = fast_remote(service, exact=False, padding_tier=4)
+            assert not backend.exact
+            remote = backend.encode_batch(model.encoder, token_lists, 8)
+            for single, rem in zip(singles, remote):
+                assert rem.shape == single.shape
+                assert max_relative_error(rem, single) <= PADDED_TOLERANCE, name
+
+    def test_empty_sequences_answered_locally(self, service):
+        model = cached_model("bert")
+        token_lists = [TokenArray.empty(), model._serializer.serialize(small_tables(1)[0])]
+        states = fast_remote(service).encode_batch(model.encoder, token_lists, 4)
+        assert states[0].shape == (0, model.dim)
+        assert states[1].shape[0] == len(token_lists[1])
+
+    def test_async_entry_point_matches_sync(self, service):
+        import asyncio
+
+        model = cached_model("bert")
+        token_lists = token_lists_for(model, small_tables())
+        backend = fast_remote(service)
+        sync = backend.encode_batch(model.encoder, token_lists, 4)
+        afresh = asyncio.run(backend.aencode_batch(model.encoder, token_lists, 4))
+        for a, b in zip(sync, afresh):
+            assert np.array_equal(a, b)
+
+
+class TestFaultInjection:
+    @pytest.fixture()
+    def bert_lists(self):
+        model = cached_model("bert")
+        return model, token_lists_for(model, small_tables())
+
+    def baseline(self, model, token_lists):
+        return LocalBackend().encode_batch(model.encoder, token_lists, 4)
+
+    def test_timeout_mid_batch_retries_to_identical(self, service, bert_lists):
+        model, token_lists = bert_lists
+        backend = fast_remote(service, timeout=0.3)
+        service.inject("timeout", seconds=1.0)
+        states = backend.encode_batch(model.encoder, token_lists, 4)
+        for a, b in zip(self.baseline(model, token_lists), states):
+            assert np.array_equal(a, b)
+        stats = backend.stats_snapshot()
+        assert stats.timeouts >= 1 and stats.retries >= 1 and stats.chunks == 1
+
+    def test_5xx_then_success_exercises_backoff(self, service, bert_lists):
+        model, token_lists = bert_lists
+        backend = fast_remote(service)
+        service.inject("http_500")
+        states = backend.encode_batch(model.encoder, token_lists, 4)
+        for a, b in zip(self.baseline(model, token_lists), states):
+            assert np.array_equal(a, b)
+        stats = backend.stats_snapshot()
+        assert stats.http_errors >= 1 and stats.retries >= 1
+
+    def test_torn_payload_retries_to_identical(self, service, bert_lists):
+        model, token_lists = bert_lists
+        backend = fast_remote(service)
+        service.inject("torn")
+        states = backend.encode_batch(model.encoder, token_lists, 4)
+        for a, b in zip(self.baseline(model, token_lists), states):
+            assert np.array_equal(a, b)
+        assert backend.stats_snapshot().retries >= 1
+
+    def test_out_of_order_response_reassembled_bit_identical(self, service, bert_lists):
+        model, token_lists = bert_lists
+        backend = fast_remote(service)
+        service.inject("shuffle")
+        states = backend.encode_batch(model.encoder, token_lists, 4)
+        for a, b in zip(self.baseline(model, token_lists), states):
+            assert np.array_equal(a, b)
+        # Reassembly is by digest echo, not a retry.
+        assert backend.stats_snapshot().retries == 0
+
+    def test_digest_tampered_response_rejected(self, service, bert_lists):
+        model, token_lists = bert_lists
+        backend = fast_remote(service)
+        service.inject("tamper")
+        with pytest.raises(RemoteEncodeError, match="digest"):
+            backend.encode_batch(model.encoder, token_lists, 4)
+
+    def test_retries_exhausted_raises(self, service, bert_lists):
+        model, token_lists = bert_lists
+        backend = fast_remote(service, retries=0)
+        service.inject("http_500")
+        with pytest.raises(RemoteEncodeError, match="after 1 attempt"):
+            backend.encode_batch(model.encoder, token_lists, 4)
+
+    def test_unreachable_service_raises_after_retries(self):
+        model = cached_model("bert")
+        token_lists = token_lists_for(model, small_tables(1))
+        backend = RemoteBackend(
+            "http://127.0.0.1:9", timeout=0.5, retries=1, backoff_base=0.001
+        )
+        with pytest.raises(RemoteEncodeError):
+            backend.encode_batch(model.encoder, token_lists, 4)
+        assert backend.stats_snapshot().requests == 2
+
+
+unicode_pieces = st.text(max_size=8)  # arbitrary unicode, empty included
+
+token_strategy = st.builds(
+    Token,
+    piece=unicode_pieces,
+    role=st.sampled_from(list(TokenRole)),
+    row=st.integers(min_value=-1, max_value=40),
+    col=st.integers(min_value=-1, max_value=40),
+)
+
+
+class TestJsonWireRoundTrip:
+    @given(tokens=st.lists(token_strategy, max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_through_json(self, tokens):
+        ta = TokenArray.from_tokens(tokens)
+        payload = json.loads(json.dumps(wire_to_jsonable(ta.to_wire())))
+        rebuilt = TokenArray.from_wire(wire_from_jsonable(payload))
+        assert rebuilt == ta
+
+    @pytest.mark.parametrize(
+        "tokens",
+        [
+            [],  # empty sequence
+            [Token("τимур 🎉", TokenRole.VALUE, row=0, col=0)],  # single, unicode
+            [Token("", TokenRole.SPECIAL)],  # empty piece string
+        ],
+    )
+    def test_edge_sequences(self, tokens):
+        ta = TokenArray.from_tokens(tokens)
+        payload = json.loads(json.dumps(wire_to_jsonable(ta.to_wire())))
+        assert TokenArray.from_wire(wire_from_jsonable(payload)) == ta
+
+    def test_torn_jsonable_rejected(self):
+        ta = TokenArray.from_tokens([Token("a", TokenRole.VALUE, row=0, col=0)])
+        payload = wire_to_jsonable(ta.to_wire())
+        torn = {**payload, "rows": payload["rows"][:2]}  # not a whole element
+        with pytest.raises(ValueError, match="torn|base64"):
+            wire_from_jsonable(torn)
+
+    def test_missing_key_rejected(self):
+        ta = TokenArray.from_tokens([Token("a", TokenRole.VALUE)])
+        payload = wire_to_jsonable(ta.to_wire())
+        del payload["digest"]
+        with pytest.raises(ValueError, match="missing"):
+            wire_from_jsonable(payload)
+
+
+SIZES = DatasetSizes(
+    wikitables_tables=3, sotab_tables=4, n_permutations=4, min_rows=4, max_rows=6
+)
+SWEEP_PROPS = ["row_order_insignificance", "sample_fidelity"]
+
+
+class TestSweepThroughRemote:
+    def remote_runtime(self, service, **kwargs):
+        return RuntimeConfig(
+            backend="remote",
+            remote_url=service.url,
+            remote_timeout=kwargs.pop("remote_timeout", 30.0),
+            remote_retries=4,
+            **kwargs,
+        )
+
+    def test_remote_sweep_bit_identical_to_local(self, service):
+        local = Observatory(seed=0, sizes=SIZES).sweep(["bert"], SWEEP_PROPS)
+        remote = Observatory(
+            seed=0, sizes=SIZES, runtime=self.remote_runtime(service)
+        ).sweep(["bert"], SWEEP_PROPS)
+        assert "remote" in remote.backend
+        for cell_l, cell_r in zip(local.cells, remote.cells):
+            assert cell_l.result.to_dict() == cell_r.result.to_dict()
+        assert remote.transport is not None and remote.transport.chunks > 0
+        assert remote.transport.sequences > 0
+
+    def test_remote_sweep_identical_under_faults(self, service):
+        local = Observatory(seed=0, sizes=SIZES).sweep(["bert"], SWEEP_PROPS)
+        service.inject("http_500")
+        service.inject("torn")
+        service.inject("shuffle")
+        remote = Observatory(
+            seed=0, sizes=SIZES, runtime=self.remote_runtime(service)
+        ).sweep(["bert"], SWEEP_PROPS)
+        for cell_l, cell_r in zip(local.cells, remote.cells):
+            assert cell_l.result.to_dict() == cell_r.result.to_dict()
+        assert remote.transport.retries >= 2  # 500 + torn each cost one
+
+    def test_transport_surfaces_in_rendered_report(self, service):
+        from repro.analysis.report import render_sweep
+
+        remote = Observatory(
+            seed=0, sizes=SIZES, runtime=self.remote_runtime(service)
+        ).sweep(["bert"], ["row_order_insignificance"])
+        text = render_sweep(remote)
+        assert "Remote transport:" in text
+        assert remote.to_dict()["transport"]["chunks"] > 0
+
+
+class TestConfigWiring:
+    def test_registered_backend(self):
+        assert "remote" in available_backends()
+
+    def test_runtime_config_requires_url(self, monkeypatch):
+        monkeypatch.delenv("REPRO_REMOTE_URL", raising=False)
+        with pytest.raises(ValueError, match="URL"):
+            RuntimeConfig(backend="remote")
+
+    def test_env_fallback(self, monkeypatch, service):
+        monkeypatch.setenv("REPRO_REMOTE_URL", service.url)
+        backend = RuntimeConfig(backend="remote").build_backend()
+        assert isinstance(backend, RemoteBackend)
+        assert backend.url == service.url
+
+    def test_padded_mode_derives_from_exact(self, service):
+        cfg = RuntimeConfig(backend="remote", remote_url=service.url, exact=False)
+        backend = cfg.build_backend()
+        assert not backend.exact
+        assert backend.tolerance == PADDED_TOLERANCE
+
+    def test_transport_knob_validation(self, service):
+        with pytest.raises(ValueError):
+            RuntimeConfig(remote_timeout=0.0)
+        with pytest.raises(ValueError):
+            RuntimeConfig(remote_retries=-1)
+
+    def test_malformed_model_payload_raises_model_error(self):
+        from repro.models.config import ModelConfig
+
+        with pytest.raises(ModelError, match="malformed"):
+            ModelConfig.from_jsonable({"name": "x", "dim": "64"})  # wrong type
+        with pytest.raises(ModelError, match="malformed"):
+            ModelConfig.from_jsonable({})  # missing required field
+        with pytest.raises(ModelError, match="unknown"):
+            ModelConfig.from_jsonable({"name": "x", "nope": 1})
+
+    def test_service_answers_400_on_junk_model_not_torn_socket(self, service):
+        # A malformed model payload is a client bug: the service must send
+        # a real HTTP 400 (which the client raises immediately), not crash
+        # the handler into a torn read that burns retries.
+        model = cached_model("bert")
+        token_lists = token_lists_for(model, small_tables(1))
+
+        class BadConfig:
+            dim = model.config.dim
+
+            @staticmethod
+            def to_jsonable():
+                return {"name": "x", "dim": "sixty-four"}
+
+        class BadEncoder:
+            config = BadConfig()
+
+        backend = fast_remote(service)
+        with pytest.raises(RemoteEncodeError, match="HTTP 400"):
+            backend.encode_batch(BadEncoder(), token_lists, 4)
+        assert backend.stats_snapshot().retries == 0
+
+    def test_bad_urls_rejected(self):
+        with pytest.raises(ModelError):
+            RemoteBackend("https://secure.example")  # only http is spoken
+        with pytest.raises(ModelError):
+            RemoteBackend("not a url")
+
+    def test_cache_namespace_isolated(self, service):
+        model = load_model("bert")
+        model.set_backend(fast_remote(service))
+        assert EmbeddingExecutor(model)._cache_space == "bert|remote"
+        model.set_backend(fast_remote(service, exact=False))
+        assert EmbeddingExecutor(model)._cache_space == "bert|remote+padded"
+        model.set_backend(LocalBackend())
+        assert EmbeddingExecutor(model)._cache_space == "bert"
+
+
+class TestChunkSizer:
+    def test_default_until_first_round_trip(self, service):
+        backend = fast_remote(service)
+        assert backend.suggest_pipeline_chunk(8) == 8
+
+    def test_suggestion_bounded_after_measurements(self, service):
+        model = cached_model("bert")
+        token_lists = token_lists_for(model, small_tables())
+        backend = fast_remote(service)
+        backend.encode_batch(model.encoder, token_lists, 4)
+        suggestion = backend.suggest_pipeline_chunk(8)
+        assert 1 <= suggestion <= 256
+
+    def test_slow_link_amortizes_latency(self, service):
+        backend = fast_remote(service)
+        # Synthetic measurements: 0.5s round trips carrying 4 sequences
+        # — the sizer must stretch chunks to amortize the latency floor.
+        for _ in range(3):
+            backend._record_success(0.5, 4, 1000, 1000)
+        assert backend.suggest_pipeline_chunk(8) > 8
+
+
+class TestTransportStats:
+    def test_merged_and_since(self):
+        a = TransportStats(requests=3, chunks=2, retries=1, sequences=10,
+                           round_trip_seconds=1.0, bytes_sent=100, bytes_received=200)
+        b = TransportStats(requests=1, chunks=1, sequences=5,
+                           round_trip_seconds=0.5, bytes_sent=50, bytes_received=80)
+        merged = TransportStats.merged([a, b])
+        assert merged.requests == 4 and merged.chunks == 3 and merged.sequences == 15
+        assert merged.mean_round_trip == pytest.approx(0.5)
+        delta = merged.since(a)
+        assert delta.requests == 1 and delta.chunks == 1 and delta.bytes_sent == 50
+
+    def test_to_dict_carries_mean(self):
+        stats = TransportStats(chunks=2, round_trip_seconds=1.0)
+        assert stats.to_dict()["mean_round_trip"] == pytest.approx(0.5)

@@ -18,7 +18,7 @@ from repro.models.backends import PaddedBackend
 from repro.models.registry import load_model, register_model, unregister_model
 from repro.relational.table import Table
 from repro.runtime.cache import EmbeddingCache
-from repro.runtime.pipeline import EncodeLoop, encode_loop
+from repro.runtime.pipeline import EncodeLoop, EncodeLoopClosedError, encode_loop
 from repro.runtime.planner import EmbeddingExecutor, RuntimeConfig
 
 LEVELS = (EmbeddingLevel.COLUMN, EmbeddingLevel.ROW, EmbeddingLevel.TABLE)
@@ -291,3 +291,81 @@ class TestRuntimeConfigBackends:
         assert obs.model("bert").backend is obs.model("tapas").backend
         assert obs.padding_stats() is not None
         assert Observatory().padding_stats() is None
+
+
+class TestEncodeLoopLifecycle:
+    """close()/submit() hardening (PR 5): no silent wedges, no dead enqueues."""
+
+    def test_submit_after_close_fails_fast(self):
+        loop = EncodeLoop()
+        loop.close()
+        assert loop.closed and not loop.is_alive()
+
+        async def compute():
+            return 1
+
+        with pytest.raises(EncodeLoopClosedError):
+            loop.submit(compute())
+
+    def test_close_raises_when_loop_thread_is_wedged(self):
+        import threading
+        import time as time_mod
+
+        loop = EncodeLoop()
+        started = threading.Event()
+
+        async def wedge():
+            # Non-cooperative block on the loop thread — the shape of a
+            # backend coroutine stuck on a dead socket without a deadline.
+            started.set()
+            time_mod.sleep(1.2)
+
+        future = loop.submit(wedge())
+        assert started.wait(timeout=5.0)
+        with pytest.raises(RuntimeError, match="wedged"):
+            loop.close(timeout=0.1)
+        # The wedge is detected, the loop is poisoned for new work...
+        with pytest.raises(EncodeLoopClosedError):
+            loop.submit(wedge())
+        # ...and the shared-loop factory would hand out a fresh loop.
+        assert not loop.is_alive()
+        future.result(timeout=5.0)  # let the blocked thread drain
+
+    def test_shared_loop_replaced_after_close(self):
+        first = encode_loop()
+        try:
+            first.close()
+        except RuntimeError:
+            pass
+        second = encode_loop()
+        assert second is not first
+        assert second.is_alive()
+
+    def test_submit_close_race_never_strands_a_future(self):
+        # Submits racing close() must each reach a terminal outcome —
+        # a result, EncodeLoopClosedError, or CancelledError — never a
+        # forever-pending future (the silent-wedge class this PR fixes).
+        import threading
+        from concurrent.futures import CancelledError
+
+        for _ in range(25):
+            loop = EncodeLoop()
+            outcomes = []
+
+            async def compute():
+                return 1
+
+            def submitter():
+                try:
+                    outcomes.append(loop.submit(compute()).result(timeout=10))
+                except (EncodeLoopClosedError, CancelledError) as error:
+                    outcomes.append(type(error).__name__)
+
+            threads = [threading.Thread(target=submitter) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            loop.close()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert all(not t.is_alive() for t in threads)
+            assert len(outcomes) == 4

@@ -40,6 +40,7 @@ from repro.models.token_array import (
     ROLE_TO_ID,
     Token,
     TokenArray,
+    TokenArrayBuilder,
     TokenInterner,
     TokenRole,
 )
@@ -459,3 +460,129 @@ def test_no_quadratic_weight_intermediates():
 def test_role_order_covers_every_role():
     assert set(ROLE_ORDER) == set(TokenRole)
     assert [ROLE_TO_ID[r] for r in ROLE_ORDER] == [0, 1, 2, 3]
+
+
+class TestWireHardening:
+    """Malformed wire payloads fail loudly, never alias or wrap (PR 5)."""
+
+    def _wire(self):
+        tokens = [
+            Token("alpha", TokenRole.HEADER, row=-1, col=0),
+            Token("bravo", TokenRole.VALUE, row=0, col=0),
+            Token("alpha", TokenRole.VALUE, row=1, col=0),
+        ]
+        return TokenArray.from_tokens(tokens), TokenArray.from_tokens(tokens).to_wire()
+
+    def test_digest_is_mandatory_for_transport(self):
+        ta, wire = self._wire()
+        del wire["digest"]
+        with pytest.raises(ValueError, match="digest"):
+            TokenArray.from_wire(wire)
+        # Explicit legacy opt-out still validates content, skips integrity.
+        assert TokenArray.from_wire(wire, require_digest=False) == ta
+
+    def test_missing_content_key_named(self):
+        _, wire = self._wire()
+        del wire["rows"]
+        with pytest.raises(ValueError, match="rows"):
+            TokenArray.from_wire(wire)
+
+    @pytest.mark.parametrize("bad", [-1, 99])
+    def test_piece_index_bounds_checked(self, bad):
+        _, wire = self._wire()
+        index = np.asarray(wire["piece_index"]).copy()
+        index[0] = bad
+        wire["piece_index"] = index
+        with pytest.raises(ValueError, match="piece_index"):
+            TokenArray.from_wire(wire)
+
+    def test_role_ids_bounds_checked(self):
+        _, wire = self._wire()
+        roles = np.asarray(wire["role_ids"]).astype(np.int64)
+        roles[0] = len(ROLE_ORDER)
+        wire["role_ids"] = roles
+        with pytest.raises(ValueError, match="role_ids"):
+            TokenArray.from_wire(wire)
+
+    @pytest.mark.parametrize("key", ["rows", "cols"])
+    def test_provenance_floor_checked(self, key):
+        _, wire = self._wire()
+        arr = np.asarray(wire[key]).copy()
+        arr[0] = -2  # only -1 means "no provenance"
+        wire[key] = arr
+        with pytest.raises(ValueError, match=key):
+            TokenArray.from_wire(wire)
+
+    def test_non_integer_field_rejected(self):
+        _, wire = self._wire()
+        wire["rows"] = np.asarray([0.5, 1.0, 1.5])
+        with pytest.raises(ValueError, match="integers"):
+            TokenArray.from_wire(wire)
+
+
+class TestIndexRangeValidation:
+    """Out-of-range values raise instead of wrapping (PR 5 regression)."""
+
+    def test_role_id_256_does_not_wrap_to_role_0(self):
+        with pytest.raises(ValueError, match="uint8"):
+            TokenArray([0], [256], [0], [0])
+
+    def test_piece_id_past_int32_does_not_wrap(self):
+        with pytest.raises(ValueError, match="int32"):
+            TokenArray([2**40], [0], [0], [0])
+
+    def test_builder_goes_through_the_same_validation(self):
+        builder = TokenArrayBuilder()
+        builder.append_id(0, 300)  # role id out of uint8 range
+        with pytest.raises(ValueError, match="uint8"):
+            builder.build()
+
+    def test_in_range_values_unchanged(self):
+        ta = TokenArray([0, 1], [3, 0], [-1, 5], [2, -1])
+        assert ta.role_ids.dtype == np.uint8
+        assert ta.rows.tolist() == [-1, 5]
+
+
+class TestReviewHardening:
+    """PR 5 review findings: pre-intern digest check, negative-id floor."""
+
+    def test_negative_piece_id_rejected_even_preconverted(self):
+        # The int32 fast path used to skip validation entirely; -1 would
+        # gather the most recently interned piece's content vector.
+        with pytest.raises(ValueError, match="below 0"):
+            TokenArray([-1], [0], [0], [0])
+        with pytest.raises(ValueError, match="below 0"):
+            TokenArray(np.array([-1], dtype=np.int32), [0], [0], [0])
+
+    def test_rejected_payload_never_touches_the_interner(self):
+        junk = ["junk-а-🎲", "junk-b-🎲", "junk-c-🎲"]
+        wire = {
+            "pieces": junk,
+            "piece_index": np.array([0, 1, 2], dtype=np.int32),
+            "role_ids": np.array([0, 0, 0], dtype=np.uint8),
+            "rows": np.array([-1, -1, -1], dtype=np.int32),
+            "cols": np.array([-1, -1, -1], dtype=np.int32),
+            "digest": "0" * 64,
+        }
+        before = len(INTERNER)
+        with pytest.raises(ValueError, match="digest"):
+            TokenArray.from_wire(wire)
+        # A rejected payload must not grow process-wide interner state
+        # (a service fed junk would otherwise leak memory per request).
+        assert len(INTERNER) == before
+        assert all(INTERNER.id_of(piece) == -1 for piece in junk)
+
+    def test_payload_side_digest_matches_interner_side(self):
+        # from_wire now verifies the digest before interning; the two
+        # canonicalizations (payload-side vs digest()) must agree even
+        # when the payload's piece list is unsorted.
+        tokens = [
+            Token("zulu", TokenRole.VALUE, row=0, col=0),
+            Token("alpha", TokenRole.VALUE, row=1, col=0),
+            Token("zulu", TokenRole.HEADER, row=-1, col=0),
+        ]
+        ta = TokenArray.from_tokens(tokens)
+        wire = ta.to_wire()
+        rebuilt = TokenArray.from_wire(wire)
+        assert rebuilt == ta
+        assert rebuilt.digest() == wire["digest"]
