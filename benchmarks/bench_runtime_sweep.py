@@ -90,9 +90,11 @@ from repro.analysis.reporting import format_value_table
 from repro.core.framework import DatasetSizes
 from repro.core.results import PropertyResult
 from repro.models.backends import (
+    FLOAT32_TOLERANCE,
     LocalBackend,
     PaddedBackend,
     RemoteBackend,
+    TransportConfig,
     max_relative_error,
 )
 from repro.models.registry import load_model
@@ -452,6 +454,152 @@ def report_remote_comparison(cmp: Dict[str, object]) -> None:
     )
 
 
+# ----------------------------------------------------------------------
+# Fleet transport: wire-tier bytes accounting + multi-replica routing
+# ----------------------------------------------------------------------
+
+# The four opt-in wire tiers, from bit-exact default to cheapest.
+_WIRE_TIERS = (
+    ("none/float64", {}),
+    ("gzip/float64", {"compression": "gzip"}),
+    ("none/float32", {"state_dtype": "float32"}),
+    ("gzip/float32", {"compression": "gzip", "state_dtype": "float32"}),
+)
+
+
+def run_fleet_comparison() -> Dict[str, object]:
+    """Bytes-on-wire per transport tier + multi-replica routing accounting.
+
+    Two measurements share the token-plane corpus:
+
+    1. *Wire tiers* — one single-replica loopback encode per
+       {compression} x {state_dtype} combination, recording request and
+       response bytes.  The exact float64 tier must stay bit-identical to
+       the local backend; the float32 tier must stay inside
+       :data:`FLOAT32_TOLERANCE`.  Gzip on base64 float64 states is
+       entropy-bounded (random mantissas don't compress), so the gates
+       target what gzip *can* win: the request side (token text, highly
+       redundant) and the full opt-in tier (gzip + float32 together).
+    2. *Fleet routing* — the same corpus through a 3-replica
+       :class:`~repro.testing.encoder_service.FleetHarness`, recording
+       per-replica round-trip counts from the stats snapshot.
+    """
+    import numpy as np
+
+    from repro.testing import FleetHarness, LoopbackEncoderService
+
+    model = load_model("bert")
+    encoder = model.encoder
+    corpus = token_plane_corpus(8)
+    token_lists = [model._serializer.serialize(t) for t in corpus]
+    local_states = LocalBackend().encode_batch(encoder, token_lists, 16)
+
+    tiers: Dict[str, Dict[str, object]] = {}
+    with LoopbackEncoderService() as service:
+        for label, knobs in _WIRE_TIERS:
+            backend = RemoteBackend(
+                config=TransportConfig(urls=(service.url,), timeout=30.0, **knobs),
+                exact=knobs.get("state_dtype", "float64") == "float64",
+            )
+            states = backend.encode_batch(encoder, token_lists, 16)
+            if backend.exact:
+                for local_arr, remote_arr in zip(local_states, states):
+                    assert np.array_equal(local_arr, remote_arr), (
+                        f"{label}: exact tier diverged from local"
+                    )
+            else:
+                worst = max(
+                    max_relative_error(local_arr, remote_arr)
+                    for local_arr, remote_arr in zip(local_states, states)
+                )
+                assert worst <= FLOAT32_TOLERANCE, (
+                    f"{label}: float32 tier error {worst:.2e} exceeds "
+                    f"{FLOAT32_TOLERANCE:.0e}"
+                )
+            stats = backend.stats_snapshot()
+            tiers[label] = {
+                "bytes_sent": stats.bytes_sent,
+                "bytes_received": stats.bytes_received,
+                "bytes_total": stats.bytes_sent + stats.bytes_received,
+                "exact": backend.exact,
+            }
+
+    plain = tiers["none/float64"]
+    cheap = tiers["gzip/float32"]
+    request_gzip_reduction = 1.0 - (
+        tiers["gzip/float64"]["bytes_sent"] / plain["bytes_sent"]
+    )
+    opt_in_total_reduction = 1.0 - (cheap["bytes_total"] / plain["bytes_total"])
+
+    # Sharding splits work only above the per-replica sequence floor, so
+    # the routing measurement widens the corpus (cache-identical repeats).
+    fleet_lists = token_lists * 4
+    fleet_expected = local_states * 4
+    with FleetHarness(3) as fleet:
+        backend = RemoteBackend(
+            config=TransportConfig(urls=fleet.urls, timeout=30.0),
+            exact=True,
+        )
+        fleet_states = backend.encode_batch(encoder, fleet_lists, 8)
+        for local_arr, remote_arr in zip(fleet_expected, fleet_states):
+            assert np.array_equal(local_arr, remote_arr), (
+                "fleet encoding diverged from local"
+            )
+        fleet_stats = backend.stats_snapshot()
+        replica_rows = {
+            url: {
+                "requests": rep.requests,
+                "chunks": rep.chunks,
+                "mean_round_trip": rep.mean_round_trip,
+            }
+            for url, rep in fleet_stats.replicas.items()
+        }
+
+    return {
+        "sequences": len(token_lists),
+        "fleet_sequences": len(fleet_lists),
+        "tiers": tiers,
+        "request_gzip_reduction": request_gzip_reduction,
+        "opt_in_total_reduction": opt_in_total_reduction,
+        "fleet_replicas": replica_rows,
+        "fleet_chunks": fleet_stats.chunks,
+        "fleet_connections_opened": fleet_stats.connections_opened,
+        "fleet_connections_reused": fleet_stats.connections_reused,
+    }
+
+
+def report_fleet_comparison(cmp: Dict[str, object]) -> None:
+    rows = [
+        [label, tier["bytes_sent"], tier["bytes_received"], tier["bytes_total"]]
+        for label, tier in cmp["tiers"].items()
+    ]
+    print()
+    print(
+        f"Fleet transport tiers — {cmp['sequences']} sequences, bytes on "
+        f"the wire per {{compression}}/{{state_dtype}} combination:"
+    )
+    print(format_value_table(rows, ["tier", "B out", "B in", "B total"]))
+    print(
+        f"gzip cuts request bytes {cmp['request_gzip_reduction']:.1%}; the "
+        f"full opt-in tier (gzip+float32) cuts total bytes "
+        f"{cmp['opt_in_total_reduction']:.1%}.  Bit-exact float64 responses "
+        f"barely compress (base64 of random mantissas is near "
+        f"incompressible) — that tier trades bytes for exactness by design."
+    )
+    replicas = cmp["fleet_replicas"]
+    served = ", ".join(
+        f"{url.rsplit(':', 1)[-1]}: {row['chunks']} chunks/"
+        f"{row['requests']} requests"
+        for url, row in sorted(replicas.items())
+    )
+    print(
+        f"fleet routing ({cmp['fleet_sequences']} sequences over 3 replicas, "
+        f"{cmp['fleet_chunks']} chunks): {served}; "
+        f"{cmp['fleet_connections_opened']} connections opened, "
+        f"{cmp['fleet_connections_reused']} reused"
+    )
+
+
 def phase_totals(sweep) -> Dict[str, float]:
     """Telemetry-measured per-phase seconds summed over a sweep's cells."""
     return {
@@ -678,7 +826,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     payload: Dict[str, object] = {
         "bench": "runtime_sweep",
-        "schema_version": 4,
+        "schema_version": 5,
         "mode": "smoke" if args.smoke else "full",
         "engine": args.execution,
         "cpu_count": os.cpu_count(),
@@ -801,6 +949,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         remote_cmp = run_remote_comparison()
         report_remote_comparison(remote_cmp)
         payload["remote"] = remote_cmp
+
+        fleet_cmp = run_fleet_comparison()
+        report_fleet_comparison(fleet_cmp)
+        payload["fleet"] = fleet_cmp
+
+        # Wire-tier gates (every mode — byte counts are deterministic, not
+        # timing-dependent): gzip must earn its keep where it can.  The
+        # response side of the bit-exact tier is entropy-bounded, so the
+        # gates target the request side and the full opt-in tier.
+        assert fleet_cmp["request_gzip_reduction"] >= 0.4, (
+            f"gzip request-side reduction "
+            f"{fleet_cmp['request_gzip_reduction']:.1%} < 40%"
+        )
+        assert fleet_cmp["opt_in_total_reduction"] >= 0.4, (
+            f"gzip+float32 total wire reduction "
+            f"{fleet_cmp['opt_in_total_reduction']:.1%} < 40%"
+        )
+        assert len(fleet_cmp["fleet_replicas"]) >= 2, (
+            "fleet sharding never routed beyond a single replica"
+        )
 
         if not args.smoke:
             scaling = run_process_scaling(sizes)

@@ -26,7 +26,7 @@ from repro.core.registry import available_properties, load_property, register_pr
 from repro.core.results import DistributionSummary, PropertyResult, SkippedCell
 from repro.models.registry import available_models, load_model, register_model
 from repro.relational.table import Table
-from repro.runtime import RuntimeConfig, SweepResult
+from repro.runtime import RuntimeConfig, SweepResult, TransportConfig
 
 __version__ = "1.1.0"
 
@@ -37,6 +37,7 @@ __all__ = [
     "PropertyResult",
     "DistributionSummary",
     "RuntimeConfig",
+    "TransportConfig",
     "SkippedCell",
     "SweepResult",
     "Table",

@@ -191,6 +191,19 @@ def render_sweep(sweep: SweepResult) -> str:
             f"mean round-trip {net.mean_round_trip * 1000.0:.1f}ms, "
             f"{net.bytes_sent} B out / {net.bytes_received} B in."
         )
+        lines.append(
+            f"Fleet: {net.connections_opened} connections opened, "
+            f"{net.connections_reused} reused; {net.hedges} hedges "
+            f"({net.hedges_won} won, {net.hedges_cancelled} cancelled), "
+            f"{net.quarantines} quarantines."
+        )
+        for url, rep in sorted(net.replicas.items()):
+            lines.append(
+                f"- {url}: {rep.chunks} chunks / {rep.requests} requests, "
+                f"{rep.errors} errors, {rep.hedges_won} hedges won, "
+                f"{rep.quarantines} quarantines, "
+                f"mean round-trip {rep.mean_round_trip * 1000.0:.1f}ms"
+            )
     slowest = sweep.slowest(3)
     if slowest:
         lines.append("")

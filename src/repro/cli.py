@@ -17,16 +17,20 @@ processes (sharing the ``--disk-cache`` tier, bounded by
 ``--backend padded``) opts into padded tolerance-tier batching for
 throughput on heterogeneous-length corpora, ``--backend remote
 --remote-url http://host:port`` farms encoder forward passes to an HTTP
-encoding service (``--remote-timeout``/``--remote-retries`` bound the
-transport), ``--no-async`` disables the
-streaming encode pipeline, and ``--no-cache`` falls back to the legacy
-one-call-at-a-time execution for comparison.  Output is plain text suited
-to terminals and CI logs.
+encoding fleet (repeat ``--remote-url`` per replica;
+``--remote-timeout``/``--remote-retries`` bound the transport,
+``--remote-compression gzip`` shrinks wire bytes, ``--remote-state-dtype
+float32`` halves state bytes within tolerance, ``--remote-hedge-after
+0.95`` races stragglers against another replica), ``--no-async`` disables
+the streaming encode pipeline, and ``--no-cache`` falls back to the
+legacy one-call-at-a-time execution for comparison.  Output is plain text
+suited to terminals and CI logs.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -35,7 +39,7 @@ from repro.core.framework import DatasetSizes, Observatory
 from repro.core.registry import available_properties
 from repro.errors import ObservatoryError
 from repro.models.registry import available_models
-from repro.runtime import RuntimeConfig
+from repro.runtime import RuntimeConfig, TransportConfig
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -118,29 +122,69 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--remote-url",
+        action="append",
         default=None,
         metavar="URL",
         help=(
-            "base URL of the remote encoding service for --backend remote "
-            "(default: $REPRO_REMOTE_URL)"
+            "replica URL of the remote encoding fleet for --backend remote; "
+            "repeat the flag for multiple replicas (weighted routing, "
+            "health tracking, hedging) (default: $REPRO_REMOTE_URL, "
+            "comma-separated for a fleet)"
         ),
     )
     sweep.add_argument(
         "--remote-timeout",
         type=float,
-        default=10.0,
+        default=None,
         metavar="SECONDS",
         help="per-request deadline of the remote transport (default 10)",
     )
     sweep.add_argument(
         "--remote-retries",
         type=int,
-        default=3,
+        default=None,
         metavar="N",
         help=(
             "retries after a transient transport fault (timeout/5xx/torn "
             "payload) before the sweep fails (default 3)"
         ),
+    )
+    sweep.add_argument(
+        "--remote-compression",
+        choices=["none", "gzip"],
+        default="none",
+        help=(
+            "content encoding of remote request/response bodies "
+            "(gzip trades CPU for wire bytes; default none)"
+        ),
+    )
+    sweep.add_argument(
+        "--remote-state-dtype",
+        choices=["float64", "float32"],
+        default="float64",
+        help=(
+            "floating-point tier hidden states ride the wire in: float64 "
+            "is bit-exact, float32 halves state bytes within the documented "
+            "tolerance and requires --no-exact (default float64)"
+        ),
+    )
+    sweep.add_argument(
+        "--remote-hedge-after",
+        type=float,
+        default=None,
+        metavar="PCTL",
+        help=(
+            "latency percentile in (0,1) after which a straggling chunk is "
+            "speculatively re-sent to another replica (e.g. 0.95; needs "
+            ">=2 replicas; default: hedging off)"
+        ),
+    )
+    sweep.add_argument(
+        "--remote-pool-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="keep-alive connections held per replica (default 4)",
     )
     sweep.add_argument(
         "--exact",
@@ -247,6 +291,51 @@ def _parse_models(spec: str) -> List[str]:
     return models
 
 
+def _transport_from_args(args: argparse.Namespace) -> Optional[TransportConfig]:
+    """The sweep's TransportConfig, or None when no remote flag was used.
+
+    ``--remote-url`` is repeatable (one flag per fleet replica); without
+    it, ``$REPRO_REMOTE_URL`` (comma-separated for a fleet) supplies the
+    URLs whenever any other remote flag needs a config built.
+    """
+    from repro.models.backends.remote import REMOTE_URL_ENV
+
+    tuned = (
+        args.remote_url is not None
+        or args.remote_timeout is not None
+        or args.remote_retries is not None
+        or args.remote_compression != "none"
+        or args.remote_state_dtype != "float64"
+        or args.remote_hedge_after is not None
+        or args.remote_pool_size is not None
+    )
+    if not tuned:
+        return None
+    urls = tuple(args.remote_url or ())
+    if not urls:
+        env = os.environ.get(REMOTE_URL_ENV, "")
+        urls = tuple(u.strip() for u in env.split(",") if u.strip())
+    if not urls:
+        raise ValueError(
+            "remote transport flags need replica URLs: pass --remote-url "
+            f"(repeatable) or set ${REMOTE_URL_ENV}"
+        )
+    kwargs = {}
+    if args.remote_timeout is not None:
+        kwargs["timeout"] = args.remote_timeout
+    if args.remote_retries is not None:
+        kwargs["retries"] = args.remote_retries
+    if args.remote_pool_size is not None:
+        kwargs["pool_size"] = args.remote_pool_size
+    return TransportConfig(
+        urls=urls,
+        compression=args.remote_compression,
+        state_dtype=args.remote_state_dtype,
+        hedge_after=args.remote_hedge_after,
+        **kwargs,
+    )
+
+
 def _run_sweep(args: argparse.Namespace) -> int:
     models = _parse_models(args.models)
     properties = None
@@ -256,6 +345,15 @@ def _run_sweep(args: argparse.Namespace) -> int:
         if unknown:
             raise ObservatoryError(f"unknown properties: {sorted(unknown)}")
     try:
+        transport = _transport_from_args(args)
+        # Unset --exact/--no-exact follows the backend and the wire tier:
+        # an explicit `--backend padded` alone must work (padded implies
+        # non-exact), as must `--remote-state-dtype float32` (a tolerance
+        # tier by definition) — while `--exact --backend padded` and
+        # `--exact --remote-state-dtype float32` still error.
+        exact = args.exact
+        if exact is None:
+            exact = args.backend != "padded" and args.remote_state_dtype != "float32"
         runtime = RuntimeConfig(
             enabled=not args.no_cache,
             batch_size=args.batch_size,
@@ -264,16 +362,11 @@ def _run_sweep(args: argparse.Namespace) -> int:
             cache_max_age=args.cache_max_age,
             max_workers=args.workers,
             execution=args.execution,
-            # Unset --exact/--no-exact follows the backend: an explicit
-            # `--backend padded` alone must work (padded implies
-            # non-exact), while `--exact --backend padded` still errors.
-            exact=args.exact if args.exact is not None else args.backend != "padded",
+            exact=exact,
             backend=args.backend,
             padding_tier=args.padding_tier,
             async_encode=not args.no_async,
-            remote_url=args.remote_url,
-            remote_timeout=args.remote_timeout,
-            remote_retries=args.remote_retries,
+            transport=transport,
         )
     except ValueError as error:
         raise ObservatoryError(str(error)) from None

@@ -10,10 +10,13 @@ The batching strategy of every surrogate encoder is a swappable
   :data:`PADDED_TOLERANCE` of exact, and much faster on
   heterogeneous-length corpora.  Opt in via ``RuntimeConfig(exact=False)``.
 - :class:`RemoteBackend` (``"remote"``) — ships TokenArray wire payloads
-  over HTTP to an encoding service (retry/backoff, per-request deadlines,
-  latency-aware pipeline chunks); bit-identical to local in exact mode,
-  within :data:`PADDED_TOLERANCE` in padded mode.  Opt in via
-  ``RuntimeConfig(backend="remote", remote_url=...)``.
+  over HTTP to a fleet of encoding replicas (keep-alive connection pools,
+  retry/backoff with rerouting, gzip and float32 wire tiers, per-replica
+  health/latency tracking, hedged requests, latency-aware pipeline
+  chunks); bit-identical to local in exact float64 mode, within
+  :data:`PADDED_TOLERANCE` / :data:`FLOAT32_TOLERANCE` in the opt-in
+  tiers.  Configured by a typed :class:`TransportConfig`; opt in via
+  ``RuntimeConfig(backend="remote", transport=TransportConfig(urls=...))``.
 
 Backends also expose ``aencode_batch`` (awaitable encoding), the hook the
 streaming executor drives — the remote backend overrides it with real
@@ -74,10 +77,13 @@ def resolve_backend(backend: Union[str, EncoderBackend, None]) -> EncoderBackend
 # package during its own import); registration goes through the public
 # extension point like any third-party backend would.
 from repro.models.backends.remote import (  # noqa: E402
+    FLOAT32_TOLERANCE,
     REMOTE_URL_ENV,
     RemoteBackend,
+    ReplicaStats,
     TransportStats,
 )
+from repro.models.backends.transport import TransportConfig  # noqa: E402
 
 register_backend("remote", RemoteBackend)
 
@@ -85,12 +91,15 @@ __all__ = [
     "BATCH_MAX_LENGTH",
     "DEFAULT_TIER_WIDTH",
     "EncoderBackend",
+    "FLOAT32_TOLERANCE",
     "LocalBackend",
     "PADDED_TOLERANCE",
     "PaddedBackend",
     "PaddingStats",
     "REMOTE_URL_ENV",
     "RemoteBackend",
+    "ReplicaStats",
+    "TransportConfig",
     "TransportStats",
     "available_backends",
     "max_relative_error",

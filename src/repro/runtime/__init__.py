@@ -39,6 +39,7 @@ from repro.runtime.pipeline import (
     PipelineStats,
     encode_loop,
 )
+from repro.models.backends.transport import TransportConfig
 from repro.runtime.planner import (
     BUNDLE_LEVELS,
     EmbeddingExecutor,
@@ -72,6 +73,7 @@ __all__ = [
     "SkippedCell",
     "SweepCell",
     "SweepResult",
+    "TransportConfig",
     "as_executor",
     "cache_entry_digest",
     "coords_fingerprint",

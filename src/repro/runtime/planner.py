@@ -32,6 +32,7 @@ from __future__ import annotations
 import dataclasses
 import threading
 import time
+import warnings
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -44,6 +45,7 @@ from repro.models.backends import (
     EncoderBackend,
     LocalBackend,
     PaddedBackend,
+    TransportConfig,
     available_backends,
 )
 from repro.relational.table import Table
@@ -95,12 +97,19 @@ class RuntimeConfig:
         padding_tier: tier width in tokens for the padded backend (also
             forwarded to the service when the remote backend runs in
             padded mode).
-        remote_url: base URL of the remote encoding service
-            (``backend="remote"``); falls back to ``$REPRO_REMOTE_URL``.
-        remote_timeout: per-request deadline (seconds) of the remote
-            transport.
-        remote_retries: additional attempts after a transient transport
-            fault (timeout/5xx/torn payload) before the request fails.
+        transport: the remote encoder fleet's
+            :class:`~repro.models.backends.TransportConfig` — replica
+            URLs, timeout/retries, compression, state dtype, hedging, and
+            pool size in one typed object (``backend="remote"``).  A
+            plain dict in :meth:`TransportConfig.to_jsonable` form is
+            accepted and coerced.  ``None`` with ``backend="remote"``
+            falls back to ``$REPRO_REMOTE_URL``.
+        remote_url / remote_timeout / remote_retries: **deprecated** flat
+            forms of ``transport`` — still honored (they build a
+            single-replica :class:`TransportConfig` and warn), but new
+            code should pass ``transport=`` directly; the fleet knobs
+            (multiple URLs, compression, float32 states, hedging) only
+            exist there.
         async_encode: stream encoder batches through the background
             asyncio encode loop so serialization/fingerprinting of the
             next chunk overlaps the current chunk's forward passes.
@@ -120,9 +129,10 @@ class RuntimeConfig:
     backend: Optional[str] = None
     padding_tier: int = DEFAULT_TIER_WIDTH
     async_encode: bool = True
+    transport: Optional[TransportConfig] = None
     remote_url: Optional[str] = None
-    remote_timeout: float = 10.0
-    remote_retries: int = 3
+    remote_timeout: Optional[float] = None
+    remote_retries: Optional[int] = None
 
     def __post_init__(self):
         if self.batch_size < 1:
@@ -141,10 +151,48 @@ class RuntimeConfig:
             )
         if self.padding_tier < 1:
             raise ValueError("padding_tier must be positive")
-        if self.remote_timeout <= 0:
+        if self.transport is not None and not isinstance(self.transport, TransportConfig):
+            # Accept the canonical JSON form (process-shard payloads,
+            # config files) and coerce — from_jsonable re-validates.
+            object.__setattr__(
+                self, "transport", TransportConfig.from_jsonable(self.transport)
+            )
+        if self.remote_timeout is not None and self.remote_timeout <= 0:
             raise ValueError("remote_timeout must be positive")
-        if self.remote_retries < 0:
+        if self.remote_retries is not None and self.remote_retries < 0:
             raise ValueError("remote_retries must be >= 0")
+        legacy = (self.remote_url, self.remote_timeout, self.remote_retries)
+        if any(value is not None for value in legacy):
+            warnings.warn(
+                "RuntimeConfig(remote_url=/remote_timeout=/remote_retries=) is "
+                "deprecated; pass RuntimeConfig(transport=TransportConfig(...)) "
+                "— the typed transport config also carries the fleet options "
+                "(multiple replica URLs, compression, state_dtype, hedging).",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            if self.transport is not None:
+                raise ValueError(
+                    "pass transport= or the legacy remote_* kwargs, not both"
+                )
+            if self.remote_url is not None:
+                object.__setattr__(
+                    self,
+                    "transport",
+                    TransportConfig(
+                        urls=(self.remote_url,),
+                        timeout=(
+                            self.remote_timeout
+                            if self.remote_timeout is not None
+                            else TransportConfig.__dataclass_fields__["timeout"].default
+                        ),
+                        retries=(
+                            self.remote_retries
+                            if self.remote_retries is not None
+                            else TransportConfig.__dataclass_fields__["retries"].default
+                        ),
+                    ),
+                )
         if self.backend is not None:
             if self.backend not in available_backends():
                 raise ValueError(
@@ -182,10 +230,11 @@ class RuntimeConfig:
         if name == "remote":
             from repro.models.backends.remote import RemoteBackend
 
+            # transport=None falls through to RemoteBackend's own
+            # $REPRO_REMOTE_URL fallback (the legacy kwargs were already
+            # folded into self.transport by the deprecation shim).
             return RemoteBackend(
-                self.remote_url,
-                timeout=self.remote_timeout,
-                retries=self.remote_retries,
+                config=self.transport,
                 exact=self.exact,
                 padding_tier=self.padding_tier,
             )

@@ -1,11 +1,14 @@
 """Test doubles shipped with the library.
 
-Currently one: :class:`~repro.testing.encoder_service.LoopbackEncoderService`,
-an in-process HTTP encoding service that runs a real local backend behind
-the TokenArray wire format — what integration tests (and the CI remote
+:class:`~repro.testing.encoder_service.LoopbackEncoderService` is an
+in-process HTTP encoding service that runs a real local backend behind
+the TokenArray wire format — what integration tests (and the CI fleet
 smoke) point the ``"remote"`` encoder backend at.
+:class:`~repro.testing.encoder_service.FleetHarness` stands up several of
+them (one optionally slow or fault-injected) behind a single context
+manager for fleet-scheduling tests without real hosts.
 """
 
-from repro.testing.encoder_service import LoopbackEncoderService
+from repro.testing.encoder_service import FleetHarness, LoopbackEncoderService
 
-__all__ = ["LoopbackEncoderService"]
+__all__ = ["FleetHarness", "LoopbackEncoderService"]

@@ -5,13 +5,20 @@
 HTTP server (stdlib ``http.server``, threaded, bound to a loopback port —
 no new runtime dependencies) that speaks the exact protocol the remote
 backend ships: JSON requests carrying :func:`wire_to_jsonable` payloads
-in, base64 float64 hidden states with digest echoes out.  Behind the wire
-it runs a **real** :class:`LocalBackend` (or :class:`PaddedBackend` when
-the request says ``mode="padded"``) on an encoder rebuilt from the
-shipped :class:`ModelConfig` — so a test that compares remote against
-local results is comparing two independent processes' worth of state
-(interner, weights, content vectors) reconstructed from configuration,
-which is precisely the claim the wire format makes.
+in, base64 hidden states with digest echoes out.  Behind the wire it runs
+a **real** :class:`LocalBackend` (or :class:`PaddedBackend` when the
+request says ``mode="padded"``) on an encoder rebuilt from the shipped
+:class:`ModelConfig` — so a test that compares remote against local
+results is comparing two independent processes' worth of state (interner,
+weights, content vectors) reconstructed from configuration, which is
+precisely the claim the wire format makes.
+
+The service speaks HTTP/1.1 with keep-alive (so the fleet client's
+connection pool is exercised for real), accepts gzip request bodies and
+negotiates gzip responses via ``Accept-Encoding``, and honors the
+protocol-2 ``state_dtype`` field — ``"float32"`` states are rounded to
+little-endian float32 on the wire and tagged with a ``dtype`` echo.
+Protocol-1 requests (no ``state_dtype``) still work.
 
 Fault injection: :meth:`LoopbackEncoderService.inject` queues one-shot
 faults consumed FIFO by subsequent requests —
@@ -20,12 +27,22 @@ faults consumed FIFO by subsequent requests —
 - ``"timeout"`` — sleep past the client's deadline before answering (the
   client must abandon the request and retry);
 - ``"torn"`` — advertise the full Content-Length but write only half the
-  body (the client sees a short read and retries);
+  body, then close the connection (the client sees a short read and
+  retries);
 - ``"shuffle"`` — return the states reversed (NOT a fault the client may
   reject: it must reassemble by digest echo and still be bit-identical);
 - ``"tamper"`` — corrupt a state's bytes while keeping the original
   ``data_digest`` (the client must *reject* this, never retry it into
   acceptance).
+
+A persistent per-replica slowness (``delay=``) makes one fleet member a
+straggler, which is what hedging tests need.
+
+:class:`FleetHarness` stands up N replicas behind one context manager::
+
+    with FleetHarness(3, slow_index=2, slow_delay=0.2) as fleet:
+        backend = RemoteBackend(config=TransportConfig(urls=fleet.urls))
+        ...
 
 Run standalone for manual poking::
 
@@ -37,6 +54,7 @@ from __future__ import annotations
 import argparse
 import base64
 import collections
+import gzip
 import hashlib
 import json
 import threading
@@ -56,6 +74,10 @@ from repro.models.token_array import TokenArray, wire_from_jsonable
 
 FAULT_KINDS = ("http_500", "timeout", "torn", "shuffle", "tamper")
 
+#: Protocol versions the service accepts: 2 is current (``state_dtype``);
+#: 1 is the pre-fleet client, still answered with float64 states.
+ACCEPTED_PROTOCOLS = (1, PROTOCOL_VERSION)
+
 
 class _Fault:
     __slots__ = ("kind", "seconds")
@@ -68,17 +90,25 @@ class _Fault:
 
 
 class _Handler(BaseHTTPRequestHandler):
-    # HTTP/1.0 semantics: one request per connection, closed after the
-    # response — matching the client's ``Connection: close`` transport.
+    # HTTP/1.1 semantics: keep-alive by default, so the fleet client's
+    # connection pool sees real socket reuse.  Fault paths that must
+    # break the connection set ``close_connection`` explicitly.
+    protocol_version = "HTTP/1.1"
 
     def log_message(self, fmt, *args):  # noqa: D102 - silence test noise
         pass
 
     def do_POST(self):  # noqa: N802 - http.server API
         service: "LoopbackEncoderService" = self.server.service  # type: ignore[attr-defined]
+        # Always drain the request body first: under keep-alive an unread
+        # body would be parsed as the *next* request's start line.
+        length = int(self.headers.get("Content-Length", "0"))
+        raw = self.rfile.read(length)
         if self.path.rstrip("/") != "/encode":
             self._send(404, b'{"error": "unknown endpoint"}')
             return
+        if service.delay:
+            time.sleep(service.delay)
         fault = service._next_fault()
         if fault is not None and fault.kind == "timeout":
             # Hold the request past the client's deadline; the response
@@ -88,27 +118,45 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(500, b'{"error": "injected service fault"}')
             return
         try:
-            length = int(self.headers.get("Content-Length", "0"))
-            request = json.loads(self.rfile.read(length).decode("utf-8"))
+            if (self.headers.get("Content-Encoding") or "").lower() == "gzip":
+                raw = gzip.decompress(raw)
+            request = json.loads(raw.decode("utf-8"))
             body = service._encode_request(request, fault)
-        except (ValueError, KeyError, ObservatoryError) as error:
+        except (ValueError, KeyError, OSError, ObservatoryError) as error:
             self._send(400, json.dumps({"error": str(error)}).encode("utf-8"))
             return
+        accepts_gzip = "gzip" in (self.headers.get("Accept-Encoding") or "").lower()
+        encoding = "gzip" if accepts_gzip else None
+        if encoding == "gzip":
+            body = gzip.compress(body, compresslevel=6)
         if fault is not None and fault.kind == "torn":
+            # A keep-alive client would otherwise wait out its deadline
+            # for the missing bytes — close so it sees a fast short read.
+            self.close_connection = True
             self.send_response(200)
             self.send_header("Content-Type", "application/json")
+            if encoding:
+                self.send_header("Content-Encoding", encoding)
             self.send_header("Content-Length", str(len(body)))
+            self.send_header("Connection", "close")
             self.end_headers()
             self.wfile.write(body[: len(body) // 2])  # short write, then close
             return
-        self._send(200, body)
+        self._send(200, body, encoding=encoding)
 
-    def _send(self, status: int, body: bytes) -> None:
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
+    def _send(self, status: int, body: bytes, encoding: Optional[str] = None) -> None:
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            if encoding:
+                self.send_header("Content-Encoding", encoding)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            # The client is gone — a cancelled hedge loser or an expired
+            # deadline.  Expected under fleet scheduling, not an error.
+            self.close_connection = True
 
 
 class LoopbackEncoderService:
@@ -120,11 +168,16 @@ class LoopbackEncoderService:
             backend = RemoteBackend(service.url)
             ...
 
+    Args:
+        delay: seconds slept before answering *every* request — a
+            persistent straggler knob for fleet/hedging tests (one-shot
+            ``inject("timeout")`` faults stack on top).
+
     Attributes:
         requests_served: successful ``/encode`` responses sent.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *, delay: float = 0.0):
         self._server = ThreadingHTTPServer((host, port), _Handler)
         self._server.service = self  # type: ignore[attr-defined]
         self._thread = threading.Thread(
@@ -135,6 +188,7 @@ class LoopbackEncoderService:
         self._lock = threading.Lock()
         self._faults: "collections.deque[_Fault]" = collections.deque()
         self._encoders: Dict[Tuple[str, str, int], Encoder] = {}
+        self.delay = delay
         self.requests_served = 0
         self._thread.start()
 
@@ -185,14 +239,18 @@ class LoopbackEncoderService:
             return encoder
 
     def _encode_request(self, request: Dict[str, object], fault: Optional[_Fault]) -> bytes:
-        if request.get("protocol") != PROTOCOL_VERSION:
+        protocol = request.get("protocol")
+        if protocol not in ACCEPTED_PROTOCOLS:
             raise ValueError(
-                f"protocol mismatch: service speaks {PROTOCOL_VERSION}, "
-                f"request says {request.get('protocol')!r}"
+                f"protocol mismatch: service speaks {ACCEPTED_PROTOCOLS}, "
+                f"request says {protocol!r}"
             )
         mode = request.get("mode", "exact")
         if mode not in ("exact", "padded"):
             raise ValueError(f"unknown mode {mode!r}")
+        state_dtype = str(request.get("state_dtype", "float64"))
+        if state_dtype not in ("float64", "float32"):
+            raise ValueError(f"unknown state_dtype {state_dtype!r}")
         config = ModelConfig.from_jsonable(request["model"])
         tier = int(request.get("padding_tier", 8))
         batch_size = int(request.get("batch_size", 8))
@@ -205,7 +263,8 @@ class LoopbackEncoderService:
             digests.append(str(wire["digest"]))
         states = encoder.backend.encode_batch(encoder, arrays, batch_size=batch_size)
         entries = [
-            _state_entry(digest, state) for digest, state in zip(digests, states)
+            _state_entry(digest, state, state_dtype, protocol=int(protocol))
+            for digest, state in zip(digests, states)
         ]
         if fault is not None and fault.kind == "shuffle":
             entries.reverse()
@@ -216,14 +275,87 @@ class LoopbackEncoderService:
         return json.dumps({"states": entries}).encode("utf-8")
 
 
-def _state_entry(digest: str, state: np.ndarray) -> Dict[str, object]:
-    raw = np.ascontiguousarray(state.astype("<f8", copy=False)).tobytes()
-    return {
+class FleetHarness:
+    """N loopback replicas behind one context manager, for fleet tests.
+
+    One replica can be made a persistent straggler (``slow_index`` /
+    ``slow_delay``); the one-shot fault hooks stay reachable per replica
+    via :attr:`replicas` or :meth:`inject`.
+
+    ::
+
+        with FleetHarness(3, slow_index=2, slow_delay=0.25) as fleet:
+            fleet.inject(1, "http_500")       # one-shot, replica 1
+            config = TransportConfig(urls=fleet.urls, hedge_after=0.9)
+            backend = RemoteBackend(config=config)
+
+    Attributes:
+        replicas: the live :class:`LoopbackEncoderService` instances.
+    """
+
+    def __init__(
+        self,
+        n: int = 3,
+        *,
+        host: str = "127.0.0.1",
+        slow_index: Optional[int] = None,
+        slow_delay: float = 0.25,
+    ):
+        if n < 1:
+            raise ValueError("a fleet needs at least one replica")
+        if slow_index is not None and not 0 <= slow_index < n:
+            raise ValueError(f"slow_index {slow_index} out of range for {n} replicas")
+        self.replicas: List[LoopbackEncoderService] = []
+        try:
+            for i in range(n):
+                delay = slow_delay if i == slow_index else 0.0
+                self.replicas.append(LoopbackEncoderService(host=host, delay=delay))
+        except BaseException:
+            self.close()
+            raise
+
+    @property
+    def urls(self) -> Tuple[str, ...]:
+        return tuple(replica.url for replica in self.replicas)
+
+    def inject(self, index: int, kind: str, *, seconds: float = 0.75) -> None:
+        """Queue a one-shot fault on replica ``index`` (FIFO per replica)."""
+        self.replicas[index].inject(kind, seconds=seconds)
+
+    @property
+    def requests_served(self) -> int:
+        """Total successful responses across the fleet."""
+        return sum(replica.requests_served for replica in self.replicas)
+
+    def close(self) -> None:
+        for replica in self.replicas:
+            try:
+                replica.close()
+            except Exception:
+                pass  # best-effort teardown; later replicas still close
+        self.replicas = []
+
+    def __enter__(self) -> "FleetHarness":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _state_entry(
+    digest: str, state: np.ndarray, state_dtype: str = "float64", *, protocol: int = 2
+) -> Dict[str, object]:
+    wire_dtype = "<f4" if state_dtype == "float32" else "<f8"
+    raw = np.ascontiguousarray(state.astype(wire_dtype, copy=False)).tobytes()
+    entry = {
         "digest": digest,
         "shape": list(state.shape),
         "data": base64.b64encode(raw).decode("ascii"),
         "data_digest": hashlib.sha256(raw).hexdigest(),
     }
+    if protocol >= 2:
+        entry["dtype"] = state_dtype
+    return entry
 
 
 def _tampered(entry: Dict[str, object]) -> Dict[str, object]:
@@ -245,8 +377,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8077)
+    parser.add_argument(
+        "--delay", type=float, default=0.0, help="seconds slept before each response"
+    )
     args = parser.parse_args(argv)
-    service = LoopbackEncoderService(host=args.host, port=args.port)
+    service = LoopbackEncoderService(host=args.host, port=args.port, delay=args.delay)
     print(f"loopback encoder service listening on {service.url}", flush=True)
     try:
         while True:

@@ -23,6 +23,7 @@ empty sequences, single-token arrays).
 
 import json
 import random
+import time
 
 import numpy as np
 import pytest
@@ -32,9 +33,12 @@ from hypothesis import strategies as st
 from repro.core.framework import DatasetSizes, Observatory
 from repro.errors import ModelError, RemoteEncodeError
 from repro.models.backends import (
+    FLOAT32_TOLERANCE,
     PADDED_TOLERANCE,
     LocalBackend,
     RemoteBackend,
+    ReplicaStats,
+    TransportConfig,
     TransportStats,
     available_backends,
     max_relative_error,
@@ -50,7 +54,7 @@ from repro.models.token_array import (
 )
 from repro.relational.table import Table
 from repro.runtime.planner import EmbeddingExecutor, RuntimeConfig
-from repro.testing import LoopbackEncoderService
+from repro.testing import FleetHarness, LoopbackEncoderService
 from tests.conftest import cached_model
 
 WORDS = ("alpha", "bravo", "delta", "echo", "golf", "hotel", "india", "kilo")
@@ -275,9 +279,11 @@ class TestSweepThroughRemote:
     def remote_runtime(self, service, **kwargs):
         return RuntimeConfig(
             backend="remote",
-            remote_url=service.url,
-            remote_timeout=kwargs.pop("remote_timeout", 30.0),
-            remote_retries=4,
+            transport=TransportConfig(
+                urls=(service.url,),
+                timeout=kwargs.pop("remote_timeout", 30.0),
+                retries=4,
+            ),
             **kwargs,
         )
 
@@ -331,7 +337,11 @@ class TestConfigWiring:
         assert backend.url == service.url
 
     def test_padded_mode_derives_from_exact(self, service):
-        cfg = RuntimeConfig(backend="remote", remote_url=service.url, exact=False)
+        cfg = RuntimeConfig(
+            backend="remote",
+            transport=TransportConfig(urls=(service.url,)),
+            exact=False,
+        )
         backend = cfg.build_backend()
         assert not backend.exact
         assert backend.tolerance == PADDED_TOLERANCE
@@ -341,6 +351,46 @@ class TestConfigWiring:
             RuntimeConfig(remote_timeout=0.0)
         with pytest.raises(ValueError):
             RuntimeConfig(remote_retries=-1)
+        with pytest.raises(ValueError):
+            TransportConfig(urls=(service.url,), timeout=0.0)
+        with pytest.raises(ValueError):
+            TransportConfig(urls=(service.url,), pool_size=0)
+        with pytest.raises(ValueError):
+            TransportConfig(urls=(service.url,), hedge_after=1.0)
+        with pytest.raises(ValueError):
+            TransportConfig(urls=(service.url, service.url))  # duplicates
+        with pytest.raises(ValueError):
+            TransportConfig(urls=())
+
+    def test_legacy_kwargs_build_transport_and_warn(self, service):
+        with pytest.warns(DeprecationWarning, match="TransportConfig"):
+            cfg = RuntimeConfig(
+                backend="remote",
+                remote_url=service.url,
+                remote_timeout=5.0,
+                remote_retries=2,
+            )
+        assert cfg.transport == TransportConfig(
+            urls=(service.url,), timeout=5.0, retries=2
+        )
+        backend = cfg.build_backend()
+        assert backend.url == service.url
+        assert backend.timeout == 5.0 and backend.retries == 2
+
+    def test_transport_and_legacy_kwargs_conflict(self, service):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="not both"):
+                RuntimeConfig(
+                    transport=TransportConfig(urls=(service.url,)),
+                    remote_url=service.url,
+                )
+
+    def test_float32_tier_requires_non_exact_runtime(self, service):
+        f32 = TransportConfig(urls=(service.url,), state_dtype="float32")
+        with pytest.raises(ValueError, match="not exact"):
+            RuntimeConfig(backend="remote", transport=f32)  # exact=True default
+        cfg = RuntimeConfig(backend="remote", transport=f32, exact=False)
+        assert cfg.build_backend().exact is False
 
     def test_malformed_model_payload_raises_model_error(self):
         from repro.models.config import ModelConfig
@@ -408,8 +458,18 @@ class TestChunkSizer:
         # Synthetic measurements: 0.5s round trips carrying 4 sequences
         # — the sizer must stretch chunks to amortize the latency floor.
         for _ in range(3):
-            backend._record_success(0.5, 4, 1000, 1000)
+            backend._record_chunk(backend._replicas[0], 0.5, 4)
         assert backend.suggest_pipeline_chunk(8) > 8
+
+    def test_sizer_follows_fastest_healthy_replica(self):
+        with FleetHarness(2) as fleet:
+            backend = RemoteBackend(config=TransportConfig(urls=fleet.urls))
+            slow, fast = backend._replicas
+            backend._record_chunk(slow, 2.0, 4)   # 0.5 s/seq straggler
+            backend._record_chunk(fast, 0.04, 4)  # 10 ms/seq healthy peer
+            # The suggestion must track the fast replica (the one routing
+            # favors), not a fleet average the straggler poisons.
+            assert backend.suggest_pipeline_chunk(8) >= 16
 
 
 class TestTransportStats:
@@ -427,3 +487,301 @@ class TestTransportStats:
     def test_to_dict_carries_mean(self):
         stats = TransportStats(chunks=2, round_trip_seconds=1.0)
         assert stats.to_dict()["mean_round_trip"] == pytest.approx(0.5)
+
+    def test_replica_breakdown_merges_and_subtracts(self):
+        a = TransportStats(
+            chunks=2,
+            hedges=1,
+            replicas={"http://a:1": ReplicaStats(requests=2, chunks=2,
+                                                 round_trip_seconds=1.0)},
+        )
+        b = TransportStats(
+            chunks=1,
+            quarantines=1,
+            replicas={
+                "http://a:1": ReplicaStats(requests=1, errors=1, quarantines=1),
+                "http://b:2": ReplicaStats(requests=1, chunks=1, hedges_won=1,
+                                           round_trip_seconds=0.25),
+            },
+        )
+        merged = TransportStats.merged([a, b])
+        assert merged.chunks == 3 and merged.hedges == 1 and merged.quarantines == 1
+        assert merged.replicas["http://a:1"].requests == 3
+        assert merged.replicas["http://a:1"].errors == 1
+        assert merged.replicas["http://b:2"].hedges_won == 1
+        assert merged.replicas["http://b:2"].mean_round_trip == pytest.approx(0.25)
+        delta = merged.since(a)
+        assert delta.replicas["http://a:1"].requests == 1
+        assert delta.replicas["http://b:2"].chunks == 1
+        rendered = merged.to_dict()
+        assert rendered["replicas"]["http://a:1"]["requests"] == 3
+
+    def test_copy_is_deep_for_replicas(self):
+        stats = TransportStats(replicas={"http://a:1": ReplicaStats(requests=1)})
+        snap = stats.copy()
+        stats.replicas["http://a:1"].requests += 1
+        assert snap.replicas["http://a:1"].requests == 1
+
+
+url_strategy = st.builds(
+    lambda host, port: f"http://{host}:{port}",
+    host=st.from_regex(r"[a-z][a-z0-9-]{0,10}", fullmatch=True),
+    port=st.integers(min_value=1, max_value=65535),
+)
+
+transport_strategy = st.builds(
+    TransportConfig,
+    urls=st.lists(url_strategy, min_size=1, max_size=4, unique=True).map(tuple),
+    timeout=st.floats(min_value=0.001, max_value=600.0, allow_nan=False),
+    retries=st.integers(min_value=0, max_value=10),
+    compression=st.sampled_from(["none", "gzip"]),
+    state_dtype=st.sampled_from(["float64", "float32"]),
+    hedge_after=st.one_of(
+        st.none(),
+        st.floats(
+            min_value=0.0, max_value=1.0, exclude_min=True, exclude_max=True,
+            allow_nan=False,
+        ),
+    ),
+    pool_size=st.integers(min_value=1, max_value=32),
+)
+
+
+class TestTransportConfig:
+    @given(config=transport_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_jsonable_round_trip(self, config):
+        payload = json.loads(json.dumps(config.to_jsonable()))
+        assert TransportConfig.from_jsonable(payload) == config
+
+    def test_from_jsonable_rejects_junk(self):
+        with pytest.raises(ValueError, match="dict"):
+            TransportConfig.from_jsonable(["http://a:1"])
+        with pytest.raises(ValueError, match="unknown"):
+            TransportConfig.from_jsonable({"urls": ["http://a:1"], "nope": 1})
+        with pytest.raises(ValueError, match="urls"):
+            TransportConfig.from_jsonable({"timeout": 1.0})
+
+    def test_url_normalization(self):
+        single = TransportConfig(urls="http://a:1")
+        assert single.urls == ("http://a:1",)
+        as_list = TransportConfig(urls=["http://a:1", "http://b:2"])
+        assert as_list.urls == ("http://a:1", "http://b:2")
+        with pytest.raises(ValueError, match="URL"):
+            TransportConfig(urls=("https://secure.example",))
+
+    def test_runtime_config_coerces_jsonable_transport(self, service):
+        cfg = RuntimeConfig(transport={"urls": [service.url]})
+        assert cfg.transport == TransportConfig(urls=(service.url,))
+
+
+class TestFleet:
+    def fleet_backend(self, urls, **kwargs):
+        kwargs.setdefault("backoff_base", 0.01)
+        kwargs.setdefault("rng", random.Random(7))
+        config_kwargs = {
+            k: kwargs.pop(k)
+            for k in ("timeout", "retries", "compression", "state_dtype",
+                      "hedge_after", "pool_size")
+            if k in kwargs
+        }
+        config_kwargs.setdefault("timeout", 10.0)
+        config_kwargs.setdefault("retries", 3)
+        return RemoteBackend(
+            config=TransportConfig(urls=tuple(urls), **config_kwargs), **kwargs
+        )
+
+    @pytest.fixture()
+    def bert_lists(self):
+        model = cached_model("bert")
+        return model, token_lists_for(model, small_tables(6))
+
+    def test_keep_alive_connections_reused(self, service, bert_lists):
+        model, token_lists = bert_lists
+        backend = fast_remote(service)
+        import asyncio
+
+        async def run():
+            await backend.aencode_batch(model.encoder, token_lists, 4)
+            await backend.aencode_batch(model.encoder, token_lists, 4)
+
+        asyncio.run(run())
+        stats = backend.stats_snapshot()
+        assert stats.connections_opened == 1
+        assert stats.connections_reused >= 1
+
+    def test_gzip_round_trip_bit_identical_and_smaller(self, bert_lists):
+        model, token_lists = bert_lists
+        local = LocalBackend().encode_batch(model.encoder, token_lists, 4)
+        with LoopbackEncoderService() as svc:
+            plain = self.fleet_backend([svc.url])
+            plain_states = plain.encode_batch(model.encoder, token_lists, 4)
+            gzipped = self.fleet_backend([svc.url], compression="gzip")
+            gzip_states = gzipped.encode_batch(model.encoder, token_lists, 4)
+        for base, a, b in zip(local, plain_states, gzip_states):
+            assert np.array_equal(base, a)
+            assert np.array_equal(base, b)  # compression is lossless
+        assert gzipped.stats_snapshot().bytes_sent < plain.stats_snapshot().bytes_sent
+        assert (
+            gzipped.stats_snapshot().bytes_received
+            < plain.stats_snapshot().bytes_received
+        )
+
+    def test_float32_tier_within_tolerance(self, service, bert_lists):
+        model, token_lists = bert_lists
+        local = LocalBackend().encode_batch(model.encoder, token_lists, 4)
+        backend = self.fleet_backend([service.url], state_dtype="float32")
+        assert backend.exact is False
+        assert backend.tolerance == FLOAT32_TOLERANCE
+        assert backend.cache_namespace == "remote+f32"
+        states = backend.encode_batch(model.encoder, token_lists, 4)
+        for base, got in zip(local, states):
+            assert got.dtype == np.float64  # decoded back to float64
+            assert max_relative_error(got, base) <= FLOAT32_TOLERANCE
+
+    def test_exact_float64_still_bit_identical_alongside_f32(self, service, bert_lists):
+        model, token_lists = bert_lists
+        local = LocalBackend().encode_batch(model.encoder, token_lists, 4)
+        exact = self.fleet_backend([service.url])
+        assert exact.exact is True
+        states = exact.encode_batch(model.encoder, token_lists, 4)
+        for base, got in zip(local, states):
+            assert np.array_equal(base, got)
+
+    def test_sharding_routes_across_replicas(self, bert_lists):
+        model, token_lists = bert_lists
+        # 6 tables is too few to shard; replicate the workload so the
+        # planner can split it (>= 2 * MIN_SHARD_SEQUENCES sequences).
+        token_lists = token_lists * 4
+        local = LocalBackend().encode_batch(model.encoder, token_lists, 4)
+        with FleetHarness(2) as fleet:
+            backend = self.fleet_backend(fleet.urls)
+            states = backend.encode_batch(model.encoder, token_lists, 4)
+            for base, got in zip(local, states):
+                assert np.array_equal(base, got)
+            stats = backend.stats_snapshot()
+            assert stats.chunks == 2  # one shard per replica
+            assert stats.sequences == len(token_lists)
+            per_replica = [stats.replicas[url].chunks for url in fleet.urls]
+            assert per_replica == [1, 1]
+
+    def test_hedged_request_winner_loser_accounting(self, bert_lists):
+        model, token_lists = bert_lists
+        local = LocalBackend().encode_batch(model.encoder, token_lists, 4)
+        with FleetHarness(2, slow_index=0, slow_delay=0.5) as fleet:
+            urls = fleet.urls
+            backend = self.fleet_backend(urls, hedge_after=0.5)
+            # Prime the latency window so the hedge delay (a percentile
+            # over it) is computable and small; routing still explores
+            # replica 0 (the straggler) first.
+            for _ in range(8):
+                backend._rtt_samples.append(0.01)
+            states = backend.encode_batch(model.encoder, token_lists, 4)
+            stats = backend.stats_snapshot()
+        # No duplicate or dropped cells: every sequence answered once,
+        # bit-identical to local.
+        assert len(states) == len(token_lists)
+        for base, got in zip(local, states):
+            assert np.array_equal(base, got)
+        assert stats.hedges >= 1
+        assert stats.hedges_won >= 1  # the fast replica's copy won
+        assert stats.hedges_cancelled >= 1  # the straggler was cancelled
+        # Winner-only chunk accounting: consumed chunks == logical chunks,
+        # and every consumed sequence is counted exactly once.
+        assert stats.chunks == 1
+        assert stats.sequences == len(token_lists)
+        assert stats.replicas[urls[1]].hedges_won >= 1
+        assert stats.replicas[urls[0]].chunks == 0
+
+    def test_quarantine_and_recovery_after_5xx_streak(self, bert_lists):
+        model, token_lists = bert_lists
+        local = LocalBackend().encode_batch(model.encoder, token_lists, 4)
+        with FleetHarness(2) as fleet:
+            backend = self.fleet_backend(
+                fleet.urls, quarantine_seconds=0.3
+            )
+            for _ in range(3):
+                fleet.inject(0, "http_500")
+            # Three chunks: each first tries replica 0 (unexplored-first
+            # routing), eats a 500, and reroutes to replica 1.  The third
+            # failure trips the quarantine.
+            for _ in range(3):
+                states = backend.encode_batch(model.encoder, token_lists, 4)
+                for base, got in zip(local, states):
+                    assert np.array_equal(base, got)
+            stats = backend.stats_snapshot()
+            assert stats.quarantines == 1
+            assert stats.replicas[fleet.urls[0]].errors == 3
+            assert stats.replicas[fleet.urls[0]].quarantines == 1
+            assert not backend._replicas[0].available()
+            # While quarantined, chunks route straight to the healthy
+            # replica — no retries burned.
+            before = backend.stats_snapshot().retries
+            backend.encode_batch(model.encoder, token_lists, 4)
+            assert backend.stats_snapshot().retries == before
+            # After the quarantine lapses the replica is probed again and
+            # a success clears its failure streak.
+            time.sleep(0.35)
+            assert backend._replicas[0].available()
+            states = backend.encode_batch(model.encoder, token_lists, 4)
+            for base, got in zip(local, states):
+                assert np.array_equal(base, got)
+            assert backend._replicas[0].consecutive_failures == 0
+            assert backend.stats_snapshot().replicas[fleet.urls[0]].chunks >= 1
+
+    def test_fleet_harness_surface(self):
+        with FleetHarness(3, slow_index=1, slow_delay=0.05) as fleet:
+            assert len(set(fleet.urls)) == 3
+            assert fleet.replicas[1].delay == 0.05
+            assert fleet.replicas[0].delay == 0.0
+            assert fleet.requests_served == 0
+        with pytest.raises(ValueError):
+            FleetHarness(0)
+        with pytest.raises(ValueError):
+            FleetHarness(2, slow_index=5)
+
+    def test_fleet_sweep_identical_with_flaky_replica(self):
+        local = Observatory(seed=0, sizes=SIZES).sweep(["bert"], SWEEP_PROPS)
+        with FleetHarness(3, slow_index=2, slow_delay=0.05) as fleet:
+            fleet.inject(0, "http_500")
+            runtime = RuntimeConfig(
+                backend="remote",
+                transport=TransportConfig(
+                    urls=fleet.urls, retries=4, hedge_after=0.9
+                ),
+            )
+            remote = Observatory(seed=0, sizes=SIZES, runtime=runtime).sweep(
+                ["bert"], SWEEP_PROPS
+            )
+        for cell_l, cell_r in zip(local.cells, remote.cells):
+            assert cell_l.result.to_dict() == cell_r.result.to_dict()
+        assert remote.transport is not None
+        assert len(remote.transport.replicas) >= 2  # routing really spread
+
+    def test_cli_transport_flags_build_config(self, service):
+        from repro.cli import _build_parser, _transport_from_args
+
+        args = _build_parser().parse_args(
+            [
+                "sweep",
+                "--models", "bert",
+                "--remote-url", "http://a:1",
+                "--remote-url", "http://b:2",
+                "--remote-compression", "gzip",
+                "--remote-state-dtype", "float32",
+                "--remote-hedge-after", "0.95",
+                "--remote-pool-size", "2",
+                "--remote-timeout", "5",
+            ]
+        )
+        config = _transport_from_args(args)
+        assert config == TransportConfig(
+            urls=("http://a:1", "http://b:2"),
+            timeout=5.0,
+            compression="gzip",
+            state_dtype="float32",
+            hedge_after=0.95,
+            pool_size=2,
+        )
+        plain = _build_parser().parse_args(["sweep", "--models", "bert"])
+        assert _transport_from_args(plain) is None
