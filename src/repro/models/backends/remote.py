@@ -869,9 +869,15 @@ class RemoteBackend(EncoderBackend):
         """One attempt, speculatively duplicated when the primary lags.
 
         The hedge fires after the configured latency percentile of
-        observed round trips; the first task to return a decodable
-        response wins and the loser is cancelled.  Exactly one response
-        is returned, so hedge results can never be double-counted.
+        observed round trips; the first task to return an HTTP-200,
+        JSON-decodable response wins and the loser is cancelled, so
+        exactly one response is ever consumed and hedge results cannot
+        be double-counted.  Payload *integrity* (digest echo, state
+        shape) is verified only later, on the winner, in
+        ``_reassemble_states`` — a decodable-but-corrupt winner fails
+        the chunk even if the cancelled loser held a valid payload, and
+        a fatal error on the losing attempt is not surfaced when the
+        other attempt succeeds.
         """
         delay = self._hedge_delay()
         primary_task = asyncio.ensure_future(self._attempt_on(primary, body))
@@ -984,7 +990,8 @@ class RemoteBackend(EncoderBackend):
         Content-Length-delimited and chunked transfer-encoded responses
         are decoded (EOF-delimited bodies work too but mark the
         connection non-reusable).  Gzip response bodies are transparently
-        decompressed; byte counts are *wire* bytes, after compression.
+        decompressed; byte counts are *wire* bytes in both directions —
+        headers, chunk framing, and (compressed) bodies.
         """
         lines = [
             f"POST {replica.path} HTTP/1.1",
@@ -1005,6 +1012,7 @@ class RemoteBackend(EncoderBackend):
         status_line = await reader.readline()
         if not status_line:
             raise EOFError("connection closed before status line")
+        wire_in = len(status_line)
         parts = status_line.split(None, 2)
         if len(parts) < 2:
             raise ValueError(f"malformed HTTP status line {status_line!r}")
@@ -1016,6 +1024,7 @@ class RemoteBackend(EncoderBackend):
         connection_header = ""
         while True:
             line = await reader.readline()
+            wire_in += len(line)
             if line in (b"\r\n", b"\n", b""):
                 break
             name, _, value = line.decode("latin-1").partition(":")
@@ -1030,13 +1039,16 @@ class RemoteBackend(EncoderBackend):
             elif name == "connection":
                 connection_header = value.lower()
         if chunked:
-            raw = await _read_chunked(reader)
+            raw, body_wire = await _read_chunked(reader)
         elif content_length is not None:
             # readexactly raises IncompleteReadError (EOFError) when the
             # body is torn short of the advertised length.
             raw = await reader.readexactly(content_length)
+            body_wire = len(raw)
         else:
             raw = await reader.read()
+            body_wire = len(raw)
+        wire_in += body_wire
         framed = chunked or content_length is not None
         keep_alive = (
             framed
@@ -1050,7 +1062,7 @@ class RemoteBackend(EncoderBackend):
                 raise ValueError(f"undecodable gzip response body: {error}") from error
         else:
             payload = raw
-        return status, payload, len(head) + len(body), len(raw), keep_alive
+        return status, payload, len(head) + len(body), wire_in, keep_alive
 
     # -- accounting ----------------------------------------------------
 
@@ -1149,13 +1161,20 @@ async def _race(tasks: List["asyncio.Task"]) -> Tuple["asyncio.Task", int]:
     return winner, cancelled
 
 
-async def _read_chunked(reader: "asyncio.StreamReader") -> bytes:
-    """Decode a chunked transfer-encoded body (trailers discarded)."""
+async def _read_chunked(reader: "asyncio.StreamReader") -> Tuple[bytes, int]:
+    """Decode a chunked transfer-encoded body (trailers discarded).
+
+    Returns ``(body, wire_bytes)`` where ``wire_bytes`` includes the
+    chunk-size lines, chunk terminators, and trailers — the bytes the
+    body actually occupied on the wire.
+    """
     parts: List[bytes] = []
+    wire = 0
     while True:
         size_line = await reader.readline()
         if not size_line:
             raise EOFError("connection closed inside chunked body")
+        wire += len(size_line)
         try:
             size = int(size_line.split(b";", 1)[0].strip(), 16)
         except ValueError:
@@ -1163,11 +1182,13 @@ async def _read_chunked(reader: "asyncio.StreamReader") -> bytes:
         if size == 0:
             while True:  # trailers, then the final blank line
                 line = await reader.readline()
+                wire += len(line)
                 if line in (b"\r\n", b"\n", b""):
                     break
-            return b"".join(parts)
+            return b"".join(parts), wire
         parts.append(await reader.readexactly(size))
         await reader.readexactly(2)  # chunk-terminating CRLF
+        wire += size + 2
 
 
 def _proportional_sizes(n: int, weights: List[float], min_size: int) -> List[int]:

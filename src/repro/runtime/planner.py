@@ -30,6 +30,7 @@ against.
 from __future__ import annotations
 
 import dataclasses
+import os
 import threading
 import time
 import warnings
@@ -105,11 +106,13 @@ class RuntimeConfig:
             accepted and coerced.  ``None`` with ``backend="remote"``
             falls back to ``$REPRO_REMOTE_URL``.
         remote_url / remote_timeout / remote_retries: **deprecated** flat
-            forms of ``transport`` — still honored (they build a
-            single-replica :class:`TransportConfig` and warn), but new
-            code should pass ``transport=`` directly; the fleet knobs
+            forms of ``transport`` — still honored (they fold into a
+            :class:`TransportConfig` and warn; with no ``remote_url`` the
+            replica list comes from ``$REPRO_REMOTE_URL``), but new code
+            should pass ``transport=`` directly; the fleet knobs
             (multiple URLs, compression, float32 states, hedging) only
-            exist there.
+            exist there.  After construction the flat fields read back
+            as ``None`` — ``transport`` is the single source of truth.
         async_encode: stream encoder batches through the background
             asyncio encode loop so serialization/fingerprinting of the
             next chunk overlaps the current chunk's forward passes.
@@ -176,23 +179,46 @@ class RuntimeConfig:
                     "pass transport= or the legacy remote_* kwargs, not both"
                 )
             if self.remote_url is not None:
-                object.__setattr__(
-                    self,
-                    "transport",
-                    TransportConfig(
-                        urls=(self.remote_url,),
-                        timeout=(
-                            self.remote_timeout
-                            if self.remote_timeout is not None
-                            else TransportConfig.__dataclass_fields__["timeout"].default
-                        ),
-                        retries=(
-                            self.remote_retries
-                            if self.remote_retries is not None
-                            else TransportConfig.__dataclass_fields__["retries"].default
-                        ),
+                urls = (self.remote_url,)
+            else:
+                # remote_timeout/remote_retries without a URL: the tuning
+                # must still reach the backend, so resolve the replica
+                # list from $REPRO_REMOTE_URL (the same fallback
+                # RemoteBackend applies) instead of dropping the values.
+                from repro.models.backends.remote import REMOTE_URL_ENV
+
+                env = os.environ.get(REMOTE_URL_ENV, "")
+                urls = tuple(u.strip() for u in env.split(",") if u.strip())
+                if not urls:
+                    raise ValueError(
+                        "remote_timeout/remote_retries need replica URLs: "
+                        "pass remote_url= (or transport=) or set "
+                        f"${REMOTE_URL_ENV}"
+                    )
+            object.__setattr__(
+                self,
+                "transport",
+                TransportConfig(
+                    urls=urls,
+                    timeout=(
+                        self.remote_timeout
+                        if self.remote_timeout is not None
+                        else TransportConfig.__dataclass_fields__["timeout"].default
                     ),
-                )
+                    retries=(
+                        self.remote_retries
+                        if self.remote_retries is not None
+                        else TransportConfig.__dataclass_fields__["retries"].default
+                    ),
+                ),
+            )
+            # Fold exactly once: dataclasses.replace() re-runs this
+            # __post_init__ (process-shard shipping does), and a copy
+            # carrying both the coerced transport and the flat kwargs
+            # would trip the conflict check above.
+            object.__setattr__(self, "remote_url", None)
+            object.__setattr__(self, "remote_timeout", None)
+            object.__setattr__(self, "remote_retries", None)
         if self.backend is not None:
             if self.backend not in available_backends():
                 raise ValueError(

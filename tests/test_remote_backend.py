@@ -377,6 +377,31 @@ class TestConfigWiring:
         assert backend.url == service.url
         assert backend.timeout == 5.0 and backend.retries == 2
 
+    def test_legacy_config_survives_dataclasses_replace(self, service):
+        # The shim folds the flat kwargs into transport exactly once and
+        # clears them, so dataclasses.replace (the process-shard path)
+        # re-runs __post_init__ without tripping the both-forms check.
+        import dataclasses
+
+        with pytest.warns(DeprecationWarning):
+            cfg = RuntimeConfig(remote_url=service.url, remote_timeout=5.0)
+        assert cfg.remote_url is None and cfg.remote_timeout is None
+        copy = dataclasses.replace(cfg, execution="thread", max_workers=1)
+        assert copy.transport == cfg.transport
+        assert copy.transport.timeout == 5.0
+
+    def test_legacy_tuning_without_url_uses_env_fleet(self, service, monkeypatch):
+        monkeypatch.setenv("REPRO_REMOTE_URL", f"{service.url}, http://other:1")
+        with pytest.warns(DeprecationWarning):
+            cfg = RuntimeConfig(remote_timeout=7.0, remote_retries=3)
+        assert cfg.transport.urls == (service.url, "http://other:1")
+        assert cfg.transport.timeout == 7.0 and cfg.transport.retries == 3
+
+        monkeypatch.delenv("REPRO_REMOTE_URL")
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="replica URLs"):
+                RuntimeConfig(remote_timeout=7.0)
+
     def test_transport_and_legacy_kwargs_conflict(self, service):
         with pytest.warns(DeprecationWarning):
             with pytest.raises(ValueError, match="not both"):
