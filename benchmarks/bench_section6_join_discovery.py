@@ -5,6 +5,12 @@ keep precision/recall within +-3% of full-value embeddings while indexing
 runs > 7x and lookup > 2x faster.  The bench reruns the comparison; the
 wall-clock speedups depend on the machine, so the assertions check the
 qualitative shape: near-parity quality and clear (> 2x) indexing speedup.
+
+Retrieval is served by the persistent :class:`repro.index.ColumnIndex`
+(``engine="index"`` with pruning off — provably identical results to
+brute force), with embeddings routed through the Observatory's
+fingerprint-cached executor; a brute-force rerun on the now-warm cache
+asserts engine parity.
 """
 
 
@@ -14,18 +20,44 @@ from repro.data.nextiajd import NextiaJDGenerator, Testbed
 from repro.downstream.join_discovery import evaluate_join_discovery
 
 
+def _pairs():
+    return NextiaJDGenerator(seed=21).generate_pairs(scaled(30, minimum=12), Testbed.S)
+
+
 def run_join_discovery():
-    obs = observatory()
-    pairs = NextiaJDGenerator(seed=21).generate_pairs(
-        scaled(30, minimum=12), Testbed.S
-    )
     return evaluate_join_discovery(
-        obs.model("t5"), pairs, k=5, sample_fraction=0.05, min_sample=5
+        observatory().executor("t5"),
+        _pairs(),
+        k=5,
+        sample_fraction=0.05,
+        min_sample=5,
+        engine="index",
+        prune="off",
+        quantize=True,
     )
 
 
 def test_section6_join_discovery(benchmark):
     report = benchmark.pedantic(run_join_discovery, rounds=1, iterations=1)
+
+    # Engine parity: the exhaustive oracle over the same (cache-hot,
+    # quantized) embeddings must reproduce the index-served metrics.
+    oracle = evaluate_join_discovery(
+        observatory().executor("t5"),
+        _pairs(),
+        k=5,
+        sample_fraction=0.05,
+        min_sample=5,
+        quantize=True,
+    )
+    assert (report.precision_full, report.recall_full) == (
+        oracle.precision_full,
+        oracle.recall_full,
+    )
+    assert (report.precision_sampled, report.recall_sampled) == (
+        oracle.precision_sampled,
+        oracle.recall_sampled,
+    )
     print_header("Section 6: T5 join discovery, sampled vs full values")
     rows = [
         ["precision", report.precision_full, report.precision_sampled, report.precision_delta],

@@ -22,6 +22,7 @@ Quickstart::
 
 from repro.core.framework import DatasetSizes, Observatory
 from repro.core.levels import EmbeddingLevel
+from repro.index import ColumnIndex
 from repro.core.registry import available_properties, load_property, register_property
 from repro.core.results import DistributionSummary, PropertyResult, SkippedCell
 from repro.models.registry import available_models, load_model, register_model
@@ -31,6 +32,7 @@ from repro.runtime import RuntimeConfig, SweepResult, TransportConfig
 __version__ = "1.1.0"
 
 __all__ = [
+    "ColumnIndex",
     "Observatory",
     "DatasetSizes",
     "EmbeddingLevel",

@@ -215,3 +215,48 @@ def render_sweep(sweep: SweepResult) -> str:
                 f"aggregate {cell.aggregate_seconds:.2f}s)"
             )
     return "\n".join(lines)
+
+
+def render_index(
+    info: Dict[str, object],
+    *,
+    cache_stats=None,
+    results: Optional[Sequence[tuple]] = None,
+) -> str:
+    """Plain-text rendering of a column-index summary for CLI/CI logs.
+
+    ``info`` is :meth:`repro.index.ColumnIndex.describe` output;
+    ``results`` optionally carries ``(query_label, hits)`` tuples where
+    ``hits`` is the ``(key, score)`` list a query returned.
+    """
+    lines = [
+        f"Column index at {info['directory']}",
+        (
+            f"  {info['rows']} rows x {info['dim']} dims in "
+            f"{info['shards']} shard(s), generation {info['generation']}"
+        ),
+        (
+            f"  partitions: {info['partitions'] or 'unbuilt'} "
+            f"(budget {info['partition_budget']}); "
+            f"prune modes: {', '.join(info['prune_modes'])}"
+        ),
+        (
+            f"  guarantees: prune=off is bit-identical to brute force; "
+            f"probe recall floor {info['probe_recall_floor']}"
+        ),
+    ]
+    if info.get("dropped_shards") or info.get("swept_files"):
+        lines.append(
+            f"  recovery: dropped {info['dropped_shards']} corrupt shard(s), "
+            f"swept {info['swept_files']} stale file(s)"
+        )
+    if cache_stats is not None:
+        lines.append(
+            f"  embedding cache: {cache_stats.hits} hits / "
+            f"{cache_stats.hits + cache_stats.misses} requests"
+        )
+    for label, hits in results or ():
+        lines.append(f"  query {label}:")
+        for key, score in hits:
+            lines.append(f"    {score:+.6f}  {key}")
+    return "\n".join(lines)

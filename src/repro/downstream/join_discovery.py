@@ -14,7 +14,10 @@ wall-clock timings.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
+import os
+import tempfile
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -28,13 +31,23 @@ from repro.relational.sampling import sample_column_values
 
 
 class JoinDiscoveryIndex:
-    """Exact cosine-similarity index over named column embeddings."""
+    """Exact cosine-similarity index over named column embeddings.
+
+    Rows live in a geometrically-grown buffer: ``add`` appends into
+    spare capacity and only reallocates when full (doubling), so *n*
+    adds cost O(log n) reallocations — amortized O(1) per add — instead
+    of the former rebuild-on-every-query-after-add O(n²) pattern.  A
+    matmul over the ``[:count]`` view is bit-identical to one over the
+    previously stacked matrix, so lookup results are unchanged.
+    ``growths`` counts reallocations for the regression test.
+    """
 
     def __init__(self, dim: int):
         self.dim = dim
         self._keys: List[str] = []
-        self._rows: List[np.ndarray] = []
-        self._matrix: Optional[np.ndarray] = None
+        self._buffer = np.empty((0, dim), dtype=np.float64)
+        self._count = 0
+        self.growths = 0
 
     def add(self, key: str, embedding: np.ndarray) -> None:
         embedding = np.asarray(embedding, dtype=np.float64).ravel()
@@ -43,19 +56,24 @@ class JoinDiscoveryIndex:
         norm = np.linalg.norm(embedding)
         if norm < 1e-12:
             raise DatasetError("cannot index a zero embedding")
+        if self._count == self._buffer.shape[0]:
+            grown = np.empty(
+                (max(8, 2 * self._buffer.shape[0]), self.dim), dtype=np.float64
+            )
+            grown[: self._count] = self._buffer[: self._count]
+            self._buffer = grown
+            self.growths += 1
+        self._buffer[self._count] = embedding / norm
         self._keys.append(key)
-        self._rows.append(embedding / norm)
-        self._matrix = None
+        self._count += 1
 
     def __len__(self) -> int:
         return len(self._keys)
 
     def _ensure_matrix(self) -> np.ndarray:
-        if self._matrix is None:
-            if not self._rows:
-                raise DatasetError("index is empty")
-            self._matrix = np.stack(self._rows)
-        return self._matrix
+        if not self._count:
+            raise DatasetError("index is empty")
+        return self._buffer[: self._count]
 
     def lookup(self, embedding: np.ndarray, k: int) -> List[Tuple[str, float]]:
         """Top-k (key, cosine) for a query embedding."""
@@ -85,6 +103,8 @@ class JoinDiscoveryReport:
     index_time_sampled: float
     lookup_time_full: float
     lookup_time_sampled: float
+    engine: str = "exact"
+    prune: str = "off"
 
     @property
     def precision_delta(self) -> float:
@@ -135,6 +155,9 @@ def _build_ground_truth(pairs: Sequence[JoinPair]) -> Dict[str, set]:
     return truth
 
 
+JOIN_DISCOVERY_ENGINES = ("exact", "index")
+
+
 def evaluate_join_discovery(
     model: EmbeddingModel,
     pairs: Sequence[JoinPair],
@@ -142,6 +165,10 @@ def evaluate_join_discovery(
     k: int = 5,
     sample_fraction: float = 0.05,
     min_sample: int = 5,
+    engine: str = "exact",
+    prune: str = "off",
+    index_dir: Optional[str] = None,
+    quantize: bool = False,
 ) -> JoinDiscoveryReport:
     """Compare full-value and sampled join discovery end to end.
 
@@ -150,55 +177,104 @@ def evaluate_join_discovery(
     labelled joinable candidate.  The same protocol runs twice — embeddings
     from full values, then from a uniform ``sample_fraction`` sample — and
     the report carries quality deltas plus indexing/lookup timings.
+
+    Column embeddings go through a fingerprint-keyed
+    :class:`~repro.runtime.planner.EmbeddingExecutor` (``model`` may be a
+    raw model or an executor), so repeat evaluations against a cached
+    executor hit the embedding cache instead of re-encoding.
+
+    ``engine`` selects the retrieval backend: ``"exact"`` is the
+    brute-force :class:`JoinDiscoveryIndex` oracle; ``"index"`` serves
+    lookups from a persistent :class:`~repro.index.ColumnIndex` (stored
+    under ``index_dir`` when given, else a throwaway directory) under the
+    requested ``prune`` mode.  The index stores float32, so with
+    ``quantize=True`` the exact engine sees the same float32-quantized
+    embeddings and — with ``prune="off"`` — both engines provably return
+    identical results.
     """
     if not pairs:
         raise DatasetError("no join pairs supplied")
+    if engine not in JOIN_DISCOVERY_ENGINES:
+        raise DatasetError(
+            f"engine must be one of {JOIN_DISCOVERY_ENGINES}, got {engine!r}"
+        )
+    from repro.index import ColumnIndex
+    from repro.runtime.planner import as_executor
+
+    executor = as_executor(model)
     truth = _build_ground_truth(pairs)
 
-    def run(sampled: bool) -> Tuple[float, float, float, float]:
-        t0 = time.perf_counter()
-        index = JoinDiscoveryIndex(model.dim)
-        for pair in pairs:
-            values: Sequence[object] = pair.candidate_values
-            if sampled:
-                values = sample_column_values(
-                    list(values),
-                    sample_fraction,
-                    seed_parts=("jd-cand", pair.pair_id),
-                    minimum=min_sample,
-                )
-            index.add(
-                f"cand::{pair.pair_id}",
-                model.embed_value_column(pair.candidate_header, list(values)),
+    def run(sampled: bool, scratch: str) -> Tuple[float, float, float, float]:
+        variant = "sampled" if sampled else "full"
+
+        def column_values(values: Sequence[object], role: str, pair_id: str):
+            if not sampled:
+                return list(values)
+            return sample_column_values(
+                list(values),
+                sample_fraction,
+                seed_parts=(f"jd-{role}", pair_id),
+                minimum=min_sample,
             )
+
+        t0 = time.perf_counter()
+        embeddings = executor.embed_value_columns(
+            [
+                (pair.candidate_header, column_values(pair.candidate_values, "cand", pair.pair_id))
+                for pair in pairs
+            ]
+        )
+        if quantize:
+            embeddings = [ColumnIndex.quantize(emb) for emb in embeddings]
+        items = [(f"cand::{pair.pair_id}", emb) for pair, emb in zip(pairs, embeddings)]
+        if engine == "index":
+            index = ColumnIndex.build(
+                os.path.join(scratch, variant), items, dim=executor.dim
+            )
+
+            def lookup(embedding: np.ndarray) -> List[Tuple[str, float]]:
+                return index.query(embedding, k, prune=prune)
+
+        else:
+            oracle = JoinDiscoveryIndex(executor.dim)
+            for key, emb in items:
+                oracle.add(key, emb)
+
+            def lookup(embedding: np.ndarray) -> List[Tuple[str, float]]:
+                return oracle.lookup(embedding, k)
+
         index_time = time.perf_counter() - t0
 
-        hits = 0
         expected = 0
         retrieved_relevant = 0
         t0 = time.perf_counter()
-        for pair in pairs:
-            values = pair.query_values
-            if sampled:
-                values = sample_column_values(
-                    list(values),
-                    sample_fraction,
-                    seed_parts=("jd-query", pair.pair_id),
-                    minimum=min_sample,
-                )
-            query_emb = model.embed_value_column(pair.query_header, list(values))
-            results = {key for key, _ in index.lookup(query_emb, k)}
+        query_embeddings = executor.embed_value_columns(
+            [
+                (pair.query_header, column_values(pair.query_values, "query", pair.pair_id))
+                for pair in pairs
+            ]
+        )
+        if quantize:
+            query_embeddings = [ColumnIndex.quantize(emb) for emb in query_embeddings]
+        for pair, query_emb in zip(pairs, query_embeddings):
+            results = {key for key, _ in lookup(query_emb)}
             relevant = truth[pair.pair_id]
             expected += len(relevant)
             retrieved_relevant += len(results & relevant)
-            hits += 1 if results & relevant else 0
         lookup_time = time.perf_counter() - t0
         precision = retrieved_relevant / (k * len(pairs))
         recall = retrieved_relevant / max(expected, 1)
         return precision, recall, index_time, lookup_time
 
-    precision_full, recall_full, index_full, lookup_full = run(sampled=False)
-    precision_sampled, recall_sampled, index_sampled, lookup_sampled = run(sampled=True)
+    with contextlib.ExitStack() as stack:
+        if engine == "index" and index_dir is None:
+            scratch = stack.enter_context(tempfile.TemporaryDirectory())
+        else:
+            scratch = index_dir or ""
+        precision_full, recall_full, index_full, lookup_full = run(False, scratch)
+        precision_sampled, recall_sampled, index_sampled, lookup_sampled = run(
+            True, scratch
+        )
     return JoinDiscoveryReport(
         k=k,
         sample_fraction=sample_fraction,
@@ -210,4 +286,6 @@ def evaluate_join_discovery(
         index_time_sampled=index_sampled,
         lookup_time_full=lookup_full,
         lookup_time_sampled=lookup_sampled,
+        engine=engine,
+        prune=prune,
     )

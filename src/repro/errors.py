@@ -55,5 +55,9 @@ class DatasetError(ObservatoryError):
     """A dataset generator or loader received invalid parameters."""
 
 
+class ColumnIndexError(ObservatoryError):
+    """The persistent column-embedding index was misused or misconfigured."""
+
+
 class PropertyConfigError(ObservatoryError):
     """A property run was configured inconsistently."""

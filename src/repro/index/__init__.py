@@ -1,0 +1,26 @@
+"""Persistent columnar ANN index for joinability search.
+
+See :mod:`repro.index.column_index` for the query-mode guarantees and
+:mod:`repro.index.store` for the crash-safety protocol.
+"""
+
+from repro.index.column_index import (
+    BOUND_SCORE_MARGIN,
+    PROBE_RECALL_FLOOR,
+    PRUNE_MODES,
+    ColumnIndex,
+    default_min_candidates,
+)
+from repro.index.partitions import PartitionPlan, partition_budget
+from repro.index.store import ShardStore
+
+__all__ = [
+    "BOUND_SCORE_MARGIN",
+    "PROBE_RECALL_FLOOR",
+    "PRUNE_MODES",
+    "ColumnIndex",
+    "PartitionPlan",
+    "ShardStore",
+    "default_min_candidates",
+    "partition_budget",
+]

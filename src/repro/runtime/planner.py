@@ -465,9 +465,11 @@ class EmbeddingExecutor:
             first_seen.setdefault(fp, []).append(i)
         misses: List[str] = []
         for fp, indices in first_seen.items():
+            # `is not None`, not truthiness: an empty memory tier is
+            # falsy (__len__ == 0) but may still front a warm disk tier.
             value = (
                 self.cache.get((self._cache_space, "valuecol", fp))
-                if self.cache
+                if self.cache is not None
                 else None
             )
             if value is None:

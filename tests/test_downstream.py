@@ -116,6 +116,107 @@ def test_evaluate_join_discovery_empty():
         evaluate_join_discovery(cached_model("bert"), [])
 
 
+def test_index_add_is_amortized_constant():
+    """Regression: ``add`` used to invalidate the stacked matrix on every
+    insert, making N adds + interleaved lookups O(N^2) stacking work.
+    Geometric growth bounds reallocations at O(log N) for any add/lookup
+    interleaving."""
+    rng = np.random.default_rng(5)
+    index = JoinDiscoveryIndex(8)
+    n = 1000
+    for i in range(n):
+        index.add(f"k{i}", rng.normal(size=8))
+        if i % 100 == 0:
+            index.lookup(rng.normal(size=8), 1)  # interleaved queries
+    assert len(index) == n
+    # Doubling from 8: at most log2(1000/8)+1 ~ 8 reallocations.
+    assert index.growths <= int(np.ceil(np.log2(n / 8))) + 1
+    results = index.lookup(rng.normal(size=8), 3)
+    assert len(results) == 3
+
+
+def test_index_growth_preserves_lookup_results():
+    rng = np.random.default_rng(6)
+    rows = rng.normal(size=(37, 5))
+    grown = JoinDiscoveryIndex(5)
+    for i, row in enumerate(rows):
+        grown.add(f"k{i}", row)
+    query = rng.normal(size=5)
+    scores = dict(grown.lookup(query, 37))
+    # Reference: normalize and score directly (the pre-growth semantics).
+    matrix = np.stack([row / np.linalg.norm(row) for row in rows])
+    want = matrix @ (query / np.linalg.norm(query))
+    for i in range(37):
+        assert scores[f"k{i}"] == want[i]  # bit-identical
+
+
+def test_evaluate_join_discovery_hits_embedding_cache():
+    from repro import Observatory
+
+    pairs = NextiaJDGenerator(seed=12).generate_pairs(6)
+    executor = Observatory(seed=0).executor("bert")
+    first = evaluate_join_discovery(executor, pairs, k=3, sample_fraction=0.2)
+    hits_after_first = executor.cache_stats.hits
+    second = evaluate_join_discovery(executor, pairs, k=3, sample_fraction=0.2)
+    # Every column embedding of the repeat evaluation is a cache hit.
+    assert executor.cache_stats.hits >= hits_after_first + 4 * len(pairs)
+    assert (first.precision_full, first.recall_full) == (
+        second.precision_full,
+        second.recall_full,
+    )
+    assert (first.precision_sampled, first.recall_sampled) == (
+        second.precision_sampled,
+        second.recall_sampled,
+    )
+
+
+def test_evaluate_join_discovery_engine_parity(tmp_path):
+    """The index engine with pruning off reproduces the exact engine's
+    metrics whenever both see float32-quantized embeddings."""
+    pairs = NextiaJDGenerator(seed=12).generate_pairs(8)
+    model = cached_model("t5")
+    exact = evaluate_join_discovery(model, pairs, k=3, quantize=True)
+    indexed = evaluate_join_discovery(
+        model,
+        pairs,
+        k=3,
+        quantize=True,
+        engine="index",
+        prune="off",
+        index_dir=str(tmp_path),
+    )
+    assert indexed.engine == "index"
+    assert (exact.precision_full, exact.recall_full) == (
+        indexed.precision_full,
+        indexed.recall_full,
+    )
+    assert (exact.precision_sampled, exact.recall_sampled) == (
+        indexed.precision_sampled,
+        indexed.recall_sampled,
+    )
+    # The persistent index landed under index_dir (both variants).
+    import os
+
+    assert os.path.exists(tmp_path / "full" / "manifest.json")
+    assert os.path.exists(tmp_path / "sampled" / "manifest.json")
+
+
+def test_evaluate_join_discovery_pruned_engines_run():
+    pairs = NextiaJDGenerator(seed=12).generate_pairs(6)
+    for prune in ("bound", "probe"):
+        report = evaluate_join_discovery(
+            cached_model("t5"), pairs, k=2, engine="index", prune=prune
+        )
+        assert report.prune == prune
+        assert 0.0 <= report.precision_full <= 1.0
+
+
+def test_evaluate_join_discovery_bad_engine():
+    pairs = NextiaJDGenerator(seed=12).generate_pairs(4)
+    with pytest.raises(DatasetError, match="engine"):
+        evaluate_join_discovery(cached_model("bert"), pairs, engine="annoy")
+
+
 # --- table QA -----------------------------------------------------------------
 
 def test_make_qa_examples(corpus):
