@@ -15,13 +15,28 @@ Measures the characterization runtime on the default benchmark matrix
    analysis code, add a measure, or regenerate a report over unchanged
    data.  Only fingerprinting and the measures themselves are recomputed.
 
-It then measures **process-sharded execution**
+It then measures **process execution**
 (``Observatory.sweep(execution="process")``): cells spread across spawned
 worker processes sharing an on-disk cache tier, which scales the
 GIL-bound Python half of the matrix past one core.  Reported as
 single-process vs multi-process wall-clock (thread-vs-process scaling);
-on a single-core host the sharded run degenerates to spawn overhead and
-the report says so.
+on a single-core host the run degenerates to spawn overhead and the
+report says so.
+
+The **scheduler** section compares the two process engines head-to-head
+on fresh disk tiers: the retained static-shard oracle
+(:class:`ProcessShardedSweep`, one-shot ``pool.map`` over fixed shards)
+vs the work-stealing scheduler (:class:`WorkStealingSweep`, LPT-ordered
+corpus-affinity groups pulled by persistent workers).  Results are
+asserted bit-identical first; the record then carries the dispatch log,
+steal/re-dispatch/crash counts, per-worker busy fractions, and the
+measured per-cell seconds as ``scheduler.cell_records`` — the
+telemetry priors a later sweep reloads via ``--cost-priors`` /
+``$REPRO_SWEEP_COST_PRIORS`` for LPT dispatch.  The process smoke gate
+bounds scheduler overhead at 5% over static sharding (plus a small
+absolute slack for spawn jitter: on a 1-core CI runner both engines are
+pure overhead, so the gate is about the dispatch loop staying cheap,
+not about scaling).
 
 Reported speedups: cold (architecture only), warm (cache), and the
 two-pass analysis workflow (characterize once, re-characterize once) —
@@ -66,9 +81,11 @@ rate above 45% across the two sweeps, a cached sweep no slower than the
 naive baseline, a two-pass workflow at least 3.5x over naive, padded
 batching no slower than exact on the degenerate corpus, and padded
 numerics inside the documented tolerance.  ``--execution process``
-points the smoke gate at the process engine instead: identical results
-plus a warm disk-tier hit rate, with no wall-clock gate (spawn cost is
-hardware noise).  ``--json PATH`` writes every timing, speedup, and the
+points the smoke gate at the process engine instead: identical results,
+a warm disk-tier hit rate, complete dispatch telemetry, and the
+scheduler-overhead bound vs static sharding (no thread-vs-process
+wall-clock gate — spawn cost is hardware noise).  ``--json PATH``
+writes every timing, speedup, and the
 host fingerprint to a machine-readable record so CI can track the perf
 trajectory per push.
 """
@@ -740,6 +757,107 @@ def run_process_scaling(sizes: DatasetSizes):
     }
 
 
+def run_scheduler_comparison(sizes: DatasetSizes) -> Dict[str, object]:
+    """Static-shard oracle vs work-stealing scheduler, equal cold footing.
+
+    Both engines run the same cache-aware-ordered cells with 2 workers on
+    a fresh disk tier; results must be bit-identical before any timing is
+    recorded.  Alongside the wall-clock comparison the record keeps the
+    full dispatch log, steal/crash counters, per-worker utilization, and
+    the measured per-cell seconds (``cell_records``) that feed a later
+    sweep's LPT cost priors.
+    """
+    from repro.runtime.process_sweep import ProcessShardedSweep
+    from repro.runtime.scheduler import WorkStealingSweep
+    from repro.runtime.sweep import order_cells
+
+    cells = order_cells([(m, p) for p in PROPERTIES for m in MODELS])
+
+    def engine_observatory(disk_dir: str) -> Observatory:
+        return Observatory(
+            seed=0,
+            sizes=sizes,
+            runtime=RuntimeConfig(batch_size=16, disk_cache_dir=disk_dir),
+        )
+
+    with tempfile.TemporaryDirectory() as static_dir:
+        t0 = time.perf_counter()
+        static = ProcessShardedSweep(
+            engine_observatory(static_dir), max_workers=2
+        ).run(cells)
+        t_static = time.perf_counter() - t0
+    with tempfile.TemporaryDirectory() as steal_dir:
+        t0 = time.perf_counter()
+        stealing = WorkStealingSweep(
+            engine_observatory(steal_dir), max_workers=2
+        ).run(cells)
+        t_stealing = time.perf_counter() - t0
+
+    def as_dicts(outcome):
+        return {
+            (c.model_name, c.property_name): c.result.to_dict()
+            for c in outcome.cells
+        }
+
+    if as_dicts(static) != as_dicts(stealing):
+        raise AssertionError(
+            "work-stealing scheduler diverged from the static-shard oracle"
+        )
+    telemetry = stealing.scheduler
+    return {
+        "t_static": t_static,
+        "t_stealing": t_stealing,
+        "overhead_ratio": t_stealing / t_static,
+        "static_workers": static.workers,
+        "stealing_workers": stealing.workers,
+        "cell_records": [
+            {
+                "model": c.model_name,
+                "property": c.property_name,
+                "seconds": c.seconds,
+            }
+            for c in stealing.cells
+        ],
+        **telemetry.to_dict(),
+    }
+
+
+def report_scheduler_comparison(cmp: Dict[str, object]) -> None:
+    rows = [
+        ["static shards (oracle engine)", cmp["t_static"], 1.0],
+        [
+            "work-stealing scheduler",
+            cmp["t_stealing"],
+            cmp["t_static"] / cmp["t_stealing"],
+        ],
+    ]
+    print()
+    print(
+        f"Static sharding vs work-stealing — {cmp['groups']} corpus-affinity "
+        f"groups on {cmp['stealing_workers']} workers, results bit-identical:"
+    )
+    print(format_value_table(rows, ["engine", "seconds", "speedup"]))
+    print(
+        f"dispatch: {cmp['redispatches']} straggler re-dispatches "
+        f"({cmp['duplicates_discarded']} duplicates discarded), "
+        f"{cmp['crashes']} crashes ({cmp['salvaged_groups']} salvaged)"
+    )
+    for worker in cmp["workers"]:
+        print(
+            f"  worker {worker['worker_id']}: {worker['busy_fraction']:.1%} busy, "
+            f"{worker['groups']} groups / {worker['cells']} cells, "
+            f"{worker['steals']} steals"
+        )
+    for entry in cmp["dispatch_log"]:
+        seconds = f"{entry['seconds']:.2f}s" if entry["seconds"] else "-"
+        dup = " (duplicate)" if entry["duplicate"] else ""
+        print(
+            f"  group {entry['group']} ({entry['model']}/{entry['corpus']}, "
+            f"{entry['cells']} cells) -> worker {entry['worker']}{dup}: "
+            f"{entry['outcome']} in {seconds}"
+        )
+
+
 def check_identical(
     naive: Dict[Tuple[str, str], PropertyResult], sweep
 ) -> None:
@@ -826,7 +944,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     payload: Dict[str, object] = {
         "bench": "runtime_sweep",
-        "schema_version": 5,
+        "schema_version": 6,
         "mode": "smoke" if args.smoke else "full",
         "engine": args.execution,
         "cpu_count": os.cpu_count(),
@@ -868,6 +986,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "warm_disk_hit_rate": scaling["warm"].cache_stats.hit_rate,
                 }
             )
+            scheduler_cmp = run_scheduler_comparison(sizes)
+            report_scheduler_comparison(scheduler_cmp)
+            payload["scheduler"] = scheduler_cmp
             if args.smoke:
                 combined = CacheStats.merged(
                     [scaling["cold"].cache_stats, scaling["warm"].cache_stats]
@@ -877,6 +998,28 @@ def main(argv: Optional[List[str]] = None) -> int:
                 )
                 assert scaling["warm"].cache_stats.disk_hits > 0, (
                     "warm process sweep never hit the shared disk tier"
+                )
+                # Dispatch telemetry must be complete: every group won by
+                # exactly one result, every cell's seconds recorded.
+                won = [
+                    e for e in scheduler_cmp["dispatch_log"] if e["outcome"] == "won"
+                ]
+                assert len(won) == scheduler_cmp["groups"], (
+                    f"dispatch log incomplete: {len(won)} wins for "
+                    f"{scheduler_cmp['groups']} groups"
+                )
+                assert len(scheduler_cmp["cell_records"]) == len(MODELS) * len(
+                    PROPERTIES
+                ), "scheduler cell_records missing cells"
+                # Scheduler overhead gate: <= 5% over static sharding, plus
+                # 0.5s absolute slack because a 1-core CI runner's spawn
+                # jitter between two back-to-back cold runs exceeds any
+                # dispatch-loop cost at smoke sizes.
+                bound = scheduler_cmp["t_static"] * 1.05 + 0.5
+                assert scheduler_cmp["t_stealing"] <= bound, (
+                    f"work-stealing overhead too high: "
+                    f"{scheduler_cmp['t_stealing']:.2f}s vs static "
+                    f"{scheduler_cmp['t_static']:.2f}s (bound {bound:.2f}s)"
                 )
             payload["gates_passed"] = True
         finally:
@@ -983,6 +1126,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "process_workers": scaling["multi_workers"],
                 }
             )
+            scheduler_cmp = run_scheduler_comparison(sizes)
+            report_scheduler_comparison(scheduler_cmp)
+            payload["scheduler"] = scheduler_cmp
 
         # Numerics gate in every mode: padded stays inside its documented
         # tolerance (the async comparison asserted result-identity

@@ -142,7 +142,8 @@ def sweep_matrix(sweep: SweepResult) -> Dict[str, Dict[str, Optional[float]]]:
 
 def render_sweep(sweep: SweepResult) -> str:
     """Markdown rendering of a sweep: matrix, skipped cells, runtime stats,
-    encoder backend/pipeline accounting, and the slowest cells."""
+    encoder backend/pipeline accounting, work-stealing scheduler
+    utilization (process sweeps), and the slowest cells."""
     lines = [render_markdown(sweep_matrix(sweep))]
     if sweep.skipped:
         lines.append("")
@@ -203,6 +204,24 @@ def render_sweep(sweep: SweepResult) -> str:
                 f"{rep.errors} errors, {rep.hedges_won} hedges won, "
                 f"{rep.quarantines} quarantines, "
                 f"mean round-trip {rep.mean_round_trip * 1000.0:.1f}ms"
+            )
+    if sweep.scheduler is not None:
+        sched = sweep.scheduler
+        lines.append(
+            f"Scheduler: {sched.groups} work groups, "
+            f"{sched.redispatches} straggler re-dispatches "
+            f"({sched.duplicates_discarded} duplicates discarded), "
+            f"{sched.crashes} worker crashes "
+            f"({sched.salvaged_groups} groups salvaged)."
+        )
+        for worker in sched.workers:
+            flags = " [crashed]" if worker.crashed else ""
+            lines.append(
+                f"- worker {worker.worker_id}: {worker.busy_fraction:.1%} busy "
+                f"({worker.busy_seconds:.2f}s busy / "
+                f"{worker.idle_seconds:.2f}s idle), "
+                f"{worker.groups} groups / {worker.cells} cells, "
+                f"{worker.steals} steals{flags}"
             )
     slowest = sweep.slowest(3)
     if slowest:

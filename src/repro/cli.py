@@ -14,9 +14,11 @@ Exposes the framework without writing Python::
 
 ``sweep`` runs the matrix through the batched/cached runtime and reports
 skipped cells, cache effectiveness, the encoder backend, and the slowest
-cells; ``--execution process`` shards cells across spawned worker
-processes (sharing the ``--disk-cache`` tier, bounded by
-``--cache-max-bytes``/``--cache-max-age``), ``--no-exact`` (or
+cells; ``--execution process`` runs the work-stealing scheduler across
+spawned worker processes (sharing the ``--disk-cache`` tier, bounded by
+``--cache-max-bytes``/``--cache-max-age``; ``--cost-priors BENCH.json``
+reloads measured cell timings for longest-first dispatch and the report
+gains per-worker busy/steal utilization lines), ``--no-exact`` (or
 ``--backend padded``) opts into padded tolerance-tier batching for
 throughput on heterogeneous-length corpora, ``--backend remote
 --remote-url http://host:port`` farms encoder forward passes to an HTTP
@@ -108,7 +110,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="comma-separated property names (default: all registered)",
     )
     sweep.add_argument(
-        "--workers", type=int, default=None, help="worker-pool size (default: auto)"
+        "--workers",
+        type=int,
+        default=None,
+        help="worker-pool size (default: $REPRO_SWEEP_WORKERS or auto)",
     )
     sweep.add_argument(
         "--execution",
@@ -116,8 +121,19 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "sweep engine: 'thread' shares one in-process cache, 'process' "
-            "shards cells across spawned workers sharing only the disk "
-            "cache (default: $REPRO_SWEEP_EXECUTION or thread)"
+            "runs the work-stealing scheduler across spawned workers "
+            "sharing only the disk cache "
+            "(default: $REPRO_SWEEP_EXECUTION or thread)"
+        ),
+    )
+    sweep.add_argument(
+        "--cost-priors",
+        default=None,
+        metavar="PATH",
+        help=(
+            "BENCH_*.json with measured cell_records; feeds the process "
+            "scheduler's longest-first dispatch order "
+            "(default: $REPRO_SWEEP_COST_PRIORS or built-in priors)"
         ),
     )
     sweep.add_argument(
@@ -433,6 +449,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
             cache_max_age=args.cache_max_age,
             max_workers=args.workers,
             execution=args.execution,
+            cost_priors=args.cost_priors,
             exact=exact,
             backend=args.backend,
             padding_tier=args.padding_tier,

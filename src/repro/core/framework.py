@@ -364,16 +364,20 @@ class Observatory:
         """Run a (model × property) matrix on a worker pool.
 
         Independent cells run concurrently (``max_workers`` defaults to
-        ``runtime.max_workers``); every cell is deterministically seeded,
+        ``runtime.max_workers``, then the ``REPRO_SWEEP_WORKERS``
+        environment variable); every cell is deterministically seeded,
         so the result is identical for any worker count and execution
         mode.  ``execution="thread"`` (default) shares this Observatory's
         embedding cache across a thread pool; ``execution="process"``
-        shards cells across spawned worker processes that rebuild models
-        from configuration and share only the on-disk cache tier —
-        scaling Python-heavy cells past the GIL.  Unset, the mode falls
-        back to ``runtime.execution``, then the ``REPRO_SWEEP_EXECUTION``
-        environment variable, then ``"thread"``.  Out-of-scope cells are
-        recorded on ``SweepResult.skipped`` rather than dropped.
+        runs cells under the work-stealing scheduler
+        (:mod:`repro.runtime.scheduler`) on spawned worker processes
+        that rebuild models from configuration and share only the
+        on-disk cache tier — scaling Python-heavy cells past the GIL,
+        with straggler re-dispatch and crash salvage.  Unset, the mode
+        falls back to ``runtime.execution``, then the
+        ``REPRO_SWEEP_EXECUTION`` environment variable, then
+        ``"thread"``.  Out-of-scope cells are recorded on
+        ``SweepResult.skipped`` rather than dropped.
         """
         property_names = (
             list(properties) if properties is not None else available_properties()

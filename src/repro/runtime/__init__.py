@@ -20,9 +20,14 @@ and perturbations.  This package removes that redundancy:
   eviction, atomic write-temp-then-rename, stale-lock reclaim).
 - :mod:`repro.runtime.sweep` — ``Observatory.sweep``'s worker-pool engine
   returning a structured :class:`SweepResult` (including skipped cells).
+- :mod:`repro.runtime.scheduler` — :class:`WorkStealingSweep`, the
+  ``execution="process"`` engine: persistent spawned workers pull
+  LPT-ordered corpus-affinity :class:`WorkGroup`\\ s from a dynamic
+  queue, with straggler re-dispatch and crash salvage
+  (:class:`SchedulerTelemetry` reports busy/idle/steal per worker).
 - :mod:`repro.runtime.process_sweep` — :class:`ProcessShardedSweep`,
-  which shards sweep cells across spawned worker processes that share
-  only the disk cache tier (``execution="process"``).
+  the legacy static-shard process engine, retained as the scheduler's
+  bit-identical equivalence oracle.
 """
 
 from repro.runtime.cache import CacheStats, EmbeddingCache
@@ -47,6 +52,17 @@ from repro.runtime.planner import (
     as_executor,
 )
 from repro.runtime.process_sweep import ProcessShardedSweep, partition_shards
+from repro.runtime.scheduler import (
+    CostModel,
+    GroupScheduler,
+    SchedulerTelemetry,
+    WorkGroup,
+    WorkStealingSweep,
+    WorkerTelemetry,
+    build_groups,
+    load_cost_model,
+    lpt_order,
+)
 from repro.runtime.sweep import (
     EXECUTION_MODES,
     SkippedCell,
@@ -54,20 +70,27 @@ from repro.runtime.sweep import (
     SweepResult,
     order_cells,
     resolve_execution,
+    resolve_workers,
     run_sweep,
 )
 
 __all__ = [
     "BUNDLE_LEVELS",
     "CacheStats",
+    "CostModel",
     "DiskTier",
     "EXECUTION_MODES",
     "EmbeddingCache",
     "EmbeddingExecutor",
     "EncodeLoop",
     "EncodeLoopClosedError",
+    "GroupScheduler",
     "PipelineStats",
     "ProcessShardedSweep",
+    "SchedulerTelemetry",
+    "WorkGroup",
+    "WorkStealingSweep",
+    "WorkerTelemetry",
     "encode_loop",
     "RuntimeConfig",
     "SkippedCell",
@@ -75,11 +98,15 @@ __all__ = [
     "SweepResult",
     "TransportConfig",
     "as_executor",
+    "build_groups",
     "cache_entry_digest",
     "coords_fingerprint",
+    "load_cost_model",
+    "lpt_order",
     "order_cells",
     "partition_shards",
     "resolve_execution",
+    "resolve_workers",
     "run_sweep",
     "table_fingerprint",
     "value_column_fingerprint",

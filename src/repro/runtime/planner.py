@@ -79,12 +79,22 @@ class RuntimeConfig:
         cache_max_age: seconds after which disk entries expire and are
             reclaimed before any younger entry (``None`` = never).
         max_workers: default worker count for ``Observatory.sweep``
-            (``None`` = one worker per (model, property) cell, capped at 4).
+            (``None`` defers to the ``REPRO_SWEEP_WORKERS`` environment
+            variable, falling back to one worker per unit of work,
+            capped at 4).
         execution: default sweep execution mode — ``"thread"`` (one pool of
             threads sharing this process's cache) or ``"process"``
-            (spawned worker processes sharing only the disk tier).
-            ``None`` defers to the ``REPRO_SWEEP_EXECUTION`` environment
-            variable, falling back to ``"thread"``.
+            (spawned worker processes pulling corpus-affinity work groups
+            from the work-stealing scheduler, sharing only the disk
+            tier).  ``None`` defers to the ``REPRO_SWEEP_EXECUTION``
+            environment variable, falling back to ``"thread"``.
+        cost_priors: optional path to a ``BENCH_*.json`` record (written
+            by ``benchmarks/bench_runtime_sweep.py --json``) whose
+            measured per-cell seconds seed the work-stealing scheduler's
+            longest-processing-time-first dispatch order.  ``None``
+            defers to ``$REPRO_SWEEP_COST_PRIORS``, falling back to the
+            built-in property priors.  Priors only reorder dispatch —
+            results are bit-identical for any priors.
         exact: numerics mode.  ``True`` (default) keeps every embedding
             bit-identical to single-sequence encoding (same-length
             batching only).  ``False`` opts into the padded backend:
@@ -128,6 +138,7 @@ class RuntimeConfig:
     cache_max_age: Optional[float] = None
     max_workers: Optional[int] = None
     execution: Optional[str] = None
+    cost_priors: Optional[str] = None
     exact: bool = True
     backend: Optional[str] = None
     padding_tier: int = DEFAULT_TIER_WIDTH
@@ -152,6 +163,11 @@ class RuntimeConfig:
             raise ValueError(
                 f"execution must be 'thread' or 'process', got {self.execution!r}"
             )
+        if self.cost_priors is not None and not isinstance(self.cost_priors, str):
+            # Existence/shape are checked when the scheduler loads the
+            # record, not here: a sweep may legitimately be configured
+            # before its bench artifact lands on disk.
+            raise ValueError("cost_priors must be a path string or None")
         if self.padding_tier < 1:
             raise ValueError("padding_tier must be positive")
         if self.transport is not None and not isinstance(self.transport, TransportConfig):

@@ -1,10 +1,18 @@
-"""Process-sharded sweep engine.
+"""Static process-sharded sweep engine (the work-stealing oracle).
 
 Thread-pool sweeps only scale the numpy-bound half of the characterization
 matrix: serializers, aggregates, and planner bookkeeping hold the GIL, so
 Python-heavy cells serialize onto one core.  :class:`ProcessShardedSweep`
 partitions the runnable (model, property) cells into per-process shards
 and runs each shard in a **spawned** worker process.
+
+``execution="process"`` sweeps now run on the work-stealing scheduler
+(:mod:`repro.runtime.scheduler`), which replaces these fixed shards with
+dynamically pulled corpus-affinity groups.  This engine is deliberately
+**retained as an executable oracle**: its one-shot ``pool.map`` over
+static shards is the simplest possible process execution, so equivalence
+tests (and ``benchmarks/bench_runtime_sweep.py``'s static-vs-stealing
+section) diff the scheduler against it for every worker count.
 
 Isolation contract:
 
@@ -52,7 +60,13 @@ _DEFAULT_PROCESS_CAP = 4
 
 @dataclasses.dataclass
 class ShardOutcome:
-    """What the parent gets back from the engine (pre-ordering)."""
+    """What the parent gets back from a process engine (pre-ordering).
+
+    ``scheduler`` carries the work-stealing engine's per-worker
+    busy/idle/steal telemetry
+    (:class:`~repro.runtime.scheduler.SchedulerTelemetry`); the static
+    engine leaves it ``None``.
+    """
 
     cells: List["SweepCell"]
     workers: int
@@ -60,6 +74,7 @@ class ShardOutcome:
     pipeline: Optional[PipelineStats] = None
     padding: Optional[PaddingStats] = None
     transport: Optional[TransportStats] = None
+    scheduler: Optional["SchedulerTelemetry"] = None  # noqa: F821
 
 
 def partition_shards(

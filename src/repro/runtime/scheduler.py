@@ -1,0 +1,892 @@
+"""Work-stealing sweep scheduler.
+
+The static process engine (:mod:`repro.runtime.process_sweep`) cuts the
+cache-aware cell order into contiguous shards and hands each worker one
+fixed shard up front.  That bounds every sweep by its unluckiest shard:
+a ``heterogeneous_context`` cell costs ~3x a shuffle cell, and a fleet
+:class:`~repro.models.backends.remote.RemoteBackend` adds per-replica
+latency variance on top.  This module replaces the one-shot
+``pool.map`` with a dynamic scheduler:
+
+- **Corpus-affinity work groups** — consecutive cells of the cache-aware
+  order (:func:`repro.runtime.sweep.order_cells`) sharing a (model,
+  corpus) pair form one :class:`WorkGroup`.  Groups, not cells, are the
+  unit of dispatch and of stealing, so a stolen unit still lands with
+  its warm-memory-tier locality intact.
+- **LPT dispatch from cost priors** — a :class:`CostModel` (built-in
+  property priors, or telemetry-measured per-cell phase seconds reloaded
+  from a ``BENCH_*.json`` record) orders groups
+  longest-processing-time-first, the classic makespan heuristic.
+- **Persistent pulling workers** — spawned once, workers pull groups
+  from the parent dispatcher until the queue drains, so a worker that
+  lands short groups simply pulls more instead of idling behind a fixed
+  shard.
+- **Straggler re-dispatch** — when the queue is empty, an idle worker
+  duplicates the oldest in-flight group; the first completed result
+  wins and the loser is discarded.  Safe because every cell is a pure
+  function of ``(seed, model, property, sizes)``: duplicates are
+  bit-identical, so which copy wins is unobservable.
+- **Crash salvage** — a dead worker loses only its in-flight group,
+  which is re-queued on the survivors under a bounded retry budget;
+  completed groups are never discarded.  A group that keeps killing
+  workers is reported as poisoned, naming its cells.
+
+Determinism contract: the scheduler changes *wall-clock*, never
+*numbers*.  Results are bit-identical to ``execution="thread"`` and to
+the retained static-shard engine for any worker count and any
+steal/crash interleaving — ``tests/test_runtime_scheduler.py`` locks
+this in against both oracles.
+
+The dispatch loop (:class:`GroupScheduler`) is transport-agnostic: it
+drives anything satisfying the small worker-handle protocol (``send`` /
+``is_alive`` / ``join`` / ``terminate`` plus a fan-in result channel
+with ``get(timeout)``).  Production workers are spawned processes
+(:class:`WorkStealingSweep`) reporting over per-worker pipes — never a
+shared queue, whose feeder-thread write lock a hard-dying worker can
+leak, wedging every survivor (see :class:`_FanInResults`).  The
+Hypothesis suite drives the same loop with in-process fake workers to
+explore steal/crash interleavings cheaply.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import multiprocessing
+import multiprocessing.connection
+import os
+import queue as queue_module
+import time
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ObservatoryError
+from repro.models.backends.padded import PaddingStats
+from repro.models.backends.remote import TransportStats
+from repro.runtime.cache import CacheStats
+from repro.runtime.pipeline import PipelineStats
+from repro.runtime.process_sweep import _DEFAULT_PROCESS_CAP, ShardOutcome
+from repro.runtime.sweep import PROPERTY_CORPUS
+
+# Telemetry-prior source for LPT ordering: path to a BENCH_*.json record
+# written by benchmarks/bench_runtime_sweep.py --json (its cell_records
+# carry measured per-cell seconds).  RuntimeConfig.cost_priors beats it.
+COST_PRIORS_ENV = "REPRO_SWEEP_COST_PRIORS"
+
+# Fault-injection hooks for the crash/straggler regression tests.  Read
+# once per spawned worker; unset (the default) they are inert.
+#   REPRO_SCHEDULER_TEST_CRASH="worker:<id>"        -> worker <id> dies
+#       (os._exit) at the start of its first group.
+#   REPRO_SCHEDULER_TEST_CRASH="cell:<model>/<prop>" -> any worker dies
+#       when it reaches that cell (the poisoned-cell scenario).
+#   REPRO_SCHEDULER_TEST_STALL="<id>:<seconds>"     -> worker <id>
+#       sleeps before its first group (the straggler scenario).
+CRASH_ENV = "REPRO_SCHEDULER_TEST_CRASH"
+STALL_ENV = "REPRO_SCHEDULER_TEST_STALL"
+
+# Relative cell costs when no telemetry record is available, normalized
+# to a P1/P2 shuffle cell.  heterogeneous_context is the known ~3x hot
+# class (paper Table 5 workload: per-cell context variants over sotab);
+# perturbation runs the widest variant fan-out of the wikitables group.
+DEFAULT_PROPERTY_COST = {
+    "heterogeneous_context": 3.0,
+    "perturbation_robustness": 1.6,
+    "functional_dependencies": 1.3,
+    "join_relationship": 1.2,
+    "sample_fidelity": 1.1,
+    "row_order_insignificance": 1.0,
+    "column_order_insignificance": 1.0,
+    "entity_stability": 1.0,
+}
+_FALLBACK_CELL_COST = 1.0
+
+
+# ----------------------------------------------------------------------
+# Work groups
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkGroup:
+    """One steal-unit: consecutive cells sharing a (model, corpus) pair."""
+
+    group_id: int
+    model_name: str
+    corpus: str
+    cells: Tuple[Tuple[str, str], ...]
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+
+def build_groups(cells: Sequence[Tuple[str, str]]) -> List[WorkGroup]:
+    """Cut the cache-aware cell order into corpus-affinity work groups.
+
+    Consecutive cells with the same model *and* the same dataset corpus
+    (:data:`~repro.runtime.sweep.PROPERTY_CORPUS`) join one group, so
+    stealing a group moves the whole warm-locality run, never splits it.
+    Concatenating the groups in ``group_id`` order reproduces the input
+    order exactly — that is what keeps merged results deterministic.
+    """
+    groups: List[WorkGroup] = []
+    current: List[Tuple[str, str]] = []
+    current_key: Optional[Tuple[str, str]] = None
+    for model_name, property_name in cells:
+        key = (model_name, PROPERTY_CORPUS.get(property_name, property_name))
+        if key != current_key and current:
+            groups.append(
+                WorkGroup(len(groups), current_key[0], current_key[1], tuple(current))
+            )
+            current = []
+        current_key = key
+        current.append((model_name, property_name))
+    if current:
+        groups.append(
+            WorkGroup(len(groups), current_key[0], current_key[1], tuple(current))
+        )
+    return groups
+
+
+# ----------------------------------------------------------------------
+# Cost model (LPT dispatch order)
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class CostModel:
+    """Per-cell cost priors feeding longest-processing-time-first dispatch.
+
+    Estimates resolve most-specific-first: an exact ``(model, property)``
+    prior (telemetry-measured seconds), then the property's mean over
+    models, then the static :data:`DEFAULT_PROPERTY_COST` relative
+    weight.  Units don't matter — only the induced order does.
+    """
+
+    cell_priors: Dict[Tuple[str, str], float] = dataclasses.field(default_factory=dict)
+    property_priors: Dict[str, float] = dataclasses.field(default_factory=dict)
+    source: str = "default"
+
+    def estimate_cell(self, model_name: str, property_name: str) -> float:
+        exact = self.cell_priors.get((model_name, property_name))
+        if exact is not None:
+            return exact
+        by_property = self.property_priors.get(property_name)
+        if by_property is not None:
+            return by_property
+        return DEFAULT_PROPERTY_COST.get(property_name, _FALLBACK_CELL_COST)
+
+    def estimate_group(self, group: WorkGroup) -> float:
+        return sum(self.estimate_cell(m, p) for m, p in group.cells)
+
+    @classmethod
+    def default(cls) -> "CostModel":
+        return cls(source="default")
+
+    @classmethod
+    def from_records(
+        cls, records: Sequence[Dict[str, object]], *, source: str = "records"
+    ) -> "CostModel":
+        """Priors from per-cell observability records (model/property/seconds)."""
+        cell_priors: Dict[Tuple[str, str], float] = {}
+        sums: Dict[str, List[float]] = {}
+        for record in records:
+            model = record.get("model")
+            prop = record.get("property")
+            seconds = record.get("seconds")
+            if not model or not prop or not isinstance(seconds, (int, float)):
+                continue
+            cell_priors[(str(model), str(prop))] = float(seconds)
+            sums.setdefault(str(prop), []).append(float(seconds))
+        property_priors = {p: sum(v) / len(v) for p, v in sums.items()}
+        return cls(cell_priors, property_priors, source=source)
+
+    @classmethod
+    def from_bench_json(cls, path: str) -> "CostModel":
+        """Reload priors a benchmark run persisted (``--json BENCH_*.json``).
+
+        Accepts the thread-mode record (top-level ``cell_records``) and
+        the process/scheduler record (``scheduler.cell_records``).
+        """
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError) as error:
+            raise ObservatoryError(
+                f"cannot load sweep cost priors from {path!r}: {error}"
+            ) from None
+        records = payload.get("cell_records")
+        if records is None:
+            records = (payload.get("scheduler") or {}).get("cell_records")
+        if not isinstance(records, list) or not records:
+            raise ObservatoryError(
+                f"no cell_records in cost-prior file {path!r}; expected a "
+                "BENCH_*.json written by benchmarks/bench_runtime_sweep.py --json"
+            )
+        return cls.from_records(records, source=path)
+
+
+def load_cost_model(path: Optional[str] = None) -> CostModel:
+    """Resolve the dispatch cost model: explicit path > env > defaults."""
+    path = path or os.environ.get(COST_PRIORS_ENV) or None
+    if path:
+        return CostModel.from_bench_json(path)
+    return CostModel.default()
+
+
+def lpt_order(groups: Sequence[WorkGroup], cost_model: CostModel) -> List[WorkGroup]:
+    """Longest-processing-time-first dispatch order (stable on ties)."""
+    return sorted(groups, key=lambda g: (-cost_model.estimate_group(g), g.group_id))
+
+
+# ----------------------------------------------------------------------
+# Telemetry
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class WorkerTelemetry:
+    """Busy/idle/steal accounting for one scheduler worker."""
+
+    worker_id: int
+    groups: int = 0
+    cells: int = 0
+    busy_seconds: float = 0.0
+    idle_seconds: float = 0.0
+    steals: int = 0  # duplicated (stolen) groups this worker ran
+    crashed: bool = False
+
+    @property
+    def busy_fraction(self) -> float:
+        total = self.busy_seconds + self.idle_seconds
+        return self.busy_seconds / total if total > 0 else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "worker_id": self.worker_id,
+            "groups": self.groups,
+            "cells": self.cells,
+            "busy_seconds": self.busy_seconds,
+            "idle_seconds": self.idle_seconds,
+            "busy_fraction": self.busy_fraction,
+            "steals": self.steals,
+            "crashed": self.crashed,
+        }
+
+
+@dataclasses.dataclass
+class SchedulerTelemetry:
+    """What the dispatch loop observed: per-worker counters + event log."""
+
+    groups: int = 0
+    workers: List[WorkerTelemetry] = dataclasses.field(default_factory=list)
+    redispatches: int = 0  # straggler duplicates issued
+    duplicates_discarded: int = 0  # losing duplicate results dropped
+    crashes: int = 0  # workers that died
+    salvaged_groups: int = 0  # crashed in-flight groups re-queued
+    dispatch_log: List[Dict[str, object]] = dataclasses.field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "groups": self.groups,
+            "workers": [w.to_dict() for w in self.workers],
+            "redispatches": self.redispatches,
+            "duplicates_discarded": self.duplicates_discarded,
+            "crashes": self.crashes,
+            "salvaged_groups": self.salvaged_groups,
+            "dispatch_log": list(self.dispatch_log),
+        }
+
+
+@dataclasses.dataclass
+class SchedulerRun:
+    """Outcome of one :meth:`GroupScheduler.run`.
+
+    ``payloads`` maps ``group_id`` to the *winning* worker payload (first
+    completion under duplication); ``snapshots`` keeps each worker's
+    latest cumulative payload so stats merging survives a worker that was
+    terminated mid-duplicate.
+    """
+
+    payloads: Dict[int, object]
+    snapshots: Dict[int, object]
+    telemetry: SchedulerTelemetry
+
+
+# ----------------------------------------------------------------------
+# Dispatch loop
+# ----------------------------------------------------------------------
+
+
+class GroupScheduler:
+    """Transport-agnostic work-stealing dispatch loop.
+
+    Drives worker *handles* — anything with ``worker_id``, ``send(msg)``,
+    ``is_alive()``, ``join(timeout)``, and ``terminate()`` — plus one
+    fan-in result channel (``get(timeout)`` -> message, raising
+    :class:`queue.Empty` on timeout).  The wire protocol:
+
+    - worker -> parent: ``("ready", worker_id)`` once its state is built;
+      ``("done", worker_id, group_id, busy_seconds, payload)`` per group.
+    - parent -> worker: ``("run", group_id, cells, duplicate)`` and
+      ``("stop",)``.
+
+    A worker that stops being alive without having been sent ``stop`` is
+    a crash: its in-flight group re-queues (bounded by ``max_retries``
+    extra attempts) unless another worker is already running a duplicate
+    of it.  Workers with nothing to pull stay parked (not stopped) until
+    every group completes, so a late crash still finds survivors.
+    """
+
+    def __init__(
+        self,
+        groups: Sequence[WorkGroup],
+        *,
+        max_retries: int = 2,
+        max_duplicates: int = 1,
+        poll_interval: float = 0.05,
+        join_timeout: float = 1.0,
+        steal_min_age: float = 0.5,
+        steal_age_factor: float = 1.5,
+    ):
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if max_duplicates < 0:
+            raise ValueError("max_duplicates must be >= 0")
+        self.groups = list(groups)
+        self.max_retries = max_retries
+        self.max_duplicates = max_duplicates
+        self.poll_interval = poll_interval
+        self.join_timeout = join_timeout
+        # A group only counts as a straggler — and becomes stealable —
+        # once it has been in flight longer than both the absolute floor
+        # and ``steal_age_factor`` x the mean completed-group duration.
+        # Duplicating healthy tail groups the instant the queue drains
+        # would burn a core racing a worker that is about to finish.
+        self.steal_min_age = steal_min_age
+        self.steal_age_factor = steal_age_factor
+
+    def run(self, handles: Sequence[object], results) -> SchedulerRun:
+        if not self.groups:
+            return SchedulerRun({}, {}, SchedulerTelemetry())
+        if not handles:
+            raise ObservatoryError("scheduler needs at least one worker")
+        telemetry = SchedulerTelemetry(groups=len(self.groups))
+        worker_stats = {h.worker_id: WorkerTelemetry(h.worker_id) for h in handles}
+        telemetry.workers = [worker_stats[h.worker_id] for h in handles]
+
+        pending = deque(self.groups)
+        live = {h.worker_id: h for h in handles}
+        idle: set = set()  # ready workers with nothing to pull right now
+        ready_at: Dict[int, float] = {}
+        finished_at: Dict[int, float] = {}
+        # worker_id -> (group, dispatched_at, duplicate, log_entry)
+        in_flight: Dict[int, Tuple[WorkGroup, float, bool, Dict[str, object]]] = {}
+        payloads: Dict[int, object] = {}
+        snapshots: Dict[int, object] = {}
+        attempts = {g.group_id: 0 for g in self.groups}  # crash retries used
+        outstanding_dups = {g.group_id: 0 for g in self.groups}
+        completed_seconds: List[float] = []  # feeds the straggler threshold
+
+        def runners_of(group_id: int) -> List[int]:
+            return [
+                wid for wid, (g, _, _, _) in in_flight.items() if g.group_id == group_id
+            ]
+
+        def dispatch(worker_id: int) -> None:
+            """Hand ``worker_id`` its next group, stealing if the queue is dry."""
+            duplicate = False
+            if pending:
+                group = pending.popleft()
+            else:
+                group = self._steal_victim(
+                    in_flight, payloads, outstanding_dups, worker_id, completed_seconds
+                )
+                if group is None:
+                    idle.add(worker_id)
+                    return
+                duplicate = True
+                outstanding_dups[group.group_id] += 1
+                telemetry.redispatches += 1
+                worker_stats[worker_id].steals += 1
+            entry = {
+                "group": group.group_id,
+                "worker": worker_id,
+                "model": group.model_name,
+                "corpus": group.corpus,
+                "cells": len(group.cells),
+                "duplicate": duplicate,
+                "outcome": "in_flight",
+                "seconds": None,
+            }
+            telemetry.dispatch_log.append(entry)
+            in_flight[worker_id] = (group, time.perf_counter(), duplicate, entry)
+            live[worker_id].send(("run", group.group_id, group.cells, duplicate))
+
+        def wake_idle() -> None:
+            while pending and idle:
+                worker_id = idle.pop()
+                dispatch(worker_id)
+
+        def retry_idle() -> None:
+            """Parked workers re-poll each tick: a salvaged group may be
+            pending, or an in-flight group may have aged into a straggler."""
+            for worker_id in list(idle):
+                idle.discard(worker_id)
+                dispatch(worker_id)  # re-parks itself if still nothing
+
+        def reap_crashes() -> None:
+            for worker_id, handle in list(live.items()):
+                if handle.is_alive():
+                    continue
+                del live[worker_id]
+                idle.discard(worker_id)
+                finished_at[worker_id] = time.perf_counter()
+                worker_stats[worker_id].crashed = True
+                telemetry.crashes += 1
+                entry = in_flight.pop(worker_id, None)
+                if entry is not None:
+                    group, _, duplicate, log_entry = entry
+                    log_entry["outcome"] = "crashed"
+                    if duplicate:
+                        outstanding_dups[group.group_id] -= 1
+                    if group.group_id not in payloads and not runners_of(group.group_id):
+                        attempts[group.group_id] += 1
+                        if attempts[group.group_id] > self.max_retries:
+                            self._shutdown(live, in_flight, telemetry)
+                            raise ObservatoryError(
+                                f"sweep group {group.group_id} poisoned: crashed "
+                                f"{attempts[group.group_id]} worker(s) (retry "
+                                f"budget {self.max_retries}); cells "
+                                + ", ".join(f"{m}/{p}" for m, p in group.cells)
+                            )
+                        telemetry.salvaged_groups += 1
+                        # Front of the queue: a salvaged group is already
+                        # late, so it outranks everything still pending.
+                        pending.appendleft(group)
+                if not live and len(payloads) < len(self.groups):
+                    missing = [
+                        g for g in self.groups if g.group_id not in payloads
+                    ]
+                    raise ObservatoryError(
+                        "every sweep worker died; "
+                        f"{len(payloads)}/{len(self.groups)} groups were "
+                        "salvaged before the last crash; unfinished cells: "
+                        + ", ".join(
+                            f"{m}/{p}" for g in missing for m, p in g.cells
+                        )
+                    )
+                wake_idle()
+
+        try:
+            while len(payloads) < len(self.groups):
+                try:
+                    message = results.get(timeout=self.poll_interval)
+                except queue_module.Empty:
+                    reap_crashes()
+                    retry_idle()
+                    continue
+                kind = message[0]
+                worker_id = message[1]
+                if worker_id not in live:
+                    # Late message from a worker already reaped/terminated.
+                    continue
+                if kind == "ready":
+                    ready_at[worker_id] = time.perf_counter()
+                    dispatch(worker_id)
+                elif kind == "done":
+                    _, worker_id, group_id, busy_seconds, payload = message
+                    entry = in_flight.pop(worker_id, None)
+                    stats = worker_stats[worker_id]
+                    stats.groups += 1
+                    stats.busy_seconds += busy_seconds
+                    snapshots[worker_id] = payload
+                    if entry is not None:
+                        group, dispatched_at, duplicate, log_entry = entry
+                        stats.cells += len(group.cells)
+                        log_entry["seconds"] = time.perf_counter() - dispatched_at
+                        completed_seconds.append(log_entry["seconds"])
+                        if duplicate:
+                            outstanding_dups[group_id] -= 1
+                        if group_id in payloads:
+                            telemetry.duplicates_discarded += 1
+                            log_entry["outcome"] = "discarded"
+                        else:
+                            payloads[group_id] = payload
+                            log_entry["outcome"] = "won"
+                    elif group_id not in payloads:
+                        # Defensive: a result without a tracked assignment
+                        # still wins if the group is open (first-wins rule).
+                        payloads[group_id] = payload
+                    dispatch(worker_id)
+        finally:
+            self._shutdown(live, in_flight, telemetry)
+        end = time.perf_counter()
+        for worker_id, stats in worker_stats.items():
+            started = ready_at.get(worker_id)
+            if started is not None:
+                wall = finished_at.get(worker_id, end) - started
+                stats.idle_seconds = max(0.0, wall - stats.busy_seconds)
+        return SchedulerRun(payloads, snapshots, telemetry)
+
+    def _steal_victim(
+        self,
+        in_flight: Dict[int, Tuple[WorkGroup, float, bool, Dict[str, object]]],
+        payloads: Dict[int, object],
+        outstanding_dups: Dict[int, int],
+        thief_id: int,
+        completed_seconds: Sequence[float],
+    ) -> Optional[WorkGroup]:
+        """Oldest in-flight group that has aged into a straggler.
+
+        Eligibility requires the group to have been in flight longer
+        than ``max(steal_min_age, steal_age_factor * mean completed
+        duration)`` — an idle worker waits for evidence of straggling
+        rather than instantly racing a healthy tail group.
+        """
+        threshold = self.steal_min_age
+        if completed_seconds:
+            mean = sum(completed_seconds) / len(completed_seconds)
+            threshold = max(threshold, self.steal_age_factor * mean)
+        now = time.perf_counter()
+        candidates = [
+            (dispatched_at, group)
+            for wid, (group, dispatched_at, _, _) in in_flight.items()
+            if wid != thief_id
+            and group.group_id not in payloads
+            and outstanding_dups[group.group_id] < self.max_duplicates
+            and now - dispatched_at >= threshold
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda pair: pair[0])[1]
+
+    def _shutdown(self, live, in_flight, telemetry) -> None:
+        """Stop every live worker; terminate any that outlives the join.
+
+        A worker still grinding a duplicated group whose result already
+        arrived from elsewhere is abandoned (terminated if it outlives
+        the join): its output can only be a bit-identical copy nobody is
+        waiting for.
+        """
+        for entry in in_flight.values():
+            if entry[3]["outcome"] == "in_flight":
+                entry[3]["outcome"] = "abandoned"
+        for handle in live.values():
+            try:
+                handle.send(("stop",))
+            except (OSError, ValueError):
+                pass  # its queue died with it
+        for handle in live.values():
+            handle.join(self.join_timeout)
+            if handle.is_alive():
+                handle.terminate()
+                handle.join(self.join_timeout)
+
+
+# ----------------------------------------------------------------------
+# Process transport
+# ----------------------------------------------------------------------
+
+
+def _parse_crash_spec(spec: str) -> Tuple[Optional[int], Optional[Tuple[str, str]]]:
+    """``worker:<id>`` / ``cell:<model>/<prop>`` -> (worker_id, cell)."""
+    if spec.startswith("worker:"):
+        return int(spec.split(":", 1)[1]), None
+    if spec.startswith("cell:"):
+        model, prop = spec.split(":", 1)[1].split("/", 1)
+        return None, (model, prop)
+    return None, None
+
+
+def _worker_main(worker_id: int, payload: Dict[str, object], inbox, results) -> None:
+    """Spawn-safe persistent worker: rebuild state once, pull groups forever.
+
+    Same isolation contract as the static engine's ``_run_shard``: the
+    payload is plain configuration (seed, sizes, runtime), the worker
+    rebuilds its own Observatory/models/corpora, and only configuration
+    crosses in / results cross out.  ``results`` is this worker's own
+    pipe connection, written from the main thread — a crash here can
+    tear this channel but can never block a sibling's (see
+    :class:`_FanInResults`).  Imports live inside the function so the
+    spawned interpreter resolves them by qualified name without
+    dragging parent-module cycles along.
+    """
+    import repro.telemetry as telemetry
+    from repro.core.framework import Observatory
+    from repro.runtime.sweep import SweepCell
+
+    crash_worker, crash_cell = _parse_crash_spec(os.environ.get(CRASH_ENV, ""))
+    stall_spec = os.environ.get(STALL_ENV, "")
+    stall_seconds = 0.0
+    if stall_spec:
+        stall_id, seconds = stall_spec.split(":", 1)
+        if int(stall_id) == worker_id:
+            stall_seconds = float(seconds)
+
+    observatory = Observatory(
+        seed=payload["seed"],
+        sizes=payload["sizes"],
+        runtime=payload["runtime"],
+    )
+    results.send(("ready", worker_id))
+    first_group = True
+    while True:
+        message = inbox.get()
+        if message[0] == "stop":
+            break
+        _, group_id, cells, _duplicate = message
+        if first_group:
+            if crash_worker == worker_id:
+                os._exit(3)  # hard death: no cleanup, no result
+            if stall_seconds:
+                time.sleep(stall_seconds)  # injected straggler
+        started = time.perf_counter()
+        out_cells = []
+        for model_name, property_name in cells:
+            if crash_cell == (model_name, property_name):
+                os._exit(3)  # poisoned cell: kills whoever runs it
+            timings = telemetry.start_cell()
+            t0 = time.perf_counter()
+            try:
+                result = observatory.characterize(model_name, property_name)
+            finally:
+                telemetry.stop_cell()
+            out_cells.append(
+                SweepCell(
+                    model_name,
+                    property_name,
+                    result,
+                    time.perf_counter() - t0,
+                    serialize_seconds=timings.serialize_seconds,
+                    encode_seconds=timings.encode_seconds,
+                    aggregate_seconds=timings.aggregate_seconds,
+                )
+            )
+        busy = time.perf_counter() - started
+        # Stats ride every result as *cumulative* snapshots: the parent
+        # keeps the latest per worker, so a worker later terminated
+        # mid-duplicate forfeits only that duplicate's deltas.
+        results.send(
+            (
+                "done",
+                worker_id,
+                group_id,
+                busy,
+                {
+                    "cells": out_cells,
+                    "stats": (
+                        observatory.cache.stats
+                        if observatory.cache is not None
+                        else None
+                    ),
+                    "pipeline": observatory.pipeline_stats(),
+                    "padding": observatory.padding_stats(),
+                    "transport": observatory.transport_stats(),
+                },
+            )
+        )
+        first_group = False
+
+
+class _FanInResults:
+    """Single-reader fan-in over per-worker result pipes.
+
+    One results queue shared by every worker is the classic hard-crash
+    hazard: ``multiprocessing.Queue`` sends through a feeder thread that
+    takes an interprocess write lock, and a worker dying abruptly
+    (``os._exit``, segfault, OOM kill) between acquiring and releasing
+    it leaves the semaphore held forever — every *other* worker's sends
+    then wedge silently and the sweep hangs.  Per-worker pipes have
+    exactly one writer each, written from the worker's main thread, so
+    a crash can tear at most the crasher's own channel; the parent sees
+    EOF there and the scheduler's is_alive polling salvages as usual.
+
+    Presents the one-method channel contract :class:`GroupScheduler`
+    consumes: ``get(timeout)`` returning the next message or raising
+    :class:`queue.Empty`.
+    """
+
+    def __init__(self):
+        self._connections: List[object] = []
+        self._buffer: deque = deque()
+
+    def register(self, connection) -> None:
+        self._connections.append(connection)
+
+    def get(self, timeout: float):
+        if self._buffer:
+            return self._buffer.popleft()
+        if not self._connections:
+            time.sleep(timeout)
+            raise queue_module.Empty
+        ready = multiprocessing.connection.wait(self._connections, timeout)
+        for connection in ready:
+            try:
+                self._buffer.append(connection.recv())
+            except (EOFError, OSError):
+                # Writer died (possibly mid-frame): drop the torn
+                # channel; reap_crashes handles the worker itself.
+                self._connections.remove(connection)
+        if not self._buffer:
+            raise queue_module.Empty
+        return self._buffer.popleft()
+
+
+class _ProcessWorkerHandle:
+    """Worker-handle protocol over one spawned process + its inbox queue."""
+
+    def __init__(self, worker_id: int, process, inbox):
+        self.worker_id = worker_id
+        self.process = process
+        self.inbox = inbox
+
+    def send(self, message) -> None:
+        self.inbox.put(message)
+
+    def is_alive(self) -> bool:
+        return self.process.is_alive()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        self.process.join(timeout)
+
+    def terminate(self) -> None:
+        self.process.terminate()
+
+
+class WorkStealingSweep:
+    """Run sweep cells through the work-stealing scheduler on spawned workers.
+
+    The drop-in successor to
+    :class:`~repro.runtime.process_sweep.ProcessShardedSweep` (which is
+    retained as the static-shard oracle): same isolation contract, same
+    bit-identical results, but dispatch is dynamic — LPT-ordered
+    corpus-affinity groups pulled by persistent workers, with straggler
+    re-dispatch and crash salvage.
+
+    Args:
+        observatory: the parent Observatory; only ``seed``/``sizes``/
+            ``runtime`` travel to workers.
+        max_workers: worker-process count; defaults to
+            ``min(4, cpu_count, n_groups)`` and is always capped at the
+            group count (an extra worker could never receive work).
+        cost_model: LPT dispatch priors; defaults to
+            :func:`load_cost_model` (``RuntimeConfig.cost_priors``, then
+            ``$REPRO_SWEEP_COST_PRIORS``, then built-in property priors).
+        max_retries: extra attempts a crashed group gets before the sweep
+            fails naming its cells.
+        max_duplicates: straggler copies allowed in flight per group.
+        steal_min_age / steal_age_factor: straggler threshold — see
+            :class:`GroupScheduler`.
+    """
+
+    def __init__(
+        self,
+        observatory,
+        *,
+        max_workers: Optional[int] = None,
+        cost_model: Optional[CostModel] = None,
+        max_retries: int = 2,
+        max_duplicates: int = 1,
+        steal_min_age: float = 0.5,
+        steal_age_factor: float = 1.5,
+    ):
+        self.observatory = observatory
+        self.max_workers = max_workers
+        self.cost_model = cost_model
+        self.max_retries = max_retries
+        self.max_duplicates = max_duplicates
+        self.steal_min_age = steal_min_age
+        self.steal_age_factor = steal_age_factor
+
+    def _worker_runtime(self):
+        """Workers run their groups serially; never recurse the engine."""
+        return dataclasses.replace(
+            self.observatory.runtime, execution="thread", max_workers=1
+        )
+
+    def run(self, cells: Sequence[Tuple[str, str]]) -> ShardOutcome:
+        """Execute ``cells`` (already cache-aware-ordered); see class doc."""
+        groups = build_groups(cells)
+        cost_model = self.cost_model or load_cost_model(
+            getattr(self.observatory.runtime, "cost_priors", None)
+        )
+        ordered = lpt_order(groups, cost_model)
+        workers = self.max_workers or min(
+            _DEFAULT_PROCESS_CAP, os.cpu_count() or 1, max(1, len(groups))
+        )
+        workers = max(1, min(workers, len(groups)))
+        payload = {
+            "seed": self.observatory.seed,
+            "sizes": self.observatory.sizes,
+            "runtime": self._worker_runtime(),
+        }
+        # spawn, not fork — same reasoning as the static engine: workers
+        # must rebuild from configuration, so pickling bugs surface and
+        # non-POSIX hosts behave identically.
+        context = multiprocessing.get_context("spawn")
+        # One result pipe per worker (not a shared Queue): a hard-dying
+        # worker must not be able to wedge the survivors' result sends —
+        # see _FanInResults.
+        results = _FanInResults()
+        handles: List[_ProcessWorkerHandle] = []
+        try:
+            for worker_id in range(workers):
+                inbox = context.Queue()
+                reader, writer = context.Pipe(duplex=False)
+                process = context.Process(
+                    target=_worker_main,
+                    args=(worker_id, payload, inbox, writer),
+                    daemon=True,
+                )
+                process.start()
+                # Drop the parent's copy of the write end so a dead
+                # worker's channel reads as EOF instead of blocking.
+                writer.close()
+                results.register(reader)
+                handles.append(_ProcessWorkerHandle(worker_id, process, inbox))
+            scheduler = GroupScheduler(
+                ordered,
+                max_retries=self.max_retries,
+                max_duplicates=self.max_duplicates,
+                steal_min_age=self.steal_min_age,
+                steal_age_factor=self.steal_age_factor,
+            )
+            run = scheduler.run(handles, results)
+        finally:
+            for handle in handles:
+                if handle.is_alive():
+                    handle.terminate()
+                handle.join(1.0)
+        return self._merge(groups, run, len(handles))
+
+    def _merge(
+        self, groups: List[WorkGroup], run: SchedulerRun, workers: int
+    ) -> ShardOutcome:
+        """Winner payloads -> ShardOutcome, in original (cache-aware) order."""
+        merged_cells = [
+            cell for group in groups for cell in run.payloads[group.group_id]["cells"]
+        ]
+        snapshots = list(run.snapshots.values())
+        shard_stats = [s["stats"] for s in snapshots if s["stats"] is not None]
+        stats = CacheStats.merged(shard_stats) if shard_stats else None
+        pipelines = [s["pipeline"] for s in snapshots if s["pipeline"] is not None]
+        pipeline = PipelineStats.merged(pipelines) if pipelines else None
+        if pipeline is not None and not pipeline.batches:
+            pipeline = None
+        paddings = [s["padding"] for s in snapshots if s["padding"] is not None]
+        padding = PaddingStats.merged(paddings) if paddings else None
+        if padding is not None and not padding.padded_batches:
+            padding = None
+        transports = [s["transport"] for s in snapshots if s["transport"] is not None]
+        transport = TransportStats.merged(transports) if transports else None
+        if transport is not None and not transport.chunks:
+            transport = None
+        return ShardOutcome(
+            cells=merged_cells,
+            workers=workers,
+            cache_stats=stats,
+            pipeline=pipeline,
+            padding=padding,
+            transport=transport,
+            scheduler=run.telemetry,
+        )

@@ -8,10 +8,15 @@ Two execution engines are available:
   their time in numpy, which releases the GIL, and all executors share one
   embedding cache, so a table embedded for P1 is a cache hit when P2 asks
   for it.
-- ``"process"`` — cells are sharded across spawned worker processes
-  (:mod:`repro.runtime.process_sweep`), which scales the Python-heavy half
-  of the matrix (serializers, aggregates, planners) past the GIL.  Workers
-  rebuild models from the registry and share only the on-disk cache tier.
+- ``"process"`` — cells run on the work-stealing scheduler
+  (:mod:`repro.runtime.scheduler`): persistent spawned workers pull
+  corpus-affinity work groups from a dynamic LPT-ordered queue, with
+  straggler re-dispatch and crash salvage.  This scales the Python-heavy
+  half of the matrix (serializers, aggregates, planners) past the GIL.
+  Workers rebuild models from the registry and share only the on-disk
+  cache tier.  The legacy static-shard engine
+  (:mod:`repro.runtime.process_sweep`) is retained as the scheduler's
+  equivalence oracle.
 
 Determinism: a cell's result is a pure function of (seed, model, property,
 dataset sizes).  The cache only short-circuits recomputation of values
@@ -56,6 +61,11 @@ _DEFAULT_WORKER_CAP = min(4, os.cpu_count() or 1)
 EXECUTION_ENV = "REPRO_SWEEP_EXECUTION"
 EXECUTION_MODES = ("thread", "process")
 
+# Environment override for the default worker count, mirroring
+# REPRO_SWEEP_EXECUTION: an explicit max_workers argument or
+# RuntimeConfig.max_workers still wins.
+WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+
 # Which default dataset corpus each property characterizes over.  Cells
 # sharing a corpus are scheduled back-to-back (per model) so embeddings
 # computed for one property are still memory-tier-warm for the next —
@@ -87,6 +97,33 @@ def resolve_execution(
             f"unknown execution mode {choice!r}; expected one of {EXECUTION_MODES}"
         )
     return choice
+
+
+def resolve_workers(explicit: Optional[int] = None) -> Optional[int]:
+    """Worker count: explicit argument > $REPRO_SWEEP_WORKERS > None (auto).
+
+    The caller passes whatever the API/RuntimeConfig resolved; only when
+    that is unset does the environment override apply, so a session-wide
+    ``REPRO_SWEEP_WORKERS=8`` never silently beats an explicit argument.
+    The env value must be a positive integer — a typo'd override failing
+    loudly beats a sweep quietly running single-worker.
+    """
+    if explicit is not None:
+        return explicit
+    raw = os.environ.get(WORKERS_ENV)
+    if raw is None or not raw.strip():
+        return None
+    try:
+        workers = int(raw)
+    except ValueError:
+        raise ObservatoryError(
+            f"${WORKERS_ENV} must be a positive integer, got {raw!r}"
+        ) from None
+    if workers < 1:
+        raise ObservatoryError(
+            f"${WORKERS_ENV} must be a positive integer, got {raw!r}"
+        )
+    return workers
 
 
 @dataclasses.dataclass
@@ -143,6 +180,10 @@ class SweepResult:
         transport: remote-transport accounting (round trips, retries,
             bytes), merged across workers; ``None`` unless the remote
             backend carried chunks for this sweep.
+        scheduler: work-stealing dispatch accounting
+            (:class:`~repro.runtime.scheduler.SchedulerTelemetry` —
+            per-worker busy/idle/steal counters, redispatches, crash
+            salvage); ``None`` under the thread engine.
     """
 
     cells: List[SweepCell] = dataclasses.field(default_factory=list)
@@ -155,6 +196,7 @@ class SweepResult:
     pipeline: Optional[PipelineStats] = None
     padding: Optional[PaddingStats] = None
     transport: Optional[TransportStats] = None
+    scheduler: Optional["SchedulerTelemetry"] = None  # noqa: F821
 
     @property
     def records(self) -> List[Dict[str, object]]:
@@ -205,6 +247,7 @@ class SweepResult:
             "pipeline": self.pipeline.to_dict() if self.pipeline else None,
             "padding": dataclasses.asdict(self.padding) if self.padding else None,
             "transport": self.transport.to_dict() if self.transport else None,
+            "scheduler": self.scheduler.to_dict() if self.scheduler else None,
         }
 
     def __repr__(self) -> str:
@@ -294,6 +337,7 @@ def run_sweep(
     if not property_names:
         raise ObservatoryError("sweep needs at least one property")
     engine = resolve_execution(execution, getattr(observatory.runtime, "execution", None))
+    max_workers = resolve_workers(max_workers)
     backend_desc = observatory.backend_description()
     # Executors accumulate pipeline/padding counters for their lifetime;
     # snapshot here so this sweep reports only its own work, not a
@@ -320,9 +364,11 @@ def run_sweep(
                 backend=backend_desc,
                 cache_stats=None,
             )
-        from repro.runtime.process_sweep import ProcessShardedSweep
+        # The work-stealing scheduler is the process engine; the static
+        # ProcessShardedSweep survives as its equivalence oracle.
+        from repro.runtime.scheduler import WorkStealingSweep
 
-        engine_result = ProcessShardedSweep(
+        engine_result = WorkStealingSweep(
             observatory, max_workers=max_workers
         ).run(ordered)
         cells = sorted(
@@ -340,6 +386,7 @@ def run_sweep(
             pipeline=engine_result.pipeline,
             padding=engine_result.padding,
             transport=engine_result.transport,
+            scheduler=engine_result.scheduler,
         )
 
     # Materialize shared resources serially before fanning out: dataset

@@ -1,9 +1,14 @@
-"""Determinism/concurrency tests for the process-sharded sweep engine.
+"""Determinism/concurrency tests for ``execution="process"`` sweeps.
 
 Extends the guarantee ``tests/test_runtime_sweep.py`` locks in for thread
 mode: sweep results are bit-identical across execution modes, worker
-counts, and scheduling — sharding cells across spawned processes changes
-wall-clock, never numbers.
+counts, and scheduling — distributing cells across spawned processes
+changes wall-clock, never numbers.  ``execution="process"`` now runs the
+work-stealing scheduler (:mod:`repro.runtime.scheduler`), so these tests
+exercise it end to end; scheduler-specific behavior (steals, crash
+salvage, cost priors) lives in ``tests/test_runtime_scheduler.py``, and
+the static-shard engine they originally covered survives as the
+equivalence oracle there.
 """
 
 import pytest
@@ -55,13 +60,16 @@ class TestProcessDeterminism:
         assert cell_dicts(process_sweep) == cell_dicts(thread_sweep)
 
     def test_bit_identical_across_worker_counts(self, thread_sweep):
-        # 1 shard (serial child) and 3 shards must both match thread mode.
+        # 1 worker (serial child) and 3 workers must both match thread
+        # mode.  The scheduler caps workers at the number of
+        # corpus-affinity work groups (2 here: both PROPS characterize
+        # wikitables, so each model contributes one group).
         for workers in (1, 3):
             sweep = make_observatory().sweep(
                 MODELS, PROPS, max_workers=workers, execution="process"
             )
             assert cell_dicts(sweep) == cell_dicts(thread_sweep)
-            assert sweep.workers == min(workers, len(sweep.cells))
+            assert sweep.workers == min(workers, 2)
 
     def test_cells_returned_in_request_order(self, thread_sweep, process_sweep):
         order = [(c.model_name, c.property_name) for c in process_sweep.cells]
