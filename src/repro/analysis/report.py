@@ -152,12 +152,26 @@ def render_sweep(sweep: SweepResult) -> str:
             lines.append(
                 f"- {skip.model_name} / {skip.property_name}: {skip.reason}"
             )
+    if sweep.failures:
+        lines.append("")
+        lines.append("Degraded cells (recorded, not re-run — see --resume):")
+        for failure in sweep.failures:
+            lines.append(
+                f"- {failure.model_name} / {failure.property_name}: "
+                f"{failure.error}: {failure.message}"
+            )
     lines.append("")
+    ran = len(sweep.cells) - sweep.replayed
     lines.append(
-        f"Ran {len(sweep.cells)} cells in {sweep.seconds:.2f}s "
+        f"Ran {ran} cells in {sweep.seconds:.2f}s "
         f"on {sweep.workers} {sweep.execution} worker(s); "
         f"encoder backend: {sweep.backend}."
     )
+    if sweep.replayed:
+        lines.append(
+            f"Replayed {sweep.replayed} completed cell(s) from the sweep "
+            f"journal; only the remainder was dispatched."
+        )
     if sweep.cache_stats is not None:
         stats = sweep.cache_stats
         lines.append(

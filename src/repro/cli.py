@@ -28,8 +28,13 @@ encoding fleet (repeat ``--remote-url`` per replica;
 float32`` halves state bytes within tolerance, ``--remote-hedge-after
 0.95`` races stragglers against another replica), ``--no-async`` disables
 the streaming encode pipeline, and ``--no-cache`` falls back to the
-legacy one-call-at-a-time execution for comparison.  Output is plain text
-suited to terminals and CI logs.
+legacy one-call-at-a-time execution for comparison.  ``--journal DIR``
+write-ahead-journals every completed cell so a killed sweep resumes with
+``--resume`` (replaying finished cells, dispatching only the remainder);
+``--on-error degrade`` records failing cells as named failures instead
+of aborting; ``--deadline SECONDS`` bounds the sweep's wall clock.
+SIGINT/SIGTERM seal the journal and exit 130 with a resume hint.  Output
+is plain text suited to terminals and CI logs.
 
 ``index`` manages the persistent columnar joinability-search index
 (:mod:`repro.index`): ``build`` embeds a NextiaJD candidate-column corpus
@@ -43,6 +48,7 @@ from __future__ import annotations
 
 import argparse
 import os
+import signal
 import sys
 from typing import List, Optional
 
@@ -269,6 +275,46 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="expire disk-cache entries older than this (default: never)",
     )
+    sweep.add_argument(
+        "--journal",
+        default=None,
+        metavar="DIR",
+        help=(
+            "write-ahead sweep journal directory: every completed cell is "
+            "durably recorded before the sweep proceeds, so a killed run "
+            "can continue with --resume instead of starting over"
+        ),
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "replay completed cells from the --journal directory and "
+            "dispatch only the remainder (refuses a journal whose plan "
+            "fingerprint does not match this invocation)"
+        ),
+    )
+    sweep.add_argument(
+        "--on-error",
+        choices=["abort", "degrade"],
+        default=None,
+        help=(
+            "cell-failure policy: 'abort' (default) stops the sweep on the "
+            "first failing cell, 'degrade' records it as a named failure "
+            "on the result and keeps going"
+        ),
+    )
+    sweep.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "wall-clock budget of the whole sweep; when it expires, "
+            "remote retries, disk-lock waits, and unfinished cells are "
+            "cut short (combine with --journal to resume the remainder)"
+        ),
+    )
 
     index = commands.add_parser(
         "index", help="persistent columnar joinability-search index"
@@ -458,8 +504,59 @@ def _run_sweep(args: argparse.Namespace) -> int:
         )
     except ValueError as error:
         raise ObservatoryError(str(error)) from None
+    if args.resume and not args.journal:
+        raise ObservatoryError("--resume requires --journal DIR")
+    fault_policy = None
+    if args.deadline is not None:
+        from repro.runtime.faults import FaultPolicy
+
+        fault_policy = FaultPolicy(deadline=args.deadline)
     observatory = _make_observatory(args, runtime=runtime)
-    sweep = observatory.sweep(models, properties)
+
+    # SIGINT/SIGTERM: unwind through run_sweep's ``finally`` so the
+    # write-ahead journal seals its segment (every completed cell was
+    # already fsync'd at record time) and worker pools shut down, then
+    # exit 130 with a resume hint instead of a traceback.
+    caught: dict = {}
+
+    def _interrupt(signum, frame):
+        caught["signum"] = signum
+        raise KeyboardInterrupt
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, _interrupt)
+        except ValueError:  # non-main thread (embedding callers)
+            break
+    try:
+        sweep = observatory.sweep(
+            models,
+            properties,
+            on_error=args.on_error,
+            journal_dir=args.journal,
+            resume=args.resume,
+            fault_policy=fault_policy,
+        )
+    except KeyboardInterrupt:
+        name = signal.Signals(caught.get("signum", signal.SIGINT)).name
+        print(f"\nsweep interrupted by {name}.", file=sys.stderr)
+        if args.journal:
+            print(
+                f"journal flushed to {args.journal}; completed cells are "
+                f"durable — resume with --resume",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                "no journal was active; rerun with --journal DIR to make "
+                "sweeps crash-resumable",
+                file=sys.stderr,
+            )
+        return 130
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
     print(render_sweep(sweep))
     return 0
 

@@ -353,6 +353,20 @@ class Observatory:
             )
         return ModelCharacterizations(results, skipped)
 
+    def apply_deadline(self, deadline) -> None:
+        """Thread a live :class:`~repro.runtime.faults.Deadline` down.
+
+        Forwards the sweep's wall-clock budget to every layer that waits:
+        the encoder backend's transport retries and the disk tier's lock
+        acquisition.  Layers without a ``set_deadline`` hook are skipped —
+        the deadline only ever *shortens* patience, never adds failure
+        modes of its own.
+        """
+        for sink in (self.encoder_backend, self.cache):
+            setter = getattr(sink, "set_deadline", None)
+            if setter is not None:
+                setter(deadline)
+
     def sweep(
         self,
         models: Sequence[str],
@@ -360,6 +374,10 @@ class Observatory:
         *,
         max_workers: Optional[int] = None,
         execution: Optional[str] = None,
+        on_error: Optional[str] = None,
+        journal_dir: Optional[str] = None,
+        resume: bool = False,
+        fault_policy=None,
     ) -> SweepResult:
         """Run a (model × property) matrix on a worker pool.
 
@@ -378,6 +396,16 @@ class Observatory:
         ``REPRO_SWEEP_EXECUTION`` environment variable, then
         ``"thread"``.  Out-of-scope cells are recorded on
         ``SweepResult.skipped`` rather than dropped.
+
+        ``on_error="degrade"`` records failing cells as typed
+        :class:`~repro.runtime.sweep.CellFailure` entries on
+        ``SweepResult.failures`` instead of aborting the sweep.
+        ``journal_dir`` enables the write-ahead sweep journal
+        (:class:`~repro.runtime.journal.SweepJournal`); with
+        ``resume=True`` a journal from an interrupted run replays its
+        completed cells and only the remainder is dispatched.
+        ``fault_policy`` overrides ``runtime.fault_policy`` for this
+        sweep (deadline, retry budgets, lock patience).
         """
         property_names = (
             list(properties) if properties is not None else available_properties()
@@ -388,6 +416,10 @@ class Observatory:
             property_names,
             max_workers=max_workers or self.runtime.max_workers,
             execution=execution,
+            on_error=on_error,
+            journal_dir=journal_dir,
+            resume=resume,
+            fault_policy=fault_policy,
         )
 
     @staticmethod

@@ -56,6 +56,29 @@ class DistributionStats:
             "tukey_high": self.tukey_high,
         }
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, float]) -> "DistributionStats":
+        """Rebuild stats previously flattened by :meth:`to_dict`.
+
+        ``tukey_low``/``tukey_high`` are derived properties and are
+        ignored on input; the stored fields alone determine them.
+        """
+        try:
+            return cls(
+                n=int(payload["n"]),
+                mean=float(payload["mean"]),
+                std=float(payload["std"]),
+                minimum=float(payload["min"]),
+                q1=float(payload["q1"]),
+                median=float(payload["median"]),
+                q3=float(payload["q3"]),
+                maximum=float(payload["max"]),
+            )
+        except KeyError as exc:
+            raise MeasureError(
+                f"distribution payload missing key {exc.args[0]!r}"
+            ) from exc
+
     def __str__(self) -> str:
         return (
             f"n={self.n} min={self.minimum:.3f} q1={self.q1:.3f} "

@@ -65,6 +65,34 @@ class PropertyResult:
             "metadata": dict(self.metadata),
         }
 
+    def to_jsonable(self) -> Dict[str, object]:
+        """Full lossless form, including raw series (journal storage).
+
+        Unlike :meth:`to_dict` (the reporting view, which drops series to
+        keep benchmark dumps small), this captures every field so a
+        result replayed from the sweep journal is indistinguishable from
+        one computed live.  Floats survive exactly: ``json`` emits the
+        shortest round-tripping repr.
+        """
+        payload = self.to_dict()
+        payload["series"] = {k: list(v) for k, v in self.series.items()}
+        return payload
+
+    @classmethod
+    def from_jsonable(cls, payload: Dict[str, object]) -> "PropertyResult":
+        """Inverse of :meth:`to_jsonable` (tolerates a missing series key)."""
+        return cls(
+            property_name=payload["property"],
+            model_name=payload["model"],
+            distributions={
+                k: DistributionStats.from_dict(v)
+                for k, v in payload.get("distributions", {}).items()
+            },
+            scalars=dict(payload.get("scalars", {})),
+            series={k: list(v) for k, v in payload.get("series", {}).items()},
+            metadata=dict(payload.get("metadata", {})),
+        )
+
     def __repr__(self) -> str:
         return (
             f"PropertyResult({self.property_name!r}, model={self.model_name!r}, "

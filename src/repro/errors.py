@@ -61,3 +61,47 @@ class ColumnIndexError(ObservatoryError):
 
 class PropertyConfigError(ObservatoryError):
     """A property run was configured inconsistently."""
+
+
+class SweepError(ObservatoryError):
+    """A sweep could not execute (scheduling, worker, or budget failure)."""
+
+
+class CellExecutionError(SweepError):
+    """One (model, property) cell raised while characterizing.
+
+    Raised under ``on_error="abort"``; under ``on_error="degrade"`` the
+    same condition is recorded as a
+    :class:`~repro.runtime.sweep.CellFailure` instead.  The original
+    exception is always chained as ``__cause__``.
+    """
+
+    def __init__(self, model_name: str, property_name: str, message: str):
+        self.model_name = model_name
+        self.property_name = property_name
+        super().__init__(f"cell {model_name}/{property_name} failed: {message}")
+
+
+class CellPoisonedError(SweepError):
+    """A cell (or its work group) crashed every worker that touched it."""
+
+
+class WorkerCrashError(SweepError):
+    """Sweep worker processes died faster than crash salvage could retry."""
+
+
+class DeadlineExceededError(SweepError):
+    """The sweep's :class:`~repro.runtime.faults.FaultPolicy` wall-clock
+    deadline expired before the work completed."""
+
+
+class JournalError(ObservatoryError):
+    """The write-ahead sweep journal is missing, corrupt, or misused."""
+
+
+class StaleJournalError(JournalError):
+    """A journal's plan fingerprint does not match the requested sweep.
+
+    Resuming it would silently mix results computed under different
+    models, corpora, sizes, seed, or backend numerics — refuse instead.
+    """

@@ -109,7 +109,7 @@ from urllib.parse import urlsplit
 
 import numpy as np
 
-from repro.errors import ModelError, RemoteEncodeError
+from repro.errors import DeadlineExceededError, ModelError, RemoteEncodeError
 from repro.models.backends.base import EncoderBackend
 from repro.models.backends.padded import DEFAULT_TIER_WIDTH, PADDED_TOLERANCE
 from repro.models.backends.transport import TransportConfig
@@ -574,6 +574,7 @@ class RemoteBackend(EncoderBackend):
         self.quarantine_after = quarantine_after
         self.quarantine_seconds = quarantine_seconds
         self._rng = rng or random.Random()
+        self._deadline = None  # optional live sweep budget; see set_deadline
         self.stats = TransportStats()
         self._stats_lock = threading.Lock()
         self._replicas = [
@@ -584,6 +585,22 @@ class RemoteBackend(EncoderBackend):
         self._rtt_samples: Deque[float] = deque(maxlen=RTT_WINDOW)
 
     # -- description / policy -----------------------------------------
+
+    def set_deadline(self, deadline) -> None:
+        """Bound retries, backoff sleeps, and per-attempt timeouts by a
+        live sweep budget (:class:`~repro.runtime.faults.Deadline`).
+
+        With the budget spent, the retry loop raises
+        :class:`~repro.errors.DeadlineExceededError` instead of burning
+        more attempts — the sweep's one deadline reaches the transport.
+        """
+        self._deadline = deadline
+
+    def _request_timeout(self) -> float:
+        """The per-attempt timeout, capped by any live deadline."""
+        if self._deadline is None:
+            return self.timeout
+        return max(0.001, self._deadline.bound(self.timeout))
 
     @property
     def cache_namespace(self) -> str:
@@ -834,6 +851,13 @@ class RemoteBackend(EncoderBackend):
         failed: Optional[_Replica] = None
         for attempt in range(self.retries + 1):
             if attempt:
+                if self._deadline is not None and self._deadline.expired():
+                    # The sweep's budget outranks the retry budget: stop
+                    # re-attempting and surface the typed deadline error.
+                    raise DeadlineExceededError(
+                        "fault-policy deadline exceeded after "
+                        f"{attempt} remote attempt(s); last error: {last_error}"
+                    ) from last_error
                 with self._stats_lock:
                     self.stats.retries += 1
                 delay = min(
@@ -841,7 +865,10 @@ class RemoteBackend(EncoderBackend):
                 )
                 # Full jitter in [0.5, 1.5) x delay decorrelates clients
                 # hammering a recovering service in lockstep.
-                await asyncio.sleep(delay * (0.5 + self._rng.random()))
+                delay *= 0.5 + self._rng.random()
+                if self._deadline is not None:
+                    delay = self._deadline.bound(delay)
+                await asyncio.sleep(delay)
             if attempt == 0:
                 replica = preferred
             else:
@@ -921,9 +948,10 @@ class RemoteBackend(EncoderBackend):
         with replica.lock:
             replica.in_flight += 1
         conn: Optional[_Connection] = None
+        attempt_timeout = self._request_timeout()
         try:
             try:
-                conn, reused = await replica.acquire(self.timeout)
+                conn, reused = await replica.acquire(attempt_timeout)
             except OSError as error:
                 # Refused/unroutable before a single byte moved.
                 self._note_failure(replica)
@@ -936,12 +964,12 @@ class RemoteBackend(EncoderBackend):
             started = time.perf_counter()
             try:
                 status, payload, sent, received, keep_alive = await asyncio.wait_for(
-                    self._roundtrip(replica, conn, body), timeout=self.timeout
+                    self._roundtrip(replica, conn, body), timeout=attempt_timeout
                 )
             except asyncio.TimeoutError:
                 self._note_failure(replica, timeout=True)
                 raise _TransientError(
-                    f"request deadline ({self.timeout:g}s) exceeded at {replica.url}"
+                    f"request deadline ({attempt_timeout:g}s) exceeded at {replica.url}"
                 ) from None
             except (OSError, EOFError, ValueError) as error:
                 # Connection refused/reset, stale keep-alive EOF, torn

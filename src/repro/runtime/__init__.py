@@ -28,10 +28,21 @@ and perturbations.  This package removes that redundancy:
 - :mod:`repro.runtime.process_sweep` — :class:`ProcessShardedSweep`,
   the legacy static-shard process engine, retained as the scheduler's
   bit-identical equivalence oracle.
+- :mod:`repro.runtime.journal` — :class:`SweepJournal`, the write-ahead
+  per-cell progress log behind ``sweep(journal_dir=..., resume=True)``:
+  digest-verified JSONL segments under a plan-fingerprint header, so a
+  killed sweep replays finished cells and dispatches only the remainder.
+- :mod:`repro.runtime.faults` — :class:`FaultPolicy`/:class:`Deadline`,
+  the single failure-budget config (wall-clock deadline, per-layer retry
+  budgets, backoff envelope, lock patience) threaded from
+  :class:`RuntimeConfig` through scheduler salvage, remote transport
+  retries, and disk-lock waits.
 """
 
 from repro.runtime.cache import CacheStats, EmbeddingCache
 from repro.runtime.disk import DiskTier
+from repro.runtime.faults import Deadline, FaultPolicy
+from repro.runtime.journal import SweepJournal, plan_fingerprint
 from repro.runtime.fingerprint import (
     cache_entry_digest,
     coords_fingerprint,
@@ -41,6 +52,7 @@ from repro.runtime.fingerprint import (
 from repro.runtime.pipeline import (
     EncodeLoop,
     EncodeLoopClosedError,
+    EncodeLoopStuckError,
     PipelineStats,
     encode_loop,
 )
@@ -65,11 +77,14 @@ from repro.runtime.scheduler import (
 )
 from repro.runtime.sweep import (
     EXECUTION_MODES,
+    ON_ERROR_MODES,
+    CellFailure,
     SkippedCell,
     SweepCell,
     SweepResult,
     order_cells,
     resolve_execution,
+    resolve_on_error,
     resolve_workers,
     run_sweep,
 )
@@ -77,13 +92,18 @@ from repro.runtime.sweep import (
 __all__ = [
     "BUNDLE_LEVELS",
     "CacheStats",
+    "CellFailure",
     "CostModel",
+    "Deadline",
     "DiskTier",
     "EXECUTION_MODES",
+    "FaultPolicy",
+    "ON_ERROR_MODES",
     "EmbeddingCache",
     "EmbeddingExecutor",
     "EncodeLoop",
     "EncodeLoopClosedError",
+    "EncodeLoopStuckError",
     "GroupScheduler",
     "PipelineStats",
     "ProcessShardedSweep",
@@ -95,6 +115,7 @@ __all__ = [
     "RuntimeConfig",
     "SkippedCell",
     "SweepCell",
+    "SweepJournal",
     "SweepResult",
     "TransportConfig",
     "as_executor",
@@ -105,7 +126,9 @@ __all__ = [
     "lpt_order",
     "order_cells",
     "partition_shards",
+    "plan_fingerprint",
     "resolve_execution",
+    "resolve_on_error",
     "resolve_workers",
     "run_sweep",
     "table_fingerprint",

@@ -113,6 +113,8 @@ class EmbeddingCache:
         disk_max_age: seconds after which disk entries expire
             (``None`` = never).
         clock: time source for the disk tier's eviction policy.
+        lock_timeout / stale_lock_age: disk-tier ``index.lock`` patience,
+            threaded from :class:`~repro.runtime.faults.FaultPolicy`.
     """
 
     def __init__(
@@ -123,6 +125,8 @@ class EmbeddingCache:
         disk_max_bytes: Optional[int] = None,
         disk_max_age: Optional[float] = None,
         clock: Callable[[], float] = time.time,
+        lock_timeout: float = 5.0,
+        stale_lock_age: float = 10.0,
     ):
         if max_entries < 1:
             raise ValueError("max_entries must be positive")
@@ -138,7 +142,14 @@ class EmbeddingCache:
                 max_bytes=disk_max_bytes,
                 max_age=disk_max_age,
                 clock=clock,
+                lock_timeout=lock_timeout,
+                stale_lock_age=stale_lock_age,
             )
+
+    def set_deadline(self, deadline) -> None:
+        """Forward a live sweep budget to the disk tier's lock waits."""
+        if self.disk is not None:
+            self.disk.set_deadline(deadline)
 
     def __len__(self) -> int:
         with self._lock:

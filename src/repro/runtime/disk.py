@@ -87,7 +87,18 @@ class DiskTier:
         self._clock = clock
         self._lock_timeout = lock_timeout
         self._stale_lock_age = stale_lock_age
+        self._deadline = None  # optional live sweep budget; see set_deadline
         os.makedirs(directory, exist_ok=True)
+
+    def set_deadline(self, deadline) -> None:
+        """Bound lock patience by a live sweep budget.
+
+        ``deadline`` is a :class:`~repro.runtime.faults.Deadline`.  The
+        tier's never-raise contract holds: an expired budget only
+        *shortens* how long ``_locked`` waits before stale-reclaiming —
+        it never turns a cache access into an error.
+        """
+        self._deadline = deadline
 
     # ------------------------------------------------------------------
     # Paths and locking
@@ -104,7 +115,13 @@ class DiskTier:
     def _locked(self) -> Iterator[None]:
         """Hold ``index.lock`` (O_CREAT|O_EXCL) with stale-lock reclaim."""
         lock_path = os.path.join(self.directory, LOCK_NAME)
-        deadline = time.time() + self._lock_timeout
+        patience = self._lock_timeout
+        if self._deadline is not None:
+            # A sweep out of wall-clock budget should not sit out the full
+            # lock timeout; the floor keeps an expired budget from turning
+            # every wait into an instant (possibly-live) lock reclaim.
+            patience = max(0.05, self._deadline.bound(self._lock_timeout))
+        deadline = time.time() + patience
         fd = None
         while fd is None:
             try:

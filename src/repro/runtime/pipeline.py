@@ -32,6 +32,8 @@ import threading
 from concurrent.futures import Future
 from typing import Coroutine, Dict, Optional, Sequence
 
+from repro.errors import ObservatoryError
+
 
 @dataclasses.dataclass
 class PipelineStats:
@@ -85,8 +87,18 @@ class PipelineStats:
         )
 
 
-class EncodeLoopClosedError(RuntimeError):
-    """Submission refused: the encode loop was closed (or died wedged)."""
+class EncodeLoopClosedError(ObservatoryError, RuntimeError):
+    """Submission refused: the encode loop was closed (or died wedged).
+
+    Doubly derived: :class:`~repro.errors.ObservatoryError` so sweep
+    failure paths stay typed (degrade mode records it as a named
+    :class:`CellFailure`), ``RuntimeError`` for callers that predate the
+    unified hierarchy.
+    """
+
+
+class EncodeLoopStuckError(ObservatoryError, RuntimeError):
+    """The encode loop's thread failed to stop within the close timeout."""
 
 
 class EncodeLoop:
@@ -149,7 +161,8 @@ class EncodeLoop:
 
         A loop thread that outlives ``timeout`` means some backend
         coroutine is blocked in non-cooperative code (a dead socket, a
-        stuck syscall).  That is surfaced as ``RuntimeError`` — the daemon
+        stuck syscall).  That is surfaced as
+        :class:`EncodeLoopStuckError` — the daemon
         thread cannot hurt interpreter shutdown, but pretending the close
         succeeded would hide exactly the failures remote-backend deadline
         tests need to see.  The loop is marked closed first either way, so
@@ -184,7 +197,7 @@ class EncodeLoop:
             asyncio.run_coroutine_threadsafe(_shutdown(), self._loop)
         self._thread.join(timeout=timeout)
         if self._thread.is_alive():
-            raise RuntimeError(
+            raise EncodeLoopStuckError(
                 f"encode loop thread failed to stop within {timeout:.1f}s — "
                 "a backend coroutine is wedged (dead socket? missing "
                 "deadline?); submissions are refused from now on"

@@ -51,6 +51,7 @@ from repro.models.backends import (
 )
 from repro.relational.table import Table
 from repro.runtime.cache import CacheStats, EmbeddingCache
+from repro.runtime.faults import FaultPolicy
 from repro.runtime.fingerprint import (
     coords_fingerprint,
     table_fingerprint,
@@ -128,6 +129,19 @@ class RuntimeConfig:
             next chunk overlaps the current chunk's forward passes.
             Results are unchanged (the local backend stays bit-identical);
             this is purely a scheduling knob.
+        on_error: default failure mode for ``Observatory.sweep`` —
+            ``"abort"`` (raise the typed error) or ``"degrade"`` (record
+            a :class:`~repro.runtime.sweep.CellFailure` on
+            ``SweepResult.failures`` and keep sweeping).  ``None`` means
+            abort.
+        fault_policy: the sweep's unified
+            :class:`~repro.runtime.faults.FaultPolicy` — wall-clock
+            deadline, scheduler crash-salvage retries, transport retry
+            override, disk-lock patience, and backoff envelope in one
+            typed object, threaded through every layer.  A plain dict in
+            :meth:`FaultPolicy.to_jsonable` form is accepted and coerced.
+            ``None`` means the per-layer defaults (identical behavior to
+            before this knob existed).
     """
 
     enabled: bool = True
@@ -147,8 +161,22 @@ class RuntimeConfig:
     remote_url: Optional[str] = None
     remote_timeout: Optional[float] = None
     remote_retries: Optional[int] = None
+    on_error: Optional[str] = None
+    fault_policy: Optional[FaultPolicy] = None
 
     def __post_init__(self):
+        if self.on_error not in (None, "abort", "degrade"):
+            raise ValueError(
+                f"on_error must be 'abort' or 'degrade', got {self.on_error!r}"
+            )
+        if self.fault_policy is not None and not isinstance(
+            self.fault_policy, FaultPolicy
+        ):
+            # Accept the canonical JSON form (process-shard payloads,
+            # config files) and coerce — from_jsonable re-validates.
+            object.__setattr__(
+                self, "fault_policy", FaultPolicy.from_jsonable(self.fault_policy)
+            )
         if self.batch_size < 1:
             raise ValueError("batch_size must be positive")
         if self.cache_entries < 1:
@@ -274,11 +302,31 @@ class RuntimeConfig:
 
             # transport=None falls through to RemoteBackend's own
             # $REPRO_REMOTE_URL fallback (the legacy kwargs were already
-            # folded into self.transport by the deprecation shim).
+            # folded into self.transport by the deprecation shim).  The
+            # FaultPolicy's transport knobs override the TransportConfig
+            # retry budget and set the backoff envelope — one failure
+            # budget, not two.
+            policy = self.fault_policy
+            config = self.transport
+            kwargs = {}
+            if policy is not None:
+                kwargs = {
+                    "backoff_base": policy.backoff_base,
+                    "backoff_cap": policy.backoff_cap,
+                }
+                if policy.transport_retries is not None:
+                    if config is not None:
+                        if config.retries != policy.transport_retries:
+                            config = dataclasses.replace(
+                                config, retries=policy.transport_retries
+                            )
+                    else:
+                        kwargs["retries"] = policy.transport_retries
             return RemoteBackend(
-                config=self.transport,
+                config=config,
                 exact=self.exact,
                 padding_tier=self.padding_tier,
+                **kwargs,
             )
         from repro.models.backends import resolve_backend
 
@@ -287,11 +335,14 @@ class RuntimeConfig:
     def build_cache(self) -> Optional[EmbeddingCache]:
         if not self.enabled:
             return None
+        policy = self.fault_policy or FaultPolicy()
         return EmbeddingCache(
             max_entries=self.cache_entries,
             disk_dir=self.disk_cache_dir,
             disk_max_bytes=self.cache_max_bytes,
             disk_max_age=self.cache_max_age,
+            lock_timeout=policy.lock_timeout,
+            stale_lock_age=policy.stale_lock_age,
         )
 
 

@@ -65,7 +65,10 @@ class ShardOutcome:
     ``scheduler`` carries the work-stealing engine's per-worker
     busy/idle/steal telemetry
     (:class:`~repro.runtime.scheduler.SchedulerTelemetry`); the static
-    engine leaves it ``None``.
+    engine leaves it ``None``.  ``failures`` carries degraded cells
+    (:class:`~repro.runtime.sweep.CellFailure`) under
+    ``on_error="degrade"``; the static engine always aborts, so it
+    leaves the list empty.
     """
 
     cells: List["SweepCell"]
@@ -75,6 +78,9 @@ class ShardOutcome:
     padding: Optional[PaddingStats] = None
     transport: Optional[TransportStats] = None
     scheduler: Optional["SchedulerTelemetry"] = None  # noqa: F821
+    failures: List["CellFailure"] = dataclasses.field(  # noqa: F821
+        default_factory=list
+    )
 
 
 def partition_shards(

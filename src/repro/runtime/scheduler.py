@@ -60,13 +60,19 @@ import time
 from collections import deque
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import ObservatoryError
+from repro.errors import (
+    CellPoisonedError,
+    DeadlineExceededError,
+    ObservatoryError,
+    WorkerCrashError,
+)
 from repro.models.backends.padded import PaddingStats
 from repro.models.backends.remote import TransportStats
 from repro.runtime.cache import CacheStats
+from repro.runtime.faults import Deadline
 from repro.runtime.pipeline import PipelineStats
 from repro.runtime.process_sweep import _DEFAULT_PROCESS_CAP, ShardOutcome
-from repro.runtime.sweep import PROPERTY_CORPUS
+from repro.runtime.sweep import PROPERTY_CORPUS, CellFailure
 
 # Telemetry-prior source for LPT ordering: path to a BENCH_*.json record
 # written by benchmarks/bench_runtime_sweep.py --json (its cell_records
@@ -304,12 +310,16 @@ class SchedulerRun:
     ``payloads`` maps ``group_id`` to the *winning* worker payload (first
     completion under duplication); ``snapshots`` keeps each worker's
     latest cumulative payload so stats merging survives a worker that was
-    terminated mid-duplicate.
+    terminated mid-duplicate.  ``failures`` maps ``group_id`` to the
+    typed error that degraded it (poisoned group, expired deadline) —
+    populated only under ``on_error="degrade"``; ``"abort"`` raises
+    instead.
     """
 
     payloads: Dict[int, object]
     snapshots: Dict[int, object]
     telemetry: SchedulerTelemetry
+    failures: Dict[int, ObservatoryError] = dataclasses.field(default_factory=dict)
 
 
 # ----------------------------------------------------------------------
@@ -335,6 +345,16 @@ class GroupScheduler:
     extra attempts) unless another worker is already running a duplicate
     of it.  Workers with nothing to pull stay parked (not stopped) until
     every group completes, so a late crash still finds survivors.
+
+    Fault handling: under ``on_error="abort"`` (default) a poisoned
+    group or expired ``deadline`` raises the typed error; under
+    ``"degrade"`` the group is recorded on ``SchedulerRun.failures`` and
+    the loop keeps dispatching the rest.  Every worker dying is total
+    failure either way (:class:`~repro.errors.WorkerCrashError`) —
+    nothing could make progress, so the caller's resume path is the
+    recovery, not a degraded result.  ``on_group_done`` fires with
+    ``(group, payload)`` the moment a group's winning payload lands —
+    the write-ahead journal's incremental-persistence hook.
     """
 
     def __init__(
@@ -347,16 +367,24 @@ class GroupScheduler:
         join_timeout: float = 1.0,
         steal_min_age: float = 0.5,
         steal_age_factor: float = 1.5,
+        on_error: str = "abort",
+        deadline: Optional[Deadline] = None,
+        on_group_done=None,
     ):
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
         if max_duplicates < 0:
             raise ValueError("max_duplicates must be >= 0")
+        if on_error not in ("abort", "degrade"):
+            raise ValueError(f"on_error must be 'abort' or 'degrade', got {on_error!r}")
         self.groups = list(groups)
         self.max_retries = max_retries
         self.max_duplicates = max_duplicates
         self.poll_interval = poll_interval
         self.join_timeout = join_timeout
+        self.on_error = on_error
+        self.deadline = deadline if deadline is not None else Deadline(None)
+        self.on_group_done = on_group_done
         # A group only counts as a straggler — and becomes stealable —
         # once it has been in flight longer than both the absolute floor
         # and ``steal_age_factor`` x the mean completed-group duration.
@@ -383,9 +411,13 @@ class GroupScheduler:
         in_flight: Dict[int, Tuple[WorkGroup, float, bool, Dict[str, object]]] = {}
         payloads: Dict[int, object] = {}
         snapshots: Dict[int, object] = {}
+        failed: Dict[int, ObservatoryError] = {}  # degraded groups
         attempts = {g.group_id: 0 for g in self.groups}  # crash retries used
         outstanding_dups = {g.group_id: 0 for g in self.groups}
         completed_seconds: List[float] = []  # feeds the straggler threshold
+
+        def settled() -> int:
+            return len(payloads) + len(failed)
 
         def runners_of(group_id: int) -> List[int]:
             return [
@@ -452,22 +484,36 @@ class GroupScheduler:
                     if group.group_id not in payloads and not runners_of(group.group_id):
                         attempts[group.group_id] += 1
                         if attempts[group.group_id] > self.max_retries:
-                            self._shutdown(live, in_flight, telemetry)
-                            raise ObservatoryError(
+                            error = CellPoisonedError(
                                 f"sweep group {group.group_id} poisoned: crashed "
                                 f"{attempts[group.group_id]} worker(s) (retry "
                                 f"budget {self.max_retries}); cells "
                                 + ", ".join(f"{m}/{p}" for m, p in group.cells)
                             )
-                        telemetry.salvaged_groups += 1
-                        # Front of the queue: a salvaged group is already
-                        # late, so it outranks everything still pending.
-                        pending.appendleft(group)
-                if not live and len(payloads) < len(self.groups):
+                            if self.on_error == "degrade":
+                                # The group becomes a named failure; the
+                                # rest of the sweep keeps running.
+                                log_entry["outcome"] = "poisoned"
+                                failed[group.group_id] = error
+                            else:
+                                self._shutdown(live, in_flight, telemetry)
+                                raise error
+                        else:
+                            telemetry.salvaged_groups += 1
+                            # Front of the queue: a salvaged group is
+                            # already late, so it outranks everything
+                            # still pending.
+                            pending.appendleft(group)
+                if not live and settled() < len(self.groups):
                     missing = [
-                        g for g in self.groups if g.group_id not in payloads
+                        g
+                        for g in self.groups
+                        if g.group_id not in payloads and g.group_id not in failed
                     ]
-                    raise ObservatoryError(
+                    # Total failure even under degrade: with no workers
+                    # left nothing can progress, and the caller's
+                    # journal+resume path is the recovery.
+                    raise WorkerCrashError(
                         "every sweep worker died; "
                         f"{len(payloads)}/{len(self.groups)} groups were "
                         "salvaged before the last crash; unfinished cells: "
@@ -477,8 +523,26 @@ class GroupScheduler:
                     )
                 wake_idle()
 
+        def record_win(group_id: int, payload: object) -> None:
+            payloads[group_id] = payload
+            if self.on_group_done is not None:
+                group = next(g for g in self.groups if g.group_id == group_id)
+                self.on_group_done(group, payload)
+
         try:
-            while len(payloads) < len(self.groups):
+            while settled() < len(self.groups):
+                if self.deadline.expired():
+                    error = DeadlineExceededError(
+                        "fault-policy deadline exceeded with "
+                        f"{len(self.groups) - settled()}/{len(self.groups)} "
+                        "sweep groups unfinished"
+                    )
+                    if self.on_error != "degrade":
+                        raise error  # the finally clause shuts workers down
+                    for group in self.groups:
+                        if group.group_id not in payloads and group.group_id not in failed:
+                            failed[group.group_id] = error
+                    break
                 try:
                     message = results.get(timeout=self.poll_interval)
                 except queue_module.Empty:
@@ -511,12 +575,12 @@ class GroupScheduler:
                             telemetry.duplicates_discarded += 1
                             log_entry["outcome"] = "discarded"
                         else:
-                            payloads[group_id] = payload
+                            record_win(group_id, payload)
                             log_entry["outcome"] = "won"
                     elif group_id not in payloads:
                         # Defensive: a result without a tracked assignment
                         # still wins if the group is open (first-wins rule).
-                        payloads[group_id] = payload
+                        record_win(group_id, payload)
                     dispatch(worker_id)
         finally:
             self._shutdown(live, in_flight, telemetry)
@@ -526,7 +590,7 @@ class GroupScheduler:
             if started is not None:
                 wall = finished_at.get(worker_id, end) - started
                 stats.idle_seconds = max(0.0, wall - stats.busy_seconds)
-        return SchedulerRun(payloads, snapshots, telemetry)
+        return SchedulerRun(payloads, snapshots, telemetry, failed)
 
     def _steal_victim(
         self,
@@ -613,7 +677,9 @@ def _worker_main(worker_id: int, payload: Dict[str, object], inbox, results) -> 
     """
     import repro.telemetry as telemetry
     from repro.core.framework import Observatory
-    from repro.runtime.sweep import SweepCell
+    from repro.errors import CellExecutionError, DeadlineExceededError, ObservatoryError
+    from repro.runtime.faults import Deadline
+    from repro.runtime.sweep import CellFailure, SweepCell
 
     crash_worker, crash_cell = _parse_crash_spec(os.environ.get(CRASH_ENV, ""))
     stall_spec = os.environ.get(STALL_ENV, "")
@@ -628,6 +694,12 @@ def _worker_main(worker_id: int, payload: Dict[str, object], inbox, results) -> 
         sizes=payload["sizes"],
         runtime=payload["runtime"],
     )
+    on_error = payload.get("on_error", "abort")
+    # The parent's monotonic countdown can't cross the spawn boundary;
+    # it ships as an absolute epoch and restarts here.
+    deadline = Deadline.from_epoch(payload.get("deadline_epoch"))
+    if hasattr(observatory, "apply_deadline"):
+        observatory.apply_deadline(deadline)
     results.send(("ready", worker_id))
     first_group = True
     while True:
@@ -642,13 +714,40 @@ def _worker_main(worker_id: int, payload: Dict[str, object], inbox, results) -> 
                 time.sleep(stall_seconds)  # injected straggler
         started = time.perf_counter()
         out_cells = []
+        out_failures = []
         for model_name, property_name in cells:
             if crash_cell == (model_name, property_name):
                 os._exit(3)  # poisoned cell: kills whoever runs it
+            if on_error == "degrade" and deadline.expired():
+                # Budget spent mid-group: remaining cells degrade to
+                # named failures instead of burning more wall clock.
+                out_failures.append(
+                    CellFailure(
+                        model_name,
+                        property_name,
+                        DeadlineExceededError.__name__,
+                        "fault-policy deadline exceeded before "
+                        f"cell {model_name}/{property_name}",
+                    )
+                )
+                continue
             timings = telemetry.start_cell()
             t0 = time.perf_counter()
             try:
                 result = observatory.characterize(model_name, property_name)
+            except Exception as exc:
+                if on_error != "degrade":
+                    raise  # the worker dies; parent salvage takes over
+                if not isinstance(exc, ObservatoryError):
+                    exc = CellExecutionError(model_name, property_name, str(exc))
+                # cause stays None: a live traceback may not survive
+                # pickling back through the result pipe.
+                out_failures.append(
+                    CellFailure(
+                        model_name, property_name, type(exc).__name__, str(exc)
+                    )
+                )
+                continue
             finally:
                 telemetry.stop_cell()
             out_cells.append(
@@ -674,6 +773,7 @@ def _worker_main(worker_id: int, payload: Dict[str, object], inbox, results) -> 
                 busy,
                 {
                     "cells": out_cells,
+                    "failures": out_failures,
                     "stats": (
                         observatory.cache.stats
                         if observatory.cache is not None
@@ -777,6 +877,14 @@ class WorkStealingSweep:
         max_duplicates: straggler copies allowed in flight per group.
         steal_min_age / steal_age_factor: straggler threshold — see
             :class:`GroupScheduler`.
+        on_error: ``"abort"`` raises typed errors; ``"degrade"`` turns
+            poisoned groups / per-cell failures / expired deadlines into
+            :class:`~repro.runtime.sweep.CellFailure` records on the
+            returned :class:`ShardOutcome`.
+        deadline: the sweep's live wall-clock budget (also shipped to
+            workers as an absolute epoch).
+        on_group_done: called with the winning group's ``List[SweepCell]``
+            the moment it lands — the journal's persistence hook.
     """
 
     def __init__(
@@ -789,6 +897,9 @@ class WorkStealingSweep:
         max_duplicates: int = 1,
         steal_min_age: float = 0.5,
         steal_age_factor: float = 1.5,
+        on_error: str = "abort",
+        deadline: Optional[Deadline] = None,
+        on_group_done=None,
     ):
         self.observatory = observatory
         self.max_workers = max_workers
@@ -797,6 +908,9 @@ class WorkStealingSweep:
         self.max_duplicates = max_duplicates
         self.steal_min_age = steal_min_age
         self.steal_age_factor = steal_age_factor
+        self.on_error = on_error
+        self.deadline = deadline if deadline is not None else Deadline(None)
+        self.on_group_done = on_group_done
 
     def _worker_runtime(self):
         """Workers run their groups serially; never recurse the engine."""
@@ -819,6 +933,8 @@ class WorkStealingSweep:
             "seed": self.observatory.seed,
             "sizes": self.observatory.sizes,
             "runtime": self._worker_runtime(),
+            "on_error": self.on_error,
+            "deadline_epoch": self.deadline.epoch(),
         }
         # spawn, not fork — same reasoning as the static engine: workers
         # must rebuild from configuration, so pickling bugs surface and
@@ -844,12 +960,20 @@ class WorkStealingSweep:
                 writer.close()
                 results.register(reader)
                 handles.append(_ProcessWorkerHandle(worker_id, process, inbox))
+            notify = None
+            if self.on_group_done is not None:
+                notify = lambda group, payload: self.on_group_done(  # noqa: E731
+                    list(payload["cells"])
+                )
             scheduler = GroupScheduler(
                 ordered,
                 max_retries=self.max_retries,
                 max_duplicates=self.max_duplicates,
                 steal_min_age=self.steal_min_age,
                 steal_age_factor=self.steal_age_factor,
+                on_error=self.on_error,
+                deadline=self.deadline,
+                on_group_done=notify,
             )
             run = scheduler.run(handles, results)
         finally:
@@ -863,9 +987,22 @@ class WorkStealingSweep:
         self, groups: List[WorkGroup], run: SchedulerRun, workers: int
     ) -> ShardOutcome:
         """Winner payloads -> ShardOutcome, in original (cache-aware) order."""
-        merged_cells = [
-            cell for group in groups for cell in run.payloads[group.group_id]["cells"]
-        ]
+        merged_cells: List[object] = []
+        failures: List[CellFailure] = []
+        for group in groups:
+            payload = run.payloads.get(group.group_id)
+            if payload is not None:
+                merged_cells.extend(payload["cells"])
+                failures.extend(payload.get("failures") or [])
+            else:
+                # The whole group degraded (poisoned / deadline): every
+                # cell becomes a named failure carrying the group error.
+                error = run.failures.get(group.group_id)
+                if error is not None:
+                    failures.extend(
+                        CellFailure.from_exception(m, p, error)
+                        for m, p in group.cells
+                    )
         snapshots = list(run.snapshots.values())
         shard_stats = [s["stats"] for s in snapshots if s["stats"] is not None]
         stats = CacheStats.merged(shard_stats) if shard_stats else None
@@ -889,4 +1026,5 @@ class WorkStealingSweep:
             padding=padding,
             transport=transport,
             scheduler=run.telemetry,
+            failures=failures,
         )

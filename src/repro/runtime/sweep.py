@@ -40,15 +40,16 @@ from __future__ import annotations
 import dataclasses
 import os
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor, as_completed
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import repro.telemetry as telemetry
 from repro.core.results import PropertyResult, SkippedCell
-from repro.errors import ObservatoryError
+from repro.errors import CellExecutionError, ObservatoryError
 from repro.models.backends.padded import PaddingStats
 from repro.models.backends.remote import TransportStats
 from repro.runtime.cache import CacheStats
+from repro.runtime.faults import Deadline, FaultPolicy
 from repro.runtime.pipeline import PipelineStats
 
 # Workers only pay off when cores exist to run cells in parallel; on a
@@ -60,6 +61,11 @@ _DEFAULT_WORKER_CAP = min(4, os.cpu_count() or 1)
 # engines are gated on every push.
 EXECUTION_ENV = "REPRO_SWEEP_EXECUTION"
 EXECUTION_MODES = ("thread", "process")
+
+# What a cell failure does to the rest of the sweep: "abort" (default)
+# re-raises the typed error; "degrade" records a CellFailure on
+# SweepResult.failures and keeps going — every other cell still runs.
+ON_ERROR_MODES = ("abort", "degrade")
 
 # Environment override for the default worker count, mirroring
 # REPRO_SWEEP_EXECUTION: an explicit max_workers argument or
@@ -95,6 +101,16 @@ def resolve_execution(
     if choice not in EXECUTION_MODES:
         raise ObservatoryError(
             f"unknown execution mode {choice!r}; expected one of {EXECUTION_MODES}"
+        )
+    return choice
+
+
+def resolve_on_error(explicit: Optional[str], configured: Optional[str] = None) -> str:
+    """Pick the failure mode: explicit arg > RuntimeConfig > abort."""
+    choice = explicit or configured or "abort"
+    if choice not in ON_ERROR_MODES:
+        raise ObservatoryError(
+            f"unknown on_error mode {choice!r}; expected one of {ON_ERROR_MODES}"
         )
     return choice
 
@@ -156,6 +172,57 @@ class SweepCell:
             "aggregate_seconds": self.aggregate_seconds,
         }
 
+    def to_jsonable(self) -> Dict[str, object]:
+        """Lossless form for the write-ahead journal (result included)."""
+        payload = self.record()
+        payload["result"] = self.result.to_jsonable()
+        return payload
+
+    @classmethod
+    def from_jsonable(cls, payload: Dict[str, object]) -> "SweepCell":
+        return cls(
+            model_name=payload["model"],
+            property_name=payload["property"],
+            result=PropertyResult.from_jsonable(payload["result"]),
+            seconds=float(payload["seconds"]),
+            serialize_seconds=float(payload.get("serialize_seconds", 0.0)),
+            encode_seconds=float(payload.get("encode_seconds", 0.0)),
+            aggregate_seconds=float(payload.get("aggregate_seconds", 0.0)),
+        )
+
+
+@dataclasses.dataclass
+class CellFailure:
+    """One (model, property) cell that failed under ``on_error="degrade"``.
+
+    Carries the typed error's class name and message; the live exception
+    (with its chained ``__cause__``) rides along on ``cause`` for callers
+    that want the traceback, but never serializes — reports and the
+    journal see only the named failure.
+    """
+
+    model_name: str
+    property_name: str
+    error: str  # ObservatoryError subclass name, e.g. "CellPoisonedError"
+    message: str
+    cause: Optional[BaseException] = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
+
+    @classmethod
+    def from_exception(
+        cls, model_name: str, property_name: str, exc: BaseException
+    ) -> "CellFailure":
+        return cls(model_name, property_name, type(exc).__name__, str(exc), cause=exc)
+
+    def to_jsonable(self) -> Dict[str, object]:
+        return {
+            "model": self.model_name,
+            "property": self.property_name,
+            "error": self.error,
+            "message": self.message,
+        }
+
 
 @dataclasses.dataclass
 class SweepResult:
@@ -165,6 +232,11 @@ class SweepResult:
         cells: completed cells in request order.
         skipped: cells that were not run, with reasons — nothing is
             dropped silently.
+        failures: cells that ran and failed under ``on_error="degrade"``
+            (typed :class:`CellFailure` records; empty under the default
+            ``"abort"``, which raises instead).
+        replayed: how many of ``cells`` were recovered from the
+            write-ahead journal rather than recomputed (``--resume``).
         seconds: wall-clock of the whole sweep.
         workers: worker-pool size used (threads or processes).
         execution: engine that ran the cells (``"thread"``/``"process"``).
@@ -188,6 +260,8 @@ class SweepResult:
 
     cells: List[SweepCell] = dataclasses.field(default_factory=list)
     skipped: List[SkippedCell] = dataclasses.field(default_factory=list)
+    failures: List[CellFailure] = dataclasses.field(default_factory=list)
+    replayed: int = 0
     seconds: float = 0.0
     workers: int = 1
     execution: str = "thread"
@@ -239,6 +313,8 @@ class SweepResult:
                 for cell in self.cells
             ],
             "skipped": [dataclasses.asdict(s) for s in self.skipped],
+            "failures": [f.to_jsonable() for f in self.failures],
+            "replayed": self.replayed,
             "seconds": self.seconds,
             "workers": self.workers,
             "execution": self.execution,
@@ -253,6 +329,7 @@ class SweepResult:
     def __repr__(self) -> str:
         return (
             f"SweepResult(cells={len(self.cells)}, skipped={len(self.skipped)}, "
+            f"failures={len(self.failures)}, replayed={self.replayed}, "
             f"seconds={self.seconds:.2f}, workers={self.workers}, "
             f"execution={self.execution!r}, backend={self.backend!r})"
         )
@@ -323,6 +400,44 @@ def order_cells(cells: Sequence[Tuple[str, str]]) -> List[Tuple[str, str]]:
     )
 
 
+def _sweep_plan(
+    observatory,
+    model_names: Sequence[str],
+    property_names: Sequence[str],
+    backend_desc: str,
+    runnable: Sequence[Tuple[str, str]],
+) -> Dict[str, object]:
+    """The journal's plan-fingerprint payload: everything cell results
+    depend on (seed, sizes, models, properties, backend numerics, and the
+    runnable matrix) and nothing they don't — execution mode and worker
+    count are deliberately absent, since results are bit-identical across
+    engines by contract and a thread-engine journal may resume under the
+    process engine."""
+    return {
+        "seed": observatory.seed,
+        "sizes": dataclasses.asdict(observatory.sizes),
+        "models": list(model_names),
+        "properties": list(property_names),
+        "backend": backend_desc,
+        "cells": [[m, p] for m, p in runnable],
+    }
+
+
+def _apply_deadline(observatory, deadline: Deadline) -> None:
+    """Hand the sweep's live countdown to deadline-aware layers.
+
+    The remote backend bounds per-attempt timeouts and backoff sleeps;
+    the cache bounds disk-lock patience.  Layers without a
+    ``set_deadline`` hook are simply unbounded, as before.
+    """
+    for target in (
+        getattr(observatory, "encoder_backend", None),
+        getattr(observatory, "cache", None),
+    ):
+        if target is not None and hasattr(target, "set_deadline"):
+            target.set_deadline(deadline)
+
+
 def run_sweep(
     observatory,
     model_names: Sequence[str],
@@ -330,14 +445,35 @@ def run_sweep(
     *,
     max_workers: Optional[int] = None,
     execution: Optional[str] = None,
+    on_error: Optional[str] = None,
+    journal_dir: Optional[str] = None,
+    resume: bool = False,
+    fault_policy: Optional[FaultPolicy] = None,
 ) -> SweepResult:
-    """Execute the matrix on a worker pool; see module docstring."""
+    """Execute the matrix on a worker pool; see module docstring.
+
+    With ``journal_dir`` set, every completed cell is appended to a
+    write-ahead :class:`~repro.runtime.journal.SweepJournal` as it
+    finishes; ``resume=True`` replays completed cells from that journal
+    and dispatches only the remainder (refusing a journal whose plan
+    fingerprint doesn't match).  ``on_error="degrade"`` converts cell
+    failures into :class:`CellFailure` records on the result instead of
+    aborting the sweep.
+    """
     if not model_names:
         raise ObservatoryError("sweep needs at least one model")
     if not property_names:
         raise ObservatoryError("sweep needs at least one property")
     engine = resolve_execution(execution, getattr(observatory.runtime, "execution", None))
     max_workers = resolve_workers(max_workers)
+    on_error = resolve_on_error(on_error, getattr(observatory.runtime, "on_error", None))
+    policy = (
+        fault_policy
+        or getattr(observatory.runtime, "fault_policy", None)
+        or FaultPolicy()
+    )
+    deadline = policy.start_deadline()
+    _apply_deadline(observatory, deadline)
     backend_desc = observatory.backend_description()
     # Executors accumulate pipeline/padding counters for their lifetime;
     # snapshot here so this sweep reports only its own work, not a
@@ -351,13 +487,87 @@ def run_sweep(
     request_rank = {cell: i for i, cell in enumerate(runnable)}
     ordered = order_cells(runnable)
 
+    journal = None
+    replayed_cells: List[SweepCell] = []
+    todo: List[Tuple[str, str]] = list(ordered)
+    if resume and not journal_dir:
+        raise ObservatoryError("resume=True requires journal_dir")
+    if journal_dir:
+        from repro.runtime.journal import SweepJournal
+
+        plan = _sweep_plan(
+            observatory, model_names, property_names, backend_desc, runnable
+        )
+        opener = SweepJournal.resume if resume else SweepJournal.start
+        journal = opener(journal_dir, plan)
+        if journal.completed:
+            todo = [c for c in ordered if c not in journal.completed]
+            replayed_cells = [
+                SweepCell.from_jsonable(journal.completed[c])
+                for c in ordered
+                if c in journal.completed
+            ]
+        # The write-ahead half: the dispatch plan hits disk before any
+        # cell runs, so a resumed session can tell "never dispatched"
+        # from "dispatched but lost".
+        journal.record_planned(todo)
+
+    try:
+        return _dispatch_sweep(
+            observatory,
+            engine=engine,
+            max_workers=max_workers,
+            on_error=on_error,
+            policy=policy,
+            deadline=deadline,
+            journal=journal,
+            backend_desc=backend_desc,
+            started=started,
+            skipped=skipped,
+            request_rank=request_rank,
+            todo=todo,
+            replayed_cells=replayed_cells,
+            pipeline_before=pipeline_before,
+            padding_before=padding_before,
+            transport_before=transport_before,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
+
+
+def _dispatch_sweep(
+    observatory,
+    *,
+    engine: str,
+    max_workers: Optional[int],
+    on_error: str,
+    policy: FaultPolicy,
+    deadline: Deadline,
+    journal,
+    backend_desc: str,
+    started: float,
+    skipped: List[SkippedCell],
+    request_rank: Dict[Tuple[str, str], int],
+    todo: List[Tuple[str, str]],
+    replayed_cells: List[SweepCell],
+    pipeline_before,
+    padding_before,
+    transport_before,
+) -> SweepResult:
+    """Engine dispatch shared by the journaled and plain paths."""
+    rank = lambda c: request_rank[(c.model_name, c.property_name)]  # noqa: E731
+
     if engine == "process":
-        if not ordered:
-            # Every cell was skipped: no workers spawn, no cache is
-            # touched — report that honestly rather than falling through
-            # to the thread path with the parent's live counters.
+        if not todo:
+            # Nothing to dispatch: every cell was skipped or replayed
+            # from the journal.  No workers spawn, no cache is touched —
+            # report that honestly rather than falling through to the
+            # thread path with the parent's live counters.
             return SweepResult(
+                cells=sorted(replayed_cells, key=rank),
                 skipped=skipped,
+                replayed=len(replayed_cells),
                 seconds=time.perf_counter() - started,
                 workers=0,
                 execution="process",
@@ -368,16 +578,33 @@ def run_sweep(
         # ProcessShardedSweep survives as its equivalence oracle.
         from repro.runtime.scheduler import WorkStealingSweep
 
+        def journal_group(group_cells: List[SweepCell]) -> None:
+            # Called by the dispatch loop the moment a group's winning
+            # payload lands, so a parent killed mid-sweep has every
+            # already-won group on disk.
+            if journal is not None:
+                for cell in group_cells:
+                    journal.record_cell(
+                        cell.model_name, cell.property_name, cell.to_jsonable()
+                    )
+
         engine_result = WorkStealingSweep(
-            observatory, max_workers=max_workers
-        ).run(ordered)
-        cells = sorted(
-            engine_result.cells,
-            key=lambda c: request_rank[(c.model_name, c.property_name)],
-        )
+            observatory,
+            max_workers=max_workers,
+            max_retries=policy.scheduler_retries,
+            on_error=on_error,
+            deadline=deadline,
+            on_group_done=journal_group,
+        ).run(todo)
+        failures = list(engine_result.failures)
+        if journal is not None:
+            for failure in failures:
+                journal.record_failure(failure.to_jsonable())
         return SweepResult(
-            cells=cells,
+            cells=sorted(engine_result.cells + replayed_cells, key=rank),
             skipped=skipped,
+            failures=failures,
+            replayed=len(replayed_cells),
             seconds=time.perf_counter() - started,
             workers=engine_result.workers,
             execution="process",
@@ -391,19 +618,29 @@ def run_sweep(
 
     # Materialize shared resources serially before fanning out: dataset
     # generators and model construction are the only mutating steps.
-    for model_name in {m for m, _ in ordered}:
+    for model_name in {m for m, _ in todo}:
         observatory.executor(model_name)
-    for property_name in {p for _, p in ordered}:
+    for property_name in {p for _, p in todo}:
         observatory.prepare_property_data(property_name)
 
-    workers = max_workers or min(_DEFAULT_WORKER_CAP, max(1, len(ordered)))
+    workers = max_workers or min(_DEFAULT_WORKER_CAP, max(1, len(todo)))
 
     def run_cell(cell: Tuple[str, str]) -> SweepCell:
         model_name, property_name = cell
+        # A cell that hasn't started when the budget runs out is not
+        # worth starting; one already running is left to finish (cells
+        # are short relative to sweeps).
+        deadline.check(f"cell {model_name}/{property_name}")
         timings = telemetry.start_cell()
         t0 = time.perf_counter()
         try:
             result = observatory.characterize(model_name, property_name)
+        except ObservatoryError:
+            raise
+        except Exception as exc:
+            # The errors.py contract: library failure paths raise
+            # ObservatoryError subclasses, with the original chained.
+            raise CellExecutionError(model_name, property_name, str(exc)) from exc
         finally:
             telemetry.stop_cell()
         return SweepCell(
@@ -416,13 +653,41 @@ def run_sweep(
             aggregate_seconds=timings.aggregate_seconds,
         )
 
-    cells: List[SweepCell]
-    if workers <= 1 or len(ordered) <= 1:
-        cells = [run_cell(c) for c in ordered]
+    def attempt(cell: Tuple[str, str]):
+        try:
+            return run_cell(cell)
+        except ObservatoryError as exc:
+            if on_error == "degrade":
+                return CellFailure.from_exception(cell[0], cell[1], exc)
+            raise
+
+    cells: List[SweepCell] = []
+    failures: List[CellFailure] = []
+
+    def finish(outcome) -> None:
+        if isinstance(outcome, CellFailure):
+            failures.append(outcome)
+            if journal is not None:
+                journal.record_failure(outcome.to_jsonable())
+        else:
+            cells.append(outcome)
+            if journal is not None:
+                # Journal each cell the moment it completes (not at
+                # sweep end): that is what survives a SIGKILL.
+                journal.record_cell(
+                    outcome.model_name, outcome.property_name, outcome.to_jsonable()
+                )
+
+    if workers <= 1 or len(todo) <= 1:
+        for cell in todo:
+            finish(attempt(cell))
     else:
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            cells = list(pool.map(run_cell, ordered))
-    cells.sort(key=lambda c: request_rank[(c.model_name, c.property_name)])
+            futures = [pool.submit(attempt, c) for c in todo]
+            for future in as_completed(futures):
+                finish(future.result())
+    cells.extend(replayed_cells)
+    cells.sort(key=rank)
 
     cache = getattr(observatory, "cache", None)
     pipeline = observatory.pipeline_stats().since(pipeline_before)
@@ -439,6 +704,8 @@ def run_sweep(
     return SweepResult(
         cells=cells,
         skipped=skipped,
+        failures=failures,
+        replayed=len(replayed_cells),
         seconds=time.perf_counter() - started,
         workers=workers,
         execution=engine,

@@ -7,8 +7,27 @@ smoke) point the ``"remote"`` encoder backend at.
 :class:`~repro.testing.encoder_service.FleetHarness` stands up several of
 them (one optionally slow or fault-injected) behind a single context
 manager for fleet-scheduling tests without real hosts.
+:class:`~repro.testing.chaos.ChaosPlan` composes every fault injector —
+scheduler worker crashes/stalls, replica transport faults, torn cache
+writes, parent kill-points — into one seeded, replayable plan, and
+:func:`~repro.testing.chaos.assert_sweep_invariant` states the contract
+chaos tests check: every sweep completes, degrades with named failures,
+or resumes bit-identically — never hangs, never silently drops a cell.
 """
 
+from repro.testing.chaos import (
+    ChaosPlan,
+    assert_sweep_invariant,
+    count_journal_cells,
+    kill_when_journal_reaches,
+)
 from repro.testing.encoder_service import FleetHarness, LoopbackEncoderService
 
-__all__ = ["FleetHarness", "LoopbackEncoderService"]
+__all__ = [
+    "ChaosPlan",
+    "FleetHarness",
+    "LoopbackEncoderService",
+    "assert_sweep_invariant",
+    "count_journal_cells",
+    "kill_when_journal_reaches",
+]

@@ -1,0 +1,333 @@
+"""Cross-layer chaos harness: one seeded plan for every fault injector.
+
+The repo grew fault hooks one layer at a time: the work-stealing
+scheduler honors ``$REPRO_SCHEDULER_TEST_CRASH`` / ``_STALL``, the
+loopback encoder service queues per-request transport faults, and the
+disk cache tier is exercised by hand-corrupting ``.npy`` entries.  Each
+is useful alone but composing them — a worker crash *while* a replica
+flakes *while* a cache write tears — meant ad-hoc test plumbing.
+
+:class:`ChaosPlan` is that plumbing, unified.  A plan is a seeded,
+declarative composition of injections across layers:
+
+- **worker crashes / poisoned cells / stalls** — scheduler env-var
+  injection (``worker_crash`` / ``poison_cell`` / ``worker_stall``),
+  applied on ``__enter__`` and restored on ``__exit__``;
+- **replica faults** — one-shot transport faults (timeout / http_500 /
+  torn / tamper) queued FIFO onto a
+  :class:`~repro.testing.encoder_service.LoopbackEncoderService` or a
+  :class:`~repro.testing.encoder_service.FleetHarness` replica;
+- **torn cache writes** — a seeded pick of an existing disk-tier entry
+  truncated mid-payload, exercising the drop-and-recompute path;
+- **parent kill-points** — a watcher that SIGKILLs a sweep process
+  after its write-ahead journal records N completed cells, driving the
+  crash/resume invariant end to end.
+
+The invariant the harness exists to check, stated once
+(:func:`assert_sweep_invariant`): **every sweep completes, degrades
+with named failures, or resumes bit-identically — it never hangs and
+never silently drops a cell.**
+
+Everything is deterministic under the plan's ``seed``: the same plan
+against the same sweep injects the same faults, so chaos tests are
+replayable, not flaky.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.runtime.scheduler import CRASH_ENV, STALL_ENV
+
+__all__ = [
+    "ChaosPlan",
+    "assert_sweep_invariant",
+    "count_journal_cells",
+    "kill_when_journal_reaches",
+]
+
+
+def count_journal_cells(journal_dir: str) -> int:
+    """Completed-cell records currently readable from a sweep journal.
+
+    Counts digest-valid ``"cell"`` records across sealed and unsealed
+    segments (deduplicated, exactly what a resume would replay).  Safe
+    to call while the sweep is still appending — the journal fsyncs
+    every record, so this only ever under-counts by in-flight cells.
+    """
+    from repro.runtime.journal import _replay_segments
+
+    completed, _dropped = _replay_segments(journal_dir)
+    return len(completed)
+
+
+def kill_when_journal_reaches(
+    journal_dir: str,
+    cells: int,
+    pid: int,
+    *,
+    poll: float = 0.02,
+    timeout: float = 120.0,
+    sig: int = signal.SIGKILL,
+) -> threading.Thread:
+    """Watcher thread: SIGKILL ``pid`` once the journal holds ``cells``.
+
+    This is the parent kill-point of the chaos harness: the journal is
+    the ground truth for "how far did the sweep get", so killing on a
+    journal count (not a sleep) makes the crash point deterministic
+    under scheduling noise.  The thread is a daemon; it exits silently
+    if the process finishes or disappears first.
+    """
+
+    def _watch() -> None:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if count_journal_cells(journal_dir) >= cells:
+                try:
+                    os.kill(pid, sig)
+                except (ProcessLookupError, PermissionError):
+                    pass
+                return
+            try:
+                os.kill(pid, 0)  # stop polling once the target is gone
+            except (ProcessLookupError, PermissionError):
+                return
+            time.sleep(poll)
+
+    thread = threading.Thread(target=_watch, daemon=True, name="chaos-killer")
+    thread.start()
+    return thread
+
+
+class ChaosPlan:
+    """Seeded, composable fault plan applied as a context manager.
+
+    Builder methods return ``self`` so a plan reads as one declaration::
+
+        plan = (
+            ChaosPlan(seed=7)
+            .worker_crash(0)
+            .replica_fault(service, "timeout", seconds=0.5)
+            .torn_cache_write(cache_dir)
+        )
+        with plan:
+            sweep = observatory.sweep(...)
+
+    ``__enter__`` applies every injection (env vars saved for restore,
+    replica faults queued, cache entries torn); ``__exit__`` restores
+    the environment so plans never leak into the next test.  At most
+    one scheduler injection (crash *or* poison) can be active — the
+    scheduler reads a single spec — and the plan enforces that at build
+    time rather than letting one silently shadow the other.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self._crash_spec: Optional[str] = None
+        self._stall_spec: Optional[str] = None
+        self._replica_faults: List[Tuple[object, Optional[int], str, float]] = []
+        self._torn_dirs: List[str] = []
+        self._kill_points: List[Tuple[str, int, int]] = []
+        self._saved_env: Dict[str, Optional[str]] = {}
+        self._watchers: List[threading.Thread] = []
+        self._entered = False
+
+    # -- scheduler layer ----------------------------------------------
+
+    def _set_crash(self, spec: str) -> "ChaosPlan":
+        if self._crash_spec is not None:
+            raise ValueError(
+                f"scheduler crash injection already set to "
+                f"{self._crash_spec!r}; the scheduler honors one spec"
+            )
+        self._crash_spec = spec
+        return self
+
+    def worker_crash(self, worker_id: int) -> "ChaosPlan":
+        """Hard-exit worker ``worker_id`` on its first dispatched group."""
+        return self._set_crash(f"worker:{worker_id}")
+
+    def poison_cell(self, model: str, property_name: str) -> "ChaosPlan":
+        """Crash whichever worker reaches cell ``model/property_name``."""
+        return self._set_crash(f"cell:{model}/{property_name}")
+
+    def worker_stall(self, worker_id: int, seconds: float) -> "ChaosPlan":
+        """Make worker ``worker_id`` a straggler before its first group."""
+        if self._stall_spec is not None:
+            raise ValueError(
+                f"scheduler stall injection already set to "
+                f"{self._stall_spec!r}; the scheduler honors one spec"
+            )
+        self._stall_spec = f"{worker_id}:{seconds}"
+        return self
+
+    # -- transport layer ----------------------------------------------
+
+    def replica_fault(
+        self,
+        service: object,
+        kind: str,
+        *,
+        seconds: float = 0.75,
+        replica: Optional[int] = None,
+        count: int = 1,
+    ) -> "ChaosPlan":
+        """Queue ``count`` one-shot transport faults on an encoder double.
+
+        ``service`` is a
+        :class:`~repro.testing.encoder_service.LoopbackEncoderService`
+        (``replica`` ignored) or a
+        :class:`~repro.testing.encoder_service.FleetHarness`
+        (``replica`` selects the target; unset picks one under the
+        plan's seed at apply time).  Fault ``kind`` is validated by the
+        service when applied (timeout / http_500 / torn / tamper /
+        shuffle).
+        """
+        if count < 1:
+            raise ValueError("count must be positive")
+        for _ in range(count):
+            self._replica_faults.append((service, replica, kind, seconds))
+        return self
+
+    # -- disk layer ---------------------------------------------------
+
+    def torn_cache_write(self, cache_dir: str) -> "ChaosPlan":
+        """Tear one existing disk-tier entry (seeded pick) on apply.
+
+        The entry is truncated mid-payload — exactly the state a crash
+        between payload write and rename leaves behind.  The disk tier's
+        contract is to *drop and recompute*, never to serve the torn
+        bytes, so a sweep over a torn cache must still be bit-identical.
+        Applying to a cache directory with no entries is a no-op (there
+        is nothing to tear — callers populate the cache first).
+        """
+        self._torn_dirs.append(cache_dir)
+        return self
+
+    # -- parent kill-points -------------------------------------------
+
+    def parent_kill(
+        self, journal_dir: str, after_cells: int, pid: int
+    ) -> "ChaosPlan":
+        """SIGKILL ``pid`` once ``journal_dir`` records ``after_cells``.
+
+        The watcher starts on ``__enter__`` (see
+        :func:`kill_when_journal_reaches`).
+        """
+        if after_cells < 1:
+            raise ValueError("after_cells must be positive")
+        self._kill_points.append((journal_dir, after_cells, pid))
+        return self
+
+    # -- lifecycle ----------------------------------------------------
+
+    def describe(self) -> Dict[str, object]:
+        """Loggable summary of the plan (what a CI failure should print)."""
+        return {
+            "seed": self.seed,
+            "scheduler_crash": self._crash_spec,
+            "scheduler_stall": self._stall_spec,
+            "replica_faults": [
+                {"kind": kind, "seconds": seconds, "replica": replica}
+                for _service, replica, kind, seconds in self._replica_faults
+            ],
+            "torn_cache_dirs": list(self._torn_dirs),
+            "parent_kills": [
+                {"journal": journal, "after_cells": cells, "pid": pid}
+                for journal, cells, pid in self._kill_points
+            ],
+        }
+
+    def _tear_one_entry(self, cache_dir: str) -> Optional[str]:
+        try:
+            names = sorted(
+                name
+                for name in os.listdir(cache_dir)
+                if name.endswith(".npy") and not name.startswith(".tmp-")
+            )
+        except FileNotFoundError:
+            return None
+        if not names:
+            return None
+        victim = os.path.join(cache_dir, self.rng.choice(names))
+        size = os.path.getsize(victim)
+        with open(victim, "r+b") as handle:
+            handle.truncate(max(1, size // 2))
+        return victim
+
+    def __enter__(self) -> "ChaosPlan":
+        if self._entered:
+            raise RuntimeError("ChaosPlan is not reentrant; build a new plan")
+        self._entered = True
+        env: Dict[str, Optional[str]] = {}
+        if self._crash_spec is not None:
+            env[CRASH_ENV] = self._crash_spec
+        if self._stall_spec is not None:
+            env[STALL_ENV] = self._stall_spec
+        for key, value in env.items():
+            self._saved_env[key] = os.environ.get(key)
+            os.environ[key] = value  # type: ignore[assignment]
+        for service, replica, kind, seconds in self._replica_faults:
+            if hasattr(service, "replicas"):  # FleetHarness
+                index = (
+                    replica
+                    if replica is not None
+                    else self.rng.randrange(len(service.replicas))
+                )
+                service.inject(index, kind, seconds=seconds)
+            else:  # LoopbackEncoderService
+                service.inject(kind, seconds=seconds)
+        for cache_dir in self._torn_dirs:
+            self._tear_one_entry(cache_dir)
+        for journal_dir, cells, pid in self._kill_points:
+            self._watchers.append(
+                kill_when_journal_reaches(journal_dir, cells, pid)
+            )
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        for key, value in self._saved_env.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+        self._saved_env.clear()
+        self._entered = False
+
+
+def assert_sweep_invariant(sweep, planned: int) -> None:
+    """Assert the harness invariant on a finished sweep.
+
+    ``planned`` is the number of runnable cells the caller expected
+    (after skips).  Every one of them must be accounted for **exactly
+    once** — as a completed cell or a named :class:`CellFailure` —
+    with no duplicates and nothing silently dropped.  Hang-freedom is
+    asserted by the sweep having returned at all (pair with a test
+    timeout); resume bit-identity is asserted by the caller comparing
+    ``to_dict()`` forms across runs.
+    """
+    seen = [(c.model_name, c.property_name) for c in sweep.cells]
+    failed = [(f.model_name, f.property_name) for f in sweep.failures]
+    combined = seen + failed
+    if len(set(combined)) != len(combined):
+        raise AssertionError(
+            f"sweep double-counted cells: completed={sorted(seen)} "
+            f"failed={sorted(failed)}"
+        )
+    if len(combined) != planned:
+        raise AssertionError(
+            f"sweep dropped cells: {planned} planned, "
+            f"{len(seen)} completed + {len(failed)} degraded accounted"
+        )
+    for failure in sweep.failures:
+        if not failure.error or not failure.message:
+            raise AssertionError(
+                f"degraded cell {failure.model_name}/"
+                f"{failure.property_name} lacks a named error: {failure!r}"
+            )
