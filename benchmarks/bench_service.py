@@ -1,0 +1,253 @@
+"""Characterization-service benchmark: request latency cold vs cache-hot.
+
+Starts an in-process :class:`repro.CharacterizationService` over a
+benchmark-scale Observatory and measures, through the real HTTP plane
+(:class:`repro.ServiceClient` over keep-alive ``http.client``):
+
+- **cold characterization** latency (p50/p95) — each request is a distinct
+  (model, property) cell, so every one runs a full sweep behind the
+  admission queue;
+- **cache-hot** latency and throughput (req/s) — the same cells again,
+  answered from the service result cache without touching the runtime;
+- **served index queries** (p50/p95) against a :class:`repro.ColumnIndex`
+  built and populated through the ``/v1/index`` routes.
+
+Gates:
+
+- every cold result is bit-identical to the same cell re-requested hot
+  (the cache returns the stored payload, never a recomputation);
+- cache-hot median latency is **>= 5x faster** than cold median — the
+  fast path must actually be fast;
+- served index hits equal a direct :meth:`ColumnIndex.query` oracle call.
+
+Usage::
+
+    python benchmarks/bench_service.py                 # full panel
+    python benchmarks/bench_service.py --smoke         # tiny CI gate
+    python benchmarks/bench_service.py --json BENCH_service.json
+
+``--json PATH`` writes every timing into a machine-readable record
+(written even when a gate fails, so CI keeps the evidence).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import tempfile
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro import ColumnIndex, Observatory, ServiceClient
+from repro.core.framework import DatasetSizes
+from repro.service import CharacterizationService, ServiceConfig
+
+DIM = 48
+FULL_MODELS = ["bert", "roberta", "t5", "tapas"]
+FULL_PROPERTIES = ["row_order_insignificance", "sample_fidelity"]
+SMOKE_MODELS = ["bert", "t5"]
+SMOKE_PROPERTIES = ["row_order_insignificance", "sample_fidelity"]
+FULL_INDEX_ROWS = 512
+SMOKE_INDEX_ROWS = 128
+FULL_INDEX_QUERIES = 50
+SMOKE_INDEX_QUERIES = 20
+HOT_ROUNDS_PER_CELL = 5
+CACHE_SPEEDUP_FLOOR = 5.0
+
+
+def bench_observatory() -> Observatory:
+    return Observatory(
+        seed=7,
+        sizes=DatasetSizes(
+            wikitables_tables=3,
+            spider_databases=2,
+            nextiajd_pairs=6,
+            sotab_tables=4,
+            n_permutations=4,
+            min_rows=4,
+            max_rows=6,
+        ),
+    )
+
+
+def percentile_ms(samples: List[float], q: float) -> float:
+    return float(np.percentile(np.asarray(samples), q) * 1e3)
+
+
+def bench_requests(client: ServiceClient, cells: List[tuple]) -> Dict[str, object]:
+    cold: List[float] = []
+    cold_results = {}
+    for model, prop in cells:
+        t0 = time.perf_counter()
+        result = client.characterize([model], [prop])
+        cold.append(time.perf_counter() - t0)
+        cold_results[(model, prop)] = result
+
+    hot: List[float] = []
+    t_hot0 = time.perf_counter()
+    for _ in range(HOT_ROUNDS_PER_CELL):
+        for model, prop in cells:
+            t0 = time.perf_counter()
+            result = client.characterize([model], [prop])
+            hot.append(time.perf_counter() - t0)
+            assert result == cold_results[(model, prop)], (
+                f"cache-hot payload diverged from cold for ({model}, {prop})"
+            )
+    hot_wall = time.perf_counter() - t_hot0
+
+    stats = client.stats()
+    return {
+        "cells": len(cells),
+        "cold_requests": len(cold),
+        "hot_requests": len(hot),
+        "cold_p50_ms": percentile_ms(cold, 50),
+        "cold_p95_ms": percentile_ms(cold, 95),
+        "hot_p50_ms": percentile_ms(hot, 50),
+        "hot_p95_ms": percentile_ms(hot, 95),
+        "hot_req_per_s": len(hot) / max(hot_wall, 1e-9),
+        "cache_speedup_p50": percentile_ms(cold, 50) / max(percentile_ms(hot, 50), 1e-9),
+        "cache_hits": stats["cache"]["hits"],
+        "cache_identical": True,
+    }
+
+
+def bench_index(
+    client: ServiceClient, scratch: str, rows: int, n_queries: int
+) -> Dict[str, object]:
+    rng = np.random.default_rng(rows)
+    directory = os.path.join(scratch, "served-index")
+    client.index_create(directory, dim=DIM)
+    entries = [
+        {"key": f"col{i}", "vector": vec.tolist()}
+        for i, vec in enumerate(rng.normal(size=(rows, DIM)))
+    ]
+    t0 = time.perf_counter()
+    client.index_append(directory, entries=entries)
+    append_seconds = time.perf_counter() - t0
+
+    queries = rng.normal(size=(n_queries, DIM))
+    oracle = ColumnIndex.open(directory)
+    latencies: List[float] = []
+    for query in queries:
+        t0 = time.perf_counter()
+        hits = client.index_query(directory, vector=query.tolist(), k=5)["hits"]
+        latencies.append(time.perf_counter() - t0)
+        expected = [
+            {"key": key, "score": score}
+            for key, score in oracle.query(query, 5, prune="off")
+        ]
+        assert [h["key"] for h in hits] == [e["key"] for e in expected], (
+            "served index query diverged from the direct ColumnIndex oracle"
+        )
+    return {
+        "rows": rows,
+        "dim": DIM,
+        "queries": n_queries,
+        "append_seconds": append_seconds,
+        "append_rows_per_s": rows / max(append_seconds, 1e-9),
+        "query_p50_ms": percentile_ms(latencies, 50),
+        "query_p95_ms": percentile_ms(latencies, 95),
+        "oracle_identical": True,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny panel + hardware-independent assertions (CI gate)",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        dest="json_path",
+        help="write a machine-readable BENCH_*.json record",
+    )
+    args = parser.parse_args(argv)
+    models = SMOKE_MODELS if args.smoke else FULL_MODELS
+    properties = SMOKE_PROPERTIES if args.smoke else FULL_PROPERTIES
+    index_rows = SMOKE_INDEX_ROWS if args.smoke else FULL_INDEX_ROWS
+    index_queries = SMOKE_INDEX_QUERIES if args.smoke else FULL_INDEX_QUERIES
+    cells = [(model, prop) for model in models for prop in properties]
+
+    payload: Dict[str, object] = {
+        "bench": "service",
+        "schema_version": 1,
+        "mode": "smoke" if args.smoke else "full",
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "models": models,
+        "properties": properties,
+        "cache_speedup_floor": CACHE_SPEEDUP_FLOOR,
+        "timestamp": time.time(),
+    }
+
+    print("=" * 72)
+    print(
+        f"Characterization service benchmark — {len(cells)} cells "
+        f"({len(models)} models x {len(properties)} properties), "
+        f"index rows={index_rows}"
+    )
+    print("=" * 72)
+    try:
+        with tempfile.TemporaryDirectory() as scratch:
+            service = CharacterizationService(
+                bench_observatory(),
+                config=ServiceConfig(
+                    state_dir=os.path.join(scratch, "state"),
+                    queue_limit=max(8, len(cells)),
+                    runners=2,
+                ),
+            )
+            service.start()
+            try:
+                client = ServiceClient(service.url)
+                requests = bench_requests(client, cells)
+                payload["requests"] = requests
+                print(
+                    f"requests: cold p50 {requests['cold_p50_ms']:.1f}ms / "
+                    f"p95 {requests['cold_p95_ms']:.1f}ms | cache-hot p50 "
+                    f"{requests['hot_p50_ms']:.2f}ms / p95 "
+                    f"{requests['hot_p95_ms']:.2f}ms "
+                    f"({requests['hot_req_per_s']:.0f} req/s) | speedup "
+                    f"{requests['cache_speedup_p50']:.1f}x | payload-identical"
+                )
+                index = bench_index(client, scratch, index_rows, index_queries)
+                payload["index"] = index
+                print(
+                    f"index: append {index['append_rows_per_s']:.0f} rows/s | "
+                    f"served query p50 {index['query_p50_ms']:.2f}ms / p95 "
+                    f"{index['query_p95_ms']:.2f}ms | oracle-identical"
+                )
+                client.close()
+            finally:
+                service.close()
+
+        assert requests["cache_speedup_p50"] >= CACHE_SPEEDUP_FLOOR, (
+            f"cache-hot median only {requests['cache_speedup_p50']:.1f}x "
+            f"faster than cold (floor {CACHE_SPEEDUP_FLOOR}x)"
+        )
+        payload["gates_passed"] = True
+        print(
+            f"gates: cache payload identity; cache-hot >= "
+            f"{CACHE_SPEEDUP_FLOOR:.0f}x faster than cold "
+            f"({requests['cache_speedup_p50']:.1f}x); served index "
+            f"oracle-identical"
+        )
+    finally:
+        if args.json_path:
+            with open(args.json_path, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+            print(f"wrote {args.json_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,10 +28,14 @@ from repro.core.results import DistributionSummary, PropertyResult, SkippedCell
 from repro.models.registry import available_models, load_model, register_model
 from repro.relational.table import Table
 from repro.runtime import RuntimeConfig, SweepResult, TransportConfig
+from repro.service import CharacterizationService, ServiceClient, ServiceConfig
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "CharacterizationService",
+    "ServiceClient",
+    "ServiceConfig",
     "ColumnIndex",
     "Observatory",
     "DatasetSizes",

@@ -293,3 +293,47 @@ def render_index(
         for key, score in hits:
             lines.append(f"    {score:+.6f}  {key}")
     return "\n".join(lines)
+
+
+def render_service(stats: Dict[str, object]) -> str:
+    """Plain-text rendering of a service stats snapshot for CLI/CI logs.
+
+    ``stats`` is :meth:`repro.service.CharacterizationService.stats_snapshot`
+    output (also what ``GET /v1/stats`` serves).
+    """
+    jobs = dict(stats.get("jobs") or {})
+    cache = dict(stats.get("cache") or {})
+    index = dict(stats.get("index") or {})
+    lines = [
+        "Characterization service",
+        (
+            f"  jobs: {jobs.get('done', 0)} done, "
+            f"{jobs.get('failed', 0)} failed, "
+            f"{jobs.get('running', 0)} running, "
+            f"{jobs.get('queued', 0)} queued "
+            f"(queue {stats.get('queue_depth', 0)}/"
+            f"{stats.get('queue_limit', 0)}"
+            f"{', held' if stats.get('held') else ''})"
+        ),
+        (
+            f"  result cache: {cache.get('hits', 0)} hits, "
+            f"{cache.get('entries', 0)}/{cache.get('limit', 0)} entries; "
+            f"{stats.get('deduplicated', 0)} deduplicated, "
+            f"{stats.get('rejected', 0)} rejected (429)"
+        ),
+        (
+            f"  planes: {stats.get('encode_requests', 0)} encode request(s), "
+            f"{stats.get('tables', 0)} uploaded table(s), "
+            f"{index.get('open_handles', 0)} index handle(s) "
+            f"({index.get('reopens', 0)} generation reopen(s))"
+        ),
+        f"  backend: {stats.get('backend', '?')}",
+    ]
+    if stats.get("replayed_requests"):
+        lines.append(
+            f"  replayed {stats['replayed_requests']} journaled request(s) "
+            f"from a prior run"
+        )
+    if stats.get("state_dir"):
+        lines.append(f"  state dir: {stats['state_dir']}")
+    return "\n".join(lines)

@@ -36,6 +36,16 @@ of aborting; ``--deadline SECONDS`` bounds the sweep's wall clock.
 SIGINT/SIGTERM seal the journal and exit 130 with a resume hint.  Output
 is plain text suited to terminals and CI logs.
 
+``serve`` runs the always-on characterization service
+(:mod:`repro.service`): a keep-alive HTTP server that accepts table
+uploads and characterization requests, multiplexes concurrent clients
+over one shared Observatory behind a bounded admission queue (typed 429
++ ``Retry-After`` past ``--queue-limit``), answers repeat queries from
+the result cache, streams per-cell progress, serves the column index
+(``/v1/index/*``), doubles as an encoder-fleet replica (``/encode``),
+and — given ``--state-dir`` — journals accepted requests so a killed
+service replays them on restart.
+
 ``index`` manages the persistent columnar joinability-search index
 (:mod:`repro.index`): ``build`` embeds a NextiaJD candidate-column corpus
 through the fingerprint-keyed embedding cache (share ``--disk-cache``
@@ -371,6 +381,72 @@ def _build_parser() -> argparse.ArgumentParser:
         "info", help="describe an existing index directory"
     )
     index_info.add_argument("--dir", required=True, help="index directory")
+
+    serve = commands.add_parser(
+        "serve", help="run the always-on characterization service"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=0, help="bind port (0 picks a free port)"
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=8,
+        help=(
+            "admission-queue bound: submissions past it receive a typed "
+            "429 with Retry-After instead of queueing unboundedly "
+            "(default 8)"
+        ),
+    )
+    serve.add_argument(
+        "--runners",
+        type=int,
+        default=2,
+        help="job-runner threads draining the admission queue (default 2)",
+    )
+    serve.add_argument(
+        "--sweep-workers",
+        type=int,
+        default=None,
+        help="worker-pool size of each served sweep (default: runtime auto)",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=32,
+        help="finished results kept for repeat queries, LRU (default 32)",
+    )
+    serve.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "durability root: accepted requests are write-ahead journaled "
+            "under DIR and replayed when a killed service restarts over "
+            "the same DIR (default: a fresh temporary directory)"
+        ),
+    )
+    serve.add_argument(
+        "--request-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock bound of each served characterization (default: none)",
+    )
+    serve.add_argument(
+        "--retry-after",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="Retry-After advertised on 429 responses (default 0.5)",
+    )
+    serve.add_argument(
+        "--disk-cache",
+        default=None,
+        metavar="DIR",
+        help="persist the embedding cache under DIR across restarts",
+    )
     return parser
 
 
@@ -617,6 +693,53 @@ def _run_index(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    import threading
+
+    from repro.analysis.report import render_service
+    from repro.service import CharacterizationService, ServiceConfig
+
+    runtime = (
+        RuntimeConfig(disk_cache_dir=args.disk_cache) if args.disk_cache else None
+    )
+    observatory = _make_observatory(args, runtime=runtime)
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        queue_limit=args.queue_limit,
+        runners=args.runners,
+        sweep_workers=args.sweep_workers,
+        cache_size=args.cache_size,
+        state_dir=args.state_dir,
+        request_deadline=args.request_deadline,
+        retry_after=args.retry_after,
+    )
+    service = CharacterizationService(observatory, config=config).start()
+    print(f"characterization service listening on {service.url}", flush=True)
+    print(f"state dir: {service.state_dir}", flush=True)
+
+    stop = threading.Event()
+
+    def _interrupt(signum, frame):
+        stop.set()
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, _interrupt)
+        except ValueError:  # non-main thread (embedding callers)
+            break
+    try:
+        while not stop.wait(0.2):
+            pass
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        service.close()
+    print(render_service(service.stats_snapshot()), file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -635,6 +758,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _run_sweep(args)
         if args.command == "index":
             return _run_index(args)
+        if args.command == "serve":
+            return _run_serve(args)
     except ObservatoryError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

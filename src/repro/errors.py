@@ -95,8 +95,29 @@ class DeadlineExceededError(SweepError):
     deadline expired before the work completed."""
 
 
+class ServiceError(ObservatoryError):
+    """The characterization service failed to bind, serve, or shut down."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """The service's bounded admission queue is full.
+
+    Maps to HTTP 429 on the wire; ``retry_after`` (seconds) rides along
+    as the ``Retry-After`` header so clients back off an informed amount
+    instead of guessing.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 1.0):
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
 class JournalError(ObservatoryError):
     """The write-ahead sweep journal is missing, corrupt, or misused."""
+
+
+class RequestJournalError(JournalError):
+    """The service's request journal is missing, corrupt, or misused."""
 
 
 class StaleJournalError(JournalError):

@@ -46,7 +46,7 @@ import json
 import os
 import re
 import threading
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import JournalError, StaleJournalError
 
@@ -311,12 +311,20 @@ def _next_segment_index(directory: str) -> int:
     return (max(indices) + 1) if indices else 1
 
 
-def _replay_segments(
-    directory: str,
-) -> Tuple[Dict[CellKey, Dict[str, object]], int]:
-    """Recover completed-cell outcomes; count (don't fail on) bad lines."""
-    completed: Dict[CellKey, Dict[str, object]] = {}
-    dropped = 0
+def iter_records(
+    directory: str, *, on_drop: Optional[Callable[[str], None]] = None
+) -> Iterator[Dict[str, object]]:
+    """Yield digest-verified records from every segment, in append order.
+
+    The public replay seam: sealed and unsealed (``.part``) segments are
+    read alike, torn tails and garbage lines are skipped individually
+    (``on_drop`` is called with the offending line when given), and
+    first-record-wins dedup is the *caller's* concern — this yields the
+    raw verified stream.  Safe to call while a journal is still
+    appending: every append is fsynced, so a concurrent read only ever
+    lags by in-flight records.  Both the sweep journal's resume and the
+    service's request journal / live cell streaming are built on it.
+    """
     for path in _segment_paths(directory):
         try:
             with open(path, "r", encoding="utf-8") as handle:
@@ -333,9 +341,26 @@ def _replay_segments(
                 if envelope["d"] != record_digest(record):
                     raise ValueError("digest mismatch")
             except (ValueError, KeyError, TypeError):
-                dropped += 1  # torn tail or garbage — skip just this line
+                if on_drop is not None:
+                    on_drop(line)  # torn tail or garbage — skip this line
                 continue
-            if record.get("type") == "cell":
-                key = (record["model"], record["property"])
-                completed.setdefault(key, record["cell"])
+            if isinstance(record, dict):
+                yield record
+
+
+def _replay_segments(
+    directory: str,
+) -> Tuple[Dict[CellKey, Dict[str, object]], int]:
+    """Recover completed-cell outcomes; count (don't fail on) bad lines."""
+    completed: Dict[CellKey, Dict[str, object]] = {}
+    dropped = 0
+
+    def _count(_line: str) -> None:
+        nonlocal dropped
+        dropped += 1
+
+    for record in iter_records(directory, on_drop=_count):
+        if record.get("type") == "cell":
+            key = (record["model"], record["property"])
+            completed.setdefault(key, record["cell"])
     return completed, dropped

@@ -1,0 +1,49 @@
+"""The always-on characterization service.
+
+This package turns the one-shot library into a product surface: a
+long-running HTTP service (``repro serve``) that accepts table uploads
+and characterization / joinability queries, multiplexes concurrent
+clients over the shared sweep engine behind a bounded admission queue,
+streams incremental per-cell results, serves repeat queries straight
+from the fingerprinted result cache, and journals accepted requests so a
+killed service replays them on restart.
+
+Layers (each one re-based on an existing seam, not built beside it):
+
+- :mod:`repro.service.http` — the shared keep-alive HTTP/1.1 + gzip +
+  JSON wire plane, extracted from the loopback encoder service; the
+  **one** server implementation in the tree
+  (:class:`~repro.testing.encoder_service.LoopbackEncoderService` and
+  :class:`~repro.testing.encoder_service.FleetHarness` are rebuilt on
+  it).
+- :mod:`repro.service.encode` — the ``/encode`` endpoint semantics
+  (``TokenArray`` wire + ``ModelConfig`` codecs from the remote
+  backend protocol), shared by the loopback test double and ``repro
+  serve`` — a served instance doubles as an encoder-fleet replica.
+- :mod:`repro.service.journal` — the request journal: accepted-but-
+  unfinished requests in the PR 9 write-ahead segment format, replayed
+  on restart.
+- :mod:`repro.service.app` — :class:`CharacterizationService`: request
+  plane (admission queue, jobs, streaming, result cache), index plane
+  (:class:`~repro.index.ColumnIndex` build/append/query with
+  generation-checked shared handles), durability plane.
+- :mod:`repro.service.client` — :class:`ServiceClient`, the blocking
+  HTTP client the CLI, tests, benchmarks, and CI smoke use.
+"""
+
+from repro.service.app import CharacterizationService, ServiceConfig
+from repro.service.client import ServiceClient, cells_from_result
+from repro.service.http import HttpPlane, WireRequest, WireResponse
+from repro.service.journal import RequestJournal, pending_requests
+
+__all__ = [
+    "CharacterizationService",
+    "HttpPlane",
+    "RequestJournal",
+    "ServiceClient",
+    "ServiceConfig",
+    "WireRequest",
+    "WireResponse",
+    "cells_from_result",
+    "pending_requests",
+]

@@ -1,0 +1,324 @@
+"""Blocking HTTP client for the characterization service.
+
+:class:`ServiceClient` is the stdlib-only counterpart of
+:class:`~repro.service.app.CharacterizationService`: one keep-alive
+connection (reconnecting once on a stale socket — the server may close
+idle keep-alive connections between calls), gzip response negotiation,
+and typed errors — a 429 surfaces as
+:class:`~repro.errors.ServiceOverloadedError` carrying the server's
+``Retry-After``, every other failure as
+:class:`~repro.errors.ServiceError`; a client never hangs on an
+overloaded service and never has to parse status codes itself.
+
+The CLI, the concurrent-client test suite, the service benchmark, and
+the CI service-smoke job all drive the service through this client, so
+its blocking semantics (``characterize`` returns the finished result;
+``stream_characterize`` yields cells as they land) are the service's
+de-facto contract.
+"""
+
+from __future__ import annotations
+
+import gzip
+import http.client
+import json
+import socket
+import time
+from typing import Dict, Iterator, List, Optional
+from urllib.parse import quote, urlsplit
+
+from repro.errors import ServiceError, ServiceOverloadedError
+from repro.runtime.sweep import SweepCell
+
+
+def cells_from_result(result: Dict[str, object]) -> List[SweepCell]:
+    """Reconstruct typed :class:`SweepCell` objects from a service result.
+
+    The service ships cells in their lossless journal form, so a client
+    can compare them cell-for-cell against a local
+    :meth:`Observatory.sweep` run — the parity the concurrent-client
+    suite asserts.
+    """
+    return [SweepCell.from_jsonable(cell) for cell in result.get("cells", [])]
+
+
+class ServiceClient:
+    """Blocking client; usable as a context manager (closes the socket)."""
+
+    def __init__(self, url: str, *, timeout: float = 60.0):
+        split = urlsplit(url)
+        if split.scheme not in ("http", "") or not split.netloc and not split.path:
+            raise ServiceError(f"unsupported service url {url!r}")
+        netloc = split.netloc or split.path
+        host, _, port = netloc.partition(":")
+        self._host = host or "127.0.0.1"
+        self._port = int(port or 80)
+        self._timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- wire ----------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self._host, self._port, timeout=self._timeout
+            )
+            self._conn.connect()
+            # Headers and body go out as separate writes; without this the
+            # Nagle / delayed-ACK interaction adds ~40ms per round trip.
+            self._conn.sock.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+            )
+        return self._conn
+
+    def _drop_connection(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except Exception:
+                pass
+            self._conn = None
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[object] = None,
+    ) -> Dict[str, object]:
+        """One JSON round trip; raises typed on 4xx/5xx (see module doc)."""
+        body = None
+        headers = {"Accept-Encoding": "gzip"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        last_error: Optional[Exception] = None
+        for attempt in range(2):  # one reconnect on a stale keep-alive socket
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+                break
+            except (http.client.HTTPException, OSError) as exc:
+                last_error = exc
+                self._drop_connection()
+        else:
+            raise ServiceError(
+                f"{method} {path} failed after reconnect: {last_error}"
+            ) from last_error
+        if response.getheader("Content-Encoding", "").lower() == "gzip":
+            raw = gzip.decompress(raw)
+        try:
+            data: Dict[str, object] = json.loads(raw) if raw else {}
+        except json.JSONDecodeError as exc:
+            raise ServiceError(
+                f"{method} {path} returned unparseable body "
+                f"(status {response.status}): {exc}"
+            ) from exc
+        if response.status == 429:
+            retry_after = float(response.getheader("Retry-After", "1") or 1)
+            raise ServiceOverloadedError(
+                str(data.get("error", "service overloaded")),
+                retry_after=retry_after,
+            )
+        if response.status >= 400:
+            detail = data.get("error") or repr(raw[:200])
+            raise ServiceError(
+                f"{method} {path} failed with {response.status}: {detail}"
+            )
+        return data
+
+    # -- request plane -------------------------------------------------
+
+    def health(self) -> Dict[str, object]:
+        return self.request("GET", "/healthz")
+
+    def stats(self) -> Dict[str, object]:
+        return self.request("GET", "/v1/stats")
+
+    def submit(
+        self, models: List[str], properties: Optional[List[str]] = None
+    ) -> Dict[str, object]:
+        """Submit a characterization; returns the acceptance payload.
+
+        Cache hits come back already finished (``status == "done"`` with
+        the result inline); otherwise the payload carries the job id to
+        poll or stream.
+        """
+        return self.request(
+            "POST",
+            "/v1/characterize",
+            {"models": models, "properties": properties},
+        )
+
+    def job(self, job_id: str, *, wait: float = 0.0) -> Dict[str, object]:
+        path = f"/v1/jobs/{job_id}"
+        if wait > 0:
+            path += f"?wait={wait:g}"
+        return self.request("GET", path)
+
+    def characterize(
+        self,
+        models: List[str],
+        properties: Optional[List[str]] = None,
+        *,
+        timeout: float = 600.0,
+    ) -> Dict[str, object]:
+        """Submit and block until the result is available (or fail typed)."""
+        accepted = self.submit(models, properties)
+        if accepted.get("status") == "done":
+            return accepted["result"]  # cache hit: finished at submit time
+        job_id = str(accepted["job_id"])
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ServiceError(
+                    f"job {job_id} did not finish within {timeout:g}s"
+                )
+            status = self.job(job_id, wait=min(remaining, 5.0))
+            if status.get("status") == "done":
+                return status["result"]
+            if status.get("status") == "failed":
+                raise ServiceError(
+                    f"job {job_id} failed: "
+                    f"{status.get('error_type', 'error')}: "
+                    f"{status.get('error', '')}"
+                )
+
+    def stream_characterize(
+        self, models: List[str], properties: Optional[List[str]] = None
+    ) -> Iterator[Dict[str, object]]:
+        """Submit and yield NDJSON records (cells, then a summary) live.
+
+        Uses a dedicated connection: a live stream occupies its socket
+        until the job finishes, and the client's keep-alive connection
+        must stay usable for status calls meanwhile.
+        """
+        accepted = self.submit(models, properties)
+        if accepted.get("status") == "done":
+            result = accepted["result"]
+            for cell in result.get("cells", []):
+                yield {
+                    "type": "cell",
+                    "model": cell["model"],
+                    "property": cell["property"],
+                    "cell": cell,
+                }
+            yield {
+                "type": "summary",
+                "job_id": accepted["job_id"],
+                "status": "done",
+                "cells": len(result.get("cells", [])),
+                "cache_hit": True,
+            }
+            return
+        job_id = str(accepted["job_id"])
+        conn = http.client.HTTPConnection(
+            self._host, self._port, timeout=self._timeout
+        )
+        try:
+            conn.request("GET", f"/v1/jobs/{job_id}/stream")
+            response = conn.getresponse()
+            if response.status >= 400:
+                raise ServiceError(
+                    f"stream of job {job_id} failed with {response.status}"
+                )
+            while True:
+                line = response.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            conn.close()
+
+    # -- table uploads -------------------------------------------------
+
+    def upload_table(
+        self,
+        table_id: str,
+        columns: List[List[object]],
+        *,
+        caption: str = "",
+    ) -> Dict[str, object]:
+        return self.request(
+            "POST",
+            "/v1/tables",
+            {"table_id": table_id, "columns": columns, "caption": caption},
+        )
+
+    def table(self, table_id: str) -> Dict[str, object]:
+        return self.request("GET", f"/v1/tables/{table_id}")
+
+    # -- index plane ---------------------------------------------------
+
+    def index_create(self, directory: str, dim: int) -> Dict[str, object]:
+        return self.request(
+            "POST", "/v1/index/create", {"directory": directory, "dim": dim}
+        )
+
+    def index_append(
+        self,
+        directory: str,
+        *,
+        entries: Optional[List[Dict[str, object]]] = None,
+        table_id: Optional[str] = None,
+        model: Optional[str] = None,
+    ) -> Dict[str, object]:
+        payload: Dict[str, object] = {"directory": directory}
+        if entries is not None:
+            payload["entries"] = entries
+        if table_id is not None:
+            payload["table_id"] = table_id
+        if model is not None:
+            payload["model"] = model
+        return self.request("POST", "/v1/index/append", payload)
+
+    def index_query(
+        self,
+        directory: str,
+        *,
+        vector: Optional[List[float]] = None,
+        table_id: Optional[str] = None,
+        column: Optional[str] = None,
+        model: Optional[str] = None,
+        k: int = 5,
+        prune: str = "off",
+    ) -> Dict[str, object]:
+        payload: Dict[str, object] = {"directory": directory, "k": k, "prune": prune}
+        if vector is not None:
+            payload["vector"] = vector
+        if table_id is not None:
+            payload["table_id"] = table_id
+        if column is not None:
+            payload["column"] = column
+        if model is not None:
+            payload["model"] = model
+        return self.request("POST", "/v1/index/query", payload)
+
+    def index_info(self, directory: str) -> Dict[str, object]:
+        return self.request("GET", f"/v1/index/info?dir={quote(directory, safe='')}")
+
+    # -- admin ---------------------------------------------------------
+
+    def hold(self) -> Dict[str, object]:
+        return self.request("POST", "/v1/admin/hold")
+
+    def release(self) -> Dict[str, object]:
+        return self.request("POST", "/v1/admin/release")
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        self._drop_connection()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+__all__ = ["ServiceClient", "cells_from_result"]

@@ -1,0 +1,156 @@
+"""Request journal: accepted-but-unfinished service requests, durably.
+
+The admission contract of the characterization service is *accepted
+means finished*: once a request clears the bounded queue and gets a 202,
+a crash of the service must not silently lose it.  :class:`RequestJournal`
+makes that hold by reusing the PR 9 write-ahead machinery wholesale —
+the same ``plan.json`` fingerprint header, the same append-only
+digest-verified JSONL segments with fsync-per-record and
+seal-by-rename, the same first-record-wins replay — with request-level
+record types layered on top:
+
+- ``{"type": "request", "id": ..., "payload": ...}`` — appended *before*
+  the 202 is sent;
+- ``{"type": "done", "id": ..., "status": ...}`` — appended when the job
+  reaches a terminal state (``done`` or ``failed``).
+
+On restart, :meth:`RequestJournal.open` replays the segments: every
+request without a matching ``done`` is in :attr:`pending`, and the
+service re-enqueues it.  The per-job *sweep* journals (which carry the
+actual cell results) live beside this one, so a replayed request resumes
+its sweep rather than recomputing finished cells.
+
+The plan header is a constant — a request journal has no sweep-shaped
+identity — so :meth:`open` never raises a stale-fingerprint error for a
+journal this build wrote; a directory holding some *other* journal kind
+is refused typed (:class:`~repro.errors.RequestJournalError`).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+from repro.errors import JournalError, RequestJournalError
+from repro.runtime.journal import (
+    JOURNAL_VERSION,
+    PLAN_FILE,
+    SweepJournal,
+    iter_records,
+)
+
+#: The constant plan header every request journal is fingerprinted over.
+REQUEST_PLAN = {"kind": "request-journal", "journal_version": JOURNAL_VERSION}
+
+
+class RequestJournal(SweepJournal):
+    """Write-ahead journal of accepted service requests (see module doc).
+
+    Construct via :meth:`open` — it starts a fresh journal when the
+    directory holds none and resumes (replaying accepted-but-unfinished
+    requests into :attr:`pending`) when one exists.
+
+    Attributes:
+        pending: request payloads accepted but not yet finished, in
+            acceptance order, keyed by request id.  Populated by replay
+            on open and maintained by :meth:`record_request` /
+            :meth:`record_done`.
+        replayed_done: terminal records seen during replay (stats only).
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.pending: Dict[str, Dict[str, object]] = {}
+        self.replayed_done = 0
+
+    @classmethod
+    def open(cls, directory: str) -> "RequestJournal":
+        """Open (resuming) or create the request journal at ``directory``."""
+        try:
+            if os.path.exists(os.path.join(directory, PLAN_FILE)):
+                journal = cls.resume(directory, dict(REQUEST_PLAN))
+            else:
+                journal = cls.start(directory, dict(REQUEST_PLAN))
+        except RequestJournalError:
+            raise
+        except JournalError as exc:
+            # Includes the stale-fingerprint case: the directory holds a
+            # journal of a different kind (e.g. a sweep journal), which a
+            # service must refuse rather than overwrite.
+            raise RequestJournalError(str(exc)) from exc
+        journal._replay_requests()
+        return journal
+
+    def _replay_requests(self) -> None:
+        for record in iter_records(self.directory):
+            kind = record.get("type")
+            if kind == "request":
+                self.pending.setdefault(
+                    str(record["id"]), dict(record.get("payload") or {})
+                )
+            elif kind == "done":
+                self.pending.pop(str(record["id"]), None)
+                self.replayed_done += 1
+
+    # -- appends -------------------------------------------------------
+
+    def record_request(
+        self, request_id: str, payload: Dict[str, object]
+    ) -> None:
+        """Journal an accepted request *before* acknowledging it."""
+        self._append({"type": "request", "id": request_id, "payload": payload})
+        with self._lock:
+            self.pending.setdefault(request_id, payload)
+
+    def record_done(self, request_id: str, status: str = "done") -> None:
+        """Journal a terminal outcome; the request stops replaying."""
+        self._append({"type": "done", "id": request_id, "status": status})
+        with self._lock:
+            self.pending.pop(request_id, None)
+
+    def _append(self, record: Dict[str, object]) -> None:
+        try:
+            super()._append(record)
+        except RequestJournalError:
+            raise
+        except JournalError as exc:
+            raise RequestJournalError(str(exc)) from exc
+
+    # The sweep-shaped appenders make no sense on a request journal;
+    # refuse them typed rather than writing records replay ignores.
+
+    def record_planned(self, cells) -> None:  # noqa: D102
+        raise RequestJournalError(
+            "a RequestJournal records requests, not sweep plans"
+        )
+
+    def record_cell(self, model_name, property_name, cell) -> None:  # noqa: D102
+        raise RequestJournalError(
+            "a RequestJournal records requests, not sweep cells"
+        )
+
+    def record_failure(self, failure) -> None:  # noqa: D102
+        raise RequestJournalError(
+            "a RequestJournal records requests, not sweep failures"
+        )
+
+
+def pending_requests(directory: str) -> Dict[str, Dict[str, object]]:
+    """Read-only replay: accepted-but-unfinished requests at ``directory``.
+
+    Does not open the journal for writing — usable by chaos watchers and
+    tests while a live service owns the directory.
+    """
+    pending: Dict[str, Dict[str, object]] = {}
+    if not os.path.exists(os.path.join(directory, PLAN_FILE)):
+        return pending
+    for record in iter_records(directory):
+        kind = record.get("type")
+        if kind == "request":
+            pending.setdefault(str(record["id"]), dict(record.get("payload") or {}))
+        elif kind == "done":
+            pending.pop(str(record["id"]), None)
+    return pending
+
+
+__all__ = ["RequestJournal", "REQUEST_PLAN", "pending_requests"]

@@ -19,7 +19,9 @@ from repro.testing.chaos import (
     ChaosPlan,
     assert_sweep_invariant,
     count_journal_cells,
+    count_service_cells,
     kill_when_journal_reaches,
+    kill_when_service_reaches,
 )
 from repro.testing.encoder_service import FleetHarness, LoopbackEncoderService
 
@@ -29,5 +31,7 @@ __all__ = [
     "LoopbackEncoderService",
     "assert_sweep_invariant",
     "count_journal_cells",
+    "count_service_cells",
     "kill_when_journal_reaches",
+    "kill_when_service_reaches",
 ]

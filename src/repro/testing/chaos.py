@@ -21,7 +21,12 @@ declarative composition of injections across layers:
   truncated mid-payload, exercising the drop-and-recompute path;
 - **parent kill-points** — a watcher that SIGKILLs a sweep process
   after its write-ahead journal records N completed cells, driving the
-  crash/resume invariant end to end.
+  crash/resume invariant end to end;
+- **service kill-points** — the same idea against a live
+  characterization service (``repro serve --state-dir``): SIGKILL once
+  the per-job journals under the state dir record N cells, then the
+  caller restarts the service over the same state dir and asserts the
+  request journal replays every accepted request to completion.
 
 The invariant the harness exists to check, stated once
 (:func:`assert_sweep_invariant`): **every sweep completes, degrades
@@ -48,7 +53,9 @@ __all__ = [
     "ChaosPlan",
     "assert_sweep_invariant",
     "count_journal_cells",
+    "count_service_cells",
     "kill_when_journal_reaches",
+    "kill_when_service_reaches",
 ]
 
 
@@ -64,6 +71,55 @@ def count_journal_cells(journal_dir: str) -> int:
 
     completed, _dropped = _replay_segments(journal_dir)
     return len(completed)
+
+
+def count_service_cells(state_dir: str) -> int:
+    """Completed cells across *all* per-job sweep journals of a service.
+
+    A characterization service (``repro serve --state-dir``) keeps one
+    write-ahead sweep journal per accepted job under
+    ``state_dir/jobs/<id>``; this sums their durable cell counts — the
+    ground truth for "how far did the service get" that the
+    kill-under-live-traffic scenario triggers on.
+    """
+    jobs_dir = os.path.join(state_dir, "jobs")
+    try:
+        names = os.listdir(jobs_dir)
+    except OSError:
+        return 0
+    total = 0
+    for name in sorted(names):
+        path = os.path.join(jobs_dir, name)
+        if os.path.isdir(path):
+            total += count_journal_cells(path)
+    return total
+
+
+def _kill_when(
+    count, threshold: int, pid: int, *, poll: float, timeout: float, sig: int, name: str
+) -> threading.Thread:
+    """Watcher thread: send ``sig`` to ``pid`` once ``count()`` reaches
+    ``threshold``.  Daemonized; exits silently if the target disappears
+    or the timeout lapses first."""
+
+    def _watch() -> None:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if count() >= threshold:
+                try:
+                    os.kill(pid, sig)
+                except (ProcessLookupError, PermissionError):
+                    pass
+                return
+            try:
+                os.kill(pid, 0)  # stop polling once the target is gone
+            except (ProcessLookupError, PermissionError):
+                return
+            time.sleep(poll)
+
+    thread = threading.Thread(target=_watch, daemon=True, name=name)
+    thread.start()
+    return thread
 
 
 def kill_when_journal_reaches(
@@ -83,25 +139,44 @@ def kill_when_journal_reaches(
     under scheduling noise.  The thread is a daemon; it exits silently
     if the process finishes or disappears first.
     """
+    return _kill_when(
+        lambda: count_journal_cells(journal_dir),
+        cells,
+        pid,
+        poll=poll,
+        timeout=timeout,
+        sig=sig,
+        name="chaos-killer",
+    )
 
-    def _watch() -> None:
-        deadline = time.monotonic() + timeout
-        while time.monotonic() < deadline:
-            if count_journal_cells(journal_dir) >= cells:
-                try:
-                    os.kill(pid, sig)
-                except (ProcessLookupError, PermissionError):
-                    pass
-                return
-            try:
-                os.kill(pid, 0)  # stop polling once the target is gone
-            except (ProcessLookupError, PermissionError):
-                return
-            time.sleep(poll)
 
-    thread = threading.Thread(target=_watch, daemon=True, name="chaos-killer")
-    thread.start()
-    return thread
+def kill_when_service_reaches(
+    state_dir: str,
+    cells: int,
+    pid: int,
+    *,
+    poll: float = 0.02,
+    timeout: float = 120.0,
+    sig: int = signal.SIGKILL,
+) -> threading.Thread:
+    """Watcher thread: SIGKILL a *service* process mid-request.
+
+    Same deterministic-crash-point idea as
+    :func:`kill_when_journal_reaches`, but counting durable cells across
+    every per-job journal under the service's ``--state-dir``
+    (:func:`count_service_cells`) — the trigger for the
+    kill-and-resume-under-live-traffic scenario: restart the service
+    over the same state dir and assert the journaled requests finish.
+    """
+    return _kill_when(
+        lambda: count_service_cells(state_dir),
+        cells,
+        pid,
+        poll=poll,
+        timeout=timeout,
+        sig=sig,
+        name="chaos-service-killer",
+    )
 
 
 class ChaosPlan:
@@ -134,6 +209,7 @@ class ChaosPlan:
         self._replica_faults: List[Tuple[object, Optional[int], str, float]] = []
         self._torn_dirs: List[str] = []
         self._kill_points: List[Tuple[str, int, int]] = []
+        self._service_kills: List[Tuple[str, int, int]] = []
         self._saved_env: Dict[str, Optional[str]] = {}
         self._watchers: List[threading.Thread] = []
         self._entered = False
@@ -225,6 +301,25 @@ class ChaosPlan:
         self._kill_points.append((journal_dir, after_cells, pid))
         return self
 
+    def service_kill(
+        self, state_dir: str, after_cells: int, pid: int
+    ) -> "ChaosPlan":
+        """SIGKILL a live characterization service mid-request.
+
+        The watcher (started on ``__enter__``, see
+        :func:`kill_when_service_reaches`) counts durable cells across
+        every per-job journal under the service's ``state_dir`` and
+        kills ``pid`` once ``after_cells`` are recorded — i.e. while
+        accepted requests are provably in flight.  The scenario's second
+        half is the caller's: restart the service over the same
+        ``state_dir`` and assert its request journal replays the
+        accepted-but-unfinished work to completion.
+        """
+        if after_cells < 1:
+            raise ValueError("after_cells must be positive")
+        self._service_kills.append((state_dir, after_cells, pid))
+        return self
+
     # -- lifecycle ----------------------------------------------------
 
     def describe(self) -> Dict[str, object]:
@@ -241,6 +336,10 @@ class ChaosPlan:
             "parent_kills": [
                 {"journal": journal, "after_cells": cells, "pid": pid}
                 for journal, cells, pid in self._kill_points
+            ],
+            "service_kills": [
+                {"state_dir": state_dir, "after_cells": cells, "pid": pid}
+                for state_dir, cells, pid in self._service_kills
             ],
         }
 
@@ -288,6 +387,10 @@ class ChaosPlan:
         for journal_dir, cells, pid in self._kill_points:
             self._watchers.append(
                 kill_when_journal_reaches(journal_dir, cells, pid)
+            )
+        for state_dir, cells, pid in self._service_kills:
+            self._watchers.append(
+                kill_when_service_reaches(state_dir, cells, pid)
             )
         return self
 

@@ -2,12 +2,14 @@
 
 :class:`LoopbackEncoderService` is the integration-test double for
 :class:`~repro.models.backends.remote.RemoteBackend`.  It is a genuine
-HTTP server (stdlib ``http.server``, threaded, bound to a loopback port —
-no new runtime dependencies) that speaks the exact protocol the remote
-backend ships: JSON requests carrying :func:`wire_to_jsonable` payloads
-in, base64 hidden states with digest echoes out.  Behind the wire it runs
-a **real** :class:`LocalBackend` (or :class:`PaddedBackend` when the
-request says ``mode="padded"``) on an encoder rebuilt from the shipped
+HTTP server bound to a loopback port — no new runtime dependencies —
+built on the tree's shared HTTP plane
+(:class:`~repro.service.http.HttpPlane`) and the shared ``/encode``
+semantics (:class:`~repro.service.encode.EncoderPool`): JSON requests
+carrying :func:`wire_to_jsonable` payloads in, base64 hidden states with
+digest echoes out.  Behind the wire it runs a **real**
+:class:`LocalBackend` (or :class:`PaddedBackend` when the request says
+``mode="padded"``) on an encoder rebuilt from the shipped
 :class:`ModelConfig` — so a test that compares remote against local
 results is comparing two independent processes' worth of state (interner,
 weights, content vectors) reconstructed from configuration, which is
@@ -18,10 +20,12 @@ connection pool is exercised for real), accepts gzip request bodies and
 negotiates gzip responses via ``Accept-Encoding``, and honors the
 protocol-2 ``state_dtype`` field — ``"float32"`` states are rounded to
 little-endian float32 on the wire and tagged with a ``dtype`` echo.
-Protocol-1 requests (no ``state_dtype``) still work.
+Protocol-1 requests (no ``state_dtype``) still work.  All of that now
+lives in the shared plane; what stays *here* is exactly the part a test
+double owns — fault injection:
 
-Fault injection: :meth:`LoopbackEncoderService.inject` queues one-shot
-faults consumed FIFO by subsequent requests —
+:meth:`LoopbackEncoderService.inject` queues one-shot faults consumed
+FIFO by subsequent requests —
 
 - ``"http_500"`` — respond 500 (client must retry with backoff);
 - ``"timeout"`` — sleep past the client's deadline before answering (the
@@ -54,29 +58,14 @@ from __future__ import annotations
 import argparse
 import base64
 import collections
-import gzip
-import hashlib
-import json
 import threading
 import time
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional, Tuple
 
-import numpy as np
-
-from repro.errors import ObservatoryError
-from repro.models.backends.local import LocalBackend
-from repro.models.backends.padded import PaddedBackend
-from repro.models.backends.remote import PROTOCOL_VERSION
-from repro.models.config import ModelConfig
-from repro.models.encoder import Encoder
-from repro.models.token_array import TokenArray, wire_from_jsonable
+from repro.service.encode import ACCEPTED_PROTOCOLS, EncoderPool  # noqa: F401 - re-export
+from repro.service.http import HttpPlane, WireRequest, WireResponse
 
 FAULT_KINDS = ("http_500", "timeout", "torn", "shuffle", "tamper")
-
-#: Protocol versions the service accepts: 2 is current (``state_dtype``);
-#: 1 is the pre-fleet client, still answered with float64 states.
-ACCEPTED_PROTOCOLS = (1, PROTOCOL_VERSION)
 
 
 class _Fault:
@@ -87,76 +76,6 @@ class _Fault:
             raise ValueError(f"unknown fault {kind!r}; expected one of {FAULT_KINDS}")
         self.kind = kind
         self.seconds = seconds
-
-
-class _Handler(BaseHTTPRequestHandler):
-    # HTTP/1.1 semantics: keep-alive by default, so the fleet client's
-    # connection pool sees real socket reuse.  Fault paths that must
-    # break the connection set ``close_connection`` explicitly.
-    protocol_version = "HTTP/1.1"
-
-    def log_message(self, fmt, *args):  # noqa: D102 - silence test noise
-        pass
-
-    def do_POST(self):  # noqa: N802 - http.server API
-        service: "LoopbackEncoderService" = self.server.service  # type: ignore[attr-defined]
-        # Always drain the request body first: under keep-alive an unread
-        # body would be parsed as the *next* request's start line.
-        length = int(self.headers.get("Content-Length", "0"))
-        raw = self.rfile.read(length)
-        if self.path.rstrip("/") != "/encode":
-            self._send(404, b'{"error": "unknown endpoint"}')
-            return
-        if service.delay:
-            time.sleep(service.delay)
-        fault = service._next_fault()
-        if fault is not None and fault.kind == "timeout":
-            # Hold the request past the client's deadline; the response
-            # below still completes (harmlessly — the client is gone).
-            time.sleep(fault.seconds)
-        if fault is not None and fault.kind == "http_500":
-            self._send(500, b'{"error": "injected service fault"}')
-            return
-        try:
-            if (self.headers.get("Content-Encoding") or "").lower() == "gzip":
-                raw = gzip.decompress(raw)
-            request = json.loads(raw.decode("utf-8"))
-            body = service._encode_request(request, fault)
-        except (ValueError, KeyError, OSError, ObservatoryError) as error:
-            self._send(400, json.dumps({"error": str(error)}).encode("utf-8"))
-            return
-        accepts_gzip = "gzip" in (self.headers.get("Accept-Encoding") or "").lower()
-        encoding = "gzip" if accepts_gzip else None
-        if encoding == "gzip":
-            body = gzip.compress(body, compresslevel=6)
-        if fault is not None and fault.kind == "torn":
-            # A keep-alive client would otherwise wait out its deadline
-            # for the missing bytes — close so it sees a fast short read.
-            self.close_connection = True
-            self.send_response(200)
-            self.send_header("Content-Type", "application/json")
-            if encoding:
-                self.send_header("Content-Encoding", encoding)
-            self.send_header("Content-Length", str(len(body)))
-            self.send_header("Connection", "close")
-            self.end_headers()
-            self.wfile.write(body[: len(body) // 2])  # short write, then close
-            return
-        self._send(200, body, encoding=encoding)
-
-    def _send(self, status: int, body: bytes, encoding: Optional[str] = None) -> None:
-        try:
-            self.send_response(status)
-            self.send_header("Content-Type", "application/json")
-            if encoding:
-                self.send_header("Content-Encoding", encoding)
-            self.send_header("Content-Length", str(len(body)))
-            self.end_headers()
-            self.wfile.write(body)
-        except (BrokenPipeError, ConnectionResetError):
-            # The client is gone — a cancelled hedge loser or an expired
-            # deadline.  Expected under fleet scheduling, not an error.
-            self.close_connection = True
 
 
 class LoopbackEncoderService:
@@ -178,31 +97,26 @@ class LoopbackEncoderService:
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *, delay: float = 0.0):
-        self._server = ThreadingHTTPServer((host, port), _Handler)
-        self._server.service = self  # type: ignore[attr-defined]
-        self._thread = threading.Thread(
-            target=self._server.serve_forever,
-            name="repro-loopback-encoder",
-            daemon=True,
-        )
+        self._plane = HttpPlane(host, port, name="repro-loopback-encoder")
+        self._plane.route("POST", "/encode", self._handle_encode)
         self._lock = threading.Lock()
         self._faults: "collections.deque[_Fault]" = collections.deque()
-        self._encoders: Dict[Tuple[str, str, int], Encoder] = {}
+        self._pool = EncoderPool()
         self.delay = delay
-        self.requests_served = 0
-        self._thread.start()
+        self._plane.start()
 
     # -- lifecycle -----------------------------------------------------
 
     @property
     def url(self) -> str:
-        host, port = self._server.server_address[:2]
-        return f"http://{host}:{port}"
+        return self._plane.url
+
+    @property
+    def requests_served(self) -> int:
+        return self._pool.requests_served
 
     def close(self) -> None:
-        self._server.shutdown()
-        self._server.server_close()
-        self._thread.join(timeout=5.0)
+        self._plane.close()
 
     def __enter__(self) -> "LoopbackEncoderService":
         return self
@@ -223,56 +137,33 @@ class LoopbackEncoderService:
 
     # -- encoding ------------------------------------------------------
 
-    def _encoder_for(self, config: ModelConfig, mode: str, tier: int) -> Encoder:
-        """One cached encoder per (model config, backend mode, tier)."""
-        key = (json.dumps(config.to_jsonable(), sort_keys=True), mode, tier)
-        with self._lock:
-            encoder = self._encoders.get(key)
-            if encoder is None:
-                backend = (
-                    PaddedBackend(tier_width=tier)
-                    if mode == "padded"
-                    else LocalBackend()
-                )
-                encoder = Encoder(config, backend=backend)
-                self._encoders[key] = encoder
-            return encoder
-
-    def _encode_request(self, request: Dict[str, object], fault: Optional[_Fault]) -> bytes:
-        protocol = request.get("protocol")
-        if protocol not in ACCEPTED_PROTOCOLS:
-            raise ValueError(
-                f"protocol mismatch: service speaks {ACCEPTED_PROTOCOLS}, "
-                f"request says {protocol!r}"
+    def _handle_encode(self, request: WireRequest) -> WireResponse:
+        # Ordering is the fault contract: the fault queue pops *before*
+        # the body is parsed, so an injected http_500/timeout fires even
+        # for a request whose payload would not decode.
+        if self.delay:
+            time.sleep(self.delay)
+        fault = self._next_fault()
+        if fault is not None and fault.kind == "timeout":
+            # Hold the request past the client's deadline; the response
+            # below still completes (harmlessly — the client is gone).
+            time.sleep(fault.seconds)
+        if fault is not None and fault.kind == "http_500":
+            return WireResponse(
+                status=500, payload={"error": "injected service fault"}
             )
-        mode = request.get("mode", "exact")
-        if mode not in ("exact", "padded"):
-            raise ValueError(f"unknown mode {mode!r}")
-        state_dtype = str(request.get("state_dtype", "float64"))
-        if state_dtype not in ("float64", "float32"):
-            raise ValueError(f"unknown state_dtype {state_dtype!r}")
-        config = ModelConfig.from_jsonable(request["model"])
-        tier = int(request.get("padding_tier", 8))
-        batch_size = int(request.get("batch_size", 8))
-        encoder = self._encoder_for(config, mode, tier)
-        arrays: List[TokenArray] = []
-        digests: List[str] = []
-        for payload in request["sequences"]:
-            wire = wire_from_jsonable(payload)
-            arrays.append(TokenArray.from_wire(wire))  # digest-checked
-            digests.append(str(wire["digest"]))
-        states = encoder.backend.encode_batch(encoder, arrays, batch_size=batch_size)
-        entries = [
-            _state_entry(digest, state, state_dtype, protocol=int(protocol))
-            for digest, state in zip(digests, states)
-        ]
+        body = self._pool.encode_request(request.json())
+        entries = body["states"]
         if fault is not None and fault.kind == "shuffle":
             entries.reverse()
         elif fault is not None and fault.kind == "tamper":
             entries[0] = _tampered(entries[0])
-        with self._lock:
-            self.requests_served += 1
-        return json.dumps({"states": entries}).encode("utf-8")
+        return WireResponse(
+            payload=body,
+            # A keep-alive client would otherwise wait out its deadline
+            # for the missing bytes — tear so it sees a fast short read.
+            torn=fault is not None and fault.kind == "torn",
+        )
 
 
 class FleetHarness:
@@ -340,22 +231,6 @@ class FleetHarness:
 
     def __exit__(self, *exc) -> None:
         self.close()
-
-
-def _state_entry(
-    digest: str, state: np.ndarray, state_dtype: str = "float64", *, protocol: int = 2
-) -> Dict[str, object]:
-    wire_dtype = "<f4" if state_dtype == "float32" else "<f8"
-    raw = np.ascontiguousarray(state.astype(wire_dtype, copy=False)).tobytes()
-    entry = {
-        "digest": digest,
-        "shape": list(state.shape),
-        "data": base64.b64encode(raw).decode("ascii"),
-        "data_digest": hashlib.sha256(raw).hexdigest(),
-    }
-    if protocol >= 2:
-        entry["dtype"] = state_dtype
-    return entry
 
 
 def _tampered(entry: Dict[str, object]) -> Dict[str, object]:
